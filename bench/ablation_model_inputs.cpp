@@ -1,0 +1,62 @@
+// Ablation — what the performance model's inputs buy (DESIGN.md design
+// choice; the paper argues pattern-only planners like Peregrine lose by
+// ignoring the data graph, and GraphZero-style estimators lose by
+// ignoring clustering and restrictions).
+//
+// Three planner variants pick a schedule for each pattern:
+//   full     — GraphPi: |V|, |E|, tri_cnt, restriction-aware f_i
+//   no-tri   — clustering-blind: tri_cnt replaced so p2 = p1 (GraphZero's
+//              density-only extrapolation)
+//   pattern  — data-blind: fixed canned statistics regardless of graph
+//              (Peregrine-style pattern-only scheduling)
+// Each selected schedule is then run for real; lower is better.
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/configuration.h"
+#include "core/pattern_library.h"
+#include "engine/matcher.h"
+#include "support/table.h"
+
+int main(int argc, char** argv) {
+  using namespace graphpi;
+  const double mult = bench::scale_multiplier(argc, argv);
+  bench::banner("Ablation", "performance-model inputs (seconds to count)");
+
+  constexpr double kBudget = 10.0;
+  support::Table table(
+      {"graph", "pattern", "full", "no-tri", "pattern-only"});
+
+  for (const char* name : {"wiki_vote", "patents"}) {
+    const Graph g = bench::bench_graph(name, 0.5 * mult);
+    const GraphStats stats = GraphStats::of(g);
+
+    GraphStats no_tri = stats;
+    // p2 == p1 <=> tri_cnt = 4|E|^2 p1 / |V| ... simpler: solve p2()=p1():
+    // tri * |V| / (4 E^2) = 2E/|V|^2  =>  tri = 8 E^3 / |V|^3.
+    no_tri.triangles =
+        8.0 * stats.edges * stats.edges * stats.edges /
+        (stats.vertices * stats.vertices * stats.vertices);
+
+    // Canned pattern-only statistics: a nominal sparse graph.
+    GraphStats canned;
+    canned.vertices = 1'000'000;
+    canned.edges = 10'000'000;
+    canned.triangles = 30'000'000;
+
+    for (int i = 1; i <= 4; ++i) {
+      const Pattern p = patterns::evaluation_pattern(i);
+      auto run = [&](const GraphStats& planning_stats) {
+        const Configuration config =
+            plan_configuration(p, planning_stats, PlannerOptions{});
+        return bench::count_plain_with_budget(g, config, kBudget).seconds;
+      };
+      table.add(name, "P" + std::to_string(i), bench::fmt_time(run(stats)),
+                bench::fmt_time(run(no_tri)), bench::fmt_time(run(canned)));
+    }
+  }
+  table.print();
+  std::cout << "(all variants produce identical counts; only schedule/"
+               "restriction choices differ)\n";
+  return 0;
+}

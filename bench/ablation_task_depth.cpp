@@ -1,0 +1,56 @@
+// Ablation — task granularity (Section IV-E: "the number of outer loops
+// executed by the master thread depends on the complexity of the
+// pattern"). Deeper task prefixes mean more, smaller tasks: better load
+// balance at higher task-management cost. Measured through the cluster
+// simulator on real per-task costs.
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/configuration.h"
+#include "core/pattern_library.h"
+#include "dist/simulator.h"
+#include "engine/matcher.h"
+#include "support/table.h"
+#include "support/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace graphpi;
+  const double mult = bench::scale_multiplier(argc, argv);
+  bench::banner("Ablation", "distributed task granularity (task depth)");
+
+  const Graph g = bench::bench_graph("orkut", mult);
+  const GraphStats stats = GraphStats::of(g);
+  const Pattern p = patterns::evaluation_pattern(1);
+  PlannerOptions planner;
+  planner.use_iep = true;
+  const Configuration config = plan_configuration(p, stats, planner);
+  const Matcher matcher(g, config);
+
+  support::Table table({"task depth", "tasks", "max task share",
+                        "speedup@16", "speedup@64", "speedup@256"});
+  const int max_depth =
+      config.pattern.size() - config.iep.k;  // outer loops only
+  for (int depth = 1; depth <= std::min(3, max_depth); ++depth) {
+    std::vector<double> costs;
+    matcher.enumerate_prefixes(depth, [&](std::span<const VertexId> prefix) {
+      support::Timer t;
+      (void)matcher.count_from_prefix(prefix);
+      costs.push_back(t.elapsed_seconds());
+    });
+    double total = 0.0, biggest = 0.0;
+    for (double c : costs) {
+      total += c;
+      biggest = std::max(biggest, c);
+    }
+    auto speedup = [&costs](int nodes) {
+      return dist::simulate_cluster(costs, nodes).speedup_vs_serial();
+    };
+    table.add(depth, costs.size(),
+              total > 0 ? biggest / total : 0.0, speedup(16), speedup(64),
+              speedup(256));
+  }
+  table.print();
+  std::cout << "(max task share bounds achievable speedup: share s caps "
+               "speedup at 1/s)\n";
+  return 0;
+}

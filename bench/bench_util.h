@@ -1,0 +1,109 @@
+// Shared helpers for the experiment harnesses.
+//
+// Every bench binary regenerates one table or figure of the paper's
+// evaluation (Section V) on the synthetic dataset stand-ins (DESIGN.md
+// documents the substitution). Absolute numbers differ from the paper's
+// Tianhe-2A measurements by construction; the *shape* — who wins and by
+// roughly what factor — is the reproduction target recorded in
+// EXPERIMENTS.md.
+#pragma once
+
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "core/configuration.h"
+#include "engine/matcher.h"
+#include "graph/datasets.h"
+#include "graph/graph.h"
+#include "support/timer.h"
+
+namespace graphpi::bench {
+
+/// Per-dataset scale factors calibrated so the full default bench suite
+/// finishes on one core in minutes. Pass a multiplier as argv[1] to grow
+/// or shrink every workload (e.g. `./fig08_overall 2.0`).
+inline double calibrated_scale(const std::string& dataset) {
+  // Stand-in sizes in datasets.cpp are already budget-calibrated.
+  (void)dataset;
+  return 1.0;
+}
+
+/// Global multiplier from argv (default 1.0).
+inline double scale_multiplier(int argc, char** argv) {
+  return argc > 1 ? std::atof(argv[1]) : 1.0;
+}
+
+/// Loads a dataset at its calibrated bench scale times `mult`.
+inline Graph bench_graph(const std::string& dataset, double mult) {
+  return datasets::load(dataset, calibrated_scale(dataset) * mult);
+}
+
+/// Times a callable once, returning seconds.
+template <typename F>
+double time_once(F&& fn) {
+  support::Timer t;
+  std::forward<F>(fn)();
+  return t.elapsed_seconds();
+}
+
+/// Result of a budgeted counting run: seconds + count when the run
+/// finished inside the budget, nullopt when it was cut off (rendered as
+/// the paper's "T").
+struct BudgetedRun {
+  std::optional<double> seconds;
+  Count count = 0;
+};
+
+/// Counts embeddings with a wall-clock budget by decomposing the run into
+/// depth-1 prefix tasks and checking the clock between tasks (overshoot
+/// is bounded by one root subtree). Exact when it completes.
+inline BudgetedRun count_with_budget(const Matcher& matcher,
+                                     double budget_seconds) {
+  struct BudgetExceeded {};
+  support::Timer t;
+  Count total = 0;
+  try {
+    matcher.enumerate_prefixes(1, [&](std::span<const VertexId> prefix) {
+      total += matcher.count_from_prefix(prefix);
+      if (t.elapsed_seconds() > budget_seconds) throw BudgetExceeded{};
+    });
+  } catch (const BudgetExceeded&) {
+    return {};
+  }
+  return {t.elapsed_seconds(), matcher.finalize_partial_counts(total)};
+}
+
+/// Budgeted plain-enumeration count for a configuration (strips any IEP
+/// plan first).
+inline BudgetedRun count_plain_with_budget(const Graph& g,
+                                           Configuration config,
+                                           double budget_seconds) {
+  config.iep = IepPlan{};
+  return count_with_budget(Matcher(g, config), budget_seconds);
+}
+
+/// Formats a measurement; nullopt renders as "T" — the paper's marker for
+/// runs exceeding the time budget.
+inline std::string fmt_time(std::optional<double> seconds) {
+  if (!seconds.has_value()) return "T";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", *seconds);
+  return buf;
+}
+
+inline std::string fmt_speedup(std::optional<double> x) {
+  if (!x.has_value()) return "-";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1fx", *x);
+  return buf;
+}
+
+/// Prints the standard bench banner.
+inline void banner(const std::string& experiment, const std::string& what) {
+  std::cout << "==== " << experiment << " — " << what << " ====\n";
+}
+
+}  // namespace graphpi::bench

@@ -1,0 +1,152 @@
+// Micro-benchmarks of the hot kernels (google-benchmark): sorted-set
+// intersection variants across size skews, candidate-set construction,
+// triangle counting, IEP leaf evaluation, and Algorithm 1.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/configuration.h"
+#include "core/pattern_library.h"
+#include "core/restriction.h"
+#include "engine/matcher.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/triangle.h"
+#include "graph/vertex_set.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace graphpi;
+
+std::vector<VertexId> make_sorted(std::size_t n, VertexId universe,
+                                  std::uint64_t seed) {
+  support::Xoshiro256StarStar rng(seed);
+  std::vector<VertexId> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v.push_back(static_cast<VertexId>(rng.bounded(universe)));
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+void BM_IntersectMerge(benchmark::State& state) {
+  const auto a = make_sorted(static_cast<std::size_t>(state.range(0)),
+                             1 << 20, 1);
+  const auto b = make_sorted(static_cast<std::size_t>(state.range(1)),
+                             1 << 20, 2);
+  std::vector<VertexId> out;
+  for (auto _ : state) {
+    intersect(a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_IntersectMerge)
+    ->Args({1000, 1000})
+    ->Args({100, 10000})
+    ->Args({10, 100000});
+
+void BM_IntersectGallop(benchmark::State& state) {
+  const auto a = make_sorted(static_cast<std::size_t>(state.range(0)),
+                             1 << 20, 1);
+  const auto b = make_sorted(static_cast<std::size_t>(state.range(1)),
+                             1 << 20, 2);
+  std::vector<VertexId> out;
+  for (auto _ : state) {
+    intersect_gallop(a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_IntersectGallop)
+    ->Args({1000, 1000})
+    ->Args({100, 10000})
+    ->Args({10, 100000});
+
+void BM_IntersectAdaptive(benchmark::State& state) {
+  const auto a = make_sorted(static_cast<std::size_t>(state.range(0)),
+                             1 << 20, 1);
+  const auto b = make_sorted(static_cast<std::size_t>(state.range(1)),
+                             1 << 20, 2);
+  std::vector<VertexId> out;
+  for (auto _ : state) {
+    intersect_adaptive(a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_IntersectAdaptive)
+    ->Args({1000, 1000})
+    ->Args({100, 10000})
+    ->Args({10, 100000});
+
+void BM_TriangleCount(benchmark::State& state) {
+  const Graph g = clustered_power_law(
+      static_cast<VertexId>(state.range(0)),
+      static_cast<std::uint64_t>(state.range(0)) * 12, 2.3, 0.4, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(count_triangles(g));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.edge_count()));
+}
+BENCHMARK(BM_TriangleCount)->Arg(2000)->Arg(8000);
+
+void BM_GraphBuild(benchmark::State& state) {
+  const Graph src = erdos_renyi(static_cast<VertexId>(state.range(0)),
+                                static_cast<std::uint64_t>(state.range(0)) * 8,
+                                11);
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId u = 0; u < src.vertex_count(); ++u)
+    for (VertexId v : src.neighbors(u))
+      if (u < v) edges.emplace_back(u, v);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_graph(src.vertex_count(), edges));
+  }
+}
+BENCHMARK(BM_GraphBuild)->Arg(5000);
+
+void BM_RestrictionGeneration(benchmark::State& state) {
+  const Pattern p = patterns::evaluation_pattern(
+      static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generate_restriction_sets(p));
+  }
+}
+BENCHMARK(BM_RestrictionGeneration)->Arg(1)->Arg(3)->Arg(5);
+
+void BM_LinearExtensions(benchmark::State& state) {
+  // Worst case: empty poset on 8 elements (counts all 40320 orders).
+  const RestrictionSet chain{{0, 1}, {2, 3}, {4, 5}, {6, 7}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linear_extension_count(8, chain));
+  }
+}
+BENCHMARK(BM_LinearExtensions);
+
+void BM_CountHouse(benchmark::State& state) {
+  const Graph g = clustered_power_law(1200, 8000, 2.3, 0.4, 13);
+  const Configuration config = plan_configuration(
+      patterns::house(), GraphStats::of(g), PlannerOptions{});
+  const Matcher matcher(g, config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matcher.count_plain());
+  }
+}
+BENCHMARK(BM_CountHouse);
+
+void BM_CountHouseIep(benchmark::State& state) {
+  const Graph g = clustered_power_law(1200, 8000, 2.3, 0.4, 13);
+  PlannerOptions planner;
+  planner.use_iep = true;
+  const Configuration config =
+      plan_configuration(patterns::house(), GraphStats::of(g), planner);
+  const Matcher matcher(g, config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matcher.count());
+  }
+}
+BENCHMARK(BM_CountHouseIep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,26 @@
+// Table I — graph datasets. Prints the published statistics next to the
+// synthetic stand-ins actually used by the benches.
+#include <iostream>
+
+#include "bench_util.h"
+#include "support/table.h"
+
+int main(int argc, char** argv) {
+  using namespace graphpi;
+  const double mult = bench::scale_multiplier(argc, argv);
+  bench::banner("Table I", "graph datasets (paper vs stand-in)");
+
+  support::Table table({"graph", "description", "paper |V|", "paper |E|",
+                        "standin |V|", "standin |E|", "triangles",
+                        "max deg"});
+  for (const auto& spec : datasets::specs()) {
+    const Graph g = bench::bench_graph(spec.name, mult);
+    table.add(spec.name, spec.description, spec.paper_vertices,
+              spec.paper_edges, g.vertex_count(), g.edge_count(),
+              g.triangle_count(), g.max_degree());
+  }
+  table.print();
+  std::cout << "(stand-in sizes reflect the calibrated bench scales; "
+               "multiply with argv[1])\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Table II — speedup from GraphPi's restriction-set selection: for P1,
+// P2, P4 on Wiki-Vote and Patents, run every generated schedule twice —
+// once with the restriction set GraphPi's model picks for that schedule,
+// once with GraphZero's single set — and report the average and maximum
+// speedup over the schedules where the two differ.
+//
+// Expected shape: averages around 1.5-2.5x, maxima up to several x
+// (paper: up to 7.82x).
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/configuration.h"
+#include "core/pattern_library.h"
+#include "engine/graphzero.h"
+#include "engine/matcher.h"
+#include "support/table.h"
+
+int main(int argc, char** argv) {
+  using namespace graphpi;
+  const double mult = bench::scale_multiplier(argc, argv);
+  bench::banner("Table II",
+                "better restriction sets at identical schedules");
+
+  support::Table table({"graph", "pattern", "schedules", "differing",
+                        "avg speedup", "max speedup"});
+
+  for (const char* name : {"wiki_vote", "patents"}) {
+    const Graph g = bench::bench_graph(name, mult);
+    const GraphStats stats = GraphStats::of(g);
+    for (int i : {1, 2, 4}) {
+      const Pattern p = patterns::evaluation_pattern(i);
+      const auto generated = generate_schedules(p);
+      const auto sets = generate_restriction_sets(p);
+      const RestrictionSet gz_set = graphzero::restriction_set(p);
+
+      double speedup_sum = 0.0, speedup_max = 0.0;
+      int differing = 0;
+      constexpr int kMaxMeasured = 16;  // keeps the sweep budgeted
+      for (const auto& sched : generated.efficient) {
+        if (differing >= kMaxMeasured) break;
+        const Configuration best =
+            best_configuration_for_schedule(p, sched, sets, stats);
+        if (best.restrictions == gz_set) continue;  // same choice
+        ++differing;
+
+        Configuration gz_config = best;
+        gz_config.restrictions = gz_set;
+
+        constexpr double kPairBudgetSeconds = 3.0;
+        const bench::BudgetedRun run_best =
+            bench::count_plain_with_budget(g, best, kPairBudgetSeconds);
+        const bench::BudgetedRun run_gz = bench::count_plain_with_budget(
+            g, gz_config, 2 * kPairBudgetSeconds);
+        if (!run_best.seconds.has_value()) continue;  // out of budget
+        if (run_gz.seconds.has_value() && run_best.count != run_gz.count) {
+          std::cerr << "BUG: restriction sets disagree on counts\n";
+          return 1;
+        }
+        const double gz_secs =
+            run_gz.seconds.value_or(2 * kPairBudgetSeconds);
+        const double speedup = gz_secs / std::max(*run_best.seconds, 1e-9);
+        speedup_sum += speedup;
+        speedup_max = std::max(speedup_max, speedup);
+      }
+      table.add(name, "P" + std::to_string(i), generated.efficient.size(),
+                differing,
+                differing > 0 ? speedup_sum / differing : 1.0,
+                differing > 0 ? speedup_max : 1.0);
+    }
+  }
+  table.print();
+  std::cout << "(speedup = GraphZero-set time / GraphPi-set time at the "
+               "same schedule)\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Fraud-ring detection (labeled matching): the paper's introduction
+// motivates pattern matching with fraud detection; this example realizes
+// the classic scenario — finding suspicious transaction rings where
+// accounts of specific types form a cycle with a shared counterparty.
+//
+// Graph model: a synthetic payment network whose vertices carry labels
+//   0 = merchant, 1 = personal account, 2 = mule-like account
+// (degree-biased: the busiest vertices become merchants, as in real
+// payment graphs).
+//
+// Patterns:
+//   ring4:  a 4-cycle of alternating personal/mule accounts
+//   funnel: two mules both paying the same merchant and each other
+//
+//   ./fraud_rings [n_vertices] [n_edges] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/labeled_pattern.h"
+#include "engine/labeled.h"
+#include "graph/generators.h"
+#include "graph/labeled_graph.h"
+#include "support/table.h"
+#include "support/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace graphpi;
+
+  const auto n = static_cast<VertexId>(argc > 1 ? std::atoll(argv[1]) : 4000);
+  const auto m = static_cast<std::uint64_t>(
+      argc > 2 ? std::atoll(argv[2]) : 30000);
+  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10)
+                                      : 2020;
+
+  const LabeledGraph network = assign_labels(
+      clustered_power_law(n, m, 2.2, 0.4, seed), /*n_labels=*/3,
+      seed ^ 0xF00D, /*degree_biased=*/true);
+  std::cout << "payment network: " << network.vertex_count()
+            << " accounts, " << network.structure().edge_count()
+            << " transactions\n";
+  for (Label l = 0; l < 3; ++l)
+    std::cout << "  label " << l << ": " << network.label_frequency(l)
+              << " accounts\n";
+
+  struct Scenario {
+    const char* name;
+    LabeledPattern pattern;
+  };
+  const Scenario scenarios[] = {
+      {"ring4 (personal-mule alternating cycle)",
+       LabeledPattern(Pattern(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}}),
+                      {1, 2, 1, 2})},
+      {"funnel (two mules, one merchant, linked)",
+       LabeledPattern(Pattern(3, {{0, 1}, {0, 2}, {1, 2}}), {0, 2, 2})},
+      {"laundering chain (merchant-mule-mule-merchant)",
+       LabeledPattern(Pattern(4, {{0, 1}, {1, 2}, {2, 3}}), {0, 2, 2, 0})},
+  };
+
+  support::Table table({"scenario", "|Aut| labeled", "matches", "time(s)",
+                        "sample"});
+  for (const auto& s : scenarios) {
+    const LabeledMatcher matcher(network, s.pattern);
+    support::Timer t;
+    const Count matches = matcher.count();
+    const double secs = t.elapsed_seconds();
+
+    std::string sample = "-";
+    matcher.enumerate([&sample](std::span<const VertexId> emb) {
+      if (sample != "-") return;  // keep the first hit only
+      sample.clear();
+      for (std::size_t i = 0; i < emb.size(); ++i)
+        sample += (i ? "," : "") + std::to_string(emb[i]);
+    });
+    table.add(s.name, labeled_automorphisms(s.pattern).size(), matches,
+              secs, sample);
+  }
+  table.print();
+  std::cout << "(labels constrain candidates per vertex; symmetry breaking "
+               "uses only label-preserving automorphisms)\n";
+  return 0;
+}

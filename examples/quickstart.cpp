@@ -1,0 +1,70 @@
+// Quickstart: the 30-second tour of the GraphPi API.
+//
+//   ./quickstart [edge_list.txt]
+//
+// Loads a graph (or generates a synthetic social network when no file is
+// given), plans the optimal configuration for the House pattern, and
+// counts its embeddings with and without the Inclusion–Exclusion
+// optimization.
+#include <cstdio>
+#include <iostream>
+
+#include "api/graphpi.h"
+#include "support/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace graphpi;
+
+  // 1. Get a data graph: a file in SNAP edge-list format, or a seeded
+  //    synthetic stand-in for the paper's Wiki-Vote dataset.
+  Graph graph = argc > 1 ? load_edge_list(argv[1])
+                         : datasets::load("wiki_vote", /*scale=*/0.5);
+  std::cout << "graph: " << graph.vertex_count() << " vertices, "
+            << graph.edge_count() << " edges, " << graph.triangle_count()
+            << " triangles\n";
+
+  // 2. Pick a pattern. The library ships the paper's patterns; arbitrary
+  //    patterns can be built from edge lists or adjacency strings.
+  const Pattern house = patterns::house();
+  std::cout << "pattern: house " << house.to_string() << "\n";
+
+  // 3. Plan: Algorithm 1 generates restriction sets, the 2-phase
+  //    generator enumerates efficient schedules, and the performance
+  //    model picks the optimal combination (Figure 3).
+  const GraphPi engine(graph);
+  PlanningStats diag;
+  const Configuration config = engine.plan(house, MatchOptions{}, &diag);
+  std::cout << "planned configuration: " << config.to_string() << "\n"
+            << "  schedules: " << diag.schedules_total << " total -> "
+            << diag.schedules_phase1 << " phase-1 -> "
+            << diag.schedules_efficient << " efficient\n"
+            << "  restriction sets: " << diag.restriction_sets << "\n"
+            << "  planning time: " << diag.planning_seconds * 1e3 << " ms\n";
+
+  // 4. Count. IEP replaces the innermost loops with closed-form
+  //    inclusion–exclusion sums (Section IV-D).
+  support::Timer timer;
+  const Count with_iep = engine.count(config, MatchOptions{});
+  const double iep_secs = timer.elapsed_seconds();
+
+  MatchOptions no_iep;
+  no_iep.use_iep = false;
+  timer.reset();
+  const Count plain = engine.count(engine.plan(house, no_iep), no_iep);
+  const double plain_secs = timer.elapsed_seconds();
+
+  std::cout << "embeddings: " << with_iep << "\n";
+  std::printf("time: %.3fs with IEP, %.3fs without (%.1fx)\n", iep_secs,
+              plain_secs, plain_secs / std::max(iep_secs, 1e-9));
+  if (with_iep != plain) {
+    std::cerr << "BUG: IEP and plain counts disagree!\n";
+    return 1;
+  }
+
+  // 5. Listing variant: stream embeddings through a callback.
+  Count listed = 0;
+  engine.find_all(patterns::clique(3),
+                  [&listed](std::span<const VertexId>) { ++listed; });
+  std::cout << "triangles (listed one by one): " << listed << "\n";
+  return 0;
+}

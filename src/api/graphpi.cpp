@@ -1,0 +1,102 @@
+#include "api/graphpi.h"
+
+#include "core/automorphism.h"
+#include "support/check.h"
+
+namespace graphpi {
+
+GraphPi::GraphPi(const Graph& graph)
+    : graph_(&graph), stats_(GraphStats::of(graph)) {}
+
+Configuration GraphPi::plan(const Pattern& pattern,
+                            const MatchOptions& options,
+                            PlanningStats* diag) const {
+  PlannerOptions planner;
+  planner.use_iep = options.use_iep;
+  planner.max_restriction_sets = options.max_restriction_sets;
+  Configuration config = plan_configuration(pattern, stats_, planner, diag);
+  if (options.empirical_validation) {
+    GRAPHPI_CHECK_MSG(empirically_validate(config),
+                      "planned configuration failed empirical validation");
+  }
+  return config;
+}
+
+Count GraphPi::count(const Pattern& pattern,
+                     const MatchOptions& options) const {
+  return count(plan(pattern, options), options);
+}
+
+Count GraphPi::count(const Configuration& config,
+                     const MatchOptions& options) const {
+  switch (options.backend) {
+    case Backend::kSerial:
+      return Matcher(*graph_, config).count();
+    case Backend::kParallel: {
+      ParallelOptions popt;
+      popt.task_depth = options.task_depth;
+      popt.num_threads = options.threads;
+      return count_parallel(*graph_, config, popt);
+    }
+    case Backend::kDistributed: {
+      dist::ClusterOptions copt;
+      copt.nodes = options.nodes;
+      copt.task_depth = options.task_depth;
+      return dist::distributed_count(*graph_, config, copt);
+    }
+  }
+  GRAPHPI_CHECK_MSG(false, "unknown backend");
+  return 0;
+}
+
+void GraphPi::find_all(const Pattern& pattern, const EmbeddingCallback& cb,
+                       const MatchOptions& options) const {
+  MatchOptions listing = options;
+  listing.use_iep = false;  // IEP cannot list embeddings
+  const Configuration config = plan(pattern, listing);
+  if (options.backend == Backend::kParallel) {
+    ParallelOptions popt;
+    popt.task_depth = options.task_depth;
+    popt.num_threads = options.threads;
+    enumerate_parallel(*graph_, config, cb, popt);
+  } else {
+    Matcher(*graph_, config).enumerate(cb);
+  }
+}
+
+std::vector<std::vector<VertexId>> GraphPi::find_all(
+    const Pattern& pattern, const MatchOptions& options) const {
+  std::vector<std::vector<VertexId>> out;
+  find_all(
+      pattern,
+      [&out](std::span<const VertexId> emb) {
+        out.emplace_back(emb.begin(), emb.end());
+      },
+      options);
+  return out;
+}
+
+bool empirically_validate(const Configuration& config) {
+  // Two structurally different probe graphs plus the clique K_{n+2}.
+  const int n = config.pattern.size();
+  const std::vector<Graph> probes = {
+      erdos_renyi(24, 80, /*seed=*/0xC0FFEE),
+      clustered_power_law(30, 110, 2.3, 0.5, /*seed=*/0xBEEF),
+      complete_graph(static_cast<VertexId>(n + 2)),
+  };
+  for (const auto& g : probes) {
+    const Matcher matcher(g, config);
+    const Count plain = matcher.count_plain();
+    if (config.iep.k > 0 && matcher.count() != plain) return false;
+    // Restriction correctness: unrestricted enumeration finds each
+    // embedding |Aut| times.
+    Configuration unrestricted = config;
+    unrestricted.restrictions.clear();
+    unrestricted.iep = IepPlan{};
+    const Count redundant = Matcher(g, unrestricted).count_plain();
+    if (redundant != plain * automorphism_count(config.pattern)) return false;
+  }
+  return true;
+}
+
+}  // namespace graphpi

@@ -1,0 +1,98 @@
+// GraphPi public facade.
+//
+// The paper's user-facing contract (Section III): "Users only need to
+// input a pattern and a data graph in the form of adjacency lists to run
+// GraphPi." This header is that entry point — it wires together
+// configuration generation (Algorithm 1 + the 2-phase schedule generator),
+// performance prediction, and the execution engines.
+//
+//   #include "api/graphpi.h"
+//   graphpi::Graph g = graphpi::load_edge_list("graph.txt");
+//   graphpi::Pattern house = graphpi::patterns::house();
+//   graphpi::Count n = graphpi::GraphPi(g).count(house);
+//
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/configuration.h"
+#include "core/pattern.h"
+#include "core/pattern_library.h"
+#include "dist/runtime.h"
+#include "engine/matcher.h"
+#include "engine/parallel.h"
+#include "graph/builder.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/io.h"
+
+namespace graphpi {
+
+/// Execution backend selection.
+enum class Backend {
+  kSerial,       ///< single-thread Matcher
+  kParallel,     ///< OpenMP engine (Section IV-E, intra-node)
+  kDistributed,  ///< simulated multi-node cluster (Section IV-E)
+};
+
+struct MatchOptions {
+  /// Count with the Inclusion–Exclusion Principle when a valid plan
+  /// exists (Section IV-D). Ignored for listing.
+  bool use_iep = true;
+  Backend backend = Backend::kSerial;
+  /// Backend knobs (parallel / distributed only).
+  int threads = 0;
+  int nodes = 2;
+  int task_depth = 1;
+  /// Re-validate the planned configuration empirically on small graphs
+  /// before running (cheap belt-and-braces on top of the K_n validation).
+  bool empirical_validation = false;
+  /// Cap on Algorithm 1's restriction-set generation.
+  std::size_t max_restriction_sets = 64;
+};
+
+/// High-level handle binding a data graph; plans and runs pattern jobs.
+class GraphPi {
+ public:
+  explicit GraphPi(const Graph& graph);
+
+  /// Plans the optimal configuration of `pattern` for this graph
+  /// (Figure 3's preprocessing stage). Deterministic.
+  [[nodiscard]] Configuration plan(const Pattern& pattern,
+                                   const MatchOptions& options = {},
+                                   PlanningStats* diag = nullptr) const;
+
+  /// Counts embeddings of `pattern` (deduplicated, each subgraph once).
+  [[nodiscard]] Count count(const Pattern& pattern,
+                            const MatchOptions& options = {}) const;
+
+  /// Runs a previously planned configuration.
+  [[nodiscard]] Count count(const Configuration& config,
+                            const MatchOptions& options = {}) const;
+
+  /// Lists all embeddings (never uses IEP). The callback receives the
+  /// data-graph vertices indexed by pattern vertex.
+  void find_all(const Pattern& pattern, const EmbeddingCallback& cb,
+                const MatchOptions& options = {}) const;
+
+  /// Collects embeddings into a vector (convenience; prefer the callback
+  /// form for large result sets).
+  [[nodiscard]] std::vector<std::vector<VertexId>> find_all(
+      const Pattern& pattern, const MatchOptions& options = {}) const;
+
+  [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
+  [[nodiscard]] const GraphStats& stats() const noexcept { return stats_; }
+
+ private:
+  const Graph* graph_;
+  GraphStats stats_;
+};
+
+/// Cross-checks a planned configuration on small deterministic graphs:
+/// IEP count == plain count and restricted count * |Aut| == unrestricted
+/// count. Returns true when all checks pass.
+[[nodiscard]] bool empirically_validate(const Configuration& config);
+
+}  // namespace graphpi

@@ -1,0 +1,50 @@
+#include "core/automorphism.h"
+
+#include <algorithm>
+
+namespace graphpi {
+
+namespace {
+
+/// Backtracking search assigning images vertex by vertex; prunes on degree
+/// mismatch and on any edge/non-edge violation against already-assigned
+/// vertices.
+void extend(const Pattern& p, std::vector<int>& image, std::uint32_t used,
+            std::vector<Permutation>& out) {
+  const int n = p.size();
+  const int i = static_cast<int>(image.size());
+  if (i == n) {
+    out.emplace_back(image);
+    return;
+  }
+  for (int candidate = 0; candidate < n; ++candidate) {
+    if ((used >> candidate) & 1u) continue;
+    if (p.degree(candidate) != p.degree(i)) continue;
+    bool ok = true;
+    for (int j = 0; j < i && ok; ++j)
+      if (p.has_edge(j, i) != p.has_edge(image[static_cast<std::size_t>(j)],
+                                         candidate))
+        ok = false;
+    if (!ok) continue;
+    image.push_back(candidate);
+    extend(p, image, used | (1u << candidate), out);
+    image.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<Permutation> automorphisms(const Pattern& pattern) {
+  std::vector<Permutation> out;
+  std::vector<int> image;
+  image.reserve(static_cast<std::size_t>(pattern.size()));
+  extend(pattern, image, 0, out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t automorphism_count(const Pattern& pattern) {
+  return automorphisms(pattern).size();
+}
+
+}  // namespace graphpi

@@ -1,0 +1,23 @@
+// Automorphism group enumeration for patterns.
+//
+// An automorphism of a pattern is a permutation p of its vertices such
+// that every edge maps to an edge (Section IV-A). The full set of
+// automorphisms forms the permutation group Algorithm 1 eliminates.
+#pragma once
+
+#include <vector>
+
+#include "core/pattern.h"
+#include "core/permutation.h"
+
+namespace graphpi {
+
+/// All automorphisms of `pattern`, identity included, in lexicographic
+/// order of image tables. Exhaustive with degree-sequence pruning; patterns
+/// have at most 8 vertices so this is at most 40,320 candidates.
+[[nodiscard]] std::vector<Permutation> automorphisms(const Pattern& pattern);
+
+/// |Aut(pattern)| — e.g. 5,040 for the 7-clique (Section II-B).
+[[nodiscard]] std::size_t automorphism_count(const Pattern& pattern);
+
+}  // namespace graphpi

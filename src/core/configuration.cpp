@@ -1,0 +1,119 @@
+#include "core/configuration.h"
+
+#include <limits>
+#include <sstream>
+
+#include "support/check.h"
+#include "support/timer.h"
+
+namespace graphpi {
+
+std::string Configuration::to_string() const {
+  std::ostringstream oss;
+  oss << "schedule " << schedule.to_string() << " restrictions "
+      << graphpi::to_string(restrictions);
+  if (iep.k > 0) oss << " " << iep.to_string();
+  return oss.str();
+}
+
+Configuration best_configuration_for_schedule(
+    const Pattern& pattern, const Schedule& schedule,
+    const std::vector<RestrictionSet>& restriction_sets,
+    const GraphStats& stats, const PlannerOptions& options) {
+  GRAPHPI_CHECK_MSG(!restriction_sets.empty(),
+                    "at least one restriction set is required");
+  Configuration best;
+  best.pattern = pattern;
+  best.schedule = schedule;
+  best.predicted_cost = std::numeric_limits<double>::infinity();
+  for (const auto& rs : restriction_sets) {
+    const double cost =
+        predict_total_cost(pattern, schedule, rs, stats, options.model);
+    if (cost < best.predicted_cost) {
+      best.predicted_cost = cost;
+      best.restrictions = rs;
+    }
+  }
+  if (options.use_iep) attach_iep_plan(best);
+  return best;
+}
+
+Configuration plan_configuration(const Pattern& pattern,
+                                 const GraphStats& stats,
+                                 const PlannerOptions& options,
+                                 PlanningStats* diag) {
+  support::Timer timer;
+
+  const auto schedules = generate_schedules(pattern);
+  const auto restriction_sets = generate_restriction_sets(
+      pattern, RestrictionGenOptions{options.max_restriction_sets});
+
+  // Score every (schedule, restriction set) combination. When IEP is
+  // requested we additionally require the combination to admit a valid
+  // IEP plan — not every restriction set does (dropping its suffix
+  // restrictions can leave a non-constant overcount; see iep.h) — and
+  // pick the cheapest admissible one, falling back to plain enumeration
+  // only if no combination qualifies.
+  Configuration best;
+  best.pattern = pattern;
+  best.predicted_cost = std::numeric_limits<double>::infinity();
+  Configuration best_iep = best;
+  std::size_t evaluated = 0;
+  for (const auto& sched : schedules.efficient) {
+    for (const auto& rs : restriction_sets) {
+      ++evaluated;
+      const double cost =
+          predict_total_cost(pattern, sched, rs, stats, options.model);
+      if (cost < best.predicted_cost) {
+        best.predicted_cost = cost;
+        best.schedule = sched;
+        best.restrictions = rs;
+      }
+      if (options.use_iep && cost < best_iep.predicted_cost) {
+        Configuration candidate;
+        candidate.pattern = pattern;
+        candidate.schedule = sched;
+        candidate.restrictions = rs;
+        candidate.predicted_cost = cost;
+        attach_iep_plan(candidate);
+        if (candidate.iep.k > 0) best_iep = std::move(candidate);
+      }
+    }
+  }
+  GRAPHPI_CHECK_MSG(best.schedule.size() == pattern.size(),
+                    "planning must select a schedule");
+  if (options.use_iep && best_iep.iep.k > 0) best = std::move(best_iep);
+
+  if (diag != nullptr) {
+    std::size_t factorial = 1;
+    for (int i = 2; i <= pattern.size(); ++i)
+      factorial *= static_cast<std::size_t>(i);
+    diag->schedules_total = factorial;
+    diag->schedules_phase1 = schedules.phase1.size();
+    diag->schedules_efficient = schedules.efficient.size();
+    diag->restriction_sets = restriction_sets.size();
+    diag->configurations_evaluated = evaluated;
+    diag->planning_seconds = timer.elapsed_seconds();
+  }
+  return best;
+}
+
+void attach_iep_plan(Configuration& config) {
+  const int n = config.pattern.size();
+  if (n <= 1) return;
+  int k = config.schedule.independent_suffix_length(config.pattern);
+  // k = n would leave no outer loop; the suffix of a connected pattern of
+  // n >= 2 vertices is at most n-1 anyway, but clamp defensively.
+  k = std::min(k, n - 1);
+  for (; k >= 1; --k) {
+    IepPlan plan =
+        build_iep_plan(config.pattern, config.schedule, config.restrictions, k);
+    if (validate_iep_plan(config.pattern, config.schedule, plan)) {
+      config.iep = std::move(plan);
+      return;
+    }
+  }
+  config.iep = IepPlan{};  // IEP not applicable; engine falls back
+}
+
+}  // namespace graphpi

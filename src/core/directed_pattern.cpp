@@ -1,0 +1,65 @@
+#include "core/directed_pattern.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/automorphism.h"
+#include "support/check.h"
+
+namespace graphpi {
+
+DirectedPattern::DirectedPattern(
+    int n_vertices, const std::vector<std::pair<int, int>>& arcs)
+    : n_(n_vertices) {
+  GRAPHPI_CHECK_MSG(n_ >= 1 && n_ <= Pattern::kMaxVertices,
+                    "directed pattern size out of range");
+  std::vector<std::pair<int, int>> skeleton_edges;
+  for (auto [u, v] : arcs) {
+    GRAPHPI_CHECK_MSG(u >= 0 && u < n_ && v >= 0 && v < n_,
+                      "arc endpoint out of range");
+    GRAPHPI_CHECK_MSG(u != v, "self loops are not allowed");
+    GRAPHPI_CHECK_MSG(!has_arc(u, v), "duplicate arc");
+    out_[u] |= 1u << v;
+    arcs_.emplace_back(u, v);
+    // Skeleton edge once per unordered pair.
+    if (!has_arc(v, u))
+      skeleton_edges.emplace_back(std::min(u, v), std::max(u, v));
+  }
+  std::sort(arcs_.begin(), arcs_.end());
+  skeleton_ = Pattern(n_, skeleton_edges);
+}
+
+std::string DirectedPattern::to_string() const {
+  std::ostringstream oss;
+  oss << "n=" << n_ << " arcs=[";
+  for (std::size_t i = 0; i < arcs_.size(); ++i) {
+    if (i) oss << ",";
+    oss << arcs_[i].first << "->" << arcs_[i].second;
+  }
+  oss << "]";
+  return oss.str();
+}
+
+std::vector<Permutation> automorphisms(const DirectedPattern& pattern) {
+  // Filter the skeleton's automorphisms down to arc-preserving ones (the
+  // skeleton group is a supergroup of the directed group).
+  std::vector<Permutation> out;
+  for (const auto& a : automorphisms(pattern.skeleton())) {
+    bool preserves = true;
+    for (auto [u, v] : pattern.arcs())
+      if (!pattern.has_arc(a(u), a(v))) {
+        preserves = false;
+        break;
+      }
+    if (preserves) out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<RestrictionSet> generate_restriction_sets(
+    const DirectedPattern& pattern, const RestrictionGenOptions& options) {
+  return generate_restriction_sets_for_group(pattern.size(),
+                                             automorphisms(pattern), options);
+}
+
+}  // namespace graphpi

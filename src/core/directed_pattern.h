@@ -1,0 +1,64 @@
+// Directed patterns (the directed half of the Section II-A extension).
+//
+// A directed pattern is a set of arcs over n vertices. Its automorphisms
+// are the arc-preserving permutations; note these groups can lack
+// 2-cycles entirely (the directed triangle's group is the Z3 rotation
+// group), which is why Algorithm 1 carries the orbit-max fallback
+// (restriction.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/pattern.h"
+#include "core/permutation.h"
+#include "core/restriction.h"
+#include "core/schedule.h"
+
+namespace graphpi {
+
+class DirectedPattern {
+ public:
+  DirectedPattern() = default;
+
+  /// Builds from arcs (u -> v). Antiparallel pairs are allowed; self
+  /// loops and duplicates are rejected.
+  DirectedPattern(int n_vertices,
+                  const std::vector<std::pair<int, int>>& arcs);
+
+  [[nodiscard]] int size() const noexcept { return n_; }
+  [[nodiscard]] int arc_count() const noexcept {
+    return static_cast<int>(arcs_.size());
+  }
+  [[nodiscard]] bool has_arc(int u, int v) const noexcept {
+    return (out_[u] >> v) & 1u;
+  }
+  [[nodiscard]] const std::vector<std::pair<int, int>>& arcs()
+      const noexcept {
+    return arcs_;
+  }
+
+  /// The underlying undirected pattern (arc orientation erased) — the
+  /// schedule generator and phase rules operate on this skeleton.
+  [[nodiscard]] const Pattern& skeleton() const noexcept { return skeleton_; }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  int n_ = 0;
+  std::vector<std::pair<int, int>> arcs_;
+  std::uint32_t out_[Pattern::kMaxVertices] = {};
+  Pattern skeleton_;
+};
+
+/// Arc-preserving automorphisms of the directed pattern.
+[[nodiscard]] std::vector<Permutation> automorphisms(
+    const DirectedPattern& pattern);
+
+/// Algorithm 1 on the directed automorphism group.
+[[nodiscard]] std::vector<RestrictionSet> generate_restriction_sets(
+    const DirectedPattern& pattern, const RestrictionGenOptions& options = {});
+
+}  // namespace graphpi

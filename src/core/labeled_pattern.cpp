@@ -1,0 +1,32 @@
+#include "core/labeled_pattern.h"
+
+#include "core/automorphism.h"
+#include "support/check.h"
+
+namespace graphpi {
+
+LabeledPattern::LabeledPattern(Pattern p, std::vector<Label> l)
+    : structure(std::move(p)), labels(std::move(l)) {
+  GRAPHPI_CHECK_MSG(
+      labels.size() == static_cast<std::size_t>(structure.size()),
+      "one label per pattern vertex required");
+}
+
+std::vector<Permutation> labeled_automorphisms(const LabeledPattern& pattern) {
+  std::vector<Permutation> out;
+  for (const auto& a : automorphisms(pattern.structure)) {
+    bool preserves = true;
+    for (int v = 0; v < pattern.size() && preserves; ++v)
+      if (pattern.label(a(v)) != pattern.label(v)) preserves = false;
+    if (preserves) out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<RestrictionSet> generate_restriction_sets(
+    const LabeledPattern& pattern, const RestrictionGenOptions& options) {
+  return generate_restriction_sets_for_group(
+      pattern.size(), labeled_automorphisms(pattern), options);
+}
+
+}  // namespace graphpi

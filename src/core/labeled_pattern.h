@@ -1,0 +1,43 @@
+// Vertex-labeled patterns (the "easily extended to labeled graphs" claim
+// of Section II-A, realized).
+//
+// A labeled pattern constrains each pattern vertex to match only data
+// vertices carrying the same label. Symmetry breaking changes accordingly:
+// only *label-preserving* automorphisms create redundant embeddings, so
+// Algorithm 1 runs on that (smaller) permutation group.
+#pragma once
+
+#include <vector>
+
+#include "core/pattern.h"
+#include "core/permutation.h"
+#include "core/restriction.h"
+#include "graph/labeled_graph.h"
+
+namespace graphpi {
+
+struct LabeledPattern {
+  Pattern structure;
+  std::vector<Label> labels;  ///< one per pattern vertex
+
+  LabeledPattern() = default;
+  LabeledPattern(Pattern p, std::vector<Label> l);
+
+  [[nodiscard]] int size() const noexcept { return structure.size(); }
+  [[nodiscard]] Label label(int v) const noexcept {
+    return labels[static_cast<std::size_t>(v)];
+  }
+};
+
+/// Automorphisms of the structure that also preserve labels — the group
+/// whose elimination the labeled matcher needs.
+[[nodiscard]] std::vector<Permutation> labeled_automorphisms(
+    const LabeledPattern& pattern);
+
+/// Restriction sets for a labeled pattern: Algorithm 1 run on the
+/// label-preserving automorphism group (see
+/// generate_restriction_sets_for_group in restriction.h).
+[[nodiscard]] std::vector<RestrictionSet> generate_restriction_sets(
+    const LabeledPattern& pattern, const RestrictionGenOptions& options = {});
+
+}  // namespace graphpi

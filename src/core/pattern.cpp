@@ -1,0 +1,122 @@
+#include "core/pattern.h"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace graphpi {
+
+Pattern::Pattern(int n_vertices,
+                 const std::vector<std::pair<int, int>>& edges)
+    : n_(n_vertices) {
+  GRAPHPI_CHECK_MSG(n_ >= 1 && n_ <= kMaxVertices,
+                    "pattern size out of supported range");
+  for (auto [u, v] : edges) add_edge_checked(u, v);
+  std::sort(edges_.begin(), edges_.end());
+}
+
+Pattern::Pattern(int n_vertices, const std::string& adjacency)
+    : n_(n_vertices) {
+  GRAPHPI_CHECK_MSG(n_ >= 1 && n_ <= kMaxVertices,
+                    "pattern size out of supported range");
+  GRAPHPI_CHECK_MSG(
+      adjacency.size() == static_cast<std::size_t>(n_) * n_,
+      "adjacency string must have n*n characters");
+  for (int u = 0; u < n_; ++u) {
+    for (int v = 0; v < n_; ++v) {
+      const char c = adjacency[static_cast<std::size_t>(u) * n_ + v];
+      GRAPHPI_CHECK_MSG(c == '0' || c == '1',
+                        "adjacency string must be 0/1 characters");
+      if (c == '1') {
+        GRAPHPI_CHECK_MSG(u != v, "pattern must not contain self loops");
+        GRAPHPI_CHECK_MSG(
+            adjacency[static_cast<std::size_t>(v) * n_ + u] == '1',
+            "adjacency matrix must be symmetric");
+        if (u < v) add_edge_checked(u, v);
+      }
+    }
+  }
+  std::sort(edges_.begin(), edges_.end());
+}
+
+void Pattern::add_edge_checked(int u, int v) {
+  GRAPHPI_CHECK_MSG(u >= 0 && u < n_ && v >= 0 && v < n_,
+                    "pattern edge endpoint out of range");
+  GRAPHPI_CHECK_MSG(u != v, "pattern must not contain self loops");
+  GRAPHPI_CHECK_MSG(!has_edge(u, v), "duplicate pattern edge");
+  if (u > v) std::swap(u, v);
+  adj_[u] |= 1u << v;
+  adj_[v] |= 1u << u;
+  edges_.emplace_back(u, v);
+}
+
+int Pattern::degree(int u) const noexcept {
+  return std::popcount(adj_[u]);
+}
+
+bool Pattern::connected() const noexcept {
+  if (n_ == 0) return false;
+  std::uint32_t visited = 1u;  // start from vertex 0
+  for (;;) {
+    std::uint32_t next = visited;
+    for (int v = 0; v < n_; ++v)
+      if ((visited >> v) & 1u) next |= adj_[v];
+    if (next == visited) break;
+    visited = next;
+  }
+  return visited == (n_ >= 32 ? ~0u : ((1u << n_) - 1));
+}
+
+int Pattern::max_independent_set_size() const {
+  int best = 0;
+  const std::uint32_t limit = 1u << n_;
+  for (std::uint32_t subset = 0; subset < limit; ++subset) {
+    bool independent = true;
+    for (int u = 0; u < n_ && independent; ++u)
+      if ((subset >> u) & 1u)
+        if ((adj_[u] & subset) != 0) independent = false;
+    if (independent) best = std::max(best, std::popcount(subset));
+  }
+  return best;
+}
+
+Pattern Pattern::relabeled(const std::vector<int>& mapping) const {
+  GRAPHPI_CHECK(mapping.size() == static_cast<std::size_t>(n_));
+  // mapping: new index -> old index; invert to translate edges.
+  std::vector<int> inverse(static_cast<std::size_t>(n_), -1);
+  for (int i = 0; i < n_; ++i) {
+    GRAPHPI_CHECK(mapping[i] >= 0 && mapping[i] < n_);
+    GRAPHPI_CHECK_MSG(inverse[mapping[i]] == -1,
+                      "relabel mapping must be a permutation");
+    inverse[mapping[i]] = i;
+  }
+  std::vector<std::pair<int, int>> new_edges;
+  new_edges.reserve(edges_.size());
+  for (auto [u, v] : edges_)
+    new_edges.emplace_back(inverse[u], inverse[v]);
+  return Pattern(n_, new_edges);
+}
+
+std::string Pattern::adjacency_string() const {
+  std::string s(static_cast<std::size_t>(n_) * n_, '0');
+  for (auto [u, v] : edges_) {
+    s[static_cast<std::size_t>(u) * n_ + v] = '1';
+    s[static_cast<std::size_t>(v) * n_ + u] = '1';
+  }
+  return s;
+}
+
+std::string Pattern::to_string() const {
+  std::ostringstream oss;
+  oss << "n=" << n_ << " edges=[";
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (i) oss << ",";
+    oss << "(" << edges_[i].first << "," << edges_[i].second << ")";
+  }
+  oss << "]";
+  return oss.str();
+}
+
+}  // namespace graphpi

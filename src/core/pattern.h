@@ -1,0 +1,89 @@
+// Pattern representation.
+//
+// A pattern (Section II-A) is a small undirected, unlabeled, connected
+// graph — the "template" whose embeddings are mined from the data graph.
+// Patterns are tiny (the paper evaluates up to 7 vertices; we support 8),
+// so adjacency is stored as per-vertex bitmasks for O(1) edge tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace graphpi {
+
+/// Index of a vertex inside a pattern (0-based).
+using PatternVertex = std::uint8_t;
+
+class Pattern {
+ public:
+  /// Maximum number of pattern vertices supported by the bitmask storage
+  /// and by the factorial-sized searches (automorphisms, schedules).
+  static constexpr int kMaxVertices = 8;
+
+  Pattern() = default;
+
+  /// Builds a pattern from an explicit edge list. Throws via GRAPHPI_CHECK
+  /// on self loops, duplicate edges or out-of-range endpoints.
+  Pattern(int n_vertices,
+          const std::vector<std::pair<int, int>>& edges);
+
+  /// Builds a pattern from a row-major adjacency-matrix string of n*n
+  /// '0'/'1' characters — the encoding used by the GraphPi artifact
+  /// (e.g. the House is "0111010011100011100001100"). The matrix must be
+  /// symmetric with a zero diagonal.
+  Pattern(int n_vertices, const std::string& adjacency);
+
+  [[nodiscard]] int size() const noexcept { return n_; }
+  [[nodiscard]] int edge_count() const noexcept {
+    return static_cast<int>(edges_.size());
+  }
+
+  [[nodiscard]] bool has_edge(int u, int v) const noexcept {
+    return (adj_[u] >> v) & 1u;
+  }
+
+  /// Bitmask of neighbors of u (bit v set iff (u,v) is an edge).
+  [[nodiscard]] std::uint32_t neighbor_mask(int u) const noexcept {
+    return adj_[u];
+  }
+
+  [[nodiscard]] int degree(int u) const noexcept;
+
+  /// Edges as (u, v) pairs with u < v, lexicographically sorted.
+  [[nodiscard]] const std::vector<std::pair<int, int>>& edges() const noexcept {
+    return edges_;
+  }
+
+  /// True iff the pattern is connected (required for meaningful matching).
+  [[nodiscard]] bool connected() const noexcept;
+
+  /// Size of the maximum independent set — the paper's k in Section IV-B
+  /// phase 2 / Section IV-D ("at most k vertices such that any two of them
+  /// are not connected"). Exhaustive over 2^n subsets.
+  [[nodiscard]] int max_independent_set_size() const;
+
+  /// The pattern with vertices relabeled: new vertex i = old vertex
+  /// mapping[i]. `mapping` must be a permutation of 0..n-1.
+  [[nodiscard]] Pattern relabeled(const std::vector<int>& mapping) const;
+
+  /// Row-major adjacency string (the constructor-accepted encoding).
+  [[nodiscard]] std::string adjacency_string() const;
+
+  /// Human-readable form: "n=5 edges=[(0,1),(0,2),...]".
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Pattern& a, const Pattern& b) noexcept {
+    return a.n_ == b.n_ && a.edges_ == b.edges_;
+  }
+
+ private:
+  void add_edge_checked(int u, int v);
+
+  int n_ = 0;
+  std::vector<std::pair<int, int>> edges_;
+  std::uint32_t adj_[kMaxVertices] = {};
+};
+
+}  // namespace graphpi

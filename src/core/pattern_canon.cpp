@@ -1,0 +1,85 @@
+#include "core/pattern_canon.h"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+
+#include "support/check.h"
+
+namespace graphpi {
+
+namespace {
+
+/// Adjacency string of `p` relabeled so that new vertex i is old
+/// perm[i].
+std::string relabeled_string(const Pattern& p, const std::vector<int>& perm) {
+  const int n = p.size();
+  std::string s(static_cast<std::size_t>(n) * n, '0');
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      if (p.has_edge(perm[static_cast<std::size_t>(i)],
+                     perm[static_cast<std::size_t>(j)]))
+        s[static_cast<std::size_t>(i) * n + j] = '1';
+  return s;
+}
+
+}  // namespace
+
+std::string canonical_string(const Pattern& pattern) {
+  const int n = pattern.size();
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  std::string best;
+  do {
+    std::string candidate = relabeled_string(pattern, perm);
+    if (best.empty() || candidate < best) best = std::move(candidate);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+Pattern canonical_form(const Pattern& pattern) {
+  return Pattern(pattern.size(), canonical_string(pattern));
+}
+
+bool isomorphic(const Pattern& a, const Pattern& b) {
+  if (a.size() != b.size() || a.edge_count() != b.edge_count()) return false;
+  return !find_isomorphism(a, b).empty() ||
+         (a.size() == 0 && b.size() == 0);
+}
+
+std::vector<int> find_isomorphism(const Pattern& a, const Pattern& b) {
+  if (a.size() != b.size() || a.edge_count() != b.edge_count()) return {};
+  const int n = a.size();
+
+  // Backtracking assignment with degree pruning: image[i] is the vertex
+  // of `a` playing the role of vertex i of `b`.
+  std::vector<int> image;
+  image.reserve(static_cast<std::size_t>(n));
+  std::uint32_t used = 0;
+
+  const std::function<bool()> extend = [&]() -> bool {
+    const int i = static_cast<int>(image.size());
+    if (i == n) return true;
+    for (int candidate = 0; candidate < n; ++candidate) {
+      if ((used >> candidate) & 1u) continue;
+      if (a.degree(candidate) != b.degree(i)) continue;
+      bool ok = true;
+      for (int j = 0; j < i && ok; ++j)
+        if (b.has_edge(j, i) !=
+            a.has_edge(image[static_cast<std::size_t>(j)], candidate))
+          ok = false;
+      if (!ok) continue;
+      image.push_back(candidate);
+      used |= 1u << candidate;
+      if (extend()) return true;
+      used &= ~(1u << candidate);
+      image.pop_back();
+    }
+    return false;
+  };
+
+  if (!extend()) return {};
+  return image;
+}
+
+}  // namespace graphpi

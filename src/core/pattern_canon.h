@@ -1,0 +1,33 @@
+// Canonical forms and isomorphism tests for patterns.
+//
+// Canonicalization picks, among all vertex relabelings of a pattern, the
+// lexicographically smallest adjacency string. Two patterns are
+// isomorphic iff their canonical strings match — the dedup primitive
+// behind the motif census and a building block for pattern caches keyed
+// by structure (planning results are relabel-invariant).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/pattern.h"
+
+namespace graphpi {
+
+/// Lexicographically smallest adjacency string over all n! relabelings.
+/// Exhaustive (n <= 8), with degree-sequence pruning.
+[[nodiscard]] std::string canonical_string(const Pattern& pattern);
+
+/// The relabeled pattern realizing canonical_string().
+[[nodiscard]] Pattern canonical_form(const Pattern& pattern);
+
+/// True iff the patterns are isomorphic (same canonical string).
+[[nodiscard]] bool isomorphic(const Pattern& a, const Pattern& b);
+
+/// Finds one isomorphism b = a relabeled by the returned mapping
+/// (mapping[i] = vertex of `a` playing the role of vertex i of `b`), or
+/// an empty vector when not isomorphic.
+[[nodiscard]] std::vector<int> find_isomorphism(const Pattern& a,
+                                                const Pattern& b);
+
+}  // namespace graphpi

@@ -1,0 +1,151 @@
+#include "core/pattern_library.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/check.h"
+
+namespace graphpi::patterns {
+
+Pattern rectangle() {
+  return Pattern(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+}
+
+Pattern house() {
+  // Figure 5(a): rectangle A-C-E-B(-A) with roof vertex D on edge A-B.
+  // Encoded with the artifact's adjacency string (5 vertices, 6 edges).
+  return Pattern(5, std::string("0111010011100011100001100"));
+}
+
+Pattern cycle_6_tri() {
+  // Figure 6(a): the 6-cycle D-A-E-C-F-B-D with chords A-B and A-C; the
+  // independent triple {D, E, F} gives k = 3 for IEP.
+  // A=0, B=1, C=2, D=3, E=4, F=5.
+  return Pattern(6, {{0, 1}, {0, 2}, {0, 3}, {1, 3}, {0, 4}, {2, 4},
+                     {1, 5}, {2, 5}});
+}
+
+Pattern pentagon() { return cycle(5); }
+
+Pattern hourglass() {
+  return Pattern(5, {{0, 1}, {0, 2}, {1, 2}, {2, 3}, {2, 4}, {3, 4}});
+}
+
+Pattern clique(int n) {
+  GRAPHPI_CHECK(n >= 2 && n <= Pattern::kMaxVertices);
+  std::vector<std::pair<int, int>> edges;
+  for (int u = 0; u < n; ++u)
+    for (int v = u + 1; v < n; ++v) edges.emplace_back(u, v);
+  return Pattern(n, edges);
+}
+
+Pattern cycle(int n) {
+  GRAPHPI_CHECK(n >= 3 && n <= Pattern::kMaxVertices);
+  std::vector<std::pair<int, int>> edges;
+  for (int v = 0; v < n; ++v) edges.emplace_back(v, (v + 1) % n);
+  return Pattern(n, edges);
+}
+
+Pattern path(int n) {
+  GRAPHPI_CHECK(n >= 2 && n <= Pattern::kMaxVertices);
+  std::vector<std::pair<int, int>> edges;
+  for (int v = 0; v + 1 < n; ++v) edges.emplace_back(v, v + 1);
+  return Pattern(n, edges);
+}
+
+Pattern star(int n) {
+  GRAPHPI_CHECK(n >= 2 && n <= Pattern::kMaxVertices);
+  std::vector<std::pair<int, int>> edges;
+  for (int v = 1; v < n; ++v) edges.emplace_back(0, v);
+  return Pattern(n, edges);
+}
+
+Pattern tailed_triangle() {
+  return Pattern(4, {{0, 1}, {0, 2}, {1, 2}, {2, 3}});
+}
+
+Pattern evaluation_pattern(int index) {
+  // Adjacency matrices of Figure 7 as shipped in the authors' artifact
+  // (github.com/thu-pacman/GraphPi); see DESIGN.md for provenance.
+  switch (index) {
+    case 1:
+      return Pattern(5, std::string("0111010011100011100001100"));
+    case 2:
+      return Pattern(6, std::string("011011101110110101011000110000101000"));
+    case 3:
+      return Pattern(6, std::string("011111101000110111101010101101101010"));
+    case 4:
+      return Pattern(6, std::string("011110101101110000110000100001010010"));
+    case 5:
+      return Pattern(
+          7, std::string("0111111101111111011101110100111100011100001100000"));
+    case 6:
+      return Pattern(
+          7, std::string("0111111101111111011001110100111100011000001100000"));
+    default:
+      GRAPHPI_CHECK_MSG(false, "evaluation pattern index must be 1..6");
+      return Pattern();
+  }
+}
+
+std::vector<Pattern> evaluation_patterns() {
+  std::vector<Pattern> out;
+  out.reserve(6);
+  for (int i = 1; i <= 6; ++i) out.push_back(evaluation_pattern(i));
+  return out;
+}
+
+std::string evaluation_pattern_name(int index) {
+  GRAPHPI_CHECK(index >= 1 && index <= 6);
+  return "P" + std::to_string(index);
+}
+
+namespace {
+
+/// True iff `a` relabeled by some permutation equals `b` (both with the
+/// same vertex count). Brute force over n! permutations; n <= 5 here.
+bool isomorphic(const Pattern& a, const Pattern& b) {
+  if (a.size() != b.size() || a.edge_count() != b.edge_count()) return false;
+  const int n = a.size();
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  do {
+    bool match = true;
+    for (auto [u, v] : a.edges())
+      if (!b.has_edge(perm[static_cast<std::size_t>(u)],
+                      perm[static_cast<std::size_t>(v)])) {
+        match = false;
+        break;
+      }
+    if (match) return true;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return false;
+}
+
+}  // namespace
+
+std::vector<Pattern> connected_motifs(int n) {
+  GRAPHPI_CHECK_MSG(n >= 3 && n <= 5,
+                    "motif enumeration supported for 3..5 vertices");
+  std::vector<std::pair<int, int>> all_edges;
+  for (int u = 0; u < n; ++u)
+    for (int v = u + 1; v < n; ++v) all_edges.emplace_back(u, v);
+
+  std::vector<Pattern> motifs;
+  const std::uint32_t limit = 1u << all_edges.size();
+  for (std::uint32_t mask = 0; mask < limit; ++mask) {
+    std::vector<std::pair<int, int>> edges;
+    for (std::size_t e = 0; e < all_edges.size(); ++e)
+      if ((mask >> e) & 1u) edges.push_back(all_edges[e]);
+    if (edges.size() + 1 < static_cast<std::size_t>(n)) continue;
+    Pattern p(n, edges);
+    if (!p.connected()) continue;
+    const bool duplicate =
+        std::any_of(motifs.begin(), motifs.end(),
+                    [&p](const Pattern& q) { return isomorphic(p, q); });
+    if (!duplicate) motifs.push_back(std::move(p));
+  }
+  return motifs;
+}
+
+}  // namespace graphpi::patterns

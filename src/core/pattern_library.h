@@ -1,0 +1,61 @@
+// Named pattern library.
+//
+// Includes the six evaluation patterns P1–P6 of Figure 7 (adjacency
+// matrices from the authors' public artifact — see DESIGN.md), the worked
+// examples from the paper body (Rectangle of Figure 4, House of Figure 5,
+// Cycle-6-Tri of Figure 6), and generic families (cliques, cycles, paths,
+// stars) used by tests and the motif examples.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/pattern.h"
+
+namespace graphpi::patterns {
+
+/// Rectangle / 4-cycle (Figure 4(a); |Aut| = 8).
+[[nodiscard]] Pattern rectangle();
+
+/// House: rectangle plus a roof vertex (Figure 5(a); 5 vertices, 6 edges).
+[[nodiscard]] Pattern house();
+
+/// Cycle-6-Tri (Figure 6(a)): 6-cycle with two chords forming triangles.
+[[nodiscard]] Pattern cycle_6_tri();
+
+/// Pentagon: 5-cycle (used by GraphZero's evaluation).
+[[nodiscard]] Pattern pentagon();
+
+/// Hourglass: two triangles sharing one vertex (5 vertices, 6 edges).
+[[nodiscard]] Pattern hourglass();
+
+/// Complete graph K_n, n <= 8 (7-clique has the paper's 5040 automorphisms).
+[[nodiscard]] Pattern clique(int n);
+
+/// Simple cycle C_n, 3 <= n <= 8.
+[[nodiscard]] Pattern cycle(int n);
+
+/// Simple path with n vertices, n >= 2.
+[[nodiscard]] Pattern path(int n);
+
+/// Star with n-1 leaves.
+[[nodiscard]] Pattern star(int n);
+
+/// Triangle with a pendant vertex ("tailed triangle", 4 vertices).
+[[nodiscard]] Pattern tailed_triangle();
+
+/// Evaluation pattern P1..P6 (index 1..6) of Figure 7.
+[[nodiscard]] Pattern evaluation_pattern(int index);
+
+/// All six evaluation patterns, in order P1..P6.
+[[nodiscard]] std::vector<Pattern> evaluation_patterns();
+
+/// Display name ("P1".."P6") for evaluation pattern `index`.
+[[nodiscard]] std::string evaluation_pattern_name(int index);
+
+/// All connected patterns with `n` vertices (3 <= n <= 5), deduplicated up
+/// to isomorphism — the motif set of size n used by the motif-counting
+/// example (3-motifs: 2, 4-motifs: 6, 5-motifs: 21).
+[[nodiscard]] std::vector<Pattern> connected_motifs(int n);
+
+}  // namespace graphpi::patterns

@@ -1,0 +1,94 @@
+// The accurate performance-prediction model (Section IV-C).
+//
+// For a configuration (schedule + restriction set) the model predicts the
+// relative cost of the nested-loop algorithm with the recursion
+//
+//   cost_i = l_i * (1 - f_i) * (c_i + o + cost_{i+1})   for i < n
+//   cost_n = l_n * (1 - f_n)
+//
+// where l_i is the expected candidate-set cardinality of loop i, c_i the
+// expected intersection work building that set, f_i the probability that a
+// partial embedding is filtered by the restriction checked in loop i, and
+// o a constant per-iteration overhead.
+//
+// Cardinalities are estimated from three structural statistics of the data
+// graph: |V|, |E| and the triangle count:
+//   p1 = 2|E| / |V|^2          (probability two vertices are adjacent)
+//   p2 = tri_cnt * |V| / (2|E|)^2   (probability two neighbors of a common
+//                                    vertex are adjacent)
+//   |intersection of m neighborhoods| ~= |V| * p1 * p2^(m-1).
+#pragma once
+
+#include <vector>
+
+#include "core/pattern.h"
+#include "core/restriction.h"
+#include "core/schedule.h"
+#include "graph/graph.h"
+
+namespace graphpi {
+
+/// The structural statistics the model consumes. Decoupled from Graph so
+/// tests and what-if analyses can fabricate them.
+struct GraphStats {
+  double vertices = 0;
+  double edges = 0;      ///< undirected edge count
+  double triangles = 0;  ///< triangle count
+
+  [[nodiscard]] static GraphStats of(const Graph& g);
+
+  [[nodiscard]] double p1() const noexcept {
+    return vertices > 0 ? 2.0 * edges / (vertices * vertices) : 0.0;
+  }
+  [[nodiscard]] double p2() const noexcept {
+    return edges > 0 ? triangles * vertices / (4.0 * edges * edges) : 0.0;
+  }
+  [[nodiscard]] double average_degree() const noexcept {
+    return vertices > 0 ? 2.0 * edges / vertices : 0.0;
+  }
+
+  /// Expected cardinality of the intersection of `m` neighborhoods
+  /// (m = 0 means the full vertex set, m = 1 a single neighborhood).
+  [[nodiscard]] double expected_cardinality(int m) const noexcept;
+};
+
+struct PerfModelOptions {
+  /// Constant per-iteration overhead o added to each non-innermost loop
+  /// body. The paper's published recursion omits it; its earlier
+  /// formulation set o_i = 1, which also avoids degenerate zero-cost
+  /// comparisons between intersection-free loops. Default matches that.
+  double loop_overhead = 1.0;
+};
+
+/// Per-loop filter probabilities f_i (Section IV-C, "Measurement of fi"):
+/// the fraction of the n! relative-magnitude orders filtered by the
+/// restriction(s) checked in loop i, conditioned on surviving loops < i.
+/// f_i = 0 for loops with no restriction.
+[[nodiscard]] std::vector<double> filter_probabilities(
+    const Pattern& pattern, const Schedule& schedule,
+    const RestrictionSet& restrictions);
+
+/// Full cost breakdown for inspection (tests, Figure 9 analysis).
+struct CostBreakdown {
+  std::vector<double> loop_size;           ///< l_i
+  std::vector<double> intersection_cost;   ///< c_i
+  std::vector<double> filter_probability;  ///< f_i
+  double total = 0;                        ///< cost_1
+};
+
+/// Predicts the relative cost of running `schedule` with `restrictions`
+/// over a graph with statistics `stats`.
+[[nodiscard]] CostBreakdown predict_cost(const Pattern& pattern,
+                                         const Schedule& schedule,
+                                         const RestrictionSet& restrictions,
+                                         const GraphStats& stats,
+                                         const PerfModelOptions& options = {});
+
+/// Convenience: total predicted cost only.
+[[nodiscard]] double predict_total_cost(const Pattern& pattern,
+                                        const Schedule& schedule,
+                                        const RestrictionSet& restrictions,
+                                        const GraphStats& stats,
+                                        const PerfModelOptions& options = {});
+
+}  // namespace graphpi

@@ -1,0 +1,95 @@
+#include "core/permutation.h"
+
+#include <numeric>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace graphpi {
+
+Permutation::Permutation(int n) : n_(n) {
+  GRAPHPI_CHECK(n >= 0 && n <= 8);
+  for (int i = 0; i < n_; ++i) map_[i] = static_cast<std::uint8_t>(i);
+}
+
+Permutation::Permutation(const std::vector<int>& images)
+    : n_(static_cast<int>(images.size())) {
+  GRAPHPI_CHECK(n_ <= 8);
+  std::uint32_t seen = 0;
+  for (int i = 0; i < n_; ++i) {
+    const int v = images[static_cast<std::size_t>(i)];
+    GRAPHPI_CHECK_MSG(v >= 0 && v < n_, "permutation image out of range");
+    GRAPHPI_CHECK_MSG(!((seen >> v) & 1u), "permutation image repeated");
+    seen |= 1u << v;
+    map_[i] = static_cast<std::uint8_t>(v);
+  }
+}
+
+bool Permutation::is_identity() const noexcept {
+  for (int i = 0; i < n_; ++i)
+    if (map_[i] != i) return false;
+  return true;
+}
+
+Permutation Permutation::compose(const Permutation& other) const {
+  GRAPHPI_CHECK(n_ == other.n_);
+  Permutation out(n_);
+  for (int i = 0; i < n_; ++i)
+    out.map_[i] = map_[other.map_[i]];
+  return out;
+}
+
+Permutation Permutation::inverse() const {
+  Permutation out(n_);
+  for (int i = 0; i < n_; ++i) out.map_[map_[i]] = static_cast<std::uint8_t>(i);
+  return out;
+}
+
+std::vector<std::vector<int>> Permutation::cycles() const {
+  std::vector<std::vector<int>> out;
+  std::uint32_t visited = 0;
+  for (int start = 0; start < n_; ++start) {
+    if ((visited >> start) & 1u) continue;
+    std::vector<int> cyc;
+    int cur = start;
+    do {
+      cyc.push_back(cur);
+      visited |= 1u << cur;
+      cur = map_[cur];
+    } while (cur != start);
+    out.push_back(std::move(cyc));
+  }
+  return out;
+}
+
+std::vector<std::pair<int, int>> Permutation::two_cycles() const {
+  std::vector<std::pair<int, int>> out;
+  for (int i = 0; i < n_; ++i) {
+    const int j = map_[i];
+    // "vertex == perm[perm[vertex]]" with i < j, i.e. a genuine 2-cycle.
+    if (i < j && map_[j] == i) out.emplace_back(i, j);
+  }
+  return out;
+}
+
+int Permutation::order() const {
+  int result = 1;
+  for (const auto& cyc : cycles())
+    result = std::lcm(result, static_cast<int>(cyc.size()));
+  return result;
+}
+
+std::string Permutation::to_string() const {
+  std::ostringstream oss;
+  for (const auto& cyc : cycles()) {
+    oss << "(";
+    for (std::size_t i = 0; i < cyc.size(); ++i) {
+      if (i) oss << " ";
+      oss << cyc[i];
+    }
+    oss << ")";
+  }
+  return oss.str();
+}
+
+}  // namespace graphpi

@@ -1,0 +1,73 @@
+// Permutations over pattern vertices and their cycle structure.
+//
+// Section IV-A formalizes automorphism elimination with permutation groups:
+// every automorphism is a permutation p : Vp -> Vp; any permutation can be
+// written as a product of disjoint cycles, and every k-cycle (k > 1)
+// decomposes into 2-cycles — the "essential elements" on which GraphPi
+// places restrictions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace graphpi {
+
+/// A permutation of {0, .., n-1}, n <= Pattern::kMaxVertices.
+class Permutation {
+ public:
+  Permutation() = default;
+
+  /// Identity permutation on n elements.
+  explicit Permutation(int n);
+
+  /// From an image table: maps i -> images[i]. Must be a bijection.
+  explicit Permutation(const std::vector<int>& images);
+
+  [[nodiscard]] int size() const noexcept { return n_; }
+
+  [[nodiscard]] int operator()(int i) const noexcept { return map_[i]; }
+  [[nodiscard]] int apply(int i) const noexcept { return map_[i]; }
+
+  [[nodiscard]] bool is_identity() const noexcept;
+
+  /// Composition: (a * b)(x) = a(b(x)).
+  [[nodiscard]] Permutation compose(const Permutation& other) const;
+
+  [[nodiscard]] Permutation inverse() const;
+
+  /// Disjoint-cycle decomposition, including fixed points as 1-cycles;
+  /// cycles are rotated to start at their minimum element and sorted by it.
+  [[nodiscard]] std::vector<std::vector<int>> cycles() const;
+
+  /// All 2-cycles (i, p(i)) with i < p(i) appearing in the disjoint-cycle
+  /// decomposition — the pairs Algorithm 1 branches on ("vertex =
+  /// perm[perm[vertex]]").
+  [[nodiscard]] std::vector<std::pair<int, int>> two_cycles() const;
+
+  /// Order of the permutation (lcm of cycle lengths).
+  [[nodiscard]] int order() const;
+
+  /// Cycle notation, e.g. "(0)(1 3)(2)".
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Permutation& a, const Permutation& b) noexcept {
+    return a.n_ == b.n_ &&
+           std::equal(a.map_.begin(), a.map_.begin() + a.n_, b.map_.begin());
+  }
+
+  /// Lexicographic order on image tables (for canonical containers).
+  friend bool operator<(const Permutation& a, const Permutation& b) noexcept {
+    if (a.n_ != b.n_) return a.n_ < b.n_;
+    return std::lexicographical_compare(a.map_.begin(), a.map_.begin() + a.n_,
+                                        b.map_.begin(),
+                                        b.map_.begin() + b.n_);
+  }
+
+ private:
+  int n_ = 0;
+  std::array<std::uint8_t, 8> map_{};
+};
+
+}  // namespace graphpi

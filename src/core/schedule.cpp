@@ -1,0 +1,90 @@
+#include "core/schedule.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace graphpi {
+
+Schedule::Schedule(std::vector<int> order) : order_(std::move(order)) {
+  const int n = static_cast<int>(order_.size());
+  GRAPHPI_CHECK(n >= 1 && n <= Pattern::kMaxVertices);
+  position_.assign(static_cast<std::size_t>(n), -1);
+  for (int d = 0; d < n; ++d) {
+    const int v = order_[static_cast<std::size_t>(d)];
+    GRAPHPI_CHECK_MSG(v >= 0 && v < n, "schedule vertex out of range");
+    GRAPHPI_CHECK_MSG(position_[static_cast<std::size_t>(v)] == -1,
+                      "schedule must be a permutation");
+    position_[static_cast<std::size_t>(v)] = d;
+  }
+}
+
+bool Schedule::prefix_connected(const Pattern& p) const {
+  GRAPHPI_CHECK(p.size() == size());
+  std::uint32_t placed = 1u << order_[0];
+  for (std::size_t d = 1; d < order_.size(); ++d) {
+    const int v = order_[d];
+    if ((p.neighbor_mask(v) & placed) == 0) return false;
+    placed |= 1u << v;
+  }
+  return true;
+}
+
+int Schedule::independent_suffix_length(const Pattern& p) const {
+  GRAPHPI_CHECK(p.size() == size());
+  std::uint32_t suffix = 0;
+  int k = 0;
+  for (int d = size() - 1; d >= 0; --d) {
+    const int v = order_[static_cast<std::size_t>(d)];
+    if ((p.neighbor_mask(v) & suffix) != 0) break;
+    suffix |= 1u << v;
+    ++k;
+  }
+  return k;
+}
+
+std::string Schedule::to_string() const {
+  std::ostringstream oss;
+  for (std::size_t i = 0; i < order_.size(); ++i) {
+    if (i) oss << "->";
+    oss << order_[i];
+  }
+  return oss.str();
+}
+
+std::vector<Schedule> all_schedules(const Pattern& pattern) {
+  std::vector<int> order(static_cast<std::size_t>(pattern.size()));
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<Schedule> out;
+  do {
+    out.emplace_back(order);
+  } while (std::next_permutation(order.begin(), order.end()));
+  return out;
+}
+
+ScheduleGenerationResult generate_schedules(const Pattern& pattern) {
+  GRAPHPI_CHECK_MSG(pattern.connected(),
+                    "schedules are defined for connected patterns");
+  ScheduleGenerationResult result;
+
+  int best_k = 0;
+  std::vector<int> suffix_k;  // parallel to result.phase1
+  for (auto& sched : all_schedules(pattern)) {
+    if (!sched.prefix_connected(pattern)) continue;
+    const int k = sched.independent_suffix_length(pattern);
+    best_k = std::max(best_k, k);
+    suffix_k.push_back(k);
+    result.phase1.push_back(std::move(sched));
+  }
+  GRAPHPI_CHECK_MSG(!result.phase1.empty(),
+                    "a connected pattern always has phase-1 schedules");
+
+  result.k = best_k;
+  for (std::size_t i = 0; i < result.phase1.size(); ++i)
+    if (suffix_k[i] == best_k) result.efficient.push_back(result.phase1[i]);
+  return result;
+}
+
+}  // namespace graphpi

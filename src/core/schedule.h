@@ -1,0 +1,87 @@
+// Schedules and the 2-phase computation-avoid schedule generator
+// (Section IV-B).
+//
+// A schedule is the order in which pattern vertices are searched by the
+// nested-loop matching algorithm. Of the n! possible schedules, GraphPi
+// keeps only the efficient ones:
+//   Phase 1 — every prefix must induce a connected subpattern (otherwise
+//             some loop traverses the entire vertex set);
+//   Phase 2 — the last k searched vertices must be pairwise non-adjacent,
+//             where k is the largest value for which such schedules exist
+//             (inner loops then contain no intersection operations, and
+//             IEP counting can replace them entirely).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/pattern.h"
+
+namespace graphpi {
+
+/// A schedule: order[i] is the pattern vertex searched at loop depth i.
+class Schedule {
+ public:
+  Schedule() = default;
+
+  explicit Schedule(std::vector<int> order);
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(order_.size());
+  }
+
+  /// Pattern vertex searched at depth i.
+  [[nodiscard]] int vertex_at(int depth) const noexcept {
+    return order_[static_cast<std::size_t>(depth)];
+  }
+
+  /// Loop depth at which pattern vertex v is searched.
+  [[nodiscard]] int depth_of(int v) const noexcept {
+    return position_[static_cast<std::size_t>(v)];
+  }
+
+  [[nodiscard]] const std::vector<int>& order() const noexcept {
+    return order_;
+  }
+
+  /// True iff every prefix of the schedule induces a connected subpattern
+  /// of `p` (phase 1 criterion). The depth-0 vertex is trivially connected.
+  [[nodiscard]] bool prefix_connected(const Pattern& p) const;
+
+  /// Length of the longest suffix whose vertices are pairwise non-adjacent
+  /// in `p` (the per-schedule k used by phase 2 and by IEP).
+  [[nodiscard]] int independent_suffix_length(const Pattern& p) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Schedule&, const Schedule&) = default;
+
+ private:
+  std::vector<int> order_;
+  std::vector<int> position_;
+};
+
+/// Result of running the 2-phase generator.
+struct ScheduleGenerationResult {
+  /// Schedules surviving phase 1 AND phase 2 — the "generated" set fed to
+  /// the performance model.
+  std::vector<Schedule> efficient;
+  /// Schedules surviving phase 1 only (superset of `efficient`); Figure 9
+  /// plots both populations.
+  std::vector<Schedule> phase1;
+  /// The k enforced by phase 2 (largest independent-suffix length
+  /// achievable by any phase-1 schedule; may be smaller than the pattern's
+  /// maximum independent set when the two phases conflict, e.g. the
+  /// rectangle).
+  int k = 0;
+};
+
+/// Runs the 2-phase computation-avoid schedule generator on `pattern`.
+[[nodiscard]] ScheduleGenerationResult generate_schedules(
+    const Pattern& pattern);
+
+/// All n! schedules (used by the "eliminated schedules" population of
+/// Figure 9 and by exhaustive tests on small patterns).
+[[nodiscard]] std::vector<Schedule> all_schedules(const Pattern& pattern);
+
+}  // namespace graphpi

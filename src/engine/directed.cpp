@@ -1,0 +1,159 @@
+#include "engine/directed.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/vertex_set.h"
+#include "support/check.h"
+
+namespace graphpi {
+
+struct DirectedMatcher::Workspace {
+  VertexId mapped[Pattern::kMaxVertices] = {};
+  std::vector<VertexId> buf_a[Pattern::kMaxVertices];
+  std::vector<VertexId> buf_b[Pattern::kMaxVertices];
+  std::vector<VertexId> all_vertices;
+};
+
+DirectedMatcher::DirectedMatcher(const DirectedGraph& graph,
+                                 DirectedPattern pattern)
+    : DirectedMatcher(
+          graph, pattern,
+          generate_schedules(pattern.skeleton()).efficient.front(),
+          generate_restriction_sets(pattern).front()) {}
+
+DirectedMatcher::DirectedMatcher(const DirectedGraph& graph,
+                                 DirectedPattern pattern, Schedule schedule,
+                                 RestrictionSet restrictions)
+    : graph_(&graph),
+      pattern_(std::move(pattern)),
+      schedule_(std::move(schedule)),
+      restrictions_(std::move(restrictions)) {
+  GRAPHPI_CHECK(schedule_.size() == pattern_.size());
+}
+
+Count DirectedMatcher::recurse(
+    Workspace& ws, int depth,
+    const std::function<void(std::span<const VertexId>)>* cb) const {
+  const int n = pattern_.size();
+  const int pv = schedule_.vertex_at(depth);
+
+  // Gather the constraint lists from already-mapped pattern neighbors:
+  // arc (u -> pv) constrains candidates to out_neighbors(image(u));
+  // arc (pv -> u) constrains candidates to in_neighbors(image(u)).
+  std::vector<std::span<const VertexId>> lists;
+  for (int e = 0; e < depth; ++e) {
+    const int u = schedule_.vertex_at(e);
+    if (pattern_.has_arc(u, pv))
+      lists.push_back(graph_->out_neighbors(ws.mapped[e]));
+    if (pattern_.has_arc(pv, u))
+      lists.push_back(graph_->in_neighbors(ws.mapped[e]));
+  }
+
+  std::span<const VertexId> candidates;
+  if (lists.empty()) {
+    if (ws.all_vertices.size() != graph_->vertex_count()) {
+      ws.all_vertices.resize(graph_->vertex_count());
+      for (VertexId v = 0; v < graph_->vertex_count(); ++v)
+        ws.all_vertices[v] = v;
+    }
+    candidates = ws.all_vertices;
+  } else if (lists.size() == 1) {
+    candidates = lists[0];
+  } else {
+    auto& out = ws.buf_a[depth];
+    auto& tmp = ws.buf_b[depth];
+    intersect_adaptive(lists[0], lists[1], out);
+    for (std::size_t i = 2; i < lists.size(); ++i) {
+      intersect_adaptive(out, lists[i], tmp);
+      std::swap(out, tmp);
+    }
+    candidates = out;
+  }
+
+  // Restriction bounds (identical mechanics to the undirected engine).
+  VertexId lo = 0, hi = 0;
+  bool has_lo = false, has_hi = false;
+  for (const auto& r : restrictions_) {
+    const int dg = schedule_.depth_of(r.greater);
+    const int ds = schedule_.depth_of(r.smaller);
+    if (std::max(dg, ds) != depth) continue;
+    if (ds == depth) {
+      hi = has_hi ? std::min(hi, ws.mapped[dg]) : ws.mapped[dg];
+      has_hi = true;
+    } else {
+      lo = has_lo ? std::max(lo, ws.mapped[ds]) : ws.mapped[ds];
+      has_lo = true;
+    }
+  }
+  const VertexId* first = candidates.data();
+  const VertexId* last = candidates.data() + candidates.size();
+  if (has_lo) first = std::upper_bound(first, last, lo);
+  if (has_hi) last = std::lower_bound(first, last, hi);
+
+  Count total = 0;
+  for (const VertexId* it = first; it != last; ++it) {
+    const VertexId v = *it;
+    bool used = false;
+    for (int d = 0; d < depth && !used; ++d) used = ws.mapped[d] == v;
+    if (used) continue;
+    ws.mapped[depth] = v;
+    if (depth == n - 1) {
+      ++total;
+      if (cb != nullptr) {
+        VertexId embedding[Pattern::kMaxVertices];
+        for (int d = 0; d < n; ++d)
+          embedding[schedule_.vertex_at(d)] = ws.mapped[d];
+        (*cb)({embedding, static_cast<std::size_t>(n)});
+      }
+    } else {
+      total += recurse(ws, depth + 1, cb);
+    }
+  }
+  return total;
+}
+
+Count DirectedMatcher::count() const {
+  Workspace ws;
+  return recurse(ws, 0, nullptr);
+}
+
+void DirectedMatcher::enumerate(
+    const std::function<void(std::span<const VertexId>)>& cb) const {
+  Workspace ws;
+  recurse(ws, 0, &cb);
+}
+
+namespace {
+
+Count directed_assign(const DirectedGraph& g, const DirectedPattern& p,
+                      int i, VertexId* image) {
+  const int n = p.size();
+  if (i == n) return 1;
+  Count total = 0;
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    bool ok = true;
+    for (int j = 0; j < i && ok; ++j) {
+      if (image[j] == v) ok = false;
+      if (ok && p.has_arc(j, i) && !g.has_arc(image[j], v)) ok = false;
+      if (ok && p.has_arc(i, j) && !g.has_arc(v, image[j])) ok = false;
+    }
+    if (!ok) continue;
+    image[i] = v;
+    total += directed_assign(g, p, i + 1, image);
+  }
+  return total;
+}
+
+}  // namespace
+
+Count directed_oracle_count(const DirectedGraph& graph,
+                            const DirectedPattern& pattern) {
+  VertexId image[Pattern::kMaxVertices] = {};
+  const Count redundant = directed_assign(graph, pattern, 0, image);
+  const Count aut = automorphisms(pattern).size();
+  GRAPHPI_CHECK(redundant % aut == 0);
+  return redundant / aut;
+}
+
+}  // namespace graphpi

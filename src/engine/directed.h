@@ -1,0 +1,60 @@
+// Directed pattern matching.
+//
+// The nested-loop algorithm generalizes: the candidate set of a pattern
+// vertex intersects, for each already-mapped pattern neighbor, the
+// *out*-neighborhood of its image when the arc points toward the new
+// vertex and the *in*-neighborhood when it points away (both when the
+// pair is antiparallel). Symmetry breaking uses the arc-preserving
+// automorphism group — which can be 2-cycle-free (directed triangle),
+// exercising Algorithm 1's orbit-max fallback.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "core/directed_pattern.h"
+#include "graph/digraph.h"
+#include "graph/types.h"
+
+namespace graphpi {
+
+class DirectedMatcher {
+ public:
+  /// Plans internally (first connected skeleton schedule + first
+  /// restriction set of the directed group).
+  DirectedMatcher(const DirectedGraph& graph, DirectedPattern pattern);
+  DirectedMatcher(const DirectedGraph& graph, DirectedPattern pattern,
+                  Schedule schedule, RestrictionSet restrictions);
+
+  /// Counts directed embeddings, each subgraph (vertex set + arc set)
+  /// once.
+  [[nodiscard]] Count count() const;
+
+  /// Lists embeddings (indexed by pattern vertex).
+  void enumerate(
+      const std::function<void(std::span<const VertexId>)>& cb) const;
+
+  [[nodiscard]] const Schedule& schedule() const noexcept {
+    return schedule_;
+  }
+  [[nodiscard]] const RestrictionSet& restrictions() const noexcept {
+    return restrictions_;
+  }
+
+ private:
+  struct Workspace;
+  Count recurse(Workspace& ws, int depth,
+                const std::function<void(std::span<const VertexId>)>* cb)
+      const;
+
+  const DirectedGraph* graph_;
+  DirectedPattern pattern_;
+  Schedule schedule_;
+  RestrictionSet restrictions_;
+};
+
+/// Independent brute-force oracle for directed counting (tests).
+[[nodiscard]] Count directed_oracle_count(const DirectedGraph& graph,
+                                          const DirectedPattern& pattern);
+
+}  // namespace graphpi

@@ -1,0 +1,52 @@
+// GraphZero baseline reproduction.
+//
+// GraphZero (Mawhirter et al., 2019) is the state of the art the paper
+// compares against. Since it was not released, the paper reproduces its
+// algorithms; we do the same (DESIGN.md documents fidelity):
+//
+//   * restriction generation — GraphZero produces exactly ONE set of
+//     restrictions per pattern (group-theory symmetry breaking without
+//     exploring alternatives). We reproduce it as the deterministic first
+//     branch of Algorithm 1, which breaks symmetry the same way.
+//   * schedule selection — GraphZero inherits AutoMine's estimator, which
+//     models loop sizes from edge density alone: it has no notion of
+//     clustering (triangle count) and ignores how restrictions prune the
+//     search. We reproduce that estimator faithfully: cardinalities use
+//     p1 only and f_i = 0, over phase-1 (connected) schedules.
+//
+// The performance gap between this baseline and GraphPi is exactly what
+// Figures 8/9 and Table II measure.
+#pragma once
+
+#include "core/configuration.h"
+#include "core/pattern.h"
+#include "core/perf_model.h"
+#include "core/restriction.h"
+#include "core/schedule.h"
+#include "graph/graph.h"
+
+namespace graphpi::graphzero {
+
+/// The single restriction set GraphZero generates for `pattern`.
+[[nodiscard]] RestrictionSet restriction_set(const Pattern& pattern);
+
+/// AutoMine/GraphZero-style schedule choice: connected schedules scored
+/// with a density-only cost model (no triangle statistics, no restriction
+/// awareness).
+[[nodiscard]] Schedule select_schedule(const Pattern& pattern,
+                                       const GraphStats& stats);
+
+/// The density-only cost estimate used by select_schedule (exposed for
+/// the Figure 9 analysis).
+[[nodiscard]] double estimate_cost(const Pattern& pattern,
+                                   const Schedule& schedule,
+                                   const GraphStats& stats);
+
+/// Full GraphZero pipeline: its schedule plus its single restriction set.
+[[nodiscard]] Configuration plan(const Pattern& pattern,
+                                 const GraphStats& stats);
+
+/// Counts embeddings the GraphZero way (never uses IEP).
+[[nodiscard]] Count count(const Graph& graph, const Pattern& pattern);
+
+}  // namespace graphpi::graphzero

@@ -1,0 +1,153 @@
+#include "engine/labeled.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/vertex_set.h"
+#include "support/check.h"
+
+namespace graphpi {
+
+struct LabeledMatcher::Workspace {
+  VertexId mapped[Pattern::kMaxVertices] = {};
+  std::vector<VertexId> buf_a[Pattern::kMaxVertices];
+  std::vector<VertexId> buf_b[Pattern::kMaxVertices];
+};
+
+LabeledMatcher::LabeledMatcher(const LabeledGraph& graph,
+                               LabeledPattern pattern)
+    : LabeledMatcher(graph, pattern,
+                     generate_schedules(pattern.structure).efficient.front(),
+                     generate_restriction_sets(pattern).front()) {}
+
+LabeledMatcher::LabeledMatcher(const LabeledGraph& graph,
+                               LabeledPattern pattern, Schedule schedule,
+                               RestrictionSet restrictions)
+    : graph_(&graph),
+      pattern_(std::move(pattern)),
+      schedule_(std::move(schedule)),
+      restrictions_(std::move(restrictions)) {
+  GRAPHPI_CHECK(schedule_.size() == pattern_.size());
+}
+
+Count LabeledMatcher::recurse(
+    Workspace& ws, int depth,
+    const std::function<void(std::span<const VertexId>)>* cb) const {
+  const int n = pattern_.size();
+  const int pv = schedule_.vertex_at(depth);
+  const Label want = pattern_.label(pv);
+  const Graph& g = graph_->structure();
+
+  // Candidate set: label list at depth 0 / unconstrained vertices,
+  // neighborhood intersections otherwise (then label-filtered in-loop).
+  std::span<const VertexId> candidates;
+  std::vector<int> preds;
+  for (int e = 0; e < depth; ++e)
+    if (pattern_.structure.has_edge(schedule_.vertex_at(e), pv))
+      preds.push_back(e);
+  if (preds.empty()) {
+    candidates = graph_->vertices_with_label(want);
+  } else if (preds.size() == 1) {
+    candidates = g.neighbors(ws.mapped[preds[0]]);
+  } else {
+    auto& out = ws.buf_a[depth];
+    auto& tmp = ws.buf_b[depth];
+    intersect_adaptive(g.neighbors(ws.mapped[preds[0]]),
+                       g.neighbors(ws.mapped[preds[1]]), out);
+    for (std::size_t p = 2; p < preds.size(); ++p) {
+      intersect_adaptive(out, g.neighbors(ws.mapped[preds[p]]), tmp);
+      std::swap(out, tmp);
+    }
+    candidates = out;
+  }
+
+  // Restriction bounds at this depth (same break/skip mechanics as the
+  // unlabeled engine).
+  VertexId lo = 0, hi = 0;
+  bool has_lo = false, has_hi = false;
+  for (const auto& r : restrictions_) {
+    const int dg = schedule_.depth_of(r.greater);
+    const int ds = schedule_.depth_of(r.smaller);
+    if (std::max(dg, ds) != depth) continue;
+    if (ds == depth) {
+      hi = has_hi ? std::min(hi, ws.mapped[dg]) : ws.mapped[dg];
+      has_hi = true;
+    } else {
+      lo = has_lo ? std::max(lo, ws.mapped[ds]) : ws.mapped[ds];
+      has_lo = true;
+    }
+  }
+  const VertexId* first = candidates.data();
+  const VertexId* last = candidates.data() + candidates.size();
+  if (has_lo) first = std::upper_bound(first, last, lo);
+  if (has_hi) last = std::lower_bound(first, last, hi);
+
+  Count total = 0;
+  for (const VertexId* it = first; it != last; ++it) {
+    const VertexId v = *it;
+    if (!preds.empty() && graph_->label(v) != want) continue;
+    bool used = false;
+    for (int d = 0; d < depth && !used; ++d) used = ws.mapped[d] == v;
+    if (used) continue;
+    ws.mapped[depth] = v;
+    if (depth == n - 1) {
+      ++total;
+      if (cb != nullptr) {
+        VertexId embedding[Pattern::kMaxVertices];
+        for (int d = 0; d < n; ++d)
+          embedding[schedule_.vertex_at(d)] = ws.mapped[d];
+        (*cb)({embedding, static_cast<std::size_t>(n)});
+      }
+    } else {
+      total += recurse(ws, depth + 1, cb);
+    }
+  }
+  return total;
+}
+
+Count LabeledMatcher::count() const {
+  Workspace ws;
+  return recurse(ws, 0, nullptr);
+}
+
+void LabeledMatcher::enumerate(
+    const std::function<void(std::span<const VertexId>)>& cb) const {
+  Workspace ws;
+  recurse(ws, 0, &cb);
+}
+
+namespace {
+
+Count labeled_assign(const LabeledGraph& lg, const LabeledPattern& p, int i,
+                     VertexId* image) {
+  const int n = p.size();
+  if (i == n) return 1;
+  Count total = 0;
+  for (VertexId v = 0; v < lg.vertex_count(); ++v) {
+    if (lg.label(v) != p.label(i)) continue;
+    bool ok = true;
+    for (int j = 0; j < i && ok; ++j) {
+      if (image[j] == v) ok = false;
+      if (ok && p.structure.has_edge(j, i) &&
+          !lg.structure().has_edge(image[j], v))
+        ok = false;
+    }
+    if (!ok) continue;
+    image[i] = v;
+    total += labeled_assign(lg, p, i + 1, image);
+  }
+  return total;
+}
+
+}  // namespace
+
+Count labeled_oracle_count(const LabeledGraph& graph,
+                           const LabeledPattern& pattern) {
+  VertexId image[Pattern::kMaxVertices] = {};
+  const Count redundant = labeled_assign(graph, pattern, 0, image);
+  const Count aut = labeled_automorphisms(pattern).size();
+  GRAPHPI_CHECK(redundant % aut == 0);
+  return redundant / aut;
+}
+
+}  // namespace graphpi

@@ -1,0 +1,62 @@
+// Labeled pattern matching (the Section II-A extension, executable).
+//
+// Same nested-loop algorithm as Matcher, with two changes:
+//   * every candidate must carry the pattern vertex's label (the depth-0
+//     loop iterates the label's vertex list instead of all vertices),
+//   * restrictions come from the label-preserving automorphism group.
+// IEP is not applied in the labeled engine (the closed-form suffix sums
+// would additionally need label filtering; counting-only labeled
+// workloads run the plain loops).
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "core/labeled_pattern.h"
+#include "core/restriction.h"
+#include "core/schedule.h"
+#include "graph/labeled_graph.h"
+#include "graph/types.h"
+
+namespace graphpi {
+
+class LabeledMatcher {
+ public:
+  /// Plans internally: picks the first phase-1 schedule and the
+  /// lexicographically first restriction set of the label-preserving
+  /// group. A custom (schedule, restrictions) pair may be supplied.
+  LabeledMatcher(const LabeledGraph& graph, LabeledPattern pattern);
+  LabeledMatcher(const LabeledGraph& graph, LabeledPattern pattern,
+                 Schedule schedule, RestrictionSet restrictions);
+
+  /// Counts label-respecting embeddings, each subgraph once.
+  [[nodiscard]] Count count() const;
+
+  /// Lists embeddings (indexed by pattern vertex).
+  void enumerate(
+      const std::function<void(std::span<const VertexId>)>& cb) const;
+
+  [[nodiscard]] const Schedule& schedule() const noexcept {
+    return schedule_;
+  }
+  [[nodiscard]] const RestrictionSet& restrictions() const noexcept {
+    return restrictions_;
+  }
+
+ private:
+  struct Workspace;
+  Count recurse(Workspace& ws, int depth,
+                const std::function<void(std::span<const VertexId>)>* cb)
+      const;
+
+  const LabeledGraph* graph_;
+  LabeledPattern pattern_;
+  Schedule schedule_;
+  RestrictionSet restrictions_;
+};
+
+/// Brute-force labeled oracle for tests (independent implementation).
+[[nodiscard]] Count labeled_oracle_count(const LabeledGraph& graph,
+                                         const LabeledPattern& pattern);
+
+}  // namespace graphpi

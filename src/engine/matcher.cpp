@@ -1,0 +1,319 @@
+#include "engine/matcher.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/vertex_set.h"
+#include "support/check.h"
+
+namespace graphpi {
+
+namespace {
+/// IEP partial sums can exceed 64 bits before the final division.
+using Wide = unsigned __int128;
+using SignedWide = __int128;
+}  // namespace
+
+Matcher::Matcher(const Graph& graph, Configuration config)
+    : graph_(&graph), config_(std::move(config)) {
+  n_ = config_.pattern.size();
+  GRAPHPI_CHECK_MSG(config_.schedule.size() == n_,
+                    "schedule must cover the pattern");
+  iep_active_ = config_.iep.k > 0;
+  outer_depth_ = iep_active_ ? n_ - config_.iep.k : n_;
+  GRAPHPI_CHECK(outer_depth_ >= 1);
+
+  // Precompile per-depth predecessors and restriction bounds. Bounds for
+  // depths below outer_depth_ involve only prefix endpoints, so they are
+  // identical with and without IEP (suffix-checked restrictions are the
+  // ones IEP drops); a single table serves both modes.
+  depth_info_.resize(static_cast<std::size_t>(n_));
+  for (int d = 0; d < n_; ++d) {
+    auto& info = depth_info_[static_cast<std::size_t>(d)];
+    const int v = config_.schedule.vertex_at(d);
+    for (int e = 0; e < d; ++e) {
+      const int u = config_.schedule.vertex_at(e);
+      if (config_.pattern.has_edge(u, v)) info.predecessor_depths.push_back(e);
+    }
+    for (const auto& r : config_.restrictions) {
+      const int dg = config_.schedule.depth_of(r.greater);
+      const int ds = config_.schedule.depth_of(r.smaller);
+      if (std::max(dg, ds) != d) continue;  // checked elsewhere
+      if (ds == d) {
+        // id(greater) > id(this): candidates bounded above.
+        info.upper_bound_depths.push_back(dg);
+      } else {
+        // id(this) > id(smaller): candidates bounded below.
+        info.lower_bound_depths.push_back(ds);
+      }
+    }
+  }
+}
+
+std::span<const VertexId> Matcher::build_candidates(Workspace& ws,
+                                                    int depth) const {
+  const auto& preds =
+      depth_info_[static_cast<std::size_t>(depth)].predecessor_depths;
+  if (preds.empty()) {
+    // Unconstrained loop over the whole vertex set (depth 0, or an
+    // inefficient schedule kept for the Figure 9 sweep).
+    if (ws.all_vertices.size() != graph_->vertex_count()) {
+      ws.all_vertices.resize(graph_->vertex_count());
+      std::iota(ws.all_vertices.begin(), ws.all_vertices.end(), VertexId{0});
+    }
+    return ws.all_vertices;
+  }
+  if (preds.size() == 1) return graph_->neighbors(ws.mapped[preds[0]]);
+
+  auto& out = ws.buf_a[depth];
+  auto& tmp = ws.buf_b[depth];
+  intersect_adaptive(graph_->neighbors(ws.mapped[preds[0]]),
+                     graph_->neighbors(ws.mapped[preds[1]]), out);
+  for (std::size_t p = 2; p < preds.size(); ++p) {
+    intersect_adaptive(out, graph_->neighbors(ws.mapped[preds[p]]), tmp);
+    std::swap(out, tmp);
+  }
+  return out;
+}
+
+std::span<const VertexId> Matcher::bounded_range(
+    const Workspace& ws, int depth, std::span<const VertexId> cands) const {
+  const auto& info = depth_info_[static_cast<std::size_t>(depth)];
+  if (info.upper_bound_depths.empty() && info.lower_bound_depths.empty())
+    return cands;
+
+  // Tightest bounds implied by the restrictions at this depth.
+  VertexId lo_exclusive = 0;
+  bool has_lo = false;
+  for (int d : info.lower_bound_depths) {
+    lo_exclusive = has_lo ? std::max(lo_exclusive, ws.mapped[d]) : ws.mapped[d];
+    has_lo = true;
+  }
+  VertexId hi_exclusive = 0;
+  bool has_hi = false;
+  for (int d : info.upper_bound_depths) {
+    hi_exclusive = has_hi ? std::min(hi_exclusive, ws.mapped[d]) : ws.mapped[d];
+    has_hi = true;
+  }
+
+  const VertexId* first = cands.data();
+  const VertexId* last = cands.data() + cands.size();
+  if (has_lo) first = std::upper_bound(first, last, lo_exclusive);
+  if (has_hi) last = std::lower_bound(first, last, hi_exclusive);
+  return {first, last};
+}
+
+bool Matcher::already_used(const Workspace& ws, int depth, VertexId v) {
+  for (int d = 0; d < depth; ++d)
+    if (ws.mapped[d] == v) return true;
+  return false;
+}
+
+Count Matcher::recurse(Workspace& ws, int depth,
+                       const EmbeddingCallback* cb) const {
+  const auto range = bounded_range(ws, depth, build_candidates(ws, depth));
+
+  if (depth == n_ - 1 && cb == nullptr) {
+    // Innermost loop of a counting run: the candidates are all leaves;
+    // just exclude the already-used vertices.
+    return range.size() -
+           count_present(range, {ws.mapped, static_cast<std::size_t>(depth)});
+  }
+
+  Count total = 0;
+  for (VertexId v : range) {
+    if (already_used(ws, depth, v)) continue;
+    ws.mapped[depth] = v;
+    if (depth == n_ - 1) {
+      ++total;
+      VertexId embedding[Pattern::kMaxVertices];
+      for (int d = 0; d < n_; ++d)
+        embedding[config_.schedule.vertex_at(d)] = ws.mapped[d];
+      (*cb)({embedding, static_cast<std::size_t>(n_)});
+    } else {
+      total += recurse(ws, depth + 1, cb);
+    }
+  }
+  return total;
+}
+
+Count Matcher::evaluate_iep_leaf(Workspace& ws) const {
+  const int k = config_.iep.k;
+  const std::span<const VertexId> used{ws.mapped,
+                                       static_cast<std::size_t>(outer_depth_)};
+
+  // Materialize the suffix candidate sets S_0..S_{k-1}, each minus the
+  // already-mapped vertices (Figure 6(b): "S1 <- tmpAB - {vA,vB,vC}").
+  ws.suffix_sets.resize(static_cast<std::size_t>(k));
+  for (int s = 0; s < k; ++s) {
+    const int depth = outer_depth_ + s;
+    const auto& preds =
+        depth_info_[static_cast<std::size_t>(depth)].predecessor_depths;
+    auto& set = ws.suffix_sets[static_cast<std::size_t>(s)];
+    if (preds.size() == 1) {
+      const auto adj = graph_->neighbors(ws.mapped[preds[0]]);
+      set.assign(adj.begin(), adj.end());
+    } else {
+      intersect_adaptive(graph_->neighbors(ws.mapped[preds[0]]),
+                         graph_->neighbors(ws.mapped[preds[1]]), set);
+      for (std::size_t p = 2; p < preds.size(); ++p) {
+        intersect_adaptive(set, graph_->neighbors(ws.mapped[preds[p]]),
+                           ws.scratch_a);
+        std::swap(set, ws.scratch_a);
+      }
+    }
+    remove_all(set, used);
+  }
+
+  // Evaluate the inclusion–exclusion terms (Algorithm 2): every term is a
+  // signed product over its blocks of |∩_{i∈B} S_i|.
+  SignedWide sum = 0;
+  for (const auto& term : config_.iep.terms) {
+    SignedWide product = term.coefficient;
+    for (const auto& block : term.blocks) {
+      if (product == 0) break;
+      std::size_t factor = 0;
+      if (block.size() == 1) {
+        factor = ws.suffix_sets[static_cast<std::size_t>(block[0])].size();
+      } else {
+        intersect(ws.suffix_sets[static_cast<std::size_t>(block[0])],
+                  ws.suffix_sets[static_cast<std::size_t>(block[1])],
+                  ws.scratch_a);
+        for (std::size_t b = 2; b < block.size(); ++b) {
+          intersect(ws.scratch_a,
+                    ws.suffix_sets[static_cast<std::size_t>(block[b])],
+                    ws.scratch_b);
+          std::swap(ws.scratch_a, ws.scratch_b);
+        }
+        factor = ws.scratch_a.size();
+      }
+      product *= static_cast<SignedWide>(factor);
+    }
+    sum += product;
+  }
+  GRAPHPI_CHECK_MSG(sum >= 0, "|S_IEP| is a tuple count and must be >= 0");
+  // Per-leaf sums fit 64 bits comfortably (k <= 7 factors of set sizes).
+  return static_cast<Count>(sum);
+}
+
+Count Matcher::recurse_iep(Workspace& ws, int depth) const {
+  if (depth == outer_depth_) return evaluate_iep_leaf(ws);
+  const auto range = bounded_range(ws, depth, build_candidates(ws, depth));
+  Count total = 0;
+  for (VertexId v : range) {
+    if (already_used(ws, depth, v)) continue;
+    ws.mapped[depth] = v;
+    total += recurse_iep(ws, depth + 1);
+  }
+  return total;
+}
+
+Count Matcher::count() const {
+  Workspace ws;
+  if (!iep_active_) return recurse(ws, 0, nullptr);
+  const Count undivided = recurse_iep(ws, 0);
+  GRAPHPI_CHECK_MSG(undivided % config_.iep.divisor == 0,
+                    "IEP sum must be divisible by the surviving-"
+                    "automorphism factor x");
+  return undivided / config_.iep.divisor;
+}
+
+Count Matcher::count_plain() const {
+  Workspace ws;
+  return recurse(ws, 0, nullptr);
+}
+
+void Matcher::enumerate(const EmbeddingCallback& cb) const {
+  Workspace ws;
+  recurse(ws, 0, &cb);
+}
+
+bool Matcher::apply_prefix(Workspace& ws,
+                           std::span<const VertexId> prefix) const {
+  GRAPHPI_CHECK(prefix.size() <= static_cast<std::size_t>(n_));
+  for (std::size_t d = 0; d < prefix.size(); ++d) {
+    const VertexId v = prefix[d];
+    if (already_used(ws, static_cast<int>(d), v)) return false;
+    const auto range =
+        bounded_range(ws, static_cast<int>(d),
+                      build_candidates(ws, static_cast<int>(d)));
+    if (!contains(range, v)) return false;
+    ws.mapped[d] = v;
+  }
+  return true;
+}
+
+Count Matcher::count_from_prefix(std::span<const VertexId> prefix) const {
+  Workspace ws;
+  if (!apply_prefix(ws, prefix)) return 0;
+  const int depth = static_cast<int>(prefix.size());
+  if (!iep_active_) {
+    if (depth == n_) return 1;
+    return recurse(ws, depth, nullptr);
+  }
+  GRAPHPI_CHECK_MSG(depth <= outer_depth_,
+                    "prefix must not extend into the IEP suffix");
+  // Undivided on purpose: only the global total is divisible by x.
+  return depth == outer_depth_ ? evaluate_iep_leaf(ws)
+                               : recurse_iep(ws, depth);
+}
+
+Count Matcher::finalize_partial_counts(Count aggregated) const {
+  if (!iep_active_) return aggregated;
+  GRAPHPI_CHECK_MSG(aggregated % config_.iep.divisor == 0,
+                    "aggregated IEP sum must be divisible by the surviving-"
+                    "automorphism factor x");
+  return aggregated / config_.iep.divisor;
+}
+
+void Matcher::enumerate_from_prefix(std::span<const VertexId> prefix,
+                                    const EmbeddingCallback& cb) const {
+  GRAPHPI_CHECK_MSG(!iep_active_,
+                    "IEP configurations cannot list embeddings");
+  Workspace ws;
+  if (!apply_prefix(ws, prefix)) return;
+  const int depth = static_cast<int>(prefix.size());
+  if (depth == n_) {
+    VertexId embedding[Pattern::kMaxVertices];
+    for (int d = 0; d < n_; ++d)
+      embedding[config_.schedule.vertex_at(d)] = ws.mapped[d];
+    cb({embedding, static_cast<std::size_t>(n_)});
+    return;
+  }
+  recurse(ws, depth, &cb);
+}
+
+void Matcher::enumerate_prefixes(
+    int depth, const std::function<void(std::span<const VertexId>)>& cb) const {
+  GRAPHPI_CHECK(depth >= 1 && depth <= outer_depth_);
+  Workspace ws;
+  // Iterative-in-recursion: reuse recurse() shape but stop at `depth`.
+  const std::function<void(int)> walk = [&](int d) {
+    const auto range = bounded_range(ws, d, build_candidates(ws, d));
+    for (VertexId v : range) {
+      if (already_used(ws, d, v)) continue;
+      ws.mapped[d] = v;
+      if (d + 1 == depth) {
+        cb({ws.mapped, static_cast<std::size_t>(depth)});
+      } else {
+        walk(d + 1);
+      }
+    }
+  };
+  walk(0);
+}
+
+Count count_embeddings(const Graph& graph, const Configuration& config) {
+  return Matcher(graph, config).count();
+}
+
+Count count_embeddings(const Graph& graph, const Pattern& pattern,
+                       bool use_iep) {
+  PlannerOptions options;
+  options.use_iep = use_iep;
+  const Configuration config =
+      plan_configuration(pattern, GraphStats::of(graph), options);
+  return Matcher(graph, config).count();
+}
+
+}  // namespace graphpi

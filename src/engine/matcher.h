@@ -1,0 +1,161 @@
+// The nested-loop pattern-matching executor.
+//
+// Runs a Configuration (schedule + restriction set + optional IEP plan)
+// against a CSR data graph. The executor performs exactly the loop
+// structure GraphPi's code generator would emit (Figure 5(b)/6(b)):
+//
+//   * loop depth i searches the pattern vertex schedule[i];
+//   * its candidate set is the intersection of the neighborhoods of the
+//     already-mapped pattern neighbors (sorted, so intersections are
+//     O(n + m) merges);
+//   * a restriction id(u) > id(v) is enforced in the loop of the
+//     later-scheduled endpoint as a range bound on the sorted candidates
+//     (an upper bound prunes with an early break, exactly like the
+//     generated code's `if (id(vA) <= id(vB)) break;`);
+//   * with an IEP plan, the innermost k loops are replaced by the
+//     inclusion–exclusion evaluation of Section IV-D and the total is
+//     divided by the surviving-automorphism factor x.
+//
+// The matcher is immutable after construction and safe to share across
+// threads: all mutable state lives in a per-call Workspace.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/configuration.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace graphpi {
+
+/// Receives one embedding as data-graph vertices indexed by *pattern
+/// vertex* (not schedule position).
+using EmbeddingCallback =
+    std::function<void(std::span<const VertexId> embedding)>;
+
+class Matcher {
+ public:
+  /// `config.schedule` must cover `config.pattern`; the graph must satisfy
+  /// the CSR invariants (see Graph).
+  Matcher(const Graph& graph, Configuration config);
+
+  /// Counts embeddings. Uses the configuration's IEP plan when present,
+  /// otherwise plain enumeration. Single-threaded (see ParallelMatcher).
+  [[nodiscard]] Count count() const;
+
+  /// Counts by full enumeration, ignoring any IEP plan (the "without IEP"
+  /// arm of Figure 10).
+  [[nodiscard]] Count count_plain() const;
+
+  /// Enumerates all embeddings, invoking `cb` once per embedding. IEP is
+  /// never used when listing.
+  void enumerate(const EmbeddingCallback& cb) const;
+
+  /// Counts all completions of a partial embedding that maps the first
+  /// `prefix.size()` schedule positions to the given data vertices. The
+  /// prefix is validated (edges + restrictions); an invalid prefix yields
+  /// 0. This is the worker-side entry point of the distributed runtime.
+  ///
+  /// IMPORTANT: when an IEP plan is active the returned value is the
+  /// *undivided* inclusion–exclusion sum for this prefix — per-prefix sums
+  /// are not individually divisible by x. Aggregate all task results and
+  /// pass the total through finalize_partial_counts().
+  [[nodiscard]] Count count_from_prefix(std::span<const VertexId> prefix) const;
+
+  /// Converts an aggregated sum of count_from_prefix results into the
+  /// final embedding count (divides by the IEP factor x; identity when
+  /// IEP is inactive). Checks divisibility.
+  [[nodiscard]] Count finalize_partial_counts(Count aggregated) const;
+
+  /// Enumerates all embeddings extending the given schedule-position
+  /// prefix (validated like count_from_prefix; invalid prefixes produce no
+  /// callbacks). IEP must be inactive.
+  void enumerate_from_prefix(std::span<const VertexId> prefix,
+                             const EmbeddingCallback& cb) const;
+
+  /// Enumerates all *valid* partial embeddings of the first `depth`
+  /// schedule positions — the master-side task generator of the
+  /// distributed runtime (Section IV-E: "the master thread executes the
+  /// outer loops and packs the values of the outer loops into a task").
+  void enumerate_prefixes(
+      int depth,
+      const std::function<void(std::span<const VertexId>)>& cb) const;
+
+  [[nodiscard]] const Configuration& configuration() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
+
+ private:
+  /// Static per-depth execution info precompiled from the configuration.
+  struct DepthInfo {
+    /// Depths (not pattern vertices) of the already-mapped pattern
+    /// neighbors whose adjacency lists are intersected.
+    std::vector<int> predecessor_depths;
+    /// Candidates must be < mapped[d] for every d here (restriction
+    /// id(mapped[d]) > id(this)).
+    std::vector<int> upper_bound_depths;
+    /// Candidates must be > mapped[d] for every d here.
+    std::vector<int> lower_bound_depths;
+  };
+
+  /// Mutable per-call state: the partial embedding plus reusable buffers.
+  struct Workspace {
+    VertexId mapped[Pattern::kMaxVertices] = {};
+    // Double-buffered candidate storage per depth (intersection chains).
+    std::vector<VertexId> buf_a[Pattern::kMaxVertices];
+    std::vector<VertexId> buf_b[Pattern::kMaxVertices];
+    // IEP: suffix candidate sets and block-intersection scratch.
+    std::vector<std::vector<VertexId>> suffix_sets;
+    std::vector<VertexId> scratch_a;
+    std::vector<VertexId> scratch_b;
+    std::vector<VertexId> all_vertices;  // lazy iota for 0-pred depths
+  };
+
+  /// Builds the candidate span for `depth` given the current mapping.
+  [[nodiscard]] std::span<const VertexId> build_candidates(Workspace& ws,
+                                                           int depth) const;
+
+  /// Applies restriction bounds for `depth`, returning the [first, last)
+  /// subrange of `cands` to iterate.
+  [[nodiscard]] std::span<const VertexId> bounded_range(
+      const Workspace& ws, int depth, std::span<const VertexId> cands) const;
+
+  /// True iff v collides with a vertex mapped at depth < `depth`.
+  [[nodiscard]] static bool already_used(const Workspace& ws, int depth,
+                                         VertexId v);
+
+  /// Recursive enumeration core; `depth` is the next schedule position to
+  /// fill. Counts leaves; when `cb` is non-null also reports embeddings.
+  Count recurse(Workspace& ws, int depth, const EmbeddingCallback* cb) const;
+
+  /// Recursive core for IEP counting over the outer loops; returns the
+  /// *undivided* inclusion–exclusion sum.
+  [[nodiscard]] Count recurse_iep(Workspace& ws, int depth) const;
+
+  /// Evaluates the IEP plan at a leaf of the outer loops.
+  [[nodiscard]] Count evaluate_iep_leaf(Workspace& ws) const;
+
+  /// Prepares a workspace with `prefix` applied; returns false when the
+  /// prefix violates edges, distinctness or restriction bounds.
+  [[nodiscard]] bool apply_prefix(Workspace& ws,
+                                  std::span<const VertexId> prefix) const;
+
+  const Graph* graph_;
+  Configuration config_;
+  int n_ = 0;                       ///< pattern size
+  int outer_depth_ = 0;             ///< n - iep.k when IEP active, else n
+  bool iep_active_ = false;
+  std::vector<DepthInfo> depth_info_;
+};
+
+/// Convenience one-shot helpers.
+[[nodiscard]] Count count_embeddings(const Graph& graph,
+                                     const Configuration& config);
+[[nodiscard]] Count count_embeddings(const Graph& graph,
+                                     const Pattern& pattern,
+                                     bool use_iep = false);
+
+}  // namespace graphpi

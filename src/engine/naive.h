@@ -1,0 +1,31 @@
+// Naive baseline: restriction-free enumeration.
+//
+// Enumerates every one-to-one correspondence (so each embedding is found
+// |Aut| times — the redundant computation the paper eliminates) and
+// divides by the automorphism count at the end. This is the lower bound
+// any symmetry-breaking system must beat, and stands in for the
+// enumeration-style JVM baselines (Fractal) of Figure 8; DESIGN.md
+// documents the proxy.
+#pragma once
+
+#include "core/pattern.h"
+#include "core/schedule.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace graphpi {
+
+/// A reasonable connectivity-first schedule chosen without any cost model
+/// (first phase-1 schedule in lexicographic order) — what a system without
+/// schedule optimization would run.
+[[nodiscard]] Schedule default_schedule(const Pattern& pattern);
+
+/// Counts embeddings with no restrictions, dividing the redundant total by
+/// |Aut| at the end.
+[[nodiscard]] Count naive_count(const Graph& graph, const Pattern& pattern);
+
+/// The redundant (undivided) enumeration total — |Aut| times the answer.
+[[nodiscard]] Count naive_count_redundant(const Graph& graph,
+                                          const Pattern& pattern);
+
+}  // namespace graphpi

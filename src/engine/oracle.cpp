@@ -1,0 +1,54 @@
+#include "engine/oracle.h"
+
+#include "core/automorphism.h"
+#include "support/check.h"
+
+namespace graphpi {
+
+namespace {
+
+/// Assigns pattern vertices in natural order 0..n-1. When vertex i has an
+/// already-assigned pattern neighbor, its candidates are that neighbor's
+/// adjacency; otherwise all graph vertices. Every pattern edge to an
+/// assigned vertex is verified with a has_edge probe.
+Count assign(const Graph& g, const Pattern& p, int i,
+             VertexId* image) {
+  const int n = p.size();
+  if (i == n) return 1;
+
+  int guide = -1;  // an assigned pattern neighbor of i, if any
+  for (int j = 0; j < i; ++j)
+    if (p.has_edge(j, i)) {
+      guide = j;
+      break;
+    }
+
+  Count total = 0;
+  auto try_candidate = [&](VertexId v) {
+    for (int j = 0; j < i; ++j)
+      if (image[j] == v) return;  // injectivity
+    for (int j = 0; j < i; ++j)
+      if (p.has_edge(j, i) && !g.has_edge(image[j], v)) return;
+    image[i] = v;
+    total += assign(g, p, i + 1, image);
+  };
+
+  if (guide >= 0) {
+    for (VertexId v : g.neighbors(image[guide])) try_candidate(v);
+  } else {
+    for (VertexId v = 0; v < g.vertex_count(); ++v) try_candidate(v);
+  }
+  return total;
+}
+
+}  // namespace
+
+Count oracle_count(const Graph& graph, const Pattern& pattern) {
+  VertexId image[Pattern::kMaxVertices] = {};
+  const Count redundant = assign(graph, pattern, 0, image);
+  const Count aut = automorphism_count(pattern);
+  GRAPHPI_CHECK(redundant % aut == 0);
+  return redundant / aut;
+}
+
+}  // namespace graphpi

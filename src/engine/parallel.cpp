@@ -1,0 +1,101 @@
+#include "engine/parallel.h"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <mutex>
+
+#include "support/check.h"
+#include "support/timer.h"
+
+namespace graphpi {
+
+namespace {
+
+/// Materializes the task list: every valid prefix of `depth` schedule
+/// positions. Depth-1 tasks are cheap to generate (one per vertex with a
+/// non-empty continuation); deeper tasks trade generation cost for better
+/// balance.
+std::vector<std::vector<VertexId>> generate_tasks(const Matcher& matcher,
+                                                  int depth) {
+  std::vector<std::vector<VertexId>> tasks;
+  matcher.enumerate_prefixes(depth, [&tasks](std::span<const VertexId> p) {
+    tasks.emplace_back(p.begin(), p.end());
+  });
+  return tasks;
+}
+
+int clamp_task_depth(const Configuration& config, int requested) {
+  const int outer = config.iep.k > 0 ? config.pattern.size() - config.iep.k
+                                     : config.pattern.size();
+  return std::clamp(requested, 1, std::max(1, outer));
+}
+
+}  // namespace
+
+Count count_parallel(const Graph& graph, const Configuration& config,
+                     const ParallelOptions& options, ParallelRunStats* stats) {
+  const Matcher matcher(graph, config);
+  const int depth = clamp_task_depth(config, options.task_depth);
+  const auto tasks = generate_tasks(matcher, depth);
+
+  if (options.num_threads > 0) omp_set_num_threads(options.num_threads);
+  const int max_threads = omp_get_max_threads();
+  std::vector<std::uint64_t> thread_tasks(
+      static_cast<std::size_t>(max_threads), 0);
+  std::vector<double> thread_seconds(static_cast<std::size_t>(max_threads),
+                                     0.0);
+
+  Count aggregated = 0;
+#pragma omp parallel default(none) \
+    shared(tasks, matcher, thread_tasks, thread_seconds) \
+    reduction(+ : aggregated)
+  {
+    const int tid = omp_get_thread_num();
+    support::Timer timer;
+#pragma omp for schedule(dynamic, 16)
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      aggregated += matcher.count_from_prefix(tasks[t]);
+      thread_tasks[static_cast<std::size_t>(tid)]++;
+    }
+    thread_seconds[static_cast<std::size_t>(tid)] = timer.elapsed_seconds();
+  }
+
+  if (stats != nullptr) {
+    stats->tasks = tasks.size();
+    stats->per_thread_tasks = thread_tasks;
+    stats->per_thread_seconds = thread_seconds;
+  }
+  return matcher.finalize_partial_counts(aggregated);
+}
+
+void enumerate_parallel(const Graph& graph, const Configuration& config,
+                        const EmbeddingCallback& cb,
+                        const ParallelOptions& options) {
+  GRAPHPI_CHECK_MSG(config.iep.k == 0,
+                    "IEP configurations cannot list embeddings");
+  const Matcher matcher(graph, config);
+  const int depth = clamp_task_depth(config, options.task_depth);
+  const auto tasks = generate_tasks(matcher, depth);
+
+  if (options.num_threads > 0) omp_set_num_threads(options.num_threads);
+  std::mutex emit_mutex;
+
+  // Each worker re-runs the continuation of its prefix with a serialized
+  // callback. The per-task matcher work is independent; only emission is
+  // synchronized.
+#pragma omp parallel for schedule(dynamic, 16) default(none) \
+    shared(tasks, matcher, cb, emit_mutex)
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    // Collect locally, then emit under the lock in batches.
+    std::vector<std::vector<VertexId>> local;
+    matcher.enumerate_from_prefix(tasks[t],
+                                  [&local](std::span<const VertexId> emb) {
+                                    local.emplace_back(emb.begin(), emb.end());
+                                  });
+    const std::scoped_lock lock(emit_mutex);
+    for (const auto& e : local) cb(e);
+  }
+}
+
+}  // namespace graphpi

@@ -1,0 +1,47 @@
+// OpenMP parallel matching engine (the intra-node half of Section IV-E).
+//
+// Work is partitioned at the granularity of valid outer-loop prefixes —
+// the same fine-grained tasks the distributed master packs — and scheduled
+// dynamically so that power-law degree skew does not starve threads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/configuration.h"
+#include "engine/matcher.h"
+#include "graph/graph.h"
+
+namespace graphpi {
+
+struct ParallelOptions {
+  /// Schedule depth of one task (1 = outermost loop only; 2 = pairs, the
+  /// paper's example for the House pattern). Clamped to the number of
+  /// outer loops when IEP is active.
+  int task_depth = 1;
+  /// OpenMP threads; 0 = runtime default.
+  int num_threads = 0;
+};
+
+/// Per-run load statistics (consumed by the scalability analysis).
+struct ParallelRunStats {
+  std::uint64_t tasks = 0;
+  std::vector<std::uint64_t> per_thread_tasks;
+  std::vector<double> per_thread_seconds;
+};
+
+/// Counts embeddings of `config` on `graph` using OpenMP. Exactly equal to
+/// Matcher::count() (asserted by tests).
+[[nodiscard]] Count count_parallel(const Graph& graph,
+                                   const Configuration& config,
+                                   const ParallelOptions& options = {},
+                                   ParallelRunStats* stats = nullptr);
+
+/// Lists embeddings in parallel; callback invocations are serialized with
+/// a critical section (listing throughput is bounded by the consumer
+/// anyway; counting uses count_parallel).
+void enumerate_parallel(const Graph& graph, const Configuration& config,
+                        const EmbeddingCallback& cb,
+                        const ParallelOptions& options = {});
+
+}  // namespace graphpi

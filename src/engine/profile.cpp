@@ -1,0 +1,131 @@
+#include "engine/profile.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "graph/vertex_set.h"
+#include "support/check.h"
+
+namespace graphpi {
+
+std::string ExecutionProfile::to_string() const {
+  std::ostringstream oss;
+  oss << "embeddings=" << embeddings;
+  for (std::size_t d = 0; d < loop_entries.size(); ++d) {
+    oss << " | d" << d << ": entries=" << loop_entries[d]
+        << " mean_cand=" << mean_candidates(static_cast<int>(d))
+        << " survive=" << bound_survival(static_cast<int>(d));
+  }
+  return oss.str();
+}
+
+namespace {
+
+/// A self-contained instrumented interpreter. Kept separate from
+/// Matcher's hot path on purpose: profiling counters in the inner loops
+/// would pollute the numbers every bench reports.
+struct ProfiledRun {
+  const Graph& g;
+  const Configuration& config;
+  ExecutionProfile& profile;
+  int n;
+  VertexId mapped[Pattern::kMaxVertices] = {};
+  std::vector<VertexId> bufs[Pattern::kMaxVertices];
+  std::vector<VertexId> tmp;
+  std::vector<VertexId> all_vertices;
+
+  Count run(int depth) {
+    profile.loop_entries[static_cast<std::size_t>(depth)]++;
+    const int pv = config.schedule.vertex_at(depth);
+
+    // Build candidates, counting intersection work.
+    std::vector<int> preds;
+    for (int e = 0; e < depth; ++e)
+      if (config.pattern.has_edge(config.schedule.vertex_at(e), pv))
+        preds.push_back(e);
+
+    std::span<const VertexId> candidates;
+    if (preds.empty()) {
+      if (all_vertices.size() != g.vertex_count()) {
+        all_vertices.resize(g.vertex_count());
+        std::iota(all_vertices.begin(), all_vertices.end(), VertexId{0});
+      }
+      candidates = all_vertices;
+    } else if (preds.size() == 1) {
+      candidates = g.neighbors(mapped[preds[0]]);
+    } else {
+      auto& out = bufs[depth];
+      const auto a = g.neighbors(mapped[preds[0]]);
+      const auto b = g.neighbors(mapped[preds[1]]);
+      profile.intersection_work[static_cast<std::size_t>(depth)] +=
+          a.size() + b.size();
+      intersect(a, b, out);
+      for (std::size_t p = 2; p < preds.size(); ++p) {
+        const auto c = g.neighbors(mapped[preds[p]]);
+        profile.intersection_work[static_cast<std::size_t>(depth)] +=
+            out.size() + c.size();
+        intersect(out, c, tmp);
+        std::swap(out, tmp);
+      }
+      candidates = out;
+    }
+    profile.candidates[static_cast<std::size_t>(depth)] += candidates.size();
+
+    // Restriction bounds.
+    VertexId lo = 0, hi = 0;
+    bool has_lo = false, has_hi = false;
+    for (const auto& r : config.restrictions) {
+      const int dg = config.schedule.depth_of(r.greater);
+      const int ds = config.schedule.depth_of(r.smaller);
+      if (std::max(dg, ds) != depth) continue;
+      if (ds == depth) {
+        hi = has_hi ? std::min(hi, mapped[dg]) : mapped[dg];
+        has_hi = true;
+      } else {
+        lo = has_lo ? std::max(lo, mapped[ds]) : mapped[ds];
+        has_lo = true;
+      }
+    }
+    const VertexId* first = candidates.data();
+    const VertexId* last = candidates.data() + candidates.size();
+    if (has_lo) first = std::upper_bound(first, last, lo);
+    if (has_hi) last = std::lower_bound(first, last, hi);
+    profile.candidates_in_bounds[static_cast<std::size_t>(depth)] +=
+        static_cast<std::uint64_t>(last - first);
+
+    Count total = 0;
+    for (const VertexId* it = first; it != last; ++it) {
+      const VertexId v = *it;
+      bool used = false;
+      for (int d = 0; d < depth && !used; ++d) used = mapped[d] == v;
+      if (used) continue;
+      mapped[depth] = v;
+      if (depth == n - 1) {
+        ++total;
+      } else {
+        total += run(depth + 1);
+      }
+    }
+    return total;
+  }
+};
+
+}  // namespace
+
+Count count_profiled(const Graph& graph, const Configuration& config,
+                     ExecutionProfile& out) {
+  const int n = config.pattern.size();
+  GRAPHPI_CHECK(config.schedule.size() == n);
+  out = ExecutionProfile{};
+  out.loop_entries.assign(static_cast<std::size_t>(n), 0);
+  out.candidates.assign(static_cast<std::size_t>(n), 0);
+  out.candidates_in_bounds.assign(static_cast<std::size_t>(n), 0);
+  out.intersection_work.assign(static_cast<std::size_t>(n), 0);
+
+  ProfiledRun run{graph, config, out, n, {}, {}, {}, {}};
+  out.embeddings = run.run(0);
+  return out.embeddings;
+}
+
+}  // namespace graphpi

@@ -1,0 +1,111 @@
+// Embedding sinks: reusable consumers for the listing API.
+//
+// `Matcher::enumerate` streams embeddings through a callback; these sinks
+// package the common consumption patterns (counting, bounded collection,
+// uniform sampling, streaming to text) so applications do not re-implement
+// them. All sinks expose `callback()` returning an EmbeddingCallback.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <span>
+#include <vector>
+
+#include "engine/matcher.h"
+#include "graph/types.h"
+#include "support/rng.h"
+
+namespace graphpi::sinks {
+
+/// Counts embeddings (the trivial sink; prefer Matcher::count when no
+/// listing side effects are needed).
+class CountingSink {
+ public:
+  [[nodiscard]] EmbeddingCallback callback() {
+    return [this](std::span<const VertexId>) { ++count_; };
+  }
+  [[nodiscard]] Count count() const noexcept { return count_; }
+
+ private:
+  Count count_ = 0;
+};
+
+/// Collects at most `limit` embeddings (the first ones encountered),
+/// counting the rest.
+class LimitSink {
+ public:
+  explicit LimitSink(std::size_t limit) : limit_(limit) {}
+
+  [[nodiscard]] EmbeddingCallback callback() {
+    return [this](std::span<const VertexId> emb) {
+      ++total_;
+      if (collected_.size() < limit_)
+        collected_.emplace_back(emb.begin(), emb.end());
+    };
+  }
+  [[nodiscard]] const std::vector<std::vector<VertexId>>& collected()
+      const noexcept {
+    return collected_;
+  }
+  [[nodiscard]] Count total() const noexcept { return total_; }
+
+ private:
+  std::size_t limit_;
+  Count total_ = 0;
+  std::vector<std::vector<VertexId>> collected_;
+};
+
+/// Uniform reservoir sample of `k` embeddings (Vitter's algorithm R):
+/// every embedding of the stream ends up in the sample with equal
+/// probability, without storing the stream. Deterministic per seed.
+class ReservoirSink {
+ public:
+  ReservoirSink(std::size_t k, std::uint64_t seed) : k_(k), rng_(seed) {}
+
+  [[nodiscard]] EmbeddingCallback callback() {
+    return [this](std::span<const VertexId> emb) {
+      ++seen_;
+      if (sample_.size() < k_) {
+        sample_.emplace_back(emb.begin(), emb.end());
+      } else {
+        const std::uint64_t j = rng_.bounded(seen_);
+        if (j < k_)
+          sample_[static_cast<std::size_t>(j)].assign(emb.begin(),
+                                                      emb.end());
+      }
+    };
+  }
+  [[nodiscard]] const std::vector<std::vector<VertexId>>& sample()
+      const noexcept {
+    return sample_;
+  }
+  [[nodiscard]] Count seen() const noexcept { return seen_; }
+
+ private:
+  std::size_t k_;
+  support::Xoshiro256StarStar rng_;
+  Count seen_ = 0;
+  std::vector<std::vector<VertexId>> sample_;
+};
+
+/// Writes embeddings as whitespace-separated vertex lines to a stream.
+class TextSink {
+ public:
+  explicit TextSink(std::ostream& out) : out_(&out) {}
+
+  [[nodiscard]] EmbeddingCallback callback() {
+    return [this](std::span<const VertexId> emb) {
+      for (std::size_t i = 0; i < emb.size(); ++i)
+        *out_ << (i ? " " : "") << emb[i];
+      *out_ << '\n';
+      ++count_;
+    };
+  }
+  [[nodiscard]] Count count() const noexcept { return count_; }
+
+ private:
+  std::ostream* out_;
+  Count count_ = 0;
+};
+
+}  // namespace graphpi::sinks

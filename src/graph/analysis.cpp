@@ -1,0 +1,168 @@
+#include "graph/analysis.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <queue>
+
+#include "graph/builder.h"
+#include "graph/vertex_set.h"
+#include "support/check.h"
+
+namespace graphpi {
+
+std::size_t ComponentResult::largest() const {
+  std::vector<std::size_t> sizes(count, 0);
+  for (VertexId c : component) sizes[c]++;
+  return sizes.empty() ? 0 : *std::max_element(sizes.begin(), sizes.end());
+}
+
+ComponentResult connected_components(const Graph& g) {
+  const VertexId n = g.vertex_count();
+  ComponentResult result;
+  result.component.assign(n, std::numeric_limits<VertexId>::max());
+  std::vector<VertexId> stack;
+  for (VertexId start = 0; start < n; ++start) {
+    if (result.component[start] != std::numeric_limits<VertexId>::max())
+      continue;
+    const VertexId id = result.count++;
+    stack.push_back(start);
+    result.component[start] = id;
+    while (!stack.empty()) {
+      const VertexId v = stack.back();
+      stack.pop_back();
+      for (VertexId w : g.neighbors(v))
+        if (result.component[w] == std::numeric_limits<VertexId>::max()) {
+          result.component[w] = id;
+          stack.push_back(w);
+        }
+    }
+  }
+  return result;
+}
+
+CoreResult core_decomposition(const Graph& g) {
+  const VertexId n = g.vertex_count();
+  CoreResult result;
+  result.core.assign(n, 0);
+  result.peel_order.reserve(n);
+  if (n == 0) return result;
+
+  // Bucket-queue peeling (Matula–Beck): repeatedly remove a vertex of
+  // minimum remaining degree.
+  std::vector<std::uint32_t> deg(n);
+  std::uint32_t max_deg = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    deg[v] = g.degree(v);
+    max_deg = std::max(max_deg, deg[v]);
+  }
+  std::vector<std::vector<VertexId>> buckets(max_deg + 1);
+  for (VertexId v = 0; v < n; ++v) buckets[deg[v]].push_back(v);
+  std::vector<bool> removed(n, false);
+
+  std::uint32_t current = 0;
+  std::uint32_t cursor = 0;
+  VertexId processed = 0;
+  while (processed < n) {
+    // Find the lowest non-empty bucket at or below the walk position.
+    cursor = std::min<std::uint32_t>(cursor, current);
+    while (cursor <= max_deg && buckets[cursor].empty()) ++cursor;
+    GRAPHPI_CHECK(cursor <= max_deg);
+    const VertexId v = buckets[cursor].back();
+    buckets[cursor].pop_back();
+    if (removed[v] || deg[v] != cursor) continue;  // stale entry
+    removed[v] = true;
+    ++processed;
+    current = std::max(current, cursor);
+    result.core[v] = current;
+    result.peel_order.push_back(v);
+    for (VertexId w : g.neighbors(v)) {
+      if (removed[w]) continue;
+      if (deg[w] > 0) {
+        --deg[w];
+        buckets[deg[w]].push_back(w);
+        cursor = std::min(cursor, deg[w]);
+      }
+    }
+  }
+  result.degeneracy = current;
+  return result;
+}
+
+double global_clustering_coefficient(const Graph& g) {
+  std::uint64_t wedges = 0;
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    const std::uint64_t d = g.degree(v);
+    wedges += d * (d - 1) / 2;
+  }
+  if (wedges == 0) return 0.0;
+  return 3.0 * static_cast<double>(g.triangle_count()) /
+         static_cast<double>(wedges);
+}
+
+double average_local_clustering(const Graph& g) {
+  const VertexId n = g.vertex_count();
+  if (n == 0) return 0.0;
+  double sum = 0.0;
+#pragma omp parallel for schedule(dynamic, 64) reduction(+ : sum)
+  for (VertexId v = 0; v < n; ++v) {
+    const auto adj = g.neighbors(v);
+    const std::size_t d = adj.size();
+    if (d < 2) continue;
+    std::uint64_t links = 0;
+    for (VertexId w : adj)
+      links += intersect_size(adj, g.neighbors(w));
+    // Each neighbor-pair edge is seen twice in the loop above.
+    sum += static_cast<double>(links) / (static_cast<double>(d) * (d - 1));
+  }
+  return sum / static_cast<double>(n);
+}
+
+std::vector<std::uint64_t> degree_histogram(const Graph& g) {
+  std::vector<std::uint64_t> histogram(g.max_degree() + 1, 0);
+  for (VertexId v = 0; v < g.vertex_count(); ++v) histogram[g.degree(v)]++;
+  return histogram;
+}
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, VertexId source) {
+  GRAPHPI_CHECK(source < g.vertex_count());
+  std::vector<std::uint32_t> dist(g.vertex_count(),
+                                  std::numeric_limits<std::uint32_t>::max());
+  std::queue<VertexId> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const VertexId v = frontier.front();
+    frontier.pop();
+    for (VertexId w : g.neighbors(v))
+      if (dist[w] == std::numeric_limits<std::uint32_t>::max()) {
+        dist[w] = dist[v] + 1;
+        frontier.push(w);
+      }
+  }
+  return dist;
+}
+
+Graph relabel(const Graph& g, const std::vector<VertexId>& order) {
+  const VertexId n = g.vertex_count();
+  GRAPHPI_CHECK(order.size() == n);
+  std::vector<VertexId> new_id(n, 0);
+  for (VertexId i = 0; i < n; ++i) new_id[order[i]] = i;
+  GraphBuilder b(n);
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v : g.neighbors(u))
+      if (u < v) b.add_edge(new_id[u], new_id[v]);
+  return b.build();
+}
+
+Graph relabel_by_degree(const Graph& g) {
+  std::vector<VertexId> order(g.vertex_count());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&g](VertexId a, VertexId b) {
+                     return g.degree(a) > g.degree(b);
+                   });
+  return relabel(g, order);
+}
+
+}  // namespace graphpi

@@ -1,0 +1,60 @@
+// Structural graph analysis utilities.
+//
+// These support the evaluation harness (dataset characterization beyond
+// Table I's |V|/|E|) and downstream users: degeneracy/k-core ordering is
+// the standard preprocessing for orientation-based mining, connected
+// components sanity-check generated stand-ins, and the clustering
+// coefficient relates directly to the perf model's p2 statistic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace graphpi {
+
+/// Connected components: returns component id per vertex (0-based, in
+/// order of first discovery) and the number of components.
+struct ComponentResult {
+  std::vector<VertexId> component;
+  VertexId count = 0;
+
+  /// Size of the largest component.
+  [[nodiscard]] std::size_t largest() const;
+};
+[[nodiscard]] ComponentResult connected_components(const Graph& g);
+
+/// Core decomposition (Matula–Beck peeling): core[v] is the largest k
+/// such that v belongs to the k-core. O(m).
+struct CoreResult {
+  std::vector<std::uint32_t> core;
+  std::uint32_t degeneracy = 0;       ///< max core number
+  std::vector<VertexId> peel_order;   ///< vertices in removal order
+};
+[[nodiscard]] CoreResult core_decomposition(const Graph& g);
+
+/// Global clustering coefficient: 3 * triangles / open wedges.
+[[nodiscard]] double global_clustering_coefficient(const Graph& g);
+
+/// Average local clustering coefficient (Watts–Strogatz).
+[[nodiscard]] double average_local_clustering(const Graph& g);
+
+/// Degree histogram: result[d] = number of vertices of degree d.
+[[nodiscard]] std::vector<std::uint64_t> degree_histogram(const Graph& g);
+
+/// BFS distances from `source` (unreachable = UINT32_MAX).
+[[nodiscard]] std::vector<std::uint32_t> bfs_distances(const Graph& g,
+                                                       VertexId source);
+
+/// Relabels vertices so that ids follow the given order (order[i] becomes
+/// vertex i). Degree-descending relabeling improves intersection locality
+/// and is the standard layout optimization in mining systems.
+[[nodiscard]] Graph relabel(const Graph& g,
+                            const std::vector<VertexId>& order);
+
+/// Convenience: relabel by descending degree (stable).
+[[nodiscard]] Graph relabel_by_degree(const Graph& g);
+
+}  // namespace graphpi

@@ -1,0 +1,56 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace graphpi {
+
+void GraphBuilder::add_edge(VertexId u, VertexId v) {
+  if (u == v) return;  // simple graphs only
+  n_ = std::max(n_, std::max(u, v) + 1);
+  edges_.emplace_back(u, v);
+}
+
+void GraphBuilder::add_edges(
+    const std::vector<std::pair<VertexId, VertexId>>& edges) {
+  edges_.reserve(edges_.size() + edges.size());
+  for (auto [u, v] : edges) add_edge(u, v);
+}
+
+Graph GraphBuilder::build() {
+  // Symmetrize: materialize both directions, then sort and deduplicate per
+  // source using a single global sort of (src, dst) pairs.
+  std::vector<std::pair<VertexId, VertexId>> directed;
+  directed.reserve(edges_.size() * 2);
+  for (auto [u, v] : edges_) {
+    directed.emplace_back(u, v);
+    directed.emplace_back(v, u);
+  }
+  std::sort(directed.begin(), directed.end());
+  directed.erase(std::unique(directed.begin(), directed.end()),
+                 directed.end());
+
+  std::vector<EdgeIndex> offsets(static_cast<std::size_t>(n_) + 1, 0);
+  for (auto [u, v] : directed) offsets[u + 1]++;
+  for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<VertexId> neighbors;
+  neighbors.reserve(directed.size());
+  for (auto [u, v] : directed) neighbors.push_back(v);
+
+  edges_.clear();
+  const VertexId n = n_;
+  n_ = 0;
+  GRAPHPI_CHECK(offsets.size() == static_cast<std::size_t>(n) + 1);
+  return Graph(std::move(offsets), std::move(neighbors));
+}
+
+Graph make_graph(VertexId n_vertices,
+                 const std::vector<std::pair<VertexId, VertexId>>& edges) {
+  GraphBuilder b(n_vertices);
+  b.add_edges(edges);
+  return b.build();
+}
+
+}  // namespace graphpi

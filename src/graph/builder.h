@@ -1,0 +1,52 @@
+// Incremental construction of CSR graphs from edge lists.
+//
+// The builder accepts arbitrary (possibly duplicated, possibly self-looped,
+// possibly one-directional) edge input — the forms found in raw SNAP edge
+// lists — and produces a Graph satisfying all CSR invariants: symmetric,
+// deduplicated, loop-free, sorted adjacency.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace graphpi {
+
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  /// Pre-declares the number of vertices. Vertices mentioned by add_edge
+  /// beyond this grow the graph automatically.
+  explicit GraphBuilder(VertexId n_vertices) : n_(n_vertices) {}
+
+  /// Records an undirected edge; self loops are dropped silently (the
+  /// pattern-matching semantics of the paper are simple graphs).
+  void add_edge(VertexId u, VertexId v);
+
+  /// Bulk variant of add_edge.
+  void add_edges(const std::vector<std::pair<VertexId, VertexId>>& edges);
+
+  [[nodiscard]] VertexId current_vertex_count() const noexcept { return n_; }
+  [[nodiscard]] std::size_t pending_edge_count() const noexcept {
+    return edges_.size();
+  }
+
+  /// Finalizes into an immutable CSR graph. The builder is left empty and
+  /// reusable.
+  [[nodiscard]] Graph build();
+
+ private:
+  VertexId n_ = 0;
+  std::vector<std::pair<VertexId, VertexId>> edges_;
+};
+
+/// Convenience: builds a graph directly from an edge list.
+[[nodiscard]] Graph make_graph(
+    VertexId n_vertices,
+    const std::vector<std::pair<VertexId, VertexId>>& edges);
+
+}  // namespace graphpi

@@ -1,0 +1,56 @@
+// Synthetic stand-ins for the paper's evaluation datasets (Table I).
+//
+// The SNAP graphs (Wiki-Vote, MiCo, Patents, LiveJournal, Orkut, Twitter)
+// are not downloadable in this offline environment. Each stand-in is a
+// seeded clustered power-law graph sized so that the full benchmark suite
+// completes on a single core. Note that shrinking |V| at the published
+// |E|/|V| ratio would inflate the edge probability p1 quadratically and
+// explode subgraph counts, so average degree is reduced alongside vertex
+// count; the paper's relative ordering of the graphs (size, density,
+// degree skew, clustering) is preserved:
+//
+//   name         paper |V|,|E|          stand-in |V|,|E| (scale 1.0)
+//   wiki_vote    7.1K, 100.8K           3K,  24K   (densest small graph)
+//   mico         96.6K, 1.1M            4K,  24K   (highest clustering)
+//   patents      3.8M, 16.5M            12K, 60K   (largest, sparsest)
+//   livejournal  4.0M, 34.7M            8K,  56K
+//   orkut        3.1M, 117.2M           4K,  48K   (highest density)
+//   twitter      41.7M, 1.2B            12K, 144K  (largest workload)
+//
+// Every load is deterministic: the seed is derived from the dataset name.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace graphpi::datasets {
+
+/// Static description of one evaluation dataset.
+struct DatasetSpec {
+  std::string name;              ///< canonical lower-case name
+  std::string description;       ///< Table I description column
+  std::uint64_t paper_vertices;  ///< |V| reported in the paper
+  std::uint64_t paper_edges;     ///< |E| reported in the paper
+  VertexId standin_vertices;     ///< stand-in |V| at scale 1.0
+  std::uint64_t standin_edges;   ///< stand-in |E| target at scale 1.0
+  double alpha;                  ///< power-law exponent of the stand-in
+  double closure_p;              ///< triangle-closing share (clustering)
+};
+
+/// All six datasets of Table I, in paper order.
+[[nodiscard]] const std::vector<DatasetSpec>& specs();
+
+/// Looks up a spec by name; throws std::out_of_range for unknown names.
+[[nodiscard]] const DatasetSpec& spec(const std::string& name);
+
+/// Generates the stand-in graph for `spec` with both |V| and |E| multiplied
+/// by `scale` (>0). Deterministic per (name, scale).
+[[nodiscard]] Graph load(const DatasetSpec& spec, double scale = 1.0);
+
+/// Name-based convenience overload.
+[[nodiscard]] Graph load(const std::string& name, double scale = 1.0);
+
+}  // namespace graphpi::datasets

@@ -1,0 +1,70 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace graphpi {
+
+DirectedGraph::DirectedGraph(
+    VertexId n_vertices,
+    const std::vector<std::pair<VertexId, VertexId>>& arcs) {
+  VertexId n = n_vertices;
+  std::vector<std::pair<VertexId, VertexId>> clean;
+  clean.reserve(arcs.size());
+  for (auto [u, v] : arcs) {
+    if (u == v) continue;
+    n = std::max(n, std::max(u, v) + 1);
+    clean.emplace_back(u, v);
+  }
+  std::sort(clean.begin(), clean.end());
+  clean.erase(std::unique(clean.begin(), clean.end()), clean.end());
+
+  auto build = [n](const std::vector<std::pair<VertexId, VertexId>>& pairs,
+                   std::vector<EdgeIndex>& offsets,
+                   std::vector<VertexId>& neighbors) {
+    offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+    for (auto [s, t] : pairs) offsets[s + 1]++;
+    for (std::size_t i = 1; i < offsets.size(); ++i)
+      offsets[i] += offsets[i - 1];
+    neighbors.clear();
+    neighbors.reserve(pairs.size());
+    for (auto [s, t] : pairs) neighbors.push_back(t);
+  };
+  build(clean, out_offsets_, out_neighbors_);
+
+  std::vector<std::pair<VertexId, VertexId>> reversed;
+  reversed.reserve(clean.size());
+  for (auto [u, v] : clean) reversed.emplace_back(v, u);
+  std::sort(reversed.begin(), reversed.end());
+  build(reversed, in_offsets_, in_neighbors_);
+}
+
+bool DirectedGraph::has_arc(VertexId u, VertexId v) const noexcept {
+  const auto adj = out_neighbors(u);
+  return std::binary_search(adj.begin(), adj.end(), v);
+}
+
+DirectedGraph random_digraph(VertexId n, std::uint64_t arcs,
+                             std::uint64_t seed) {
+  GRAPHPI_CHECK(n >= 2);
+  const std::uint64_t max_arcs =
+      static_cast<std::uint64_t>(n) * (n - 1);
+  arcs = std::min(arcs, max_arcs);
+  support::Xoshiro256StarStar rng(seed);
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<std::pair<VertexId, VertexId>> list;
+  list.reserve(arcs);
+  while (list.size() < arcs) {
+    const auto u = static_cast<VertexId>(rng.bounded(n));
+    const auto v = static_cast<VertexId>(rng.bounded(n));
+    if (u == v) continue;
+    const std::uint64_t key = (static_cast<std::uint64_t>(u) << 32) | v;
+    if (seen.insert(key).second) list.emplace_back(u, v);
+  }
+  return DirectedGraph(n, list);
+}
+
+}  // namespace graphpi

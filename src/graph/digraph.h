@@ -1,0 +1,67 @@
+// Directed data graphs.
+//
+// Section II-A: "... all methods proposed in this paper can be easily
+// extended to directed and labeled graphs." This is the directed half:
+// a DirectedGraph stores sorted out- and in-adjacency in CSR form; the
+// directed matcher (engine/directed.h) intersects out/in neighborhoods
+// according to the pattern's arc orientations.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace graphpi {
+
+class DirectedGraph {
+ public:
+  DirectedGraph() = default;
+
+  /// Builds from an arc list (u -> v). Self loops and duplicate arcs are
+  /// dropped; antiparallel arc pairs are kept (they are distinct arcs).
+  DirectedGraph(VertexId n_vertices,
+                const std::vector<std::pair<VertexId, VertexId>>& arcs);
+
+  [[nodiscard]] VertexId vertex_count() const noexcept {
+    return out_offsets_.empty()
+               ? 0
+               : static_cast<VertexId>(out_offsets_.size() - 1);
+  }
+  [[nodiscard]] std::uint64_t arc_count() const noexcept {
+    return out_neighbors_.size();
+  }
+
+  [[nodiscard]] std::span<const VertexId> out_neighbors(
+      VertexId v) const noexcept {
+    return {out_neighbors_.data() + out_offsets_[v],
+            out_neighbors_.data() + out_offsets_[v + 1]};
+  }
+  [[nodiscard]] std::span<const VertexId> in_neighbors(
+      VertexId v) const noexcept {
+    return {in_neighbors_.data() + in_offsets_[v],
+            in_neighbors_.data() + in_offsets_[v + 1]};
+  }
+
+  [[nodiscard]] std::uint32_t out_degree(VertexId v) const noexcept {
+    return static_cast<std::uint32_t>(out_offsets_[v + 1] -
+                                      out_offsets_[v]);
+  }
+  [[nodiscard]] std::uint32_t in_degree(VertexId v) const noexcept {
+    return static_cast<std::uint32_t>(in_offsets_[v + 1] - in_offsets_[v]);
+  }
+
+  /// O(log out_degree(u)) membership test for the arc u -> v.
+  [[nodiscard]] bool has_arc(VertexId u, VertexId v) const noexcept;
+
+ private:
+  std::vector<EdgeIndex> out_offsets_, in_offsets_;
+  std::vector<VertexId> out_neighbors_, in_neighbors_;
+};
+
+/// Seeded random digraph: `arcs` distinct arcs drawn uniformly.
+[[nodiscard]] DirectedGraph random_digraph(VertexId n, std::uint64_t arcs,
+                                           std::uint64_t seed);
+
+}  // namespace graphpi

@@ -1,0 +1,79 @@
+#include "graph/dynamic_graph.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace graphpi {
+
+DynamicGraph::DynamicGraph(VertexId n_vertices)
+    : adjacency_(n_vertices) {}
+
+DynamicGraph::DynamicGraph(const Graph& g) : adjacency_(g.vertex_count()) {
+  for (VertexId v = 0; v < g.vertex_count(); ++v)
+    adjacency_[v].insert(g.neighbors(v).begin(), g.neighbors(v).end());
+  edges_ = g.edge_count();
+  triangles_ = g.triangle_count();
+}
+
+void DynamicGraph::ensure_vertex(VertexId v) {
+  if (v >= adjacency_.size())
+    adjacency_.resize(static_cast<std::size_t>(v) + 1);
+}
+
+std::uint64_t DynamicGraph::common_neighbors(VertexId u, VertexId v) const {
+  const auto& a = adjacency_[u];
+  const auto& b = adjacency_[v];
+  // Iterate the smaller set, probe the larger: O(d_min log d_max).
+  const auto& small = a.size() <= b.size() ? a : b;
+  const auto& large = a.size() <= b.size() ? b : a;
+  std::uint64_t n = 0;
+  for (VertexId w : small)
+    if (large.contains(w)) ++n;
+  return n;
+}
+
+bool DynamicGraph::add_edge(VertexId u, VertexId v) {
+  if (u == v) return false;
+  ensure_vertex(std::max(u, v));
+  if (adjacency_[u].contains(v)) return false;
+  // Every common neighbor closes one new triangle.
+  triangles_ += common_neighbors(u, v);
+  adjacency_[u].insert(v);
+  adjacency_[v].insert(u);
+  ++edges_;
+  return true;
+}
+
+bool DynamicGraph::remove_edge(VertexId u, VertexId v) {
+  if (u == v || std::max(u, v) >= adjacency_.size()) return false;
+  if (!adjacency_[u].contains(v)) return false;
+  adjacency_[u].erase(v);
+  adjacency_[v].erase(u);
+  // With the edge gone, each remaining common neighbor was a triangle.
+  triangles_ -= common_neighbors(u, v);
+  --edges_;
+  return true;
+}
+
+bool DynamicGraph::has_edge(VertexId u, VertexId v) const {
+  if (std::max(u, v) >= adjacency_.size()) return false;
+  return adjacency_[u].contains(v);
+}
+
+Graph DynamicGraph::snapshot() const {
+  std::vector<EdgeIndex> offsets;
+  offsets.reserve(adjacency_.size() + 1);
+  offsets.push_back(0);
+  std::vector<VertexId> neighbors;
+  neighbors.reserve(edges_ * 2);
+  for (const auto& adj : adjacency_) {
+    neighbors.insert(neighbors.end(), adj.begin(), adj.end());
+    offsets.push_back(neighbors.size());
+  }
+  Graph g(std::move(offsets), std::move(neighbors));
+  g.set_triangle_count(triangles_);
+  return g;
+}
+
+}  // namespace graphpi

@@ -1,0 +1,174 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "graph/builder.h"
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace graphpi {
+
+using support::Xoshiro256StarStar;
+
+namespace {
+
+/// Packs an undirected edge into a canonical 64-bit key for dedup.
+std::uint64_t edge_key(VertexId u, VertexId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+Graph erdos_renyi(VertexId n, std::uint64_t m, std::uint64_t seed) {
+  GRAPHPI_CHECK(n >= 2);
+  const std::uint64_t max_edges =
+      static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  m = std::min(m, max_edges);
+
+  Xoshiro256StarStar rng(seed);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(m * 2);
+  GraphBuilder b(n);
+  while (seen.size() < m) {
+    const auto u = static_cast<VertexId>(rng.bounded(n));
+    const auto v = static_cast<VertexId>(rng.bounded(n));
+    if (u == v) continue;
+    if (seen.insert(edge_key(u, v)).second) b.add_edge(u, v);
+  }
+  return b.build();
+}
+
+Graph power_law(VertexId n, std::uint64_t target_edges, double alpha,
+                std::uint64_t seed) {
+  GRAPHPI_CHECK(n >= 2);
+  GRAPHPI_CHECK_MSG(alpha > 1.0, "power-law exponent must exceed 1");
+
+  // Chung–Lu weights w_i = (i + i0)^(-1/(alpha-1)); sampling endpoints
+  // proportionally to w yields a graph whose degree distribution follows a
+  // power law with exponent alpha.
+  const double gamma = 1.0 / (alpha - 1.0);
+  const double i0 = 10.0;  // damps the largest hubs to keep max degree sane
+  std::vector<double> cumulative(n);
+  double acc = 0.0;
+  for (VertexId i = 0; i < n; ++i) {
+    acc += std::pow(static_cast<double>(i) + i0, -gamma);
+    cumulative[i] = acc;
+  }
+  const double total_weight = acc;
+
+  Xoshiro256StarStar rng(seed);
+  auto sample_vertex = [&]() -> VertexId {
+    const double x = rng.uniform() * total_weight;
+    const auto it =
+        std::lower_bound(cumulative.begin(), cumulative.end(), x);
+    return static_cast<VertexId>(it - cumulative.begin());
+  };
+
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(target_edges * 2);
+  GraphBuilder b(n);
+  // Cap attempts so pathological parameters terminate; dedup causes the
+  // realized edge count to land slightly under target on dense requests.
+  const std::uint64_t max_attempts = target_edges * 20 + 1000;
+  std::uint64_t attempts = 0;
+  while (seen.size() < target_edges && attempts < max_attempts) {
+    ++attempts;
+    const VertexId u = sample_vertex();
+    const VertexId v = sample_vertex();
+    if (u == v) continue;
+    if (seen.insert(edge_key(u, v)).second) b.add_edge(u, v);
+  }
+  return b.build();
+}
+
+Graph clustered_power_law(VertexId n, std::uint64_t target_edges, double alpha,
+                          double closure_p, std::uint64_t seed) {
+  // Reserve a share of the edge budget for closure edges so the final size
+  // still approximates target_edges.
+  const auto base_edges = static_cast<std::uint64_t>(
+      static_cast<double>(target_edges) / (1.0 + closure_p));
+  Graph base = power_law(n, base_edges, alpha, seed);
+
+  Xoshiro256StarStar rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  GraphBuilder b(n);
+  std::unordered_set<std::uint64_t> seen;
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v : base.neighbors(u))
+      if (u < v && seen.insert(edge_key(u, v)).second) b.add_edge(u, v);
+
+  // Triangle closing: walk random 2-paths b-a-c and close (b,c).
+  const std::uint64_t closures =
+      static_cast<std::uint64_t>(closure_p * static_cast<double>(base_edges));
+  std::uint64_t added = 0, attempts = 0;
+  const std::uint64_t max_attempts = closures * 30 + 1000;
+  while (added < closures && attempts < max_attempts) {
+    ++attempts;
+    const auto a = static_cast<VertexId>(rng.bounded(n));
+    const auto deg = base.degree(a);
+    if (deg < 2) continue;
+    const auto adj = base.neighbors(a);
+    const VertexId x = adj[rng.bounded(deg)];
+    const VertexId y = adj[rng.bounded(deg)];
+    if (x == y) continue;
+    if (seen.insert(edge_key(x, y)).second) {
+      b.add_edge(x, y);
+      ++added;
+    }
+  }
+  return b.build();
+}
+
+Graph complete_graph(VertexId n) {
+  GRAPHPI_CHECK(n >= 1);
+  GraphBuilder b(n);
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v = u + 1; v < n; ++v) b.add_edge(u, v);
+  return b.build();
+}
+
+Graph cycle_graph(VertexId n) {
+  GRAPHPI_CHECK(n >= 3);
+  GraphBuilder b(n);
+  for (VertexId v = 0; v < n; ++v) b.add_edge(v, (v + 1) % n);
+  return b.build();
+}
+
+Graph star_graph(VertexId n) {
+  GRAPHPI_CHECK(n >= 2);
+  GraphBuilder b(n);
+  for (VertexId v = 1; v < n; ++v) b.add_edge(0, v);
+  return b.build();
+}
+
+Graph random_regular(VertexId n, std::uint32_t d, std::uint64_t seed) {
+  GRAPHPI_CHECK(n >= 2);
+  Xoshiro256StarStar rng(seed);
+  GraphBuilder b(n);
+  std::vector<VertexId> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  // d rounds of random near-perfect matchings: shuffle and pair up.
+  for (std::uint32_t round = 0; round < d; ++round) {
+    for (VertexId i = n; i > 1; --i)
+      std::swap(perm[i - 1], perm[rng.bounded(i)]);
+    for (VertexId i = 0; i + 1 < n; i += 2) b.add_edge(perm[i], perm[i + 1]);
+  }
+  return b.build();
+}
+
+Graph grid_graph(VertexId rows, VertexId cols) {
+  GRAPHPI_CHECK(rows >= 1 && cols >= 1 && rows * cols >= 2);
+  GraphBuilder b(rows * cols);
+  auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  for (VertexId r = 0; r < rows; ++r)
+    for (VertexId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));
+    }
+  return b.build();
+}
+
+}  // namespace graphpi

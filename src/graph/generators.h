@@ -1,0 +1,54 @@
+// Deterministic random-graph generators.
+//
+// The evaluation graphs of the paper are public SNAP datasets, which are
+// not available in this offline environment; DESIGN.md documents the
+// substitution. These generators produce seeded synthetic graphs with
+// controllable size, degree skew and clustering so that every experiment
+// exercises the same code paths.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace graphpi {
+
+/// G(n, m) Erdős–Rényi: m distinct undirected edges drawn uniformly.
+[[nodiscard]] Graph erdos_renyi(VertexId n, std::uint64_t m,
+                                std::uint64_t seed);
+
+/// Chung–Lu power-law graph: expected degree of vertex i proportional to
+/// (i + i0)^(-1/(alpha-1)) normalized to hit `target_edges` in expectation.
+/// alpha is the exponent of the degree distribution (2 < alpha < 3 typical
+/// of social networks).
+[[nodiscard]] Graph power_law(VertexId n, std::uint64_t target_edges,
+                              double alpha, std::uint64_t seed);
+
+/// Power-law graph post-processed with `closure_rounds` triangle-closing
+/// passes: for random length-2 paths a-b-c the edge (a,c) is added with
+/// probability `closure_p`. Raises clustering so that tri_cnt (which the
+/// perf model consumes) is non-trivial, as in real social graphs.
+[[nodiscard]] Graph clustered_power_law(VertexId n, std::uint64_t target_edges,
+                                        double alpha, double closure_p,
+                                        std::uint64_t seed);
+
+/// Complete graph K_n (used by Algorithm 1's restriction-set validation).
+[[nodiscard]] Graph complete_graph(VertexId n);
+
+/// Simple cycle C_n.
+[[nodiscard]] Graph cycle_graph(VertexId n);
+
+/// Star S_n: vertex 0 connected to 1..n-1.
+[[nodiscard]] Graph star_graph(VertexId n);
+
+/// Random d-regular-ish graph via d superimposed random near-perfect
+/// matchings (degrees may differ slightly after dedup).
+[[nodiscard]] Graph random_regular(VertexId n, std::uint32_t d,
+                                   std::uint64_t seed);
+
+/// Two-dimensional grid graph of rows x cols vertices.
+[[nodiscard]] Graph grid_graph(VertexId rows, VertexId cols);
+
+}  // namespace graphpi

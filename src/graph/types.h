@@ -1,0 +1,20 @@
+// Fundamental integer types shared across the graph substrate.
+#pragma once
+
+#include <cstdint>
+
+namespace graphpi {
+
+/// Vertex identifier in a data graph. 32 bits covers every SNAP graph the
+/// paper evaluates (Twitter has 41.7M vertices).
+using VertexId = std::uint32_t;
+
+/// Index into the CSR edge array. 64 bits: Twitter has 1.2B undirected edges
+/// = 2.4B directed slots.
+using EdgeIndex = std::uint64_t;
+
+/// Embedding counts. Counting (not listing) results can be very large; all
+/// public counting APIs use this type.
+using Count = std::uint64_t;
+
+}  // namespace graphpi

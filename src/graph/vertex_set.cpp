@@ -1,0 +1,125 @@
+#include "graph/vertex_set.h"
+
+#include <algorithm>
+
+namespace graphpi {
+
+void intersect(std::span<const VertexId> a, std::span<const VertexId> b,
+               std::vector<VertexId>& out) {
+  out.clear();
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      out.push_back(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+}
+
+std::size_t intersect_size(std::span<const VertexId> a,
+                           std::span<const VertexId> b) {
+  std::size_t i = 0, j = 0, n = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++n;
+      ++i;
+      ++j;
+    }
+  }
+  return n;
+}
+
+void intersect_below(std::span<const VertexId> a, std::span<const VertexId> b,
+                     VertexId bound, std::vector<VertexId>& out) {
+  out.clear();
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] >= bound || b[j] >= bound) break;  // sorted: nothing below left
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      out.push_back(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+}
+
+void intersect_gallop(std::span<const VertexId> a, std::span<const VertexId> b,
+                      std::vector<VertexId>& out) {
+  out.clear();
+  if (a.size() > b.size()) std::swap(a, b);
+  const VertexId* lo = b.data();
+  const VertexId* end = b.data() + b.size();
+  for (VertexId x : a) {
+    // Exponential probe forward from the last match position, then binary
+    // search inside the located window.
+    std::size_t step = 1;
+    const VertexId* hi = lo;
+    while (hi < end && *hi < x) {
+      lo = hi;
+      hi += step;
+      step <<= 1;
+    }
+    if (hi > end) hi = end;
+    lo = std::lower_bound(lo, hi, x);
+    if (lo == end) break;
+    if (*lo == x) out.push_back(x);
+  }
+}
+
+void intersect_adaptive(std::span<const VertexId> a,
+                        std::span<const VertexId> b,
+                        std::vector<VertexId>& out) {
+  const std::size_t small = std::min(a.size(), b.size());
+  const std::size_t large = std::max(a.size(), b.size());
+  // Gallop wins once the size ratio exceeds ~32 (empirically; see
+  // bench/micro_kernels).
+  if (small != 0 && large / small >= 32) {
+    intersect_gallop(a, b, out);
+  } else {
+    intersect(a, b, out);
+  }
+}
+
+void remove_all(std::vector<VertexId>& s, std::span<const VertexId> excluded) {
+  for (VertexId v : excluded) {
+    auto it = std::lower_bound(s.begin(), s.end(), v);
+    if (it != s.end() && *it == v) s.erase(it);
+  }
+}
+
+std::size_t count_present(std::span<const VertexId> s,
+                          std::span<const VertexId> values) {
+  std::size_t n = 0;
+  for (VertexId v : values)
+    if (std::binary_search(s.begin(), s.end(), v)) ++n;
+  return n;
+}
+
+bool contains(std::span<const VertexId> s, VertexId v) {
+  return std::binary_search(s.begin(), s.end(), v);
+}
+
+std::size_t count_below(std::span<const VertexId> s, VertexId bound) {
+  return static_cast<std::size_t>(
+      std::lower_bound(s.begin(), s.end(), bound) - s.begin());
+}
+
+std::size_t count_above(std::span<const VertexId> s, VertexId bound) {
+  return static_cast<std::size_t>(
+      s.end() - std::upper_bound(s.begin(), s.end(), bound));
+}
+
+}  // namespace graphpi

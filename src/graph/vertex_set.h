@@ -1,0 +1,66 @@
+// Sorted vertex-set kernels.
+//
+// These are the hot loops of the whole system: every level of the
+// nested-loop pattern-matching algorithm builds its candidate set by
+// intersecting sorted neighborhoods (Section IV-E: "the intersection
+// operation of two sets can be efficiently implemented with the time
+// complexity of O(n + m), and the intersection is naturally sorted").
+//
+// All functions require strictly ascending inputs and produce strictly
+// ascending outputs.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace graphpi {
+
+/// out = a ∩ b (merge-based, O(|a| + |b|)). `out` is cleared first.
+void intersect(std::span<const VertexId> a, std::span<const VertexId> b,
+               std::vector<VertexId>& out);
+
+/// |a ∩ b| without materializing the result.
+[[nodiscard]] std::size_t intersect_size(std::span<const VertexId> a,
+                                         std::span<const VertexId> b);
+
+/// out = { x ∈ a ∩ b : x < bound }. Used when a restriction id(u) > id(x)
+/// applies to the vertex whose candidate set is being built — the bound
+/// prunes the set during construction instead of breaking in the loop.
+void intersect_below(std::span<const VertexId> a, std::span<const VertexId> b,
+                     VertexId bound, std::vector<VertexId>& out);
+
+/// Galloping (binary-search) intersection; profitable when |a| << |b|.
+/// Produces the same result as `intersect`.
+void intersect_gallop(std::span<const VertexId> a, std::span<const VertexId> b,
+                      std::vector<VertexId>& out);
+
+/// Size-adaptive intersection: picks merge or gallop based on the size
+/// ratio of the inputs.
+void intersect_adaptive(std::span<const VertexId> a,
+                        std::span<const VertexId> b,
+                        std::vector<VertexId>& out);
+
+/// Removes from the sorted set `s` every element that appears in the
+/// (small, unsorted) exclusion list. O(|excl| * log |s| + moved elements).
+void remove_all(std::vector<VertexId>& s, std::span<const VertexId> excluded);
+
+/// Number of elements of the sorted set `s` that appear in the (small,
+/// unsorted) list `values`.
+[[nodiscard]] std::size_t count_present(std::span<const VertexId> s,
+                                        std::span<const VertexId> values);
+
+/// True iff sorted set `s` contains `v`.
+[[nodiscard]] bool contains(std::span<const VertexId> s, VertexId v);
+
+/// Number of elements of sorted `s` strictly below `bound`.
+[[nodiscard]] std::size_t count_below(std::span<const VertexId> s,
+                                      VertexId bound);
+
+/// Number of elements of sorted `s` strictly above `bound`.
+[[nodiscard]] std::size_t count_above(std::span<const VertexId> s,
+                                      VertexId bound);
+
+}  // namespace graphpi

@@ -1,0 +1,34 @@
+// Internal invariant checking.
+//
+// GRAPHPI_CHECK is an always-on assertion used for public-API argument
+// validation and for invariants whose violation would silently corrupt
+// results (wrong counts are worse than a crash in a mining system).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace graphpi::support {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream oss;
+  oss << "GraphPi check failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) oss << " — " << msg;
+  throw std::logic_error(oss.str());
+}
+
+}  // namespace graphpi::support
+
+#define GRAPHPI_CHECK(expr)                                              \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::graphpi::support::check_failed(#expr, __FILE__, __LINE__, "");   \
+  } while (0)
+
+#define GRAPHPI_CHECK_MSG(expr, msg)                                     \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::graphpi::support::check_failed(#expr, __FILE__, __LINE__, msg);  \
+  } while (0)

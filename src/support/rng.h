@@ -1,0 +1,102 @@
+// Deterministic pseudo-random number generation for GraphPi.
+//
+// Every stochastic component of the library (graph generators, dataset
+// stand-ins, property tests) draws randomness through these generators so
+// that runs are bit-reproducible across machines given the same seed.
+//
+// Two generators are provided:
+//   * SplitMix64 — tiny, used for seeding and cheap hashing.
+//   * Xoshiro256StarStar — the workhorse generator (Blackman & Vigna),
+//     satisfies UniformRandomBitGenerator so it composes with <random>.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace graphpi::support {
+
+/// SplitMix64: a 64-bit mixer commonly used to expand a single seed into a
+/// stream of well-distributed values. Passes BigCrush when used as a PRNG.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  constexpr std::uint64_t operator()() noexcept { return next(); }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 — fast, high-quality 64-bit generator with 256-bit state.
+class Xoshiro256StarStar {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256StarStar(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  constexpr std::uint64_t operator()() noexcept { return next(); }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Uniform integer in [0, bound). Uses Lemire's multiply-shift rejection
+  /// method; unbiased for all bounds.
+  constexpr std::uint64_t bounded(std::uint64_t bound) noexcept {
+    if (bound <= 1) return 0;
+    // Rejection sampling on the top of the range to remove modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() noexcept {
+    // 53 high-quality bits -> double mantissa.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  constexpr bool chance(double p) noexcept { return uniform() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace graphpi::support

@@ -1,0 +1,85 @@
+// Minimal fixed-width ASCII table printer.
+//
+// Bench harnesses use this to print the rows/series that correspond to the
+// paper's tables and figures in a uniform, diffable format.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace graphpi::support {
+
+/// Accumulates rows of string cells and renders them with column widths
+/// sized to the widest cell. Header row is separated by a dashed rule.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Appends a row; the number of cells should match the header width
+  /// (shorter rows are padded with empty cells).
+  void add_row(std::vector<std::string> cells) {
+    cells.resize(header_.size());
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Convenience: formats arbitrary streamable values into a row.
+  template <typename... Ts>
+  void add(const Ts&... vals) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(Ts));
+    (cells.push_back(to_cell(vals)), ...);
+    add_row(std::move(cells));
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+      widths[c] = header_[c].size();
+    for (const auto& row : rows_)
+      for (std::size_t c = 0; c < row.size(); ++c)
+        widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string>& row) {
+      os << "|";
+      for (std::size_t c = 0; c < header_.size(); ++c) {
+        const std::string& cell = c < row.size() ? row[c] : std::string{};
+        os << ' ' << std::left << std::setw(static_cast<int>(widths[c]))
+           << cell << " |";
+      }
+      os << '\n';
+    };
+
+    print_row(header_);
+    os << "|";
+    for (std::size_t c = 0; c < header_.size(); ++c)
+      os << std::string(widths[c] + 2, '-') << "|";
+    os << '\n';
+    for (const auto& row : rows_) print_row(row);
+  }
+
+  template <typename T>
+  static std::string to_cell(const T& v) {
+    if constexpr (std::is_same_v<T, std::string> ||
+                  std::is_convertible_v<T, std::string>) {
+      return std::string(v);
+    } else {
+      std::ostringstream oss;
+      if constexpr (std::is_floating_point_v<T>) {
+        oss << std::fixed << std::setprecision(3) << v;
+      } else {
+        oss << v;
+      }
+      return oss.str();
+    }
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace graphpi::support

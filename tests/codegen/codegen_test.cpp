@@ -1,0 +1,67 @@
+// Code generator: structural checks on the emitted source.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "codegen/codegen.h"
+#include "core/configuration.h"
+#include "core/pattern_library.h"
+#include "graph/generators.h"
+
+namespace graphpi {
+namespace {
+
+Configuration house_config() {
+  const Graph g = clustered_power_law(200, 900, 2.3, 0.4, 3);
+  return plan_configuration(patterns::house(), GraphStats::of(g),
+                            PlannerOptions{});
+}
+
+TEST(Codegen, EmitsOneLoopPerScheduledVertex) {
+  const Configuration config = house_config();
+  const std::string src = codegen::generate_source(config);
+  std::size_t loops = 0;
+  for (std::size_t pos = src.find("for ("); pos != std::string::npos;
+       pos = src.find("for (", pos + 1))
+    ++loops;
+  // One loop per pattern vertex plus the intersection helper's while is
+  // not a for; allow >= n.
+  EXPECT_GE(loops, static_cast<std::size_t>(config.pattern.size()));
+}
+
+TEST(Codegen, EmitsRestrictionChecks) {
+  Configuration config = house_config();
+  ASSERT_FALSE(config.restrictions.empty());
+  const std::string src = codegen::generate_source(config);
+  // Figure 5(b): restrictions appear as break/continue on sorted
+  // candidates.
+  EXPECT_NE(src.find("restriction id(pattern"), std::string::npos);
+  EXPECT_TRUE(src.find(") break;") != std::string::npos ||
+              src.find(") continue;") != std::string::npos);
+}
+
+TEST(Codegen, FunctionNameHonored) {
+  codegen::CodegenOptions opt;
+  opt.function_name = "my_custom_kernel";
+  const std::string src = codegen::generate_source(house_config(), opt);
+  EXPECT_NE(src.find("unsigned long long my_custom_kernel("),
+            std::string::npos);
+}
+
+TEST(Codegen, StandaloneContainsMain) {
+  const std::string src = codegen::generate_standalone(house_config());
+  EXPECT_NE(src.find("int main(int argc, char** argv)"), std::string::npos);
+  EXPECT_NE(src.find("graphpi_generated_count"), std::string::npos);
+}
+
+TEST(Codegen, MentionsConfigurationInHeaderComment) {
+  const Configuration config = house_config();
+  const std::string src = codegen::generate_source(config);
+  EXPECT_NE(src.find("// Schedule: " + config.schedule.to_string()),
+            std::string::npos);
+  EXPECT_NE(src.find("// Restrictions: " + to_string(config.restrictions)),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace graphpi

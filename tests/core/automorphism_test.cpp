@@ -1,0 +1,88 @@
+// Automorphism group enumeration: known group orders and group axioms.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/automorphism.h"
+#include "core/pattern_library.h"
+
+namespace graphpi {
+namespace {
+
+using patterns::clique;
+using patterns::cycle;
+using patterns::path;
+using patterns::star;
+
+TEST(Automorphism, KnownGroupOrders) {
+  EXPECT_EQ(automorphism_count(clique(3)), 6u);
+  EXPECT_EQ(automorphism_count(clique(4)), 24u);
+  EXPECT_EQ(automorphism_count(clique(5)), 120u);
+  EXPECT_EQ(automorphism_count(clique(6)), 720u);
+  // Section II-B: "For a 7-clique pattern, each embedding has 5,040
+  // automorphisms."
+  EXPECT_EQ(automorphism_count(clique(7)), 5040u);
+}
+
+TEST(Automorphism, DihedralGroupsOfCycles) {
+  // Aut(C_n) is the dihedral group of order 2n.
+  for (int n = 3; n <= 8; ++n)
+    EXPECT_EQ(automorphism_count(cycle(n)), static_cast<std::size_t>(2 * n))
+        << "cycle " << n;
+}
+
+TEST(Automorphism, StarFixesCenter) {
+  // Aut(S_n) permutes the n-1 leaves freely: (n-1)!.
+  EXPECT_EQ(automorphism_count(star(4)), 6u);    // 3!
+  EXPECT_EQ(automorphism_count(star(5)), 24u);   // 4!
+  EXPECT_EQ(automorphism_count(star(6)), 120u);  // 5!
+}
+
+TEST(Automorphism, PathHasMirrorOnly) {
+  for (int n = 2; n <= 8; ++n)
+    EXPECT_EQ(automorphism_count(path(n)), 2u) << "path " << n;
+}
+
+TEST(Automorphism, RectangleHasOrderEight) {
+  // Figure 4(c) lists exactly 8 permutations for the rectangle.
+  EXPECT_EQ(automorphism_count(patterns::rectangle()), 8u);
+}
+
+TEST(Automorphism, HouseHasMirrorOnly) {
+  EXPECT_EQ(automorphism_count(patterns::house()), 2u);
+}
+
+TEST(Automorphism, EveryAutomorphismPreservesEdges) {
+  for (int idx = 1; idx <= 6; ++idx) {
+    const Pattern p = patterns::evaluation_pattern(idx);
+    for (const auto& a : automorphisms(p)) {
+      for (auto [u, v] : p.edges())
+        EXPECT_TRUE(p.has_edge(a(u), a(v)))
+            << "P" << idx << " " << a.to_string();
+    }
+  }
+}
+
+TEST(Automorphism, FormsAGroup) {
+  const Pattern p = patterns::cycle_6_tri();
+  const auto auts = automorphisms(p);
+  // Closure under composition and inverse; contains identity.
+  EXPECT_TRUE(std::any_of(auts.begin(), auts.end(),
+                          [](const Permutation& a) { return a.is_identity(); }));
+  for (const auto& a : auts) {
+    EXPECT_TRUE(std::find(auts.begin(), auts.end(), a.inverse()) != auts.end());
+    for (const auto& b : auts) {
+      EXPECT_TRUE(std::find(auts.begin(), auts.end(), a.compose(b)) !=
+                  auts.end());
+    }
+  }
+}
+
+TEST(Automorphism, SortedAndDeduplicated) {
+  const auto auts = automorphisms(patterns::rectangle());
+  EXPECT_TRUE(std::is_sorted(auts.begin(), auts.end()));
+  EXPECT_TRUE(std::adjacent_find(auts.begin(), auts.end()) == auts.end());
+}
+
+}  // namespace
+}  // namespace graphpi

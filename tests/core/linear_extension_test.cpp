@@ -1,0 +1,90 @@
+// Linear-extension counting: the O(2^n n) bitmask DP (restriction.cpp)
+// cross-checked against a brute-force permutation filter, plus known
+// closed forms. The DP underpins Algorithm 1's validation, the model's
+// filter probabilities and the IEP overcount factor, so it gets its own
+// suite.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/restriction.h"
+#include "support/rng.h"
+
+namespace graphpi {
+namespace {
+
+/// Reference implementation: filter all n! rank assignments.
+std::uint64_t brute_force_le(int n, const RestrictionSet& rs) {
+  std::vector<int> ranks(static_cast<std::size_t>(n));
+  std::iota(ranks.begin(), ranks.end(), 0);
+  std::uint64_t count = 0;
+  do {
+    bool ok = true;
+    for (const auto& r : rs)
+      if (ranks[r.greater] <= ranks[r.smaller]) {
+        ok = false;
+        break;
+      }
+    if (ok) ++count;
+  } while (std::next_permutation(ranks.begin(), ranks.end()));
+  return count;
+}
+
+TEST(LinearExtensions, ClosedForms) {
+  // Empty poset: n!.
+  EXPECT_EQ(linear_extension_count(4, {}), 24u);
+  EXPECT_EQ(linear_extension_count(8, {}), 40320u);
+  // Total chain: 1.
+  EXPECT_EQ(linear_extension_count(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}}),
+            1u);
+  // One relation halves.
+  EXPECT_EQ(linear_extension_count(6, {{2, 5}}), 360u);
+  // Two independent relations quarter.
+  EXPECT_EQ(linear_extension_count(6, {{0, 1}, {2, 3}}), 180u);
+  // A "V" (0>1, 0>2): orders where 0 is above both = n!/3 for n=3.
+  EXPECT_EQ(linear_extension_count(3, {{0, 1}, {0, 2}}), 2u);
+  // Contradiction: zero.
+  EXPECT_EQ(linear_extension_count(3, {{0, 1}, {1, 0}}), 0u);
+  EXPECT_EQ(linear_extension_count(4, {{0, 1}, {1, 2}, {2, 0}}), 0u);
+}
+
+class LeRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LeRandomTest, DpMatchesBruteForceOnRandomPosets) {
+  const int n = GetParam();
+  support::Xoshiro256StarStar rng(static_cast<std::uint64_t>(n) * 7919);
+  for (int round = 0; round < 30; ++round) {
+    RestrictionSet rs;
+    const int relations = static_cast<int>(rng.bounded(6));
+    for (int r = 0; r < relations; ++r) {
+      const auto a = static_cast<PatternVertex>(rng.bounded(n));
+      auto b = static_cast<PatternVertex>(rng.bounded(n));
+      if (a == b) b = static_cast<PatternVertex>((b + 1) % n);
+      rs.push_back({a, b});
+    }
+    EXPECT_EQ(linear_extension_count(n, rs), brute_force_le(n, rs))
+        << "n=" << n << " " << to_string(rs);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LeRandomTest,
+                         ::testing::Values(2, 3, 4, 5, 6, 7));
+
+TEST(LinearExtensions, DuplicateRelationsAreIdempotent) {
+  const RestrictionSet once{{0, 1}};
+  const RestrictionSet twice{{0, 1}, {0, 1}};
+  EXPECT_EQ(linear_extension_count(4, once),
+            linear_extension_count(4, twice));
+}
+
+TEST(LinearExtensions, TransitivityIsImplicit) {
+  // {0>1, 1>2} already implies 0>2; adding it must not change the count.
+  const RestrictionSet implicit_rs{{0, 1}, {1, 2}};
+  const RestrictionSet explicit_rs{{0, 1}, {1, 2}, {0, 2}};
+  EXPECT_EQ(linear_extension_count(5, implicit_rs),
+            linear_extension_count(5, explicit_rs));
+}
+
+}  // namespace
+}  // namespace graphpi

@@ -1,0 +1,65 @@
+// Canonical forms and isomorphism.
+#include <gtest/gtest.h>
+
+#include "core/pattern_canon.h"
+#include "core/pattern_library.h"
+
+namespace graphpi {
+namespace {
+
+TEST(Canon, RelabelInvariance) {
+  const Pattern p = patterns::house();
+  const std::vector<std::vector<int>> relabelings = {
+      {4, 3, 2, 1, 0}, {1, 0, 3, 2, 4}, {2, 4, 0, 1, 3}};
+  const std::string canon = canonical_string(p);
+  for (const auto& m : relabelings) {
+    EXPECT_EQ(canonical_string(p.relabeled(m)), canon);
+  }
+  // Canonical form reconstructs an isomorphic pattern.
+  EXPECT_TRUE(isomorphic(canonical_form(p), p));
+}
+
+TEST(Canon, DistinguishesNonIsomorphic) {
+  EXPECT_NE(canonical_string(patterns::rectangle()),
+            canonical_string(patterns::path(4)));
+  EXPECT_NE(canonical_string(patterns::house()),
+            canonical_string(patterns::hourglass()));
+  EXPECT_FALSE(isomorphic(patterns::rectangle(), patterns::path(4)));
+  EXPECT_FALSE(isomorphic(patterns::clique(4), patterns::cycle(4)));
+}
+
+TEST(Canon, IsomorphicPairs) {
+  // The same structure written with different labelings.
+  const Pattern a(4, std::vector<std::pair<int, int>>{
+                         {0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  const Pattern b(4, std::vector<std::pair<int, int>>{
+                         {0, 2}, {2, 1}, {1, 3}, {3, 0}});
+  EXPECT_TRUE(isomorphic(a, b));
+  const auto mapping = find_isomorphism(a, b);
+  ASSERT_EQ(mapping.size(), 4u);
+  // The mapping must carry edges of b onto edges of a.
+  for (auto [u, v] : b.edges())
+    EXPECT_TRUE(a.has_edge(mapping[static_cast<std::size_t>(u)],
+                           mapping[static_cast<std::size_t>(v)]));
+}
+
+TEST(Canon, FindIsomorphismFailsCleanly) {
+  EXPECT_TRUE(find_isomorphism(patterns::clique(4), patterns::cycle(4))
+                  .empty());
+  EXPECT_TRUE(
+      find_isomorphism(patterns::clique(3), patterns::clique(4)).empty());
+}
+
+TEST(Canon, MotifCensusAgreesWithCanonDedup) {
+  // connected_motifs deduplicates with its own brute-force check; the
+  // canonical strings of its output must be pairwise distinct.
+  for (int k : {3, 4}) {
+    const auto motifs = patterns::connected_motifs(k);
+    std::set<std::string> canon;
+    for (const auto& m : motifs)
+      EXPECT_TRUE(canon.insert(canonical_string(m)).second);
+  }
+}
+
+}  // namespace
+}  // namespace graphpi

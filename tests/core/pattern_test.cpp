@@ -1,0 +1,122 @@
+// Pattern representation and the named pattern library.
+#include <gtest/gtest.h>
+
+#include "core/pattern.h"
+#include "core/pattern_library.h"
+
+namespace graphpi {
+namespace {
+
+TEST(Pattern, EdgeListConstruction) {
+  const Pattern p(4, std::vector<std::pair<int, int>>{{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(p.size(), 4);
+  EXPECT_EQ(p.edge_count(), 3);
+  EXPECT_TRUE(p.has_edge(0, 1));
+  EXPECT_TRUE(p.has_edge(1, 0));
+  EXPECT_FALSE(p.has_edge(0, 2));
+  EXPECT_EQ(p.degree(1), 2);
+  EXPECT_TRUE(p.connected());
+}
+
+TEST(Pattern, AdjacencyStringRoundTrip) {
+  const Pattern house = patterns::house();
+  const Pattern rebuilt(house.size(), house.adjacency_string());
+  EXPECT_EQ(rebuilt, house);
+}
+
+TEST(Pattern, RejectsMalformedInput) {
+  using E = std::vector<std::pair<int, int>>;
+  EXPECT_THROW(Pattern(3, E{{0, 0}}), std::logic_error);        // loop
+  EXPECT_THROW(Pattern(3, E{{0, 1}, {1, 0}}), std::logic_error);  // dup
+  EXPECT_THROW(Pattern(3, E{{0, 5}}), std::logic_error);        // range
+  EXPECT_THROW(Pattern(9, E{}), std::logic_error);              // too big
+  EXPECT_THROW(Pattern(3, std::string("010")), std::logic_error);  // n*n
+  EXPECT_THROW(Pattern(2, std::string("1001")), std::logic_error)
+      << "diagonal must be zero";
+  EXPECT_THROW(Pattern(2, std::string("0100")), std::logic_error)
+      << "asymmetric matrix";
+  EXPECT_NO_THROW(Pattern(2, std::string("0110")));  // the single edge
+}
+
+TEST(Pattern, ConnectivityDetection) {
+  using E = std::vector<std::pair<int, int>>;
+  EXPECT_FALSE(Pattern(4, E{{0, 1}, {2, 3}}).connected());
+  EXPECT_TRUE(Pattern(4, E{{0, 1}, {1, 2}, {2, 3}}).connected());
+  EXPECT_FALSE(Pattern(3, E{{0, 1}}).connected());  // isolated vertex
+}
+
+TEST(Pattern, MaxIndependentSet) {
+  EXPECT_EQ(patterns::clique(5).max_independent_set_size(), 1);
+  EXPECT_EQ(patterns::rectangle().max_independent_set_size(), 2);
+  EXPECT_EQ(patterns::house().max_independent_set_size(), 2);
+  // Figure 6: Cycle-6-Tri has k = 3.
+  EXPECT_EQ(patterns::cycle_6_tri().max_independent_set_size(), 3);
+  EXPECT_EQ(patterns::star(6).max_independent_set_size(), 5);
+  EXPECT_EQ(patterns::cycle(6).max_independent_set_size(), 3);
+}
+
+TEST(Pattern, RelabelPreservesStructure) {
+  const Pattern p = patterns::house();
+  const std::vector<int> mapping{4, 3, 2, 1, 0};
+  const Pattern q = p.relabeled(mapping);
+  EXPECT_EQ(q.edge_count(), p.edge_count());
+  for (auto [u, v] : p.edges()) {
+    // mapping: new index i corresponds to old mapping[i]; so old (u,v)
+    // appears as (pos(u), pos(v)) where pos inverts mapping.
+    auto pos = [&mapping](int old) {
+      for (std::size_t i = 0; i < mapping.size(); ++i)
+        if (mapping[i] == old) return static_cast<int>(i);
+      return -1;
+    };
+    EXPECT_TRUE(q.has_edge(pos(u), pos(v)));
+  }
+}
+
+TEST(PatternLibrary, EvaluationPatternSizes) {
+  // Figure 7 patterns: 5, 6, 6, 6, 7, 7 vertices.
+  const int expected_sizes[] = {5, 6, 6, 6, 7, 7};
+  for (int i = 1; i <= 6; ++i) {
+    const Pattern p = patterns::evaluation_pattern(i);
+    EXPECT_EQ(p.size(), expected_sizes[i - 1]) << "P" << i;
+    EXPECT_TRUE(p.connected()) << "P" << i;
+    EXPECT_EQ(patterns::evaluation_pattern_name(i),
+              "P" + std::to_string(i));
+  }
+  EXPECT_THROW(patterns::evaluation_pattern(0), std::logic_error);
+  EXPECT_THROW(patterns::evaluation_pattern(7), std::logic_error);
+}
+
+TEST(PatternLibrary, P4TopFourContainsRectangle) {
+  // Section V-C: "the number of rectangles (i.e., the subpattern formed by
+  // the top 4 vertices of P4)". Our P4 must contain an induced 4-cycle.
+  const Pattern p4 = patterns::evaluation_pattern(4);
+  bool found = false;
+  for (int a = 0; a < p4.size() && !found; ++a)
+    for (int b = 0; b < p4.size() && !found; ++b)
+      for (int c = 0; c < p4.size() && !found; ++c)
+        for (int d = 0; d < p4.size() && !found; ++d) {
+          if (a == b || a == c || a == d || b == c || b == d || c == d)
+            continue;
+          found = p4.has_edge(a, b) && p4.has_edge(b, c) &&
+                  p4.has_edge(c, d) && p4.has_edge(d, a) &&
+                  !p4.has_edge(a, c) && !p4.has_edge(b, d);
+        }
+  EXPECT_TRUE(found);
+}
+
+TEST(PatternLibrary, MotifCensusSizes) {
+  // Known counts of connected graphs up to isomorphism.
+  EXPECT_EQ(patterns::connected_motifs(3).size(), 2u);
+  EXPECT_EQ(patterns::connected_motifs(4).size(), 6u);
+  EXPECT_EQ(patterns::connected_motifs(5).size(), 21u);
+}
+
+TEST(PatternLibrary, HouseMatchesFigure5) {
+  const Pattern h = patterns::house();
+  EXPECT_EQ(h.size(), 5);
+  EXPECT_EQ(h.edge_count(), 6);
+  EXPECT_EQ(h.max_independent_set_size(), 2);
+}
+
+}  // namespace
+}  // namespace graphpi

@@ -1,0 +1,67 @@
+// Permutation algebra: cycles, 2-cycles, composition, inversion.
+#include <gtest/gtest.h>
+
+#include "core/permutation.h"
+
+namespace graphpi {
+namespace {
+
+TEST(Permutation, IdentityProperties) {
+  const Permutation id(5);
+  EXPECT_TRUE(id.is_identity());
+  EXPECT_EQ(id.order(), 1);
+  EXPECT_EQ(id.cycles().size(), 5u);
+  EXPECT_TRUE(id.two_cycles().empty());
+}
+
+TEST(Permutation, RejectsNonBijections) {
+  EXPECT_THROW(Permutation(std::vector<int>{0, 0, 1}), std::logic_error);
+  EXPECT_THROW(Permutation(std::vector<int>{0, 3}), std::logic_error);
+}
+
+TEST(Permutation, CycleDecomposition) {
+  // (A)(B,D)(C) from Figure 4(b): images A->A, B->D, C->C, D->B.
+  const Permutation p(std::vector<int>{0, 3, 2, 1});
+  const auto cycles = p.cycles();
+  ASSERT_EQ(cycles.size(), 3u);
+  EXPECT_EQ(cycles[0], std::vector<int>{0});
+  EXPECT_EQ(cycles[1], (std::vector<int>{1, 3}));
+  EXPECT_EQ(cycles[2], std::vector<int>{2});
+  EXPECT_EQ(p.to_string(), "(0)(1 3)(2)");
+  EXPECT_EQ(p.order(), 2);
+}
+
+TEST(Permutation, TwoCyclesOnlyReportGenuineTranspositions) {
+  // 4-rotation (0 1 2 3): no 2-cycles in its disjoint decomposition.
+  const Permutation rot(std::vector<int>{1, 2, 3, 0});
+  EXPECT_TRUE(rot.two_cycles().empty());
+  EXPECT_EQ(rot.order(), 4);
+
+  // Double transposition (0 2)(1 3): two 2-cycles.
+  const Permutation dbl(std::vector<int>{2, 3, 0, 1});
+  const auto tc = dbl.two_cycles();
+  ASSERT_EQ(tc.size(), 2u);
+  EXPECT_EQ(tc[0], std::make_pair(0, 2));
+  EXPECT_EQ(tc[1], std::make_pair(1, 3));
+}
+
+TEST(Permutation, ComposeAndInverse) {
+  const Permutation a(std::vector<int>{1, 2, 0});  // (0 1 2)
+  const Permutation b(std::vector<int>{1, 0, 2});  // (0 1)
+  const Permutation ab = a.compose(b);
+  // (a∘b)(x) = a(b(x)): 0->a(1)=2, 1->a(0)=1, 2->a(2)=0.
+  EXPECT_EQ(ab(0), 2);
+  EXPECT_EQ(ab(1), 1);
+  EXPECT_EQ(ab(2), 0);
+  EXPECT_TRUE(a.compose(a.inverse()).is_identity());
+  EXPECT_TRUE(a.inverse().compose(a).is_identity());
+}
+
+TEST(Permutation, OrderOfMixedCycles) {
+  // (0 1)(2 3 4): lcm(2, 3) = 6.
+  const Permutation p(std::vector<int>{1, 0, 3, 4, 2});
+  EXPECT_EQ(p.order(), 6);
+}
+
+}  // namespace
+}  // namespace graphpi

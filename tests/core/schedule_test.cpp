@@ -1,0 +1,107 @@
+// The 2-phase computation-avoid schedule generator (Section IV-B).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/pattern_library.h"
+#include "core/schedule.h"
+
+namespace graphpi {
+namespace {
+
+TEST(Schedule, PositionsInvertOrder) {
+  const Schedule s({2, 0, 3, 1});
+  EXPECT_EQ(s.vertex_at(0), 2);
+  EXPECT_EQ(s.depth_of(2), 0);
+  EXPECT_EQ(s.depth_of(1), 3);
+  EXPECT_EQ(s.to_string(), "2->0->3->1");
+}
+
+TEST(Schedule, RejectsNonPermutations) {
+  EXPECT_THROW(Schedule({0, 0, 1}), std::logic_error);
+  EXPECT_THROW(Schedule({0, 1, 5}), std::logic_error);
+}
+
+TEST(Schedule, PrefixConnectivityPaperExample) {
+  // Section IV-B phase 1: for the House (Figure 5(a), our vertices
+  // 0=A,1=B,2=C,3=D,4=E with rectangle 0-2-4-1 and roof 3): searching
+  // C(2), D(3) first then E(4) is inefficient because E is adjacent to
+  // neither C nor D.
+  const Pattern house = patterns::house();
+  EXPECT_FALSE(Schedule({2, 3, 4, 0, 1}).prefix_connected(house));
+  EXPECT_TRUE(Schedule({0, 1, 2, 3, 4}).prefix_connected(house));
+}
+
+TEST(Schedule, IndependentSuffixLength) {
+  const Pattern house = patterns::house();
+  // 3 (roof D) and 4 (E) are non-adjacent; 2 (C) is adjacent to 4.
+  EXPECT_EQ(Schedule({0, 1, 2, 3, 4}).independent_suffix_length(house), 2);
+  EXPECT_EQ(Schedule({0, 1, 3, 2, 4}).independent_suffix_length(house), 1);
+}
+
+TEST(ScheduleGen, AllPhase1SchedulesAreConnected) {
+  for (int i = 1; i <= 6; ++i) {
+    const Pattern p = patterns::evaluation_pattern(i);
+    const auto result = generate_schedules(p);
+    EXPECT_FALSE(result.efficient.empty()) << "P" << i;
+    for (const auto& s : result.phase1)
+      EXPECT_TRUE(s.prefix_connected(p)) << "P" << i << " " << s.to_string();
+    for (const auto& s : result.efficient)
+      EXPECT_EQ(s.independent_suffix_length(p), result.k)
+          << "P" << i << " " << s.to_string();
+  }
+}
+
+TEST(ScheduleGen, EliminatesStrictly) {
+  // Phase filtering must reduce the n! space for symmetric patterns.
+  const Pattern p = patterns::house();
+  const auto result = generate_schedules(p);
+  EXPECT_LT(result.phase1.size(), 120u);     // some fail phase 1
+  EXPECT_LT(result.efficient.size(), result.phase1.size());  // and phase 2
+}
+
+TEST(ScheduleGen, HousePhase2UsesK2) {
+  // Section IV-B phase 2: "the vertex D is not connected to E ... and
+  // therefore k = 2 for this pattern".
+  EXPECT_EQ(generate_schedules(patterns::house()).k, 2);
+}
+
+TEST(ScheduleGen, RectangleFallsBackToK1) {
+  // The rectangle's max independent set is 2 ({A,C} or {B,D}), but any
+  // schedule ending in such a pair starts with the other pair, which is
+  // unconnected and fails phase 1. The generator must degrade to k = 1
+  // rather than produce an empty set.
+  const Pattern rect = patterns::rectangle();
+  EXPECT_EQ(rect.max_independent_set_size(), 2);
+  const auto result = generate_schedules(rect);
+  EXPECT_EQ(result.k, 1);
+  EXPECT_FALSE(result.efficient.empty());
+}
+
+TEST(ScheduleGen, CliqueKeepsAllConnectedSchedules) {
+  // Every schedule of a clique is prefix-connected and has suffix k = 1.
+  const auto result = generate_schedules(patterns::clique(4));
+  EXPECT_EQ(result.phase1.size(), 24u);
+  EXPECT_EQ(result.efficient.size(), 24u);
+  EXPECT_EQ(result.k, 1);
+}
+
+TEST(ScheduleGen, Cycle6TriKeepsIndependentTripleLast) {
+  // Figure 6: D, E, F (our 3, 4, 5) are pairwise non-adjacent; efficient
+  // schedules end with a permutation of them.
+  const auto result = generate_schedules(patterns::cycle_6_tri());
+  EXPECT_EQ(result.k, 3);
+  for (const auto& s : result.efficient) {
+    std::vector<int> suffix{s.vertex_at(3), s.vertex_at(4), s.vertex_at(5)};
+    std::sort(suffix.begin(), suffix.end());
+    EXPECT_EQ(suffix, (std::vector<int>{3, 4, 5})) << s.to_string();
+  }
+}
+
+TEST(ScheduleGen, AllSchedulesCountsFactorial) {
+  EXPECT_EQ(all_schedules(patterns::rectangle()).size(), 24u);
+  EXPECT_EQ(all_schedules(patterns::house()).size(), 120u);
+}
+
+}  // namespace
+}  // namespace graphpi

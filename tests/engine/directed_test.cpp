@@ -1,0 +1,113 @@
+// Directed matching extension: digraph substrate, arc-preserving
+// automorphism groups (including the 2-cycle-free Z3 case), and
+// matcher-vs-oracle equality.
+#include <gtest/gtest.h>
+
+#include "core/directed_pattern.h"
+#include "engine/directed.h"
+#include "graph/digraph.h"
+
+namespace graphpi {
+namespace {
+
+using Arcs = std::vector<std::pair<int, int>>;
+using VArcs = std::vector<std::pair<VertexId, VertexId>>;
+
+TEST(DirectedGraph, OutAndInAdjacency) {
+  const DirectedGraph g(4, VArcs{{0, 1}, {0, 2}, {2, 1}, {1, 0}});
+  EXPECT_EQ(g.arc_count(), 4u);
+  EXPECT_TRUE(g.has_arc(0, 1));
+  EXPECT_TRUE(g.has_arc(1, 0));  // antiparallel pair kept
+  EXPECT_FALSE(g.has_arc(1, 2));
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.in_degree(1), 2u);
+  EXPECT_EQ(g.in_degree(0), 1u);
+  EXPECT_TRUE(std::is_sorted(g.out_neighbors(0).begin(),
+                             g.out_neighbors(0).end()));
+}
+
+TEST(DirectedPattern, DirectedTriangleHasZ3Group) {
+  // The cyclic triangle 0->1->2->0: rotations survive, reflections do
+  // not (they reverse arc orientation).
+  const DirectedPattern tri(3, Arcs{{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_EQ(automorphisms(tri).size(), 3u);
+
+  // The transitive triangle 0->1, 0->2, 1->2 is rigid.
+  const DirectedPattern trans(3, Arcs{{0, 1}, {0, 2}, {1, 2}});
+  EXPECT_EQ(automorphisms(trans).size(), 1u);
+}
+
+TEST(DirectedPattern, RestrictionsBreakZ3ViaFallback) {
+  const DirectedPattern tri(3, Arcs{{0, 1}, {1, 2}, {2, 0}});
+  const auto group = automorphisms(tri);
+  const auto sets = generate_restriction_sets(tri);
+  ASSERT_FALSE(sets.empty());
+  for (const auto& rs : sets) {
+    EXPECT_EQ(surviving_permutations(group, rs), 1u) << to_string(rs);
+    EXPECT_EQ(linear_extension_count(3, rs) * group.size(), 6u);
+  }
+}
+
+TEST(DirectedMatch, CyclicTriangleCount) {
+  // Hand-checkable digraph: a 3-cycle, a transitive triangle and stray
+  // arcs.
+  const DirectedGraph g(6, VArcs{{0, 1}, {1, 2}, {2, 0},   // cyclic
+                                 {3, 4}, {3, 5}, {4, 5},   // transitive
+                                 {5, 0}, {1, 4}});
+  const DirectedPattern cyc(3, Arcs{{0, 1}, {1, 2}, {2, 0}});
+  const DirectedPattern trans(3, Arcs{{0, 1}, {0, 2}, {1, 2}});
+  EXPECT_EQ(DirectedMatcher(g, cyc).count(), 1u);
+  EXPECT_EQ(DirectedMatcher(g, trans).count(), 1u);
+  EXPECT_EQ(directed_oracle_count(g, cyc), 1u);
+  EXPECT_EQ(directed_oracle_count(g, trans), 1u);
+}
+
+class DirectedSweepTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DirectedSweepTest, MatcherAgreesWithOracle) {
+  const DirectedGraph g = random_digraph(30, 220, GetParam());
+  const std::vector<DirectedPattern> patterns = {
+      DirectedPattern(2, Arcs{{0, 1}}),                      // single arc
+      DirectedPattern(3, Arcs{{0, 1}, {1, 2}, {2, 0}}),      // cyclic tri
+      DirectedPattern(3, Arcs{{0, 1}, {0, 2}, {1, 2}}),      // transitive
+      DirectedPattern(3, Arcs{{0, 1}, {0, 2}}),              // out-star
+      DirectedPattern(3, Arcs{{1, 0}, {2, 0}}),              // in-star
+      DirectedPattern(4, Arcs{{0, 1}, {1, 2}, {2, 3}, {3, 0}}),  // 4-cycle
+      DirectedPattern(4, Arcs{{0, 1}, {1, 2}, {2, 3}}),      // path
+      DirectedPattern(3, Arcs{{0, 1}, {1, 0}, {1, 2}}),      // 2-cycle+tail
+  };
+  for (const auto& p : patterns) {
+    EXPECT_EQ(DirectedMatcher(g, p).count(), directed_oracle_count(g, p))
+        << p.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DirectedSweepTest,
+                         ::testing::Values(11u, 12u, 13u, 14u));
+
+TEST(DirectedMatch, EnumerationYieldsValidArcMappings) {
+  const DirectedGraph g = random_digraph(25, 160, 77);
+  const DirectedPattern p(3, Arcs{{0, 1}, {1, 2}, {2, 0}});
+  const DirectedMatcher matcher(g, p);
+  Count seen = 0;
+  matcher.enumerate([&](std::span<const VertexId> emb) {
+    ++seen;
+    for (auto [u, v] : p.arcs())
+      EXPECT_TRUE(g.has_arc(emb[static_cast<std::size_t>(u)],
+                            emb[static_cast<std::size_t>(v)]));
+  });
+  EXPECT_EQ(seen, matcher.count());
+}
+
+TEST(DirectedMatch, SymmetricDigraphMatchesUndirectedSemantics) {
+  // A digraph with both arc directions for every edge behaves like the
+  // undirected graph: the cyclic-triangle count equals 2x the undirected
+  // triangle count (each triangle supports two arc cycles).
+  const DirectedGraph g(5, VArcs{{0, 1}, {1, 0}, {1, 2}, {2, 1},
+                                 {0, 2}, {2, 0}, {2, 3}, {3, 2}});
+  const DirectedPattern cyc(3, Arcs{{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_EQ(DirectedMatcher(g, cyc).count(), 2u);
+}
+
+}  // namespace
+}  // namespace graphpi

@@ -1,0 +1,124 @@
+// Labeled matching extension: label-preserving automorphism groups,
+// group-generic Algorithm 1, and matcher-vs-oracle equality.
+#include <gtest/gtest.h>
+
+#include "core/automorphism.h"
+#include "core/labeled_pattern.h"
+#include "engine/labeled.h"
+#include "engine/oracle.h"
+#include "graph/generators.h"
+#include "graph/labeled_graph.h"
+#include "test_util.h"
+
+namespace graphpi {
+namespace {
+
+LabeledGraph labeled_test_graph(std::uint64_t seed, Label n_labels) {
+  return assign_labels(clustered_power_law(70, 300, 2.3, 0.5, seed),
+                       n_labels, seed ^ 0xABCD);
+}
+
+TEST(LabeledGraph, IndexesVerticesByLabel) {
+  const LabeledGraph lg = labeled_test_graph(1, 4);
+  std::size_t total = 0;
+  for (Label l = 0; l < lg.label_count(); ++l) {
+    const auto vs = lg.vertices_with_label(l);
+    total += vs.size();
+    EXPECT_TRUE(std::is_sorted(vs.begin(), vs.end()));
+    for (VertexId v : vs) EXPECT_EQ(lg.label(v), l);
+  }
+  EXPECT_EQ(total, lg.vertex_count());
+  EXPECT_TRUE(lg.vertices_with_label(99).empty());
+}
+
+TEST(LabeledGraph, DegreeBiasedLabelsPutHubsInLabelZero) {
+  const Graph g = power_law(300, 1500, 2.2, 5);
+  const std::uint32_t max_deg = g.max_degree();
+  const LabeledGraph lg = assign_labels(std::move(g), 4, 7, true);
+  // The single highest-degree vertex must be in label 0.
+  for (VertexId v = 0; v < lg.vertex_count(); ++v)
+    if (lg.structure().degree(v) == max_deg)
+      EXPECT_EQ(lg.label(v), 0) << "hub " << v;
+}
+
+TEST(LabeledPattern, LabelPreservingAutomorphisms) {
+  // Triangle with labels (0,0,1): only the swap of the two 0-labeled
+  // vertices survives; |Aut| drops from 6 to 2.
+  const LabeledPattern p(patterns::clique(3), {0, 0, 1});
+  EXPECT_EQ(labeled_automorphisms(p).size(), 2u);
+
+  // All-equal labels: the full group.
+  const LabeledPattern q(patterns::clique(3), {5, 5, 5});
+  EXPECT_EQ(labeled_automorphisms(q).size(), 6u);
+
+  // All-distinct labels: trivial group.
+  const LabeledPattern r(patterns::clique(3), {0, 1, 2});
+  EXPECT_EQ(labeled_automorphisms(r).size(), 1u);
+}
+
+TEST(LabeledPattern, GroupRestrictionSetsEliminateExactlyTheGroup) {
+  const LabeledPattern p(patterns::rectangle(), {0, 1, 0, 1});
+  const auto group = labeled_automorphisms(p);
+  EXPECT_GT(group.size(), 1u);
+  for (const auto& rs : generate_restriction_sets(p)) {
+    EXPECT_EQ(surviving_permutations(group, rs), 1u) << to_string(rs);
+  }
+}
+
+TEST(LabeledPattern, DistinctLabelsNeedNoRestrictions) {
+  const LabeledPattern p(patterns::rectangle(), {0, 1, 2, 3});
+  const auto sets = generate_restriction_sets(p);
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_TRUE(sets.front().empty());
+}
+
+class LabeledMatchTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LabeledMatchTest, MatcherAgreesWithOracleAcrossLabelings) {
+  const Label n_labels = static_cast<Label>(GetParam());
+  const LabeledGraph lg = labeled_test_graph(11 + n_labels, n_labels);
+  const std::vector<std::pair<Pattern, std::vector<Label>>> cases = {
+      {patterns::clique(3), {0, 0, 0}},
+      {patterns::clique(3), {0, 0, 1 % n_labels}},
+      {patterns::rectangle(), {0, 1 % n_labels, 0, 1 % n_labels}},
+      {patterns::house(),
+       {0, 0, 1 % n_labels, 2 % n_labels, 1 % n_labels}},
+      {patterns::star(4), {0, 1 % n_labels, 1 % n_labels, 1 % n_labels}},
+  };
+  for (const auto& [structure, labels] : cases) {
+    const LabeledPattern p(structure, labels);
+    const LabeledMatcher matcher(lg, p);
+    EXPECT_EQ(matcher.count(), labeled_oracle_count(lg, p))
+        << structure.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LabelCounts, LabeledMatchTest,
+                         ::testing::Values(1, 2, 3, 5));
+
+TEST(LabeledMatch, AllSameLabelsEqualsUnlabeledCount) {
+  // With a single label the labeled engine must reduce exactly to the
+  // unlabeled problem.
+  const Graph g = erdos_renyi(60, 240, 17);
+  const Count unlabeled = oracle_count(g, patterns::house());
+  const LabeledGraph lg(Graph(g.raw_offsets(), g.raw_neighbors()),
+                        std::vector<Label>(g.vertex_count(), 0));
+  const LabeledPattern p(patterns::house(), {0, 0, 0, 0, 0});
+  EXPECT_EQ(LabeledMatcher(lg, p).count(), unlabeled);
+}
+
+TEST(LabeledMatch, EnumerationRespectsLabels) {
+  const LabeledGraph lg = labeled_test_graph(23, 3);
+  const LabeledPattern p(patterns::clique(3), {0, 1, 2});
+  const LabeledMatcher matcher(lg, p);
+  Count seen = 0;
+  matcher.enumerate([&](std::span<const VertexId> emb) {
+    ++seen;
+    for (int v = 0; v < 3; ++v)
+      EXPECT_EQ(lg.label(emb[static_cast<std::size_t>(v)]), p.label(v));
+  });
+  EXPECT_EQ(seen, matcher.count());
+}
+
+}  // namespace
+}  // namespace graphpi

@@ -1,0 +1,93 @@
+// OpenMP engine: equality with the serial matcher across configurations,
+// backends and task depths.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/configuration.h"
+#include "engine/matcher.h"
+#include "engine/parallel.h"
+#include "test_util.h"
+
+namespace graphpi {
+namespace {
+
+TEST(Parallel, CountsEqualSerialAcrossPatterns) {
+  const Graph g = clustered_power_law(120, 600, 2.3, 0.4, 91);
+  for (const auto& p : testing::assorted_patterns()) {
+    const Configuration config =
+        plan_configuration(p, GraphStats::of(g), PlannerOptions{});
+    const Count serial = Matcher(g, config).count();
+    for (int depth : {1, 2}) {
+      ParallelOptions opt;
+      opt.task_depth = depth;
+      EXPECT_EQ(count_parallel(g, config, opt), serial)
+          << p.to_string() << " depth " << depth;
+    }
+  }
+}
+
+TEST(Parallel, IepConfigurationsSupported) {
+  const Graph g = clustered_power_law(100, 500, 2.3, 0.4, 93);
+  PlannerOptions planner;
+  planner.use_iep = true;
+  for (const auto& p :
+       {patterns::house(), patterns::cycle_6_tri(), patterns::pentagon()}) {
+    const Configuration config =
+        plan_configuration(p, GraphStats::of(g), planner);
+    const Count serial = Matcher(g, config).count();
+    ParallelRunStats stats;
+    EXPECT_EQ(count_parallel(g, config, ParallelOptions{}, &stats), serial)
+        << p.to_string();
+    EXPECT_GT(stats.tasks, 0u);
+  }
+}
+
+TEST(Parallel, RunStatsAccountForAllTasks) {
+  const Graph g = erdos_renyi(150, 700, 95);
+  const Pattern p = patterns::house();
+  const Configuration config =
+      plan_configuration(p, GraphStats::of(g), PlannerOptions{});
+  ParallelRunStats stats;
+  (void)count_parallel(g, config, ParallelOptions{}, &stats);
+  std::uint64_t executed = 0;
+  for (auto t : stats.per_thread_tasks) executed += t;
+  EXPECT_EQ(executed, stats.tasks);
+}
+
+TEST(Parallel, EnumerationMatchesSerialSet) {
+  const Graph g = erdos_renyi(60, 250, 97);
+  const Pattern p = patterns::rectangle();
+  Configuration config =
+      plan_configuration(p, GraphStats::of(g), PlannerOptions{});
+
+  std::set<std::vector<VertexId>> serial;
+  Matcher(g, config).enumerate([&serial](std::span<const VertexId> e) {
+    serial.emplace(e.begin(), e.end());
+  });
+
+  std::set<std::vector<VertexId>> parallel;
+  enumerate_parallel(g, config,
+                     [&parallel](std::span<const VertexId> e) {
+                       parallel.emplace(e.begin(), e.end());
+                     });
+  EXPECT_EQ(parallel, serial);
+  EXPECT_EQ(serial.size(), Matcher(g, config).count());
+}
+
+TEST(Parallel, ExplicitThreadCounts) {
+  const Graph g = erdos_renyi(100, 400, 99);
+  const Pattern p = patterns::clique(4);
+  const Configuration config =
+      plan_configuration(p, GraphStats::of(g), PlannerOptions{});
+  const Count expected = Matcher(g, config).count();
+  for (int threads : {1, 2, 4}) {
+    ParallelOptions opt;
+    opt.num_threads = threads;
+    EXPECT_EQ(count_parallel(g, config, opt), expected)
+        << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace graphpi

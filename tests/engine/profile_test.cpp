@@ -1,0 +1,105 @@
+// Instrumented execution vs the performance model: measured per-loop
+// quantities must track the model's predictions (this is the direct
+// validation of Section IV-C's estimators).
+#include <gtest/gtest.h>
+
+#include "core/configuration.h"
+#include "core/pattern_library.h"
+#include "engine/matcher.h"
+#include "engine/profile.h"
+#include "graph/generators.h"
+
+namespace graphpi {
+namespace {
+
+TEST(Profile, CountsMatchUninstrumentedEngine) {
+  const Graph g = clustered_power_law(120, 550, 2.3, 0.4, 31);
+  for (const auto& p : {patterns::house(), patterns::rectangle(),
+                        patterns::cycle_6_tri()}) {
+    const Configuration config =
+        plan_configuration(p, GraphStats::of(g), PlannerOptions{});
+    ExecutionProfile profile;
+    EXPECT_EQ(count_profiled(g, config, profile),
+              Matcher(g, config).count_plain())
+        << p.to_string();
+    EXPECT_EQ(profile.embeddings, Matcher(g, config).count_plain());
+  }
+}
+
+TEST(Profile, LoopEntriesCascade) {
+  // entries[d+1] = candidates surviving bounds at depth d minus used-
+  // vertex skips, so entries must be non-increasing in expectation only;
+  // but entries[0] is exactly 1 and entries[d] > 0 whenever embeddings
+  // exist.
+  const Graph g = erdos_renyi(80, 350, 37);
+  const Pattern p = patterns::house();
+  const Configuration config =
+      plan_configuration(p, GraphStats::of(g), PlannerOptions{});
+  ExecutionProfile profile;
+  const Count n = count_profiled(g, config, profile);
+  EXPECT_EQ(profile.loop_entries[0], 1u);
+  if (n > 0)
+    for (int d = 0; d < p.size(); ++d)
+      EXPECT_GT(profile.loop_entries[static_cast<std::size_t>(d)], 0u);
+  // Leaf candidates within bounds at the last depth bound the count from
+  // above (used-vertex skips only remove candidates).
+  EXPECT_GE(profile.candidates_in_bounds[static_cast<std::size_t>(
+                p.size() - 1)],
+            n);
+}
+
+TEST(Profile, MeasuredFilterRateMatchesModel) {
+  // The model predicts the restriction at the depth checking id(A)>id(B)
+  // filters half the candidates; the measured bound survival must be
+  // close on a symmetric random graph.
+  const Graph g = erdos_renyi(200, 1400, 41);
+  const Pattern p = patterns::house();
+  Configuration config;
+  config.pattern = p;
+  config.schedule = Schedule({0, 1, 2, 3, 4});
+  config.restrictions = RestrictionSet{{0, 1}};  // checked at depth 1
+  ExecutionProfile profile;
+  (void)count_profiled(g, config, profile);
+  EXPECT_NEAR(profile.bound_survival(1), 0.5, 0.1);
+  EXPECT_DOUBLE_EQ(profile.bound_survival(0), 1.0);  // no restriction
+}
+
+TEST(Profile, ModelCardinalityTracksMeasurement) {
+  // For each depth with >= 2 predecessors, the model's l_d estimate and
+  // the measured mean candidate size must be within an order of
+  // magnitude on a homogeneous random graph (the model is a relative
+  // ranking tool; we assert calibration, not precision).
+  const Graph g = erdos_renyi(300, 3500, 47);
+  const GraphStats stats = GraphStats::of(g);
+  const Pattern p = patterns::cycle_6_tri();
+  const Configuration config =
+      plan_configuration(p, stats, PlannerOptions{});
+  const CostBreakdown predicted =
+      predict_cost(p, config.schedule, config.restrictions, stats);
+
+  ExecutionProfile profile;
+  (void)count_profiled(g, config, profile);
+  for (int d = 2; d < p.size(); ++d) {
+    const double measured = profile.mean_candidates(d);
+    const double modeled = predicted.loop_size[static_cast<std::size_t>(d)];
+    if (measured < 0.5) continue;  // too sparse to compare meaningfully
+    EXPECT_LT(modeled / measured, 10.0) << "depth " << d;
+    EXPECT_GT(modeled / measured, 0.1) << "depth " << d;
+  }
+}
+
+TEST(Profile, ToStringMentionsAllDepths) {
+  const Graph g = erdos_renyi(40, 150, 51);
+  const Pattern p = patterns::clique(3);
+  const Configuration config =
+      plan_configuration(p, GraphStats::of(g), PlannerOptions{});
+  ExecutionProfile profile;
+  (void)count_profiled(g, config, profile);
+  const std::string s = profile.to_string();
+  EXPECT_NE(s.find("d0"), std::string::npos);
+  EXPECT_NE(s.find("d2"), std::string::npos);
+  EXPECT_NE(s.find("embeddings="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace graphpi

@@ -1,0 +1,89 @@
+// Embedding sinks: counting, limiting, reservoir sampling, text output.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "core/configuration.h"
+#include "core/pattern_library.h"
+#include "engine/matcher.h"
+#include "engine/sinks.h"
+#include "graph/generators.h"
+
+namespace graphpi {
+namespace {
+
+Matcher test_matcher(const Graph& g, const Pattern& p) {
+  return Matcher(g, plan_configuration(p, GraphStats::of(g)));
+}
+
+TEST(Sinks, CountingSinkMatchesCount) {
+  const Graph g = erdos_renyi(60, 250, 61);
+  const Matcher matcher = test_matcher(g, patterns::rectangle());
+  sinks::CountingSink sink;
+  matcher.enumerate(sink.callback());
+  EXPECT_EQ(sink.count(), matcher.count());
+}
+
+TEST(Sinks, LimitSinkStopsCollectingButKeepsCounting) {
+  const Graph g = erdos_renyi(60, 260, 67);
+  const Matcher matcher = test_matcher(g, patterns::clique(3));
+  sinks::LimitSink sink(5);
+  matcher.enumerate(sink.callback());
+  EXPECT_EQ(sink.total(), matcher.count());
+  EXPECT_LE(sink.collected().size(), 5u);
+  if (matcher.count() >= 5) EXPECT_EQ(sink.collected().size(), 5u);
+}
+
+TEST(Sinks, ReservoirIsExactWhenStreamFits) {
+  const Graph g = cycle_graph(12);  // few triangles/edges
+  const Matcher matcher = test_matcher(g, patterns::path(3));
+  sinks::ReservoirSink sink(1000, 7);
+  matcher.enumerate(sink.callback());
+  EXPECT_EQ(sink.seen(), matcher.count());
+  EXPECT_EQ(sink.sample().size(), matcher.count());
+}
+
+TEST(Sinks, ReservoirSamplingIsApproximatelyUniform) {
+  // Sample size 1 over the edge pattern: each edge should be selected
+  // with roughly equal frequency across many seeded runs.
+  const Graph g = cycle_graph(8);  // exactly 8 edges
+  const Pattern edge(2, std::vector<std::pair<int, int>>{{0, 1}});
+  const Matcher matcher = test_matcher(g, edge);
+  std::map<std::vector<VertexId>, int> histogram;
+  constexpr int kRuns = 4000;
+  for (int run = 0; run < kRuns; ++run) {
+    sinks::ReservoirSink sink(1, static_cast<std::uint64_t>(run));
+    matcher.enumerate(sink.callback());
+    ASSERT_EQ(sink.sample().size(), 1u);
+    histogram[sink.sample().front()]++;
+  }
+  EXPECT_EQ(histogram.size(), 8u);
+  for (const auto& [emb, freq] : histogram) {
+    EXPECT_GT(freq, kRuns / 8 * 0.7);
+    EXPECT_LT(freq, kRuns / 8 * 1.3);
+  }
+}
+
+TEST(Sinks, TextSinkFormatsLines) {
+  const Graph g = complete_graph(4);
+  const Matcher matcher = test_matcher(g, patterns::clique(3));
+  std::ostringstream oss;
+  sinks::TextSink sink(oss);
+  matcher.enumerate(sink.callback());
+  EXPECT_EQ(sink.count(), 4u);  // C(4,3) triangles
+  // 4 lines, each with 3 vertex ids.
+  std::istringstream iss(oss.str());
+  int lines = 0;
+  for (std::string line; std::getline(iss, line);) {
+    ++lines;
+    std::istringstream ls(line);
+    int fields = 0;
+    for (VertexId v; ls >> v;) ++fields;
+    EXPECT_EQ(fields, 3);
+  }
+  EXPECT_EQ(lines, 4);
+}
+
+}  // namespace
+}  // namespace graphpi

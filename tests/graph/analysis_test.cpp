@@ -1,0 +1,129 @@
+// Graph analysis utilities: components, core decomposition, clustering,
+// BFS, relabeling.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/analysis.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "engine/oracle.h"
+#include "core/pattern_library.h"
+
+namespace graphpi {
+namespace {
+
+TEST(Components, CountsDisconnectedPieces) {
+  GraphBuilder b(7);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(3, 4);
+  // 5 and 6 isolated.
+  const Graph g = b.build();
+  const ComponentResult r = connected_components(g);
+  EXPECT_EQ(r.count, 4u);
+  EXPECT_EQ(r.component[0], r.component[2]);
+  EXPECT_NE(r.component[0], r.component[3]);
+  EXPECT_EQ(r.largest(), 3u);
+}
+
+TEST(Components, GeneratedGraphsAreMostlyConnected) {
+  const Graph g = clustered_power_law(400, 2400, 2.3, 0.4, 7);
+  const ComponentResult r = connected_components(g);
+  // Power-law stand-ins must have a giant component (sanity for the
+  // dataset substitution).
+  EXPECT_GT(r.largest(), g.vertex_count() / 2);
+}
+
+TEST(CoreDecomposition, KnownStructures) {
+  // Clique K_5: everything is in the 4-core.
+  const CoreResult clique = core_decomposition(complete_graph(5));
+  EXPECT_EQ(clique.degeneracy, 4u);
+  for (auto c : clique.core) EXPECT_EQ(c, 4u);
+
+  // Cycle: 2-core everywhere.
+  const CoreResult cyc = core_decomposition(cycle_graph(10));
+  EXPECT_EQ(cyc.degeneracy, 2u);
+
+  // Star: center and leaves peel at 1.
+  const CoreResult star = core_decomposition(star_graph(10));
+  EXPECT_EQ(star.degeneracy, 1u);
+
+  // Tree (grid row): degeneracy 1; grid proper: 2.
+  EXPECT_EQ(core_decomposition(grid_graph(1, 10)).degeneracy, 1u);
+  EXPECT_EQ(core_decomposition(grid_graph(5, 5)).degeneracy, 2u);
+}
+
+TEST(CoreDecomposition, CoreNumbersAreConsistent) {
+  const Graph g = clustered_power_law(200, 900, 2.3, 0.4, 13);
+  const CoreResult r = core_decomposition(g);
+  EXPECT_EQ(r.peel_order.size(), g.vertex_count());
+  // Every vertex of core number k has >= k neighbors with core >= k.
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    std::uint32_t strong = 0;
+    for (VertexId w : g.neighbors(v))
+      if (r.core[w] >= r.core[v]) ++strong;
+    EXPECT_GE(strong, r.core[v]) << "vertex " << v;
+  }
+}
+
+TEST(Clustering, CompleteGraphIsOne) {
+  EXPECT_DOUBLE_EQ(global_clustering_coefficient(complete_graph(8)), 1.0);
+  EXPECT_DOUBLE_EQ(average_local_clustering(complete_graph(8)), 1.0);
+  EXPECT_DOUBLE_EQ(global_clustering_coefficient(star_graph(10)), 0.0);
+}
+
+TEST(Clustering, TriangleClosingRaisesCoefficient) {
+  const Graph plain = power_law(600, 3000, 2.3, 17);
+  const Graph clustered = clustered_power_law(600, 3000, 2.3, 0.5, 17);
+  EXPECT_GT(global_clustering_coefficient(clustered),
+            global_clustering_coefficient(plain));
+}
+
+TEST(DegreeHistogram, SumsToVertexCount) {
+  const Graph g = erdos_renyi(150, 600, 21);
+  const auto hist = degree_histogram(g);
+  std::uint64_t total = 0, weighted = 0;
+  for (std::size_t d = 0; d < hist.size(); ++d) {
+    total += hist[d];
+    weighted += hist[d] * d;
+  }
+  EXPECT_EQ(total, g.vertex_count());
+  EXPECT_EQ(weighted, g.directed_edge_count());
+}
+
+TEST(Bfs, DistancesOnCycle) {
+  const Graph g = cycle_graph(10);
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[5], 5u);
+  EXPECT_EQ(dist[9], 1u);
+  EXPECT_EQ(dist[7], 3u);
+}
+
+TEST(Bfs, UnreachableIsMax) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const auto dist = bfs_distances(b.build(), 0);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], std::numeric_limits<std::uint32_t>::max());
+}
+
+TEST(Relabel, PreservesPatternCounts) {
+  // Relabeling is an isomorphism: every pattern count is invariant.
+  const Graph g = clustered_power_law(80, 350, 2.3, 0.4, 23);
+  const Graph relabeled = relabel_by_degree(g);
+  EXPECT_TRUE(relabeled.validate());
+  EXPECT_EQ(relabeled.edge_count(), g.edge_count());
+  for (const auto& p : {patterns::clique(3), patterns::house(),
+                        patterns::rectangle()}) {
+    EXPECT_EQ(oracle_count(relabeled, p), oracle_count(g, p))
+        << p.to_string();
+  }
+  // Degree ordering: vertex 0 has the max degree.
+  EXPECT_EQ(relabeled.degree(0), relabeled.max_degree());
+}
+
+}  // namespace
+}  // namespace graphpi

@@ -1,0 +1,93 @@
+// Dataset stand-ins (Table I substitution): determinism, spec coverage,
+// and preservation of the published relative ordering.
+#include <gtest/gtest.h>
+
+#include "graph/analysis.h"
+#include "graph/datasets.h"
+
+namespace graphpi::datasets {
+namespace {
+
+TEST(Datasets, AllSixSpecsPresentInPaperOrder) {
+  const auto& all = specs();
+  ASSERT_EQ(all.size(), 6u);
+  const char* expected[] = {"wiki_vote", "mico",  "patents",
+                            "livejournal", "orkut", "twitter"};
+  for (std::size_t i = 0; i < all.size(); ++i)
+    EXPECT_EQ(all[i].name, expected[i]);
+  // Paper sizes grow monotonically through the list (Table I ordering).
+  for (std::size_t i = 1; i < all.size(); ++i)
+    EXPECT_GE(all[i].paper_edges, all[i - 1].paper_edges);
+}
+
+TEST(Datasets, LoadsAreValidAndDeterministic) {
+  for (const auto& spec : specs()) {
+    const Graph a = load(spec, 0.08);
+    const Graph b = load(spec, 0.08);
+    EXPECT_TRUE(a.validate()) << spec.name;
+    EXPECT_EQ(a.raw_neighbors(), b.raw_neighbors()) << spec.name;
+    EXPECT_GT(a.edge_count(), 0u) << spec.name;
+  }
+}
+
+TEST(Datasets, DistinctSeedsPerDataset) {
+  // Two different datasets at the same size parameters must not be the
+  // same graph.
+  const Graph wiki = load("wiki_vote", 0.1);
+  const Graph mico = load("mico", 0.1);
+  EXPECT_TRUE(wiki.raw_neighbors() != mico.raw_neighbors() ||
+              wiki.vertex_count() != mico.vertex_count());
+}
+
+TEST(Datasets, RelativeDensityOrderingPreserved) {
+  // Orkut must be denser than patents (the published extremes) and the
+  // twitter stand-in must carry the largest workload of the six.
+  auto density = [](const Graph& g) {
+    const double n = g.vertex_count();
+    return 2.0 * static_cast<double>(g.edge_count()) / (n * n);
+  };
+  const Graph orkut = load("orkut", 0.25);
+  const Graph patents = load("patents", 0.25);
+  EXPECT_GT(density(orkut), density(patents));
+
+  std::uint64_t max_edges = 0;
+  std::string max_name;
+  for (const auto& spec : specs()) {
+    const Graph g = load(spec, 0.25);
+    if (g.edge_count() > max_edges) {
+      max_edges = g.edge_count();
+      max_name = spec.name;
+    }
+  }
+  EXPECT_EQ(max_name, "twitter");
+}
+
+TEST(Datasets, StandInsAreClusteredAndSkewed) {
+  // The perf model needs non-trivial triangle counts; schedules only
+  // matter when degree distributions are skewed.
+  for (const auto& spec : specs()) {
+    const Graph g = load(spec, 0.25);
+    EXPECT_GT(g.triangle_count(), 0u) << spec.name;
+    const double avg_deg =
+        2.0 * static_cast<double>(g.edge_count()) / g.vertex_count();
+    EXPECT_GT(g.max_degree(), 3 * avg_deg) << spec.name;
+    // Dominated by one giant component (sane mining substrate).
+    EXPECT_GT(connected_components(g).largest(), g.vertex_count() / 2)
+        << spec.name;
+  }
+}
+
+TEST(Datasets, ScaleIsMonotone) {
+  for (const auto& name : {"wiki_vote", "orkut"}) {
+    const Graph s = load(name, 0.05);
+    const Graph m = load(name, 0.2);
+    const Graph l = load(name, 0.5);
+    EXPECT_LT(s.vertex_count(), m.vertex_count());
+    EXPECT_LT(m.vertex_count(), l.vertex_count());
+    EXPECT_LT(s.edge_count(), m.edge_count());
+    EXPECT_LT(m.edge_count(), l.edge_count());
+  }
+}
+
+}  // namespace
+}  // namespace graphpi::datasets

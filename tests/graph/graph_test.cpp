@@ -1,0 +1,117 @@
+// CSR graph substrate: builder normalization, invariants, statistics.
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "test_util.h"
+
+namespace graphpi {
+namespace {
+
+TEST(GraphBuilder, DeduplicatesSymmetrizesAndDropsLoops) {
+  GraphBuilder b;
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);  // duplicate in the other direction
+  b.add_edge(0, 1);  // exact duplicate
+  b.add_edge(2, 2);  // self loop: dropped
+  b.add_edge(1, 2);
+  const Graph g = b.build();
+  EXPECT_EQ(g.vertex_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_TRUE(g.validate());
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(2, 2));
+}
+
+TEST(GraphBuilder, GrowsVertexRangeFromEdges) {
+  GraphBuilder b;
+  b.add_edge(5, 9);
+  const Graph g = b.build();
+  EXPECT_EQ(g.vertex_count(), 10u);
+  EXPECT_EQ(g.degree(9), 1u);
+  EXPECT_EQ(g.degree(0), 0u);
+}
+
+TEST(Graph, AdjacencySortedAndMirrored) {
+  for (const auto& g : testing::small_test_graphs()) {
+    EXPECT_TRUE(g.validate());
+    std::uint64_t slots = 0;
+    for (VertexId v = 0; v < g.vertex_count(); ++v) slots += g.degree(v);
+    EXPECT_EQ(slots, g.directed_edge_count());
+    EXPECT_EQ(slots, 2 * g.edge_count());
+  }
+}
+
+TEST(Graph, DegreeMatchesNeighborSpan) {
+  const Graph g = erdos_renyi(100, 400, 5);
+  for (VertexId v = 0; v < g.vertex_count(); ++v)
+    EXPECT_EQ(g.degree(v), g.neighbors(v).size());
+}
+
+TEST(Triangles, KnownClosedForms) {
+  // K_n has C(n,3) triangles.
+  EXPECT_EQ(complete_graph(5).triangle_count(), 10u);
+  EXPECT_EQ(complete_graph(8).triangle_count(), 56u);
+  // Cycles above length 3 and grids/stars are triangle-free.
+  EXPECT_EQ(cycle_graph(3).triangle_count(), 1u);
+  EXPECT_EQ(cycle_graph(10).triangle_count(), 0u);
+  EXPECT_EQ(star_graph(20).triangle_count(), 0u);
+  EXPECT_EQ(grid_graph(5, 5).triangle_count(), 0u);
+}
+
+TEST(Triangles, MatchesNaiveCount) {
+  const Graph g = clustered_power_law(80, 320, 2.3, 0.5, 9);
+  std::uint64_t naive = 0;
+  for (VertexId a = 0; a < g.vertex_count(); ++a)
+    for (VertexId b : g.neighbors(a))
+      for (VertexId c : g.neighbors(b))
+        if (a < b && b < c && g.has_edge(a, c)) ++naive;
+  EXPECT_EQ(g.triangle_count(), naive);
+}
+
+TEST(Generators, DeterministicAcrossCalls) {
+  const Graph a = power_law(200, 800, 2.3, 42);
+  const Graph b = power_law(200, 800, 2.3, 42);
+  EXPECT_EQ(a.raw_offsets(), b.raw_offsets());
+  EXPECT_EQ(a.raw_neighbors(), b.raw_neighbors());
+  const Graph c = power_law(200, 800, 2.3, 43);
+  EXPECT_NE(a.raw_neighbors(), c.raw_neighbors());
+}
+
+TEST(Generators, HitEdgeBudgets) {
+  const Graph er = erdos_renyi(500, 2000, 7);
+  EXPECT_EQ(er.edge_count(), 2000u);
+  const Graph pl = power_law(500, 2000, 2.3, 7);
+  // Power-law dedup can land slightly under target.
+  EXPECT_GE(pl.edge_count(), 1800u);
+  EXPECT_LE(pl.edge_count(), 2000u);
+}
+
+TEST(Generators, PowerLawIsSkewed) {
+  const Graph g = power_law(2000, 10000, 2.2, 11);
+  // Hubs should far exceed the mean degree.
+  EXPECT_GT(g.max_degree(), 8 * (2 * g.edge_count() / g.vertex_count()));
+}
+
+TEST(Generators, ClusteredVariantRaisesTriangleCount) {
+  const Graph plain = power_law(1000, 5000, 2.3, 13);
+  const Graph clustered = clustered_power_law(1000, 5000, 2.3, 0.5, 13);
+  EXPECT_GT(clustered.triangle_count(), plain.triangle_count());
+}
+
+TEST(Generators, StructuredFamilies) {
+  EXPECT_EQ(complete_graph(10).edge_count(), 45u);
+  EXPECT_EQ(cycle_graph(17).edge_count(), 17u);
+  EXPECT_EQ(star_graph(9).edge_count(), 8u);
+  EXPECT_EQ(grid_graph(4, 6).edge_count(),
+            static_cast<std::uint64_t>(3 * 6 + 4 * 5));
+  const Graph rr = random_regular(100, 8, 3);
+  EXPECT_TRUE(rr.validate());
+  EXPECT_LE(rr.max_degree(), 8u);
+}
+
+}  // namespace
+}  // namespace graphpi

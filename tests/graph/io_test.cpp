@@ -1,0 +1,73 @@
+// Graph IO: SNAP-style edge lists and the binary CSR cache round-trip.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "graph/generators.h"
+#include "graph/io.h"
+
+namespace graphpi {
+namespace {
+
+TEST(EdgeListIo, ParsesSnapFormatWithCommentsAndRemapping) {
+  std::istringstream in(
+      "# Directed graph (each unordered pair of nodes is saved once)\n"
+      "% another comment style\n"
+      "30\t1004\n"
+      "1004\t30\n"       // reverse duplicate
+      "30\t30\n"         // self loop
+      "7\t1004\n"
+      "garbage line\n"   // ignored
+      "30\t7\n");
+  const Graph g = read_edge_list(in);
+  EXPECT_EQ(g.vertex_count(), 3u);  // 30, 1004, 7 remapped densely
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(EdgeListIo, RoundTrip) {
+  const Graph original = clustered_power_law(120, 500, 2.3, 0.4, 77);
+  std::stringstream buffer;
+  write_edge_list(original, buffer);
+  const Graph reloaded = read_edge_list(buffer);
+  // Edge lists cannot represent isolated vertices, so the reloaded vertex
+  // count equals the number of non-isolated vertices.
+  VertexId non_isolated = 0;
+  for (VertexId v = 0; v < original.vertex_count(); ++v)
+    if (original.degree(v) > 0) ++non_isolated;
+  EXPECT_EQ(reloaded.vertex_count(), non_isolated);
+  EXPECT_EQ(reloaded.edge_count(), original.edge_count());
+  EXPECT_EQ(reloaded.triangle_count(), original.triangle_count());
+}
+
+TEST(BinaryIo, RoundTripPreservesCsrExactly) {
+  namespace fs = std::filesystem;
+  const Graph original = erdos_renyi(150, 600, 3);
+  const auto path = fs::temp_directory_path() / "graphpi_io_test.bin";
+  save_binary(original, path.string());
+  const Graph reloaded = load_binary(path.string());
+  EXPECT_EQ(reloaded.raw_offsets(), original.raw_offsets());
+  EXPECT_EQ(reloaded.raw_neighbors(), original.raw_neighbors());
+  fs::remove(path);
+}
+
+TEST(BinaryIo, RejectsGarbage) {
+  namespace fs = std::filesystem;
+  const auto path = fs::temp_directory_path() / "graphpi_io_garbage.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a graph";
+  }
+  EXPECT_THROW((void)load_binary(path.string()), std::runtime_error);
+  fs::remove(path);
+  EXPECT_THROW((void)load_binary("/nonexistent/graphpi.bin"),
+               std::runtime_error);
+  EXPECT_THROW((void)load_edge_list("/nonexistent/graphpi.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace graphpi

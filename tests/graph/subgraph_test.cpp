@@ -1,0 +1,84 @@
+// Subgraph extraction: induced subgraphs, ego networks, k-cores.
+#include <gtest/gtest.h>
+
+#include "core/pattern_library.h"
+#include "engine/oracle.h"
+#include "graph/analysis.h"
+#include "graph/generators.h"
+#include "graph/subgraph.h"
+
+namespace graphpi {
+namespace {
+
+TEST(Subgraph, InducedKeepsExactlyInternalEdges) {
+  const Graph g = complete_graph(6);
+  const auto sub = induced_subgraph(g, {0, 2, 4, 5});
+  EXPECT_EQ(sub.graph.vertex_count(), 4u);
+  EXPECT_EQ(sub.graph.edge_count(), 6u);  // K4
+  EXPECT_EQ(sub.original_ids, (std::vector<VertexId>{0, 2, 4, 5}));
+}
+
+TEST(Subgraph, InducedDeduplicatesAndValidates) {
+  const Graph g = cycle_graph(10);
+  const auto sub = induced_subgraph(g, {3, 4, 4, 5, 3});
+  EXPECT_EQ(sub.graph.vertex_count(), 3u);
+  EXPECT_EQ(sub.graph.edge_count(), 2u);  // path 3-4-5
+  EXPECT_TRUE(sub.graph.validate());
+  EXPECT_THROW((void)induced_subgraph(g, {99}), std::logic_error);
+}
+
+TEST(Subgraph, EgoNetworkRadii) {
+  const Graph g = grid_graph(5, 5);
+  // Center of the grid: radius 1 = center + 4 neighbors.
+  const VertexId center = 12;
+  const auto ego1 = ego_network(g, center, 1);
+  EXPECT_EQ(ego1.graph.vertex_count(), 5u);
+  // Radius 0 is just the center.
+  const auto ego0 = ego_network(g, center, 0);
+  EXPECT_EQ(ego0.graph.vertex_count(), 1u);
+  // Large radius covers the whole (connected) graph.
+  const auto ego_all = ego_network(g, center, 100);
+  EXPECT_EQ(ego_all.graph.vertex_count(), g.vertex_count());
+  EXPECT_EQ(ego_all.graph.edge_count(), g.edge_count());
+}
+
+TEST(Subgraph, KCoreStripsLowDegreeFringe) {
+  // A clique with pendant vertices: the 3-core is exactly the clique.
+  GraphBuilder b(8);
+  for (int u = 0; u < 5; ++u)
+    for (int v = u + 1; v < 5; ++v)
+      b.add_edge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+  b.add_edge(0, 5);
+  b.add_edge(1, 6);
+  b.add_edge(2, 7);
+  const Graph g = b.build();
+  const auto core3 = k_core_subgraph(g, 3);
+  EXPECT_EQ(core3.graph.vertex_count(), 5u);
+  EXPECT_EQ(core3.graph.edge_count(), 10u);
+}
+
+TEST(Subgraph, PatternCountsLocalizeToEgoNets) {
+  // Every triangle through v lives inside ego(v, 1): summing per-ego
+  // triangle counts "through the center" reproduces the global count.
+  const Graph g = clustered_power_law(60, 260, 2.3, 0.5, 71);
+  const Count global = oracle_count(g, patterns::clique(3));
+  Count through_centers = 0;
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    const auto ego = ego_network(g, v, 1);
+    // Count triangles of the ego net containing the center.
+    const auto center_new = static_cast<VertexId>(
+        std::find(ego.original_ids.begin(), ego.original_ids.end(), v) -
+        ego.original_ids.begin());
+    Count local = 0;
+    const auto& eg = ego.graph;
+    for (VertexId a : eg.neighbors(center_new))
+      for (VertexId c : eg.neighbors(center_new))
+        if (a < c && eg.has_edge(a, c)) ++local;
+    through_centers += local;
+  }
+  // Each triangle has 3 centers.
+  EXPECT_EQ(through_centers, global * 3);
+}
+
+}  // namespace
+}  // namespace graphpi

@@ -1,0 +1,110 @@
+// Sorted-set kernels: correctness against std::set_intersection across
+// randomized inputs, plus the bounded/galloping variants.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/vertex_set.h"
+#include "support/rng.h"
+
+namespace graphpi {
+namespace {
+
+std::vector<VertexId> random_sorted_set(std::size_t n, VertexId universe,
+                                        std::uint64_t seed) {
+  support::Xoshiro256StarStar rng(seed);
+  std::vector<VertexId> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(static_cast<VertexId>(rng.bounded(universe)));
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<VertexId> reference_intersection(const std::vector<VertexId>& a,
+                                             const std::vector<VertexId>& b) {
+  std::vector<VertexId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+class IntersectionPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(IntersectionPropertyTest, AllVariantsMatchStdSetIntersection) {
+  const auto [na, nb] = GetParam();
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    const auto a = random_sorted_set(na, 500, seed * 2 + 1);
+    const auto b = random_sorted_set(nb, 500, seed * 2 + 2);
+    const auto expected = reference_intersection(a, b);
+
+    std::vector<VertexId> got;
+    intersect(a, b, got);
+    EXPECT_EQ(got, expected);
+
+    intersect_gallop(a, b, got);
+    EXPECT_EQ(got, expected) << "gallop seed " << seed;
+
+    intersect_adaptive(a, b, got);
+    EXPECT_EQ(got, expected) << "adaptive seed " << seed;
+
+    EXPECT_EQ(intersect_size(a, b), expected.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, IntersectionPropertyTest,
+    ::testing::Values(std::make_tuple(0, 0), std::make_tuple(0, 50),
+                      std::make_tuple(5, 400), std::make_tuple(50, 50),
+                      std::make_tuple(200, 210), std::make_tuple(1, 400),
+                      std::make_tuple(400, 3)));
+
+TEST(IntersectBelow, TruncatesAtBound) {
+  const std::vector<VertexId> a{1, 3, 5, 7, 9, 11};
+  const std::vector<VertexId> b{3, 4, 5, 9, 11};
+  std::vector<VertexId> out;
+  intersect_below(a, b, 9, out);
+  EXPECT_EQ(out, (std::vector<VertexId>{3, 5}));
+  intersect_below(a, b, 100, out);
+  EXPECT_EQ(out, (std::vector<VertexId>{3, 5, 9, 11}));
+  intersect_below(a, b, 0, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(IntersectBelow, MatchesFilteredReference) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const auto a = random_sorted_set(80, 300, seed + 100);
+    const auto b = random_sorted_set(120, 300, seed + 200);
+    for (VertexId bound : {0u, 50u, 150u, 299u, 1000u}) {
+      std::vector<VertexId> got;
+      intersect_below(a, b, bound, got);
+      auto expected = reference_intersection(a, b);
+      std::erase_if(expected, [bound](VertexId v) { return v >= bound; });
+      EXPECT_EQ(got, expected) << "seed " << seed << " bound " << bound;
+    }
+  }
+}
+
+TEST(RemoveAll, RemovesOnlyListedElements) {
+  std::vector<VertexId> s{1, 2, 4, 6, 8, 10};
+  const std::vector<VertexId> excl{2, 8, 99};
+  remove_all(s, excl);
+  EXPECT_EQ(s, (std::vector<VertexId>{1, 4, 6, 10}));
+}
+
+TEST(CountHelpers, PresentBelowAbove) {
+  const std::vector<VertexId> s{2, 4, 6, 8, 10};
+  EXPECT_EQ(count_present(s, std::vector<VertexId>{1, 2, 3, 10}), 2u);
+  EXPECT_TRUE(contains(s, 6));
+  EXPECT_FALSE(contains(s, 7));
+  EXPECT_EQ(count_below(s, 6), 2u);
+  EXPECT_EQ(count_below(s, 11), 5u);
+  EXPECT_EQ(count_above(s, 6), 2u);
+  EXPECT_EQ(count_above(s, 1), 5u);
+}
+
+}  // namespace
+}  // namespace graphpi

@@ -1,0 +1,98 @@
+// Support utilities: deterministic RNG streams, bounded sampling, the
+// table formatter, and invariant checks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "support/check.h"
+#include "support/rng.h"
+#include "support/table.h"
+#include "support/timer.h"
+
+namespace graphpi::support {
+namespace {
+
+TEST(Rng, SplitMixIsDeterministic) {
+  SplitMix64 a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const auto x = a.next();
+    EXPECT_EQ(x, b.next());
+    EXPECT_NE(x, c.next());  // astronomically unlikely to collide
+  }
+}
+
+TEST(Rng, XoshiroStreamsReproducible) {
+  Xoshiro256StarStar a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BoundedIsInRangeAndRoughlyUniform) {
+  Xoshiro256StarStar rng(123);
+  constexpr std::uint64_t kBound = 10;
+  std::uint64_t histogram[kBound] = {};
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    const auto v = rng.bounded(kBound);
+    ASSERT_LT(v, kBound);
+    histogram[v]++;
+  }
+  for (auto h : histogram) {
+    EXPECT_GT(h, kSamples / kBound * 0.9);
+    EXPECT_LT(h, kSamples / kBound * 1.1);
+  }
+  EXPECT_EQ(rng.bounded(1), 0u);
+  EXPECT_EQ(rng.bounded(0), 0u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256StarStar rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 2000000; ++i) sink += std::sqrt(i);
+  EXPECT_GT(t.elapsed_seconds(), 0.0);
+  EXPECT_GT(t.elapsed_nanos(), 0u);
+  const double before = t.elapsed_seconds();
+  t.reset();
+  EXPECT_LE(t.elapsed_seconds(), before);
+}
+
+TEST(Table, FormatsAlignedColumns) {
+  Table table({"name", "value"});
+  table.add("alpha", 1);
+  table.add("beta", 2.5);
+  table.add_row({"gamma"});  // short row padded
+  std::ostringstream oss;
+  table.print(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("2.500"), std::string::npos);
+  EXPECT_NE(out.find("| gamma |       |"), std::string::npos);
+}
+
+TEST(Check, ThrowsWithContext) {
+  try {
+    GRAPHPI_CHECK_MSG(1 == 2, "math still works");
+    FAIL() << "should have thrown";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("math still works"), std::string::npos);
+  }
+  EXPECT_NO_THROW(GRAPHPI_CHECK(2 + 2 == 4));
+}
+
+}  // namespace
+}  // namespace graphpi::support

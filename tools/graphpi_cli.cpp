@@ -1,0 +1,230 @@
+// graphpi — command-line front end.
+//
+// Subcommands:
+//   stats <graph>                     structural statistics + analysis
+//   count <graph> <pattern> [opts]    count embeddings (GraphPi pipeline)
+//   list  <graph> <pattern> [limit]   print embeddings (up to limit)
+//   plan  <graph> <pattern>           show the selected configuration
+//   gen   <pattern> [out.cpp]         emit the generated C++ kernel
+//   make  <kind> <n> <m> <seed> <out> write a synthetic graph
+//
+// <graph> is an edge-list path, or "dataset:NAME[:SCALE]" for the
+// synthetic stand-ins (e.g. dataset:wiki_vote:0.2).
+// <pattern> is a named pattern (triangle, rectangle, house, pentagon,
+// hourglass, cycle6tri, p1..p6, cliqueK, cycleK, pathK, starK) or
+// "N:ADJSTRING" (e.g. 5:0111010011100011100001100).
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "api/graphpi.h"
+#include "codegen/codegen.h"
+#include "core/automorphism.h"
+#include "graph/analysis.h"
+#include "support/table.h"
+#include "support/timer.h"
+
+namespace {
+
+using namespace graphpi;
+
+int usage() {
+  std::cerr <<
+      R"(usage: graphpi <command> [args]
+  stats <graph>
+  count <graph> <pattern> [--no-iep] [--parallel] [--nodes N]
+  list  <graph> <pattern> [limit]
+  plan  <graph> <pattern>
+  gen   <pattern> [out.cpp]
+  make  <er|powerlaw|clustered> <n> <m> <seed> <out>
+graph:   path to an edge list, or dataset:NAME[:SCALE]
+pattern: triangle|rectangle|house|pentagon|hourglass|cycle6tri|p1..p6|
+         clique<K>|cycle<K>|path<K>|star<K>|N:ADJSTRING
+)";
+  return 2;
+}
+
+Graph parse_graph(const std::string& spec) {
+  constexpr const char* kPrefix = "dataset:";
+  if (spec.rfind(kPrefix, 0) == 0) {
+    std::string rest = spec.substr(std::string(kPrefix).size());
+    double scale = 0.2;
+    if (const auto colon = rest.find(':'); colon != std::string::npos) {
+      scale = std::atof(rest.substr(colon + 1).c_str());
+      rest = rest.substr(0, colon);
+    }
+    return datasets::load(rest, scale);
+  }
+  return load_edge_list(spec);
+}
+
+Pattern parse_pattern(const std::string& spec) {
+  using namespace patterns;
+  if (spec == "triangle") return clique(3);
+  if (spec == "rectangle") return rectangle();
+  if (spec == "house") return house();
+  if (spec == "pentagon") return pentagon();
+  if (spec == "hourglass") return hourglass();
+  if (spec == "cycle6tri") return cycle_6_tri();
+  if (spec.size() == 2 && (spec[0] == 'p' || spec[0] == 'P'))
+    return evaluation_pattern(spec[1] - '0');
+  for (const auto& [prefix, make] :
+       {std::pair<std::string, Pattern (*)(int)>{"clique", &clique},
+        {"cycle", &cycle},
+        {"path", &path},
+        {"star", &star}}) {
+    if (spec.rfind(prefix, 0) == 0 && spec.size() > prefix.size())
+      return make(std::atoi(spec.c_str() + prefix.size()));
+  }
+  if (const auto colon = spec.find(':'); colon != std::string::npos) {
+    const int n = std::atoi(spec.substr(0, colon).c_str());
+    return Pattern(n, spec.substr(colon + 1));
+  }
+  throw std::runtime_error("unknown pattern: " + spec);
+}
+
+int cmd_stats(const std::string& graph_spec) {
+  const Graph g = parse_graph(graph_spec);
+  const auto cores = core_decomposition(g);
+  const auto comps = connected_components(g);
+  support::Table table({"metric", "value"});
+  table.add("vertices", g.vertex_count());
+  table.add("edges", g.edge_count());
+  table.add("max degree", g.max_degree());
+  table.add("triangles", g.triangle_count());
+  table.add("global clustering", global_clustering_coefficient(g));
+  table.add("avg local clustering", average_local_clustering(g));
+  table.add("degeneracy", cores.degeneracy);
+  table.add("components", comps.count);
+  table.add("largest component", comps.largest());
+  table.print();
+  return 0;
+}
+
+int cmd_count(const std::string& graph_spec, const std::string& pattern_spec,
+              int argc, char** argv) {
+  MatchOptions options;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--no-iep") options.use_iep = false;
+    if (arg == "--parallel") options.backend = Backend::kParallel;
+    if (arg == "--nodes" && i + 1 < argc) {
+      options.backend = Backend::kDistributed;
+      options.nodes = std::atoi(argv[++i]);
+    }
+  }
+  const Graph g = parse_graph(graph_spec);
+  const Pattern p = parse_pattern(pattern_spec);
+  const GraphPi engine(g);
+  support::Timer t;
+  const Count n = engine.count(p, options);
+  std::cout << n << " embeddings in " << t.elapsed_seconds() << "s\n";
+  return 0;
+}
+
+int cmd_list(const std::string& graph_spec, const std::string& pattern_spec,
+             std::uint64_t limit) {
+  const Graph g = parse_graph(graph_spec);
+  const Pattern p = parse_pattern(pattern_spec);
+  const GraphPi engine(g);
+  std::uint64_t shown = 0, total = 0;
+  engine.find_all(p, [&](std::span<const VertexId> emb) {
+    ++total;
+    if (shown < limit) {
+      ++shown;
+      for (std::size_t i = 0; i < emb.size(); ++i)
+        std::cout << (i ? " " : "") << emb[i];
+      std::cout << "\n";
+    }
+  });
+  std::cout << "# " << total << " embeddings (" << shown << " shown)\n";
+  return 0;
+}
+
+int cmd_plan(const std::string& graph_spec, const std::string& pattern_spec) {
+  const Graph g = parse_graph(graph_spec);
+  const Pattern p = parse_pattern(pattern_spec);
+  PlanningStats diag;
+  const Configuration config =
+      GraphPi(g).plan(p, MatchOptions{}, &diag);
+  std::cout << "pattern:        " << p.to_string() << "\n"
+            << "|Aut|:          " << automorphism_count(p) << "\n"
+            << "configuration:  " << config.to_string() << "\n"
+            << "predicted cost: " << config.predicted_cost << "\n"
+            << "schedules:      " << diag.schedules_total << " -> "
+            << diag.schedules_phase1 << " -> " << diag.schedules_efficient
+            << "\n"
+            << "restr sets:     " << diag.restriction_sets << "\n"
+            << "combos scored:  " << diag.configurations_evaluated << "\n"
+            << "planning time:  " << diag.planning_seconds << "s\n";
+  return 0;
+}
+
+int cmd_gen(const std::string& pattern_spec, const char* out_path) {
+  const Pattern p = parse_pattern(pattern_spec);
+  const Graph g = datasets::load("wiki_vote", 0.1);
+  MatchOptions options;
+  options.use_iep = false;
+  const Configuration config = GraphPi(g).plan(p, options);
+  const std::string source = codegen::generate_standalone(config);
+  if (out_path == nullptr) {
+    std::cout << source;
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "cannot write " << out_path << "\n";
+      return 1;
+    }
+    out << source;
+    std::cout << "wrote " << source.size() << " bytes to " << out_path
+              << "\n";
+  }
+  return 0;
+}
+
+int cmd_make(const std::string& kind, VertexId n, std::uint64_t m,
+             std::uint64_t seed, const std::string& out) {
+  Graph g;
+  if (kind == "er") {
+    g = erdos_renyi(n, m, seed);
+  } else if (kind == "powerlaw") {
+    g = power_law(n, m, 2.3, seed);
+  } else if (kind == "clustered") {
+    g = clustered_power_law(n, m, 2.3, 0.4, seed);
+  } else {
+    std::cerr << "unknown generator kind: " << kind << "\n";
+    return 2;
+  }
+  save_edge_list(g, out);
+  std::cout << "wrote " << g.vertex_count() << " vertices / "
+            << g.edge_count() << " edges to " << out << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "stats" && argc >= 3) return cmd_stats(argv[2]);
+    if (cmd == "count" && argc >= 4)
+      return cmd_count(argv[2], argv[3], argc - 4, argv + 4);
+    if (cmd == "list" && argc >= 4)
+      return cmd_list(argv[2], argv[3],
+                      argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 20);
+    if (cmd == "plan" && argc >= 4) return cmd_plan(argv[2], argv[3]);
+    if (cmd == "gen" && argc >= 3)
+      return cmd_gen(argv[2], argc > 3 ? argv[3] : nullptr);
+    if (cmd == "make" && argc >= 7)
+      return cmd_make(argv[2], static_cast<VertexId>(std::atoll(argv[3])),
+                      std::strtoull(argv[4], nullptr, 10),
+                      std::strtoull(argv[5], nullptr, 10), argv[6]);
+  } catch (const std::exception& e) {
+    std::cerr << "graphpi: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
