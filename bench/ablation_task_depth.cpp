@@ -32,11 +32,13 @@ int main(int argc, char** argv) {
       config.pattern.size() - config.iep.k;  // outer loops only
   for (int depth = 1; depth <= std::min(3, max_depth); ++depth) {
     std::vector<double> costs;
-    matcher.enumerate_prefixes(depth, [&](std::span<const VertexId> prefix) {
-      support::Timer t;
-      (void)matcher.count_from_prefix(prefix);
-      costs.push_back(t.elapsed_seconds());
-    });
+    Matcher::Workspace gen_ws, task_ws;
+    matcher.enumerate_prefixes(
+        gen_ws, depth, [&](std::span<const VertexId> prefix) {
+          support::Timer t;
+          (void)matcher.count_from_prefix(task_ws, prefix);
+          costs.push_back(t.elapsed_seconds());
+        });
     double total = 0.0, biggest = 0.0;
     for (double c : costs) {
       total += c;

@@ -65,9 +65,12 @@ inline BudgetedRun count_with_budget(const Matcher& matcher,
   struct BudgetExceeded {};
   support::Timer t;
   Count total = 0;
+  // Separate workspaces: the generator's traversal is live while each
+  // task's continuation runs.
+  Matcher::Workspace gen_ws, task_ws;
   try {
-    matcher.enumerate_prefixes(1, [&](std::span<const VertexId> prefix) {
-      total += matcher.count_from_prefix(prefix);
+    matcher.enumerate_prefixes(gen_ws, 1, [&](std::span<const VertexId> p) {
+      total += matcher.count_from_prefix(task_ws, p);
       if (t.elapsed_seconds() > budget_seconds) throw BudgetExceeded{};
     });
   } catch (const BudgetExceeded&) {

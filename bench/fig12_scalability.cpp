@@ -50,10 +50,11 @@ int main(int argc, char** argv) {
 
       // Measure real per-task costs at the runtime's task granularity.
       std::vector<double> task_costs;
+      Matcher::Workspace gen_ws, task_ws;
       matcher.enumerate_prefixes(
-          1, [&](std::span<const VertexId> prefix) {
+          gen_ws, 1, [&](std::span<const VertexId> prefix) {
             support::Timer t;
-            (void)matcher.count_from_prefix(prefix);
+            (void)matcher.count_from_prefix(task_ws, prefix);
             task_costs.push_back(t.elapsed_seconds());
           });
 

@@ -1,0 +1,98 @@
+#include "dist/runtime.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "engine/matcher.h"
+#include "support/check.h"
+#include "support/timer.h"
+
+namespace graphpi::dist {
+
+namespace {
+
+int clamp_task_depth(const Configuration& config, int requested) {
+  const int outer = config.iep.k > 0 ? config.pattern.size() - config.iep.k
+                                     : config.pattern.size();
+  return std::clamp(requested, 1, std::max(1, outer));
+}
+
+}  // namespace
+
+Count distributed_count(const Graph& graph, const Configuration& config,
+                        const ClusterOptions& options, ClusterStats* stats) {
+  GRAPHPI_CHECK_MSG(options.nodes >= 1, "cluster needs at least one node");
+  const Matcher matcher(graph, config);
+  const int depth = clamp_task_depth(config, options.task_depth);
+  const auto nodes = static_cast<std::size_t>(options.nodes);
+
+  // Master: run the outer loops, pack tasks flat, deal them round-robin.
+  std::vector<VertexId> flat;
+  {
+    Matcher::Workspace master_ws;
+    matcher.enumerate_prefixes(master_ws, depth,
+                               [&flat](std::span<const VertexId> p) {
+                                 flat.insert(flat.end(), p.begin(), p.end());
+                               });
+  }
+  const std::size_t task_count =
+      flat.size() / static_cast<std::size_t>(depth);
+  const auto task = [&flat, depth](std::size_t i) {
+    return std::span<const VertexId>{
+        flat.data() + i * static_cast<std::size_t>(depth),
+        static_cast<std::size_t>(depth)};
+  };
+
+  std::vector<std::deque<std::size_t>> queues(nodes);
+  for (std::size_t t = 0; t < task_count; ++t) queues[t % nodes].push_back(t);
+
+  ClusterStats local;
+  local.total_tasks = task_count;
+  local.messages = task_count;  // one send per task
+  local.tasks_per_node.assign(nodes, 0);
+  local.seconds_per_node.assign(nodes, 0.0);
+
+  // Workers: one workspace per node for its whole lifetime. Nodes are
+  // serviced round-robin one task at a time so queue-drain order (and
+  // therefore stealing) matches a concurrent cluster's dynamics.
+  std::vector<Matcher::Workspace> workspaces(nodes);
+  Count aggregated = 0;
+  std::size_t remaining = task_count;
+  while (remaining > 0) {
+    for (std::size_t node = 0; node < nodes && remaining > 0; ++node) {
+      if (queues[node].empty()) {
+        // Steal half of the longest queue (the paper's idle-worker rule).
+        ++local.steals_attempted;
+        std::size_t victim = node;
+        std::size_t best = 0;
+        for (std::size_t other = 0; other < nodes; ++other)
+          if (queues[other].size() > best) {
+            best = queues[other].size();
+            victim = other;
+          }
+        if (best == 0) continue;  // nothing left to steal this pass
+        ++local.steals_successful;
+        ++local.messages;  // steal request/response
+        const std::size_t grab = (best + 1) / 2;
+        for (std::size_t i = 0; i < grab; ++i) {
+          queues[node].push_back(queues[victim].back());
+          queues[victim].pop_back();
+        }
+      }
+      if (queues[node].empty()) continue;
+      const std::size_t t = queues[node].front();
+      queues[node].pop_front();
+      support::Timer timer;
+      aggregated += matcher.count_from_prefix(workspaces[node], task(t));
+      local.seconds_per_node[node] += timer.elapsed_seconds();
+      ++local.tasks_per_node[node];
+      --remaining;
+    }
+  }
+  local.messages += nodes;  // every node reports its partial count once
+
+  if (stats != nullptr) *stats = local;
+  return matcher.finalize_partial_counts(aggregated);
+}
+
+}  // namespace graphpi::dist

@@ -1,0 +1,63 @@
+#include "dist/simulator.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace graphpi::dist {
+
+SimResult simulate_cluster(const std::vector<double>& task_costs, int nodes) {
+  SimResult result;
+  for (double c : task_costs) result.serial_seconds += c;
+  if (nodes <= 1 || task_costs.empty()) {
+    result.makespan_seconds = result.serial_seconds;
+    return result;
+  }
+
+  const auto n = static_cast<std::size_t>(nodes);
+  std::vector<std::deque<std::size_t>> queues(n);
+  for (std::size_t t = 0; t < task_costs.size(); ++t)
+    queues[t % n].push_back(t);
+
+  // Event-driven: repeatedly advance the node that would finish its next
+  // task earliest; an idle node steals half of the longest queue.
+  std::vector<double> clock(n, 0.0);
+  std::size_t remaining = task_costs.size();
+  while (remaining > 0) {
+    // Pick the node with work whose clock is smallest.
+    std::size_t node = n;
+    for (std::size_t i = 0; i < n; ++i)
+      if (!queues[i].empty() && (node == n || clock[i] < clock[node]))
+        node = i;
+    if (node == n) break;  // unreachable: remaining > 0 implies work exists
+
+    const std::size_t t = queues[node].front();
+    queues[node].pop_front();
+    clock[node] += task_costs[t];
+    --remaining;
+
+    if (queues[node].empty() && remaining > 0) {
+      std::size_t victim = n;
+      std::size_t best = 0;
+      for (std::size_t i = 0; i < n; ++i)
+        if (queues[i].size() > best) {
+          best = queues[i].size();
+          victim = i;
+        }
+      if (victim != n && best > 1) {
+        ++result.steals;
+        // The steal happens when the idle node's clock catches up with
+        // "now"; the victim keeps the front half it is already working on.
+        clock[node] = std::max(clock[node], clock[victim]);
+        const std::size_t grab = best / 2;
+        for (std::size_t i = 0; i < grab; ++i) {
+          queues[node].push_back(queues[victim].back());
+          queues[victim].pop_back();
+        }
+      }
+    }
+  }
+  result.makespan_seconds = *std::max_element(clock.begin(), clock.end());
+  return result;
+}
+
+}  // namespace graphpi::dist

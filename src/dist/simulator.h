@@ -1,0 +1,33 @@
+// Cluster scheduling simulator: replays measured per-task costs through
+// the distributed runtime's scheduling policy (round-robin deal + steal
+// half of the longest queue when idle) to predict strong-scaling behavior
+// at node counts far beyond the physical machine (Figure 12).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace graphpi::dist {
+
+struct SimResult {
+  /// Sum of all task costs — the one-node execution time.
+  double serial_seconds = 0.0;
+  /// Simulated completion time of the last node.
+  double makespan_seconds = 0.0;
+  /// Successful steals during the simulated run.
+  std::uint64_t steals = 0;
+
+  [[nodiscard]] double speedup_vs_serial() const {
+    return makespan_seconds > 0.0 ? serial_seconds / makespan_seconds : 1.0;
+  }
+  [[nodiscard]] double efficiency(int nodes) const {
+    return nodes > 0 ? speedup_vs_serial() / static_cast<double>(nodes) : 0.0;
+  }
+};
+
+/// Simulates executing tasks with the given costs (seconds) on `nodes`
+/// logical nodes. Deterministic.
+[[nodiscard]] SimResult simulate_cluster(const std::vector<double>& task_costs,
+                                         int nodes);
+
+}  // namespace graphpi::dist

@@ -1,6 +1,7 @@
 #include "engine/matcher.h"
 
 #include <algorithm>
+#include <atomic>
 #include <numeric>
 
 #include "graph/vertex_set.h"
@@ -12,16 +13,62 @@ namespace {
 /// IEP partial sums can exceed 64 bits before the final division.
 using Wide = unsigned __int128;
 using SignedWide = __int128;
+
+std::atomic<std::uint64_t> g_workspace_constructions{0};
+std::atomic<std::uint64_t> g_next_matcher_id{1};  // 0 = workspace unbound
+
+/// Hub-aware intersection of two adjacency lists: when one endpoint has a
+/// bitmap row, probe the other (smaller) adjacency against it in O(|adj|)
+/// instead of merging.
+void intersect_adjacencies(const Graph& g, VertexId u, VertexId v,
+                           std::vector<VertexId>& out) {
+  const auto adj_u = g.neighbors(u);
+  const auto adj_v = g.neighbors(v);
+  const std::uint64_t* bits_u = g.hub_bits(u);
+  const std::uint64_t* bits_v = g.hub_bits(v);
+  if (bits_v != nullptr && (bits_u == nullptr || adj_u.size() <= adj_v.size())) {
+    intersect_bitmap(adj_u, bits_v, out);
+  } else if (bits_u != nullptr) {
+    intersect_bitmap(adj_v, bits_u, out);
+  } else {
+    intersect_adaptive(adj_u, adj_v, out);
+  }
+}
+
+/// Hub-aware refinement step: out = set ∩ N(v).
+void intersect_with_vertex(const Graph& g, std::span<const VertexId> set,
+                           VertexId v, std::vector<VertexId>& out) {
+  if (const std::uint64_t* bits = g.hub_bits(v); bits != nullptr) {
+    intersect_bitmap(set, bits, out);
+  } else {
+    intersect_adaptive(set, g.neighbors(v), out);
+  }
+}
+
 }  // namespace
 
+Matcher::Workspace::Workspace() {
+  g_workspace_constructions.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t Matcher::workspace_constructions() noexcept {
+  return g_workspace_constructions.load(std::memory_order_relaxed);
+}
+
 Matcher::Matcher(const Graph& graph, Configuration config)
-    : graph_(&graph), config_(std::move(config)) {
+    : graph_(&graph),
+      config_(std::move(config)),
+      id_(g_next_matcher_id.fetch_add(1, std::memory_order_relaxed)) {
   n_ = config_.pattern.size();
   GRAPHPI_CHECK_MSG(config_.schedule.size() == n_,
                     "schedule must cover the pattern");
   iep_active_ = config_.iep.k > 0;
   outer_depth_ = iep_active_ ? n_ - config_.iep.k : n_;
   GRAPHPI_CHECK(outer_depth_ >= 1);
+
+  // Hub rows accelerate every intersection below; building is idempotent
+  // and must happen before the matcher is shared across threads.
+  graph.ensure_hub_index();
 
   // Precompile per-depth predecessors and restriction bounds. Bounds for
   // depths below outer_depth_ involve only prefix endpoints, so they are
@@ -50,6 +97,17 @@ Matcher::Matcher(const Graph& graph, Configuration config)
   }
 }
 
+Matcher::Window Matcher::restriction_window(const Workspace& ws,
+                                            int depth) const {
+  const auto& info = depth_info_[static_cast<std::size_t>(depth)];
+  Window w{0, kNoVertexBound};
+  for (int d : info.lower_bound_depths)
+    w.lo_inclusive = std::max(w.lo_inclusive, ws.mapped[d] + 1);
+  for (int d : info.upper_bound_depths)
+    w.hi_exclusive = std::min(w.hi_exclusive, ws.mapped[d]);
+  return w;
+}
+
 std::span<const VertexId> Matcher::build_candidates(Workspace& ws,
                                                     int depth) const {
   const auto& preds =
@@ -67,10 +125,9 @@ std::span<const VertexId> Matcher::build_candidates(Workspace& ws,
 
   auto& out = ws.buf_a[depth];
   auto& tmp = ws.buf_b[depth];
-  intersect_adaptive(graph_->neighbors(ws.mapped[preds[0]]),
-                     graph_->neighbors(ws.mapped[preds[1]]), out);
+  intersect_adjacencies(*graph_, ws.mapped[preds[0]], ws.mapped[preds[1]], out);
   for (std::size_t p = 2; p < preds.size(); ++p) {
-    intersect_adaptive(out, graph_->neighbors(ws.mapped[preds[p]]), tmp);
+    intersect_with_vertex(*graph_, out, ws.mapped[preds[p]], tmp);
     std::swap(out, tmp);
   }
   return out;
@@ -78,29 +135,9 @@ std::span<const VertexId> Matcher::build_candidates(Workspace& ws,
 
 std::span<const VertexId> Matcher::bounded_range(
     const Workspace& ws, int depth, std::span<const VertexId> cands) const {
-  const auto& info = depth_info_[static_cast<std::size_t>(depth)];
-  if (info.upper_bound_depths.empty() && info.lower_bound_depths.empty())
-    return cands;
-
-  // Tightest bounds implied by the restrictions at this depth.
-  VertexId lo_exclusive = 0;
-  bool has_lo = false;
-  for (int d : info.lower_bound_depths) {
-    lo_exclusive = has_lo ? std::max(lo_exclusive, ws.mapped[d]) : ws.mapped[d];
-    has_lo = true;
-  }
-  VertexId hi_exclusive = 0;
-  bool has_hi = false;
-  for (int d : info.upper_bound_depths) {
-    hi_exclusive = has_hi ? std::min(hi_exclusive, ws.mapped[d]) : ws.mapped[d];
-    has_hi = true;
-  }
-
-  const VertexId* first = cands.data();
-  const VertexId* last = cands.data() + cands.size();
-  if (has_lo) first = std::upper_bound(first, last, lo_exclusive);
-  if (has_hi) last = std::lower_bound(first, last, hi_exclusive);
-  return {first, last};
+  const Window w = restriction_window(ws, depth);
+  if (w.lo_inclusive == 0 && w.hi_exclusive == kNoVertexBound) return cands;
+  return trim_to_window(cands, w.lo_inclusive, w.hi_exclusive);
 }
 
 bool Matcher::already_used(const Workspace& ws, int depth, VertexId v) {
@@ -109,17 +146,100 @@ bool Matcher::already_used(const Workspace& ws, int depth, VertexId v) {
   return false;
 }
 
-Count Matcher::recurse(Workspace& ws, int depth,
-                       const EmbeddingCallback* cb) const {
-  const auto range = bounded_range(ws, depth, build_candidates(ws, depth));
+Count Matcher::count_leaf(Workspace& ws, int depth) const {
+  const auto& preds =
+      depth_info_[static_cast<std::size_t>(depth)].predecessor_depths;
+  const Window w = restriction_window(ws, depth);
+  if (w.lo_inclusive >= w.hi_exclusive) return 0;
+  const std::span<const VertexId> used{ws.mapped,
+                                       static_cast<std::size_t>(depth)};
+  const auto in_window = [&w](VertexId v) {
+    return v >= w.lo_inclusive && v < w.hi_exclusive;
+  };
 
-  if (depth == n_ - 1 && cb == nullptr) {
-    // Innermost loop of a counting run: the candidates are all leaves;
-    // just exclude the already-used vertices.
-    return range.size() -
-           count_present(range, {ws.mapped, static_cast<std::size_t>(depth)});
+  if (preds.empty()) {
+    // Unconstrained innermost loop: the window over the whole id range.
+    const std::uint64_t n = graph_->vertex_count();
+    const std::uint64_t lo = w.lo_inclusive;
+    const std::uint64_t hi = std::min<std::uint64_t>(w.hi_exclusive, n);
+    if (lo >= hi) return 0;
+    Count total = hi - lo;
+    for (VertexId v : used)
+      if (in_window(v)) --total;
+    return total;
   }
 
+  if (preds.size() == 1) {
+    const auto range = trim_to_window(graph_->neighbors(ws.mapped[preds[0]]),
+                                      w.lo_inclusive, w.hi_exclusive);
+    Count total = range.size();
+    for (VertexId v : used)
+      if (in_window(v) && contains(range, v)) --total;
+    return total;
+  }
+
+  // Two or more predecessors: materialize the chain up to the last step,
+  // then compute the final intersection size inside the window directly.
+  const VertexId last = ws.mapped[preds.back()];
+  const std::uint64_t* last_bits = graph_->hub_bits(last);
+  const auto last_adj = graph_->neighbors(last);
+
+  Count total;
+  if (preds.size() == 2) {
+    const VertexId first = ws.mapped[preds[0]];
+    const std::uint64_t* first_bits = graph_->hub_bits(first);
+    const auto first_adj = graph_->neighbors(first);
+    if (first_bits != nullptr && last_bits != nullptr &&
+        graph_->hub_words() * 4 <= first_adj.size() + last_adj.size()) {
+      // Both endpoints are hubs and the rows are short relative to the
+      // adjacencies: word-parallel AND+popcount over the window.
+      total = bitmap_and_popcount_bounded(first_bits, last_bits,
+                                          graph_->vertex_count(),
+                                          w.lo_inclusive, w.hi_exclusive);
+    } else if (last_bits != nullptr) {
+      total = intersect_size_bitmap_bounded(first_adj, last_bits,
+                                            w.lo_inclusive, w.hi_exclusive);
+    } else if (first_bits != nullptr) {
+      total = intersect_size_bitmap_bounded(last_adj, first_bits,
+                                            w.lo_inclusive, w.hi_exclusive);
+    } else {
+      total = intersect_size_bounded_adaptive(first_adj, last_adj,
+                                              w.lo_inclusive, w.hi_exclusive);
+    }
+    for (VertexId v : used)
+      if (in_window(v) && graph_->has_edge(first, v) &&
+          graph_->has_edge(last, v))
+        --total;
+    return total;
+  }
+
+  auto& lhs = ws.buf_a[depth];
+  auto& tmp = ws.buf_b[depth];
+  intersect_adjacencies(*graph_, ws.mapped[preds[0]], ws.mapped[preds[1]], lhs);
+  for (std::size_t p = 2; p + 1 < preds.size(); ++p) {
+    intersect_with_vertex(*graph_, lhs, ws.mapped[preds[p]], tmp);
+    std::swap(lhs, tmp);
+  }
+  if (last_bits != nullptr) {
+    total = intersect_size_bitmap_bounded(lhs, last_bits, w.lo_inclusive,
+                                          w.hi_exclusive);
+  } else {
+    total = intersect_size_bounded_adaptive(lhs, last_adj, w.lo_inclusive,
+                                            w.hi_exclusive);
+  }
+  for (VertexId v : used)
+    if (in_window(v) && contains(lhs, v) && graph_->has_edge(last, v)) --total;
+  return total;
+}
+
+Count Matcher::recurse(Workspace& ws, int depth,
+                       const EmbeddingCallback* cb) const {
+  if (depth == n_ - 1 && cb == nullptr) {
+    // Innermost loop of a counting run: no candidate vector is built.
+    return count_leaf(ws, depth);
+  }
+
+  const auto range = bounded_range(ws, depth, build_candidates(ws, depth));
   Count total = 0;
   for (VertexId v : range) {
     if (already_used(ws, depth, v)) continue;
@@ -144,6 +264,8 @@ Count Matcher::evaluate_iep_leaf(Workspace& ws) const {
 
   // Materialize the suffix candidate sets S_0..S_{k-1}, each minus the
   // already-mapped vertices (Figure 6(b): "S1 <- tmpAB - {vA,vB,vC}").
+  // These are reused across every IEP term, so they are the only
+  // materialization the leaf performs.
   ws.suffix_sets.resize(static_cast<std::size_t>(k));
   for (int s = 0; s < k; ++s) {
     const int depth = outer_depth_ + s;
@@ -154,11 +276,10 @@ Count Matcher::evaluate_iep_leaf(Workspace& ws) const {
       const auto adj = graph_->neighbors(ws.mapped[preds[0]]);
       set.assign(adj.begin(), adj.end());
     } else {
-      intersect_adaptive(graph_->neighbors(ws.mapped[preds[0]]),
-                         graph_->neighbors(ws.mapped[preds[1]]), set);
+      intersect_adjacencies(*graph_, ws.mapped[preds[0]], ws.mapped[preds[1]],
+                            set);
       for (std::size_t p = 2; p < preds.size(); ++p) {
-        intersect_adaptive(set, graph_->neighbors(ws.mapped[preds[p]]),
-                           ws.scratch_a);
+        intersect_with_vertex(*graph_, set, ws.mapped[preds[p]], ws.scratch_a);
         std::swap(set, ws.scratch_a);
       }
     }
@@ -166,7 +287,9 @@ Count Matcher::evaluate_iep_leaf(Workspace& ws) const {
   }
 
   // Evaluate the inclusion–exclusion terms (Algorithm 2): every term is a
-  // signed product over its blocks of |∩_{i∈B} S_i|.
+  // signed product over its blocks of |∩_{i∈B} S_i|. The last step of
+  // every block product is size-only; single- and two-set blocks
+  // materialize nothing at all.
   SignedWide sum = 0;
   for (const auto& term : config_.iep.terms) {
     SignedWide product = term.coefficient;
@@ -175,17 +298,23 @@ Count Matcher::evaluate_iep_leaf(Workspace& ws) const {
       std::size_t factor = 0;
       if (block.size() == 1) {
         factor = ws.suffix_sets[static_cast<std::size_t>(block[0])].size();
+      } else if (block.size() == 2) {
+        factor = intersect_size(
+            ws.suffix_sets[static_cast<std::size_t>(block[0])],
+            ws.suffix_sets[static_cast<std::size_t>(block[1])]);
       } else {
         intersect(ws.suffix_sets[static_cast<std::size_t>(block[0])],
                   ws.suffix_sets[static_cast<std::size_t>(block[1])],
                   ws.scratch_a);
-        for (std::size_t b = 2; b < block.size(); ++b) {
+        for (std::size_t b = 2; b + 1 < block.size(); ++b) {
           intersect(ws.scratch_a,
                     ws.suffix_sets[static_cast<std::size_t>(block[b])],
                     ws.scratch_b);
           std::swap(ws.scratch_a, ws.scratch_b);
         }
-        factor = ws.scratch_a.size();
+        factor = intersect_size(
+            ws.scratch_a,
+            ws.suffix_sets[static_cast<std::size_t>(block.back())]);
       }
       product *= static_cast<SignedWide>(factor);
     }
@@ -208,8 +337,8 @@ Count Matcher::recurse_iep(Workspace& ws, int depth) const {
   return total;
 }
 
-Count Matcher::count() const {
-  Workspace ws;
+Count Matcher::count(Workspace& ws) const {
+  invalidate_prefix(ws);
   if (!iep_active_) return recurse(ws, 0, nullptr);
   const Count undivided = recurse_iep(ws, 0);
   GRAPHPI_CHECK_MSG(undivided % config_.iep.divisor == 0,
@@ -218,33 +347,67 @@ Count Matcher::count() const {
   return undivided / config_.iep.divisor;
 }
 
+Count Matcher::count() const {
+  Workspace ws;
+  return count(ws);
+}
+
+Count Matcher::count_plain(Workspace& ws) const {
+  invalidate_prefix(ws);
+  return recurse(ws, 0, nullptr);
+}
+
 Count Matcher::count_plain() const {
   Workspace ws;
-  return recurse(ws, 0, nullptr);
+  return count_plain(ws);
+}
+
+void Matcher::enumerate(Workspace& ws, const EmbeddingCallback& cb) const {
+  invalidate_prefix(ws);
+  recurse(ws, 0, &cb);
 }
 
 void Matcher::enumerate(const EmbeddingCallback& cb) const {
   Workspace ws;
-  recurse(ws, 0, &cb);
+  enumerate(ws, cb);
 }
 
 bool Matcher::apply_prefix(Workspace& ws,
                            std::span<const VertexId> prefix) const {
   GRAPHPI_CHECK(prefix.size() <= static_cast<std::size_t>(n_));
-  for (std::size_t d = 0; d < prefix.size(); ++d) {
+  // Skip the longest prefix this workspace already validated against this
+  // matcher — tasks arriving in lexicographic order share their leading
+  // positions, whose candidate intersections are the expensive part of
+  // prefix validation.
+  std::size_t start = 0;
+  if (ws.bound_matcher == id_) {
+    const std::size_t reusable = std::min(
+        static_cast<std::size_t>(ws.applied_depth), prefix.size());
+    while (start < reusable && ws.mapped[start] == prefix[start]) ++start;
+  } else {
+    ws.bound_matcher = id_;
+  }
+  for (std::size_t d = start; d < prefix.size(); ++d) {
     const VertexId v = prefix[d];
-    if (already_used(ws, static_cast<int>(d), v)) return false;
+    if (already_used(ws, static_cast<int>(d), v)) {
+      ws.applied_depth = static_cast<int>(d);
+      return false;
+    }
     const auto range =
         bounded_range(ws, static_cast<int>(d),
                       build_candidates(ws, static_cast<int>(d)));
-    if (!contains(range, v)) return false;
+    if (!contains(range, v)) {
+      ws.applied_depth = static_cast<int>(d);
+      return false;
+    }
     ws.mapped[d] = v;
   }
+  ws.applied_depth = static_cast<int>(prefix.size());
   return true;
 }
 
-Count Matcher::count_from_prefix(std::span<const VertexId> prefix) const {
-  Workspace ws;
+Count Matcher::count_from_prefix(Workspace& ws,
+                                 std::span<const VertexId> prefix) const {
   if (!apply_prefix(ws, prefix)) return 0;
   const int depth = static_cast<int>(prefix.size());
   if (!iep_active_) {
@@ -258,6 +421,11 @@ Count Matcher::count_from_prefix(std::span<const VertexId> prefix) const {
                                : recurse_iep(ws, depth);
 }
 
+Count Matcher::count_from_prefix(std::span<const VertexId> prefix) const {
+  Workspace ws;
+  return count_from_prefix(ws, prefix);
+}
+
 Count Matcher::finalize_partial_counts(Count aggregated) const {
   if (!iep_active_) return aggregated;
   GRAPHPI_CHECK_MSG(aggregated % config_.iep.divisor == 0,
@@ -266,11 +434,11 @@ Count Matcher::finalize_partial_counts(Count aggregated) const {
   return aggregated / config_.iep.divisor;
 }
 
-void Matcher::enumerate_from_prefix(std::span<const VertexId> prefix,
+void Matcher::enumerate_from_prefix(Workspace& ws,
+                                    std::span<const VertexId> prefix,
                                     const EmbeddingCallback& cb) const {
   GRAPHPI_CHECK_MSG(!iep_active_,
                     "IEP configurations cannot list embeddings");
-  Workspace ws;
   if (!apply_prefix(ws, prefix)) return;
   const int depth = static_cast<int>(prefix.size());
   if (depth == n_) {
@@ -283,10 +451,17 @@ void Matcher::enumerate_from_prefix(std::span<const VertexId> prefix,
   recurse(ws, depth, &cb);
 }
 
-void Matcher::enumerate_prefixes(
-    int depth, const std::function<void(std::span<const VertexId>)>& cb) const {
-  GRAPHPI_CHECK(depth >= 1 && depth <= outer_depth_);
+void Matcher::enumerate_from_prefix(std::span<const VertexId> prefix,
+                                    const EmbeddingCallback& cb) const {
   Workspace ws;
+  enumerate_from_prefix(ws, prefix, cb);
+}
+
+void Matcher::enumerate_prefixes(
+    Workspace& ws, int depth,
+    const std::function<void(std::span<const VertexId>)>& cb) const {
+  GRAPHPI_CHECK(depth >= 1 && depth <= outer_depth_);
+  invalidate_prefix(ws);
   // Iterative-in-recursion: reuse recurse() shape but stop at `depth`.
   const std::function<void(int)> walk = [&](int d) {
     const auto range = bounded_range(ws, d, build_candidates(ws, d));
@@ -301,6 +476,12 @@ void Matcher::enumerate_prefixes(
     }
   };
   walk(0);
+}
+
+void Matcher::enumerate_prefixes(
+    int depth, const std::function<void(std::span<const VertexId>)>& cb) const {
+  Workspace ws;
+  enumerate_prefixes(ws, depth, cb);
 }
 
 Count count_embeddings(const Graph& graph, const Configuration& config) {

@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <mutex>
+#include <utility>
+#include <vector>
 
 #include "support/check.h"
 #include "support/timer.h"
@@ -12,17 +14,58 @@ namespace graphpi {
 
 namespace {
 
-/// Materializes the task list: every valid prefix of `depth` schedule
-/// positions. Depth-1 tasks are cheap to generate (one per vertex with a
-/// non-empty continuation); deeper tasks trade generation cost for better
-/// balance.
-std::vector<std::vector<VertexId>> generate_tasks(const Matcher& matcher,
-                                                  int depth) {
-  std::vector<std::vector<VertexId>> tasks;
-  matcher.enumerate_prefixes(depth, [&tasks](std::span<const VertexId> p) {
-    tasks.emplace_back(p.begin(), p.end());
+/// The task list: every valid prefix of `depth` schedule positions, stored
+/// flat (one contiguous array, `depth` slots per task) so generating a few
+/// million tasks performs O(1) allocations instead of one per task.
+/// enumerate_prefixes emits in lexicographic order, which the grouping
+/// below and the matcher's incremental prefix application both exploit.
+struct TaskBuffer {
+  std::vector<VertexId> flat;
+  int depth = 1;
+
+  [[nodiscard]] std::size_t count() const {
+    return flat.size() / static_cast<std::size_t>(depth);
+  }
+  [[nodiscard]] std::span<const VertexId> task(std::size_t i) const {
+    return {flat.data() + i * static_cast<std::size_t>(depth),
+            static_cast<std::size_t>(depth)};
+  }
+};
+
+TaskBuffer generate_tasks(const Matcher& matcher, int depth) {
+  TaskBuffer tasks;
+  tasks.depth = depth;
+  Matcher::Workspace ws;
+  matcher.enumerate_prefixes(ws, depth, [&tasks](std::span<const VertexId> p) {
+    tasks.flat.insert(tasks.flat.end(), p.begin(), p.end());
   });
   return tasks;
+}
+
+/// Scheduling granule: a contiguous run of tasks sharing their depth-1
+/// prefix (the outermost loop vertex). A worker executes a whole group on
+/// one workspace, so the matcher's incremental apply_prefix re-validates
+/// only the positions that differ between consecutive tasks — the shared
+/// candidate intersections are built once per group instead of once per
+/// task. Groups are split at kMaxGroupTasks so one hub's run of tasks
+/// cannot starve the dynamic schedule.
+using TaskGroup = std::pair<std::size_t, std::size_t>;  // [begin, end)
+
+constexpr std::size_t kMaxGroupTasks = 64;
+
+std::vector<TaskGroup> group_tasks(const TaskBuffer& tasks) {
+  std::vector<TaskGroup> groups;
+  const std::size_t n = tasks.count();
+  std::size_t begin = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (tasks.task(i)[0] != tasks.task(begin)[0] ||
+        i - begin >= kMaxGroupTasks) {
+      groups.emplace_back(begin, i);
+      begin = i;
+    }
+  }
+  if (n > begin) groups.emplace_back(begin, n);
+  return groups;
 }
 
 int clamp_task_depth(const Configuration& config, int requested) {
@@ -37,7 +80,8 @@ Count count_parallel(const Graph& graph, const Configuration& config,
                      const ParallelOptions& options, ParallelRunStats* stats) {
   const Matcher matcher(graph, config);
   const int depth = clamp_task_depth(config, options.task_depth);
-  const auto tasks = generate_tasks(matcher, depth);
+  const TaskBuffer tasks = generate_tasks(matcher, depth);
+  const std::vector<TaskGroup> groups = group_tasks(tasks);
 
   if (options.num_threads > 0) omp_set_num_threads(options.num_threads);
   const int max_threads = omp_get_max_threads();
@@ -48,21 +92,28 @@ Count count_parallel(const Graph& graph, const Configuration& config,
 
   Count aggregated = 0;
 #pragma omp parallel default(none) \
-    shared(tasks, matcher, thread_tasks, thread_seconds) \
+    shared(tasks, groups, matcher, thread_tasks, thread_seconds) \
     reduction(+ : aggregated)
   {
     const int tid = omp_get_thread_num();
+    // One workspace per thread per run: every task executed by this thread
+    // reuses the same buffers (and the candidate sets of any prefix shared
+    // with the previous task) — steady state allocates nothing.
+    Matcher::Workspace ws;
     support::Timer timer;
-#pragma omp for schedule(dynamic, 16)
-    for (std::size_t t = 0; t < tasks.size(); ++t) {
-      aggregated += matcher.count_from_prefix(tasks[t]);
-      thread_tasks[static_cast<std::size_t>(tid)]++;
+#pragma omp for schedule(dynamic, 1)
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      for (std::size_t t = groups[g].first; t < groups[g].second; ++t)
+        aggregated += matcher.count_from_prefix(ws, tasks.task(t));
+      thread_tasks[static_cast<std::size_t>(tid)] +=
+          groups[g].second - groups[g].first;
     }
     thread_seconds[static_cast<std::size_t>(tid)] = timer.elapsed_seconds();
   }
 
   if (stats != nullptr) {
-    stats->tasks = tasks.size();
+    stats->tasks = tasks.count();
+    stats->task_groups = groups.size();
     stats->per_thread_tasks = thread_tasks;
     stats->per_thread_seconds = thread_seconds;
   }
@@ -76,25 +127,32 @@ void enumerate_parallel(const Graph& graph, const Configuration& config,
                     "IEP configurations cannot list embeddings");
   const Matcher matcher(graph, config);
   const int depth = clamp_task_depth(config, options.task_depth);
-  const auto tasks = generate_tasks(matcher, depth);
+  const TaskBuffer tasks = generate_tasks(matcher, depth);
+  const std::vector<TaskGroup> groups = group_tasks(tasks);
 
   if (options.num_threads > 0) omp_set_num_threads(options.num_threads);
   std::mutex emit_mutex;
 
   // Each worker re-runs the continuation of its prefix with a serialized
-  // callback. The per-task matcher work is independent; only emission is
+  // callback. The per-group matcher work is independent; only emission is
   // synchronized.
-#pragma omp parallel for schedule(dynamic, 16) default(none) \
-    shared(tasks, matcher, cb, emit_mutex)
-  for (std::size_t t = 0; t < tasks.size(); ++t) {
-    // Collect locally, then emit under the lock in batches.
+#pragma omp parallel default(none) shared(tasks, groups, matcher, cb, emit_mutex)
+  {
+    Matcher::Workspace ws;
     std::vector<std::vector<VertexId>> local;
-    matcher.enumerate_from_prefix(tasks[t],
-                                  [&local](std::span<const VertexId> emb) {
-                                    local.emplace_back(emb.begin(), emb.end());
-                                  });
-    const std::scoped_lock lock(emit_mutex);
-    for (const auto& e : local) cb(e);
+#pragma omp for schedule(dynamic, 1)
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      // Collect the group's embeddings locally, then emit under the lock.
+      local.clear();
+      for (std::size_t t = groups[g].first; t < groups[g].second; ++t) {
+        matcher.enumerate_from_prefix(
+            ws, tasks.task(t), [&local](std::span<const VertexId> emb) {
+              local.emplace_back(emb.begin(), emb.end());
+            });
+      }
+      const std::scoped_lock lock(emit_mutex);
+      for (const auto& e : local) cb(e);
+    }
   }
 }
 

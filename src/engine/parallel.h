@@ -26,6 +26,10 @@ struct ParallelOptions {
 /// Per-run load statistics (consumed by the scalability analysis).
 struct ParallelRunStats {
   std::uint64_t tasks = 0;
+  /// Scheduling granules: contiguous runs of tasks sharing their depth-1
+  /// prefix (capped in length). Workers claim whole groups so consecutive
+  /// tasks reuse the workspace's already-applied prefix intersections.
+  std::uint64_t task_groups = 0;
   std::vector<std::uint64_t> per_thread_tasks;
   std::vector<double> per_thread_seconds;
 };

@@ -159,6 +159,47 @@ Graph random_regular(VertexId n, std::uint32_t d, std::uint64_t seed) {
   return b.build();
 }
 
+Graph rmat(std::uint32_t scale, std::uint64_t target_edges, std::uint64_t seed,
+           double a, double b, double c) {
+  GRAPHPI_CHECK(scale >= 1 && scale < 32);
+  GRAPHPI_CHECK_MSG(a > 0 && b >= 0 && c >= 0 && a + b + c < 1.0,
+                    "R-MAT quadrant probabilities must sum below 1");
+  const VertexId n = VertexId{1} << scale;
+  const std::uint64_t max_edges = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  target_edges = std::min(target_edges, max_edges);
+
+  Xoshiro256StarStar rng(seed);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(target_edges * 2);
+  GraphBuilder builder(n);
+  // Each edge descends `scale` levels of the recursive adjacency matrix,
+  // picking a quadrant per level; duplicates and self loops are redrawn.
+  const std::uint64_t max_attempts = target_edges * 30 + 1000;
+  std::uint64_t attempts = 0;
+  while (seen.size() < target_edges && attempts < max_attempts) {
+    ++attempts;
+    VertexId u = 0, v = 0;
+    for (std::uint32_t level = 0; level < scale; ++level) {
+      const double r = rng.uniform();
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // top-left: neither bit set
+      } else if (r < a + b) {
+        v |= 1;  // top-right
+      } else if (r < a + b + c) {
+        u |= 1;  // bottom-left
+      } else {
+        u |= 1;  // bottom-right
+        v |= 1;
+      }
+    }
+    if (u == v) continue;
+    if (seen.insert(edge_key(u, v)).second) builder.add_edge(u, v);
+  }
+  return builder.build();
+}
+
 Graph grid_graph(VertexId rows, VertexId cols) {
   GRAPHPI_CHECK(rows >= 1 && cols >= 1 && rows * cols >= 2);
   GraphBuilder b(rows * cols);

@@ -51,4 +51,13 @@ namespace graphpi {
 /// Two-dimensional grid graph of rows x cols vertices.
 [[nodiscard]] Graph grid_graph(VertexId rows, VertexId cols);
 
+/// R-MAT (Chakrabarti et al.) recursive-matrix graph over 2^scale
+/// vertices with ~`target_edges` undirected edges. Quadrant probabilities
+/// (a, b, c) follow the Graph500 defaults (0.57, 0.19, 0.19) when left
+/// unset; d = 1 - a - b - c. Produces the heavy-tailed hub structure the
+/// hub-bitmap index and the skewed-intersection kernels are designed for.
+[[nodiscard]] Graph rmat(std::uint32_t scale, std::uint64_t target_edges,
+                         std::uint64_t seed, double a = 0.57, double b = 0.19,
+                         double c = 0.19);
+
 }  // namespace graphpi

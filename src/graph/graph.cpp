@@ -15,8 +15,57 @@ Graph::Graph(std::vector<EdgeIndex> offsets, std::vector<VertexId> neighbors)
 }
 
 bool Graph::has_edge(VertexId u, VertexId v) const noexcept {
+  if (const std::uint64_t* bits = hub_bits(u); bits != nullptr)
+    return ((bits[v >> 6] >> (v & 63)) & 1u) != 0;
   const auto adj = neighbors(u);
   return std::binary_search(adj.begin(), adj.end(), v);
+}
+
+void Graph::build_hub_index(std::uint32_t min_degree) const {
+  const VertexId n = vertex_count();
+  hub_index_built_ = true;
+  hub_words_ = (static_cast<std::size_t>(n) + 63) / 64;
+  hub_slot_.assign(n, kNotAHub);
+  hub_bits_.clear();
+  hub_count_ = 0;
+  if (min_degree == 0) {
+    // A bitmap probe only beats a binary search on a large adjacency, and
+    // every row costs |V|/8 bytes — restrict rows to genuinely hub-like
+    // degrees.
+    min_degree = std::max<std::uint32_t>(128, n / 64);
+  }
+  hub_min_degree_ = min_degree;
+  if (n == 0) return;
+
+  std::vector<VertexId> hubs;
+  for (VertexId v = 0; v < n; ++v)
+    if (degree(v) >= min_degree) hubs.push_back(v);
+
+  // Cap total row storage at roughly the CSR footprint (min 8 MiB) so the
+  // index never dominates memory; keep the highest-degree vertices.
+  const std::size_t budget_bytes =
+      std::max<std::size_t>(std::size_t{8} << 20, neighbors_.size() * 4);
+  const std::size_t max_rows =
+      std::max<std::size_t>(1, budget_bytes / std::max<std::size_t>(
+                                                  1, hub_words_ * 8));
+  if (hubs.size() > max_rows) {
+    std::nth_element(hubs.begin(),
+                     hubs.begin() + static_cast<std::ptrdiff_t>(max_rows),
+                     hubs.end(), [this](VertexId a, VertexId b) {
+                       return degree(a) > degree(b);
+                     });
+    hubs.resize(max_rows);
+    std::sort(hubs.begin(), hubs.end());
+  }
+
+  hub_bits_.assign(hubs.size() * hub_words_, 0);
+  for (std::size_t slot = 0; slot < hubs.size(); ++slot) {
+    const VertexId v = hubs[slot];
+    hub_slot_[v] = static_cast<std::uint32_t>(slot);
+    std::uint64_t* row = hub_bits_.data() + slot * hub_words_;
+    for (VertexId w : neighbors(v)) row[w >> 6] |= std::uint64_t{1} << (w & 63);
+  }
+  hub_count_ = static_cast<std::uint32_t>(hubs.size());
 }
 
 std::uint32_t Graph::max_degree() const noexcept {

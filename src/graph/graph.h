@@ -81,12 +81,72 @@ class Graph {
   /// no loops). O(m log d); used by tests and loaders.
   [[nodiscard]] bool validate() const;
 
+  // -------------------------------------------------------------------------
+  // Hub bitmap index.
+  //
+  // High-degree "hub" vertices additionally store their adjacency as a
+  // bitmap row over the whole vertex space (one bit per vertex). A row
+  // turns membership tests into O(1) probes and lets the set kernels
+  // intersect a hub adjacency with any sorted set in O(|set|) — or two hub
+  // rows word-parallel, 64 vertices per AND+popcount. Rows cost |V|/8
+  // bytes each, so only vertices whose degree clears a threshold get one,
+  // and the total row storage is capped at roughly the CSR size itself.
+  //
+  // Building mutates lazily-initialized state and is NOT thread-safe; it
+  // must happen before the graph is shared across threads. Matcher's
+  // constructor calls ensure_hub_index(), which covers every normal flow
+  // (count_parallel constructs its Matcher before spawning workers).
+  // -------------------------------------------------------------------------
+
+  /// Slot marker for "not a hub".
+  static constexpr std::uint32_t kNotAHub = 0xffffffffu;
+
+  /// Builds the index with an explicit degree threshold. `min_degree == 0`
+  /// selects the automatic threshold max(128, |V|/64); pass a value larger
+  /// than max_degree() (e.g. UINT32_MAX) to build an empty index, which
+  /// disables hub acceleration. Rebuilds if already built.
+  void build_hub_index(std::uint32_t min_degree = 0) const;
+
+  /// Builds the index with the automatic threshold unless already built.
+  void ensure_hub_index() const {
+    if (!hub_index_built_) build_hub_index(0);
+  }
+
+  [[nodiscard]] bool has_hub_index() const noexcept { return hub_index_built_; }
+
+  /// Number of vertices that received a bitmap row.
+  [[nodiscard]] std::uint32_t hub_count() const noexcept { return hub_count_; }
+
+  /// Degree threshold the built index used (0 when not built).
+  [[nodiscard]] std::uint32_t hub_min_degree() const noexcept {
+    return hub_min_degree_;
+  }
+
+  /// Words per bitmap row: ceil(|V| / 64).
+  [[nodiscard]] std::size_t hub_words() const noexcept { return hub_words_; }
+
+  /// Bitmap row of v, or nullptr when v has no row (not a hub, or index
+  /// not built). Bit x of the row is set iff (v, x) is an edge.
+  [[nodiscard]] const std::uint64_t* hub_bits(VertexId v) const noexcept {
+    if (hub_slot_.empty()) return nullptr;
+    const std::uint32_t slot = hub_slot_[v];
+    if (slot == kNotAHub) return nullptr;
+    return hub_bits_.data() + static_cast<std::size_t>(slot) * hub_words_;
+  }
+
  private:
   std::vector<EdgeIndex> offsets_;
   std::vector<VertexId> neighbors_;
   // Lazily computed statistic; logically const.
   mutable std::uint64_t cached_triangles_ = 0;
   mutable bool triangles_valid_ = false;
+  // Hub bitmap index (lazily built; logically const).
+  mutable std::vector<std::uint32_t> hub_slot_;
+  mutable std::vector<std::uint64_t> hub_bits_;
+  mutable std::size_t hub_words_ = 0;
+  mutable std::uint32_t hub_count_ = 0;
+  mutable std::uint32_t hub_min_degree_ = 0;
+  mutable bool hub_index_built_ = false;
 };
 
 }  // namespace graphpi

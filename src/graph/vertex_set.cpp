@@ -1,11 +1,40 @@
 #include "graph/vertex_set.h"
 
 #include <algorithm>
+#include <bit>
+
+#if defined(__AVX2__)
+#define GRAPHPI_SIMD_AVX2 1
+#include <immintrin.h>
+#else
+#define GRAPHPI_SIMD_AVX2 0
+#endif
 
 namespace graphpi {
 
-void intersect(std::span<const VertexId> a, std::span<const VertexId> b,
-               std::vector<VertexId>& out) {
+const char* simd_backend() noexcept {
+#if GRAPHPI_SIMD_AVX2
+  return "avx2";
+#else
+  return "scalar";
+#endif
+}
+
+bool simd_enabled() noexcept { return GRAPHPI_SIMD_AVX2 != 0; }
+
+namespace {
+bool g_force_scalar = false;
+}  // namespace
+
+void force_scalar_kernels(bool on) noexcept { g_force_scalar = on; }
+bool scalar_kernels_forced() noexcept { return g_force_scalar; }
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels.
+// ---------------------------------------------------------------------------
+
+void intersect_scalar(std::span<const VertexId> a, std::span<const VertexId> b,
+                      std::vector<VertexId>& out) {
   out.clear();
   std::size_t i = 0, j = 0;
   while (i < a.size() && j < b.size()) {
@@ -21,8 +50,8 @@ void intersect(std::span<const VertexId> a, std::span<const VertexId> b,
   }
 }
 
-std::size_t intersect_size(std::span<const VertexId> a,
-                           std::span<const VertexId> b) {
+std::size_t intersect_size_scalar(std::span<const VertexId> a,
+                                  std::span<const VertexId> b) {
   std::size_t i = 0, j = 0, n = 0;
   while (i < a.size() && j < b.size()) {
     if (a[i] < b[j]) {
@@ -38,60 +67,372 @@ std::size_t intersect_size(std::span<const VertexId> a,
   return n;
 }
 
-void intersect_below(std::span<const VertexId> a, std::span<const VertexId> b,
-                     VertexId bound, std::vector<VertexId>& out) {
-  out.clear();
-  std::size_t i = 0, j = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] >= bound || b[j] >= bound) break;  // sorted: nothing below left
+#if GRAPHPI_SIMD_AVX2
+
+// ---------------------------------------------------------------------------
+// AVX2 kernels.
+//
+// Block-wise all-pairs intersection (Schlegel et al. / Lemire): compare an
+// 8-lane block of `a` against all 8 rotations of an 8-lane block of `b`,
+// OR the equality masks together, then advance whichever block exhausted
+// its value range. Each block pair performs 64 comparisons in 8 vector
+// compares + 7 lane rotations; the strictly-ascending-input invariant
+// guarantees every element matches at most once, so the accumulated mask
+// popcount is exactly the number of common elements in the block pair.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Lane-rotation index vectors for _mm256_permutevar8x32_epi32.
+inline __m256i rotation(int r) {
+  alignas(32) static const std::uint32_t kRot[8][8] = {
+      {0, 1, 2, 3, 4, 5, 6, 7}, {1, 2, 3, 4, 5, 6, 7, 0},
+      {2, 3, 4, 5, 6, 7, 0, 1}, {3, 4, 5, 6, 7, 0, 1, 2},
+      {4, 5, 6, 7, 0, 1, 2, 3}, {5, 6, 7, 0, 1, 2, 3, 4},
+      {6, 7, 0, 1, 2, 3, 4, 5}, {7, 0, 1, 2, 3, 4, 5, 6}};
+  return _mm256_load_si256(reinterpret_cast<const __m256i*>(kRot[r]));
+}
+
+/// 8-bit match mask of which lanes of block `va` occur anywhere in `vb`.
+inline unsigned block_match_mask(__m256i va, __m256i vb) {
+  __m256i eq = _mm256_cmpeq_epi32(va, vb);
+  eq = _mm256_or_si256(eq, _mm256_cmpeq_epi32(
+                               va, _mm256_permutevar8x32_epi32(vb, rotation(1))));
+  eq = _mm256_or_si256(eq, _mm256_cmpeq_epi32(
+                               va, _mm256_permutevar8x32_epi32(vb, rotation(2))));
+  eq = _mm256_or_si256(eq, _mm256_cmpeq_epi32(
+                               va, _mm256_permutevar8x32_epi32(vb, rotation(3))));
+  eq = _mm256_or_si256(eq, _mm256_cmpeq_epi32(
+                               va, _mm256_permutevar8x32_epi32(vb, rotation(4))));
+  eq = _mm256_or_si256(eq, _mm256_cmpeq_epi32(
+                               va, _mm256_permutevar8x32_epi32(vb, rotation(5))));
+  eq = _mm256_or_si256(eq, _mm256_cmpeq_epi32(
+                               va, _mm256_permutevar8x32_epi32(vb, rotation(6))));
+  eq = _mm256_or_si256(eq, _mm256_cmpeq_epi32(
+                               va, _mm256_permutevar8x32_epi32(vb, rotation(7))));
+  return static_cast<unsigned>(
+      _mm256_movemask_ps(_mm256_castsi256_ps(eq)));
+}
+
+/// Left-pack shuffle indices: entry m lists, in order, the lanes whose bit
+/// is set in the 8-bit mask m (remaining lanes arbitrary).
+struct CompactTable {
+  alignas(32) std::uint32_t idx[256][8];
+  constexpr CompactTable() : idx{} {
+    for (int m = 0; m < 256; ++m) {
+      int out = 0;
+      for (int lane = 0; lane < 8; ++lane)
+        if ((m >> lane) & 1) idx[m][out++] = static_cast<std::uint32_t>(lane);
+      for (; out < 8; ++out) idx[m][out] = 0;
+    }
+  }
+};
+constexpr CompactTable kCompact{};
+
+}  // namespace
+
+std::size_t intersect_size(std::span<const VertexId> a,
+                           std::span<const VertexId> b) {
+  if (g_force_scalar) return intersect_size_scalar(a, b);
+  const std::size_t na = a.size(), nb = b.size();
+  std::size_t i = 0, j = 0, n = 0;
+  if (na >= 8 && nb >= 8) {
+    const VertexId* pa = a.data();
+    const VertexId* pb = b.data();
+    while (i + 8 <= na && j + 8 <= nb) {
+      const __m256i va =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pa + i));
+      const __m256i vb =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pb + j));
+      n += static_cast<std::size_t>(std::popcount(block_match_mask(va, vb)));
+      const VertexId amax = pa[i + 7], bmax = pb[j + 7];
+      if (amax <= bmax) i += 8;
+      if (bmax <= amax) j += 8;
+    }
+  }
+  while (i < na && j < nb) {
     if (a[i] < b[j]) {
       ++i;
     } else if (a[i] > b[j]) {
       ++j;
     } else {
-      out.push_back(a[i]);
+      ++n;
       ++i;
       ++j;
     }
   }
+  return n;
+}
+
+void intersect(std::span<const VertexId> a, std::span<const VertexId> b,
+               std::vector<VertexId>& out) {
+  if (g_force_scalar) {
+    intersect_scalar(a, b, out);
+    return;
+  }
+  const std::size_t na = a.size(), nb = b.size();
+  // Headroom: a block store writes a full 8 lanes at the current match
+  // offset (<= min(na, nb)) even when few of them are real matches. Grow
+  // only — resize past the previous (smaller) result value-initializes the
+  // gap, so never pre-shrink a reused buffer.
+  const std::size_t need = std::min(na, nb) + 8;
+  if (out.size() < need) out.resize(need);
+  VertexId* dst = out.data();
+  std::size_t i = 0, j = 0;
+  if (na >= 8 && nb >= 8) {
+    const VertexId* pa = a.data();
+    const VertexId* pb = b.data();
+    while (i + 8 <= na && j + 8 <= nb) {
+      const __m256i va =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pa + i));
+      const __m256i vb =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pb + j));
+      const unsigned mask = block_match_mask(va, vb);
+      const __m256i shuffle = _mm256_load_si256(
+          reinterpret_cast<const __m256i*>(kCompact.idx[mask]));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst),
+                          _mm256_permutevar8x32_epi32(va, shuffle));
+      dst += std::popcount(mask);
+      const VertexId amax = pa[i + 7], bmax = pb[j + 7];
+      if (amax <= bmax) i += 8;
+      if (bmax <= amax) j += 8;
+    }
+  }
+  while (i < na && j < nb) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      *dst++ = a[i];
+      ++i;
+      ++j;
+    }
+  }
+  out.resize(static_cast<std::size_t>(dst - out.data()));
+}
+
+std::size_t bitmap_and_popcount(const std::uint64_t* a, const std::uint64_t* b,
+                                std::size_t words) {
+  std::size_t n = 0;
+  std::size_t w = 0;
+  for (; w + 4 <= words; w += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + w));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + w));
+    alignas(32) std::uint64_t tmp[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tmp),
+                       _mm256_and_si256(va, vb));
+    n += static_cast<std::size_t>(std::popcount(tmp[0]) + std::popcount(tmp[1]) +
+                                  std::popcount(tmp[2]) + std::popcount(tmp[3]));
+  }
+  for (; w < words; ++w) n += static_cast<std::size_t>(std::popcount(a[w] & b[w]));
+  return n;
+}
+
+#else  // !GRAPHPI_SIMD_AVX2
+
+std::size_t intersect_size(std::span<const VertexId> a,
+                           std::span<const VertexId> b) {
+  return intersect_size_scalar(a, b);
+}
+
+void intersect(std::span<const VertexId> a, std::span<const VertexId> b,
+               std::vector<VertexId>& out) {
+  intersect_scalar(a, b, out);
+}
+
+std::size_t bitmap_and_popcount(const std::uint64_t* a, const std::uint64_t* b,
+                                std::size_t words) {
+  std::size_t n = 0;
+  for (std::size_t w = 0; w < words; ++w)
+    n += static_cast<std::size_t>(std::popcount(a[w] & b[w]));
+  return n;
+}
+
+#endif  // GRAPHPI_SIMD_AVX2
+
+// ---------------------------------------------------------------------------
+// Bounded / galloping / adaptive variants (built on the kernels above).
+// ---------------------------------------------------------------------------
+
+std::span<const VertexId> trim_to_window(std::span<const VertexId> s,
+                                         VertexId lo_inclusive,
+                                         VertexId hi_exclusive) {
+  const VertexId* first = s.data();
+  const VertexId* last = s.data() + s.size();
+  if (lo_inclusive > 0) first = std::lower_bound(first, last, lo_inclusive);
+  if (hi_exclusive != kNoVertexBound)
+    last = std::lower_bound(first, last, hi_exclusive);
+  return {first, last};
+}
+
+std::size_t intersect_size_bounded(std::span<const VertexId> a,
+                                   std::span<const VertexId> b,
+                                   VertexId lo_inclusive,
+                                   VertexId hi_exclusive) {
+  return intersect_size(trim_to_window(a, lo_inclusive, hi_exclusive),
+                        trim_to_window(b, lo_inclusive, hi_exclusive));
+}
+
+void intersect_below(std::span<const VertexId> a, std::span<const VertexId> b,
+                     VertexId bound, std::vector<VertexId>& out) {
+  intersect(trim_to_window(a, 0, bound), trim_to_window(b, 0, bound), out);
 }
 
 void intersect_gallop(std::span<const VertexId> a, std::span<const VertexId> b,
                       std::vector<VertexId>& out) {
   out.clear();
   if (a.size() > b.size()) std::swap(a, b);
-  const VertexId* lo = b.data();
-  const VertexId* end = b.data() + b.size();
+  const std::size_t nb = b.size();
+  std::size_t lo = 0;
   for (VertexId x : a) {
     // Exponential probe forward from the last match position, then binary
-    // search inside the located window.
+    // search inside the located window. Probe indices are clamped to nb
+    // before any dereference or pointer formation (past-the-end arithmetic
+    // is UB even without a dereference).
     std::size_t step = 1;
-    const VertexId* hi = lo;
-    while (hi < end && *hi < x) {
+    std::size_t hi = lo;
+    while (hi < nb && b[hi] < x) {
       lo = hi;
       hi += step;
       step <<= 1;
     }
-    if (hi > end) hi = end;
-    lo = std::lower_bound(lo, hi, x);
-    if (lo == end) break;
-    if (*lo == x) out.push_back(x);
+    if (hi > nb) hi = nb;
+    lo = static_cast<std::size_t>(
+        std::lower_bound(b.begin() + static_cast<std::ptrdiff_t>(lo),
+                         b.begin() + static_cast<std::ptrdiff_t>(hi), x) -
+        b.begin());
+    if (lo == nb) break;
+    if (b[lo] == x) out.push_back(x);
   }
 }
+
+std::size_t intersect_size_gallop(std::span<const VertexId> a,
+                                  std::span<const VertexId> b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  const std::size_t nb = b.size();
+  std::size_t lo = 0, n = 0;
+  for (VertexId x : a) {
+    std::size_t step = 1;
+    std::size_t hi = lo;
+    while (hi < nb && b[hi] < x) {
+      lo = hi;
+      hi += step;
+      step <<= 1;
+    }
+    if (hi > nb) hi = nb;
+    lo = static_cast<std::size_t>(
+        std::lower_bound(b.begin() + static_cast<std::ptrdiff_t>(lo),
+                         b.begin() + static_cast<std::ptrdiff_t>(hi), x) -
+        b.begin());
+    if (lo == nb) break;
+    if (b[lo] == x) ++n;
+  }
+  return n;
+}
+
+namespace {
+/// Gallop wins once the size ratio exceeds ~32 (empirically; see
+/// bench/micro_kernels).
+constexpr std::size_t kGallopRatio = 32;
+
+inline bool prefer_gallop(std::size_t na, std::size_t nb) {
+  const std::size_t small = std::min(na, nb);
+  const std::size_t large = std::max(na, nb);
+  return small != 0 && large / small >= kGallopRatio;
+}
+}  // namespace
 
 void intersect_adaptive(std::span<const VertexId> a,
                         std::span<const VertexId> b,
                         std::vector<VertexId>& out) {
-  const std::size_t small = std::min(a.size(), b.size());
-  const std::size_t large = std::max(a.size(), b.size());
-  // Gallop wins once the size ratio exceeds ~32 (empirically; see
-  // bench/micro_kernels).
-  if (small != 0 && large / small >= 32) {
+  if (prefer_gallop(a.size(), b.size())) {
     intersect_gallop(a, b, out);
   } else {
     intersect(a, b, out);
   }
 }
+
+std::size_t intersect_size_adaptive(std::span<const VertexId> a,
+                                    std::span<const VertexId> b) {
+  if (prefer_gallop(a.size(), b.size())) return intersect_size_gallop(a, b);
+  return intersect_size(a, b);
+}
+
+std::size_t intersect_size_bounded_adaptive(std::span<const VertexId> a,
+                                            std::span<const VertexId> b,
+                                            VertexId lo_inclusive,
+                                            VertexId hi_exclusive) {
+  return intersect_size_adaptive(trim_to_window(a, lo_inclusive, hi_exclusive),
+                                 trim_to_window(b, lo_inclusive, hi_exclusive));
+}
+
+// ---------------------------------------------------------------------------
+// Bitmap kernels.
+// ---------------------------------------------------------------------------
+
+namespace {
+inline std::size_t bit_probe(const std::uint64_t* bits, VertexId v) {
+  return static_cast<std::size_t>((bits[v >> 6] >> (v & 63)) & 1u);
+}
+}  // namespace
+
+void intersect_bitmap(std::span<const VertexId> a, const std::uint64_t* bits,
+                      std::vector<VertexId>& out) {
+  out.clear();
+  for (VertexId v : a)
+    if (bit_probe(bits, v) != 0) out.push_back(v);
+}
+
+std::size_t intersect_size_bitmap(std::span<const VertexId> a,
+                                  const std::uint64_t* bits) {
+  std::size_t n = 0;
+  for (VertexId v : a) n += bit_probe(bits, v);
+  return n;
+}
+
+std::size_t intersect_size_bitmap_bounded(std::span<const VertexId> a,
+                                          const std::uint64_t* bits,
+                                          VertexId lo_inclusive,
+                                          VertexId hi_exclusive) {
+  return intersect_size_bitmap(trim_to_window(a, lo_inclusive, hi_exclusive),
+                               bits);
+}
+
+std::size_t bitmap_and_popcount_bounded(const std::uint64_t* a,
+                                        const std::uint64_t* b,
+                                        VertexId universe,
+                                        VertexId lo_inclusive,
+                                        VertexId hi_exclusive) {
+  const std::uint64_t lo64 = lo_inclusive;
+  const std::uint64_t hi64 =
+      std::min<std::uint64_t>(hi_exclusive, universe);
+  if (lo64 >= hi64) return 0;
+  const std::size_t first_word = static_cast<std::size_t>(lo64 >> 6);
+  const std::size_t last_word = static_cast<std::size_t>((hi64 - 1) >> 6);
+  // Masks select bits >= lo in the first word and < hi in the last.
+  const std::uint64_t lo_mask = ~std::uint64_t{0} << (lo64 & 63);
+  const std::uint64_t hi_mask =
+      (hi64 & 63) == 0 ? ~std::uint64_t{0}
+                       : (~std::uint64_t{0} >> (64 - (hi64 & 63)));
+  if (first_word == last_word) {
+    return static_cast<std::size_t>(
+        std::popcount(a[first_word] & b[first_word] & lo_mask & hi_mask));
+  }
+  std::size_t n = static_cast<std::size_t>(
+      std::popcount(a[first_word] & b[first_word] & lo_mask));
+  n += bitmap_and_popcount(a + first_word + 1, b + first_word + 1,
+                           last_word - first_word - 1);
+  n += static_cast<std::size_t>(
+      std::popcount(a[last_word] & b[last_word] & hi_mask));
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Small-set helpers.
+// ---------------------------------------------------------------------------
 
 void remove_all(std::vector<VertexId>& s, std::span<const VertexId> excluded) {
   for (VertexId v : excluded) {

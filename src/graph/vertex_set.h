@@ -6,11 +6,31 @@
 // operation of two sets can be efficiently implemented with the time
 // complexity of O(n + m), and the intersection is naturally sorted").
 //
-// All functions require strictly ascending inputs and produce strictly
-// ascending outputs.
+// Kernel layout:
+//   * `*_scalar` functions are the portable reference implementations;
+//     they are always compiled and are the ground truth the property
+//     tests compare every other variant against.
+//   * The un-suffixed entry points (`intersect`, `intersect_size`, ...)
+//     dispatch to an AVX2 implementation when the translation unit is
+//     compiled with AVX2 support (`-march=native` / `-mavx2`, see the
+//     top-level CMake option GRAPHPI_NATIVE) and to the scalar reference
+//     otherwise. The choice is made at compile time — the hot loops
+//     contain no runtime feature branches.
+//   * `*_size*` variants compute |result| without materializing it; the
+//     matcher's innermost loop and single-block IEP terms go through
+//     these so counting runs allocate nothing at the leaves.
+//   * `*_bitmap` variants intersect a sorted span against a precomputed
+//     bitmap row (one bit per data-graph vertex, see Graph::hub_bits) —
+//     O(|span|) membership-test intersection used when one side is a
+//     high-degree hub.
+//
+// All span inputs must be strictly ascending; outputs are strictly
+// ascending.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -18,13 +38,54 @@
 
 namespace graphpi {
 
-/// out = a ∩ b (merge-based, O(|a| + |b|)). `out` is cleared first.
+/// Sentinel for "no upper bound" in the bounded size kernels.
+inline constexpr VertexId kNoVertexBound = std::numeric_limits<VertexId>::max();
+
+/// Name of the compiled-in kernel backend ("avx2" or "scalar").
+[[nodiscard]] const char* simd_backend() noexcept;
+
+/// True when the dispatching kernels use vector instructions.
+[[nodiscard]] bool simd_enabled() noexcept;
+
+/// Test/benchmark hook: routes the dispatching kernels to the scalar
+/// reference at runtime, so an AVX2 build can measure and property-test
+/// the fallback without recompiling. A no-op in scalar builds. The flag is
+/// an unsynchronized global — toggle it only while no matcher is running.
+void force_scalar_kernels(bool on) noexcept;
+[[nodiscard]] bool scalar_kernels_forced() noexcept;
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels (ground truth for the property tests).
+// ---------------------------------------------------------------------------
+
+/// out = a ∩ b (two-pointer merge, O(|a| + |b|)). `out` is cleared first.
+void intersect_scalar(std::span<const VertexId> a, std::span<const VertexId> b,
+                      std::vector<VertexId>& out);
+
+/// |a ∩ b| without materializing the result.
+[[nodiscard]] std::size_t intersect_size_scalar(std::span<const VertexId> a,
+                                                std::span<const VertexId> b);
+
+// ---------------------------------------------------------------------------
+// Dispatching kernels (AVX2 when compiled in, scalar otherwise).
+// ---------------------------------------------------------------------------
+
+/// out = a ∩ b. `out` is cleared first.
 void intersect(std::span<const VertexId> a, std::span<const VertexId> b,
                std::vector<VertexId>& out);
 
 /// |a ∩ b| without materializing the result.
 [[nodiscard]] std::size_t intersect_size(std::span<const VertexId> a,
                                          std::span<const VertexId> b);
+
+/// |{ x ∈ a ∩ b : lo_inclusive <= x < hi_exclusive }| — the counting-only
+/// leaf kernel: the restriction window is applied by trimming both inputs
+/// with binary searches before the vectorized count, so no candidate
+/// vector is ever built. Pass 0 / kNoVertexBound for an open side.
+[[nodiscard]] std::size_t intersect_size_bounded(std::span<const VertexId> a,
+                                                 std::span<const VertexId> b,
+                                                 VertexId lo_inclusive,
+                                                 VertexId hi_exclusive);
 
 /// out = { x ∈ a ∩ b : x < bound }. Used when a restriction id(u) > id(x)
 /// applies to the vertex whose candidate set is being built — the bound
@@ -37,11 +98,60 @@ void intersect_below(std::span<const VertexId> a, std::span<const VertexId> b,
 void intersect_gallop(std::span<const VertexId> a, std::span<const VertexId> b,
                       std::vector<VertexId>& out);
 
+/// Size-only galloping intersection.
+[[nodiscard]] std::size_t intersect_size_gallop(std::span<const VertexId> a,
+                                                std::span<const VertexId> b);
+
 /// Size-adaptive intersection: picks merge or gallop based on the size
 /// ratio of the inputs.
 void intersect_adaptive(std::span<const VertexId> a,
                         std::span<const VertexId> b,
                         std::vector<VertexId>& out);
+
+/// Size-only adaptive intersection (merge/SIMD vs gallop by size ratio).
+[[nodiscard]] std::size_t intersect_size_adaptive(std::span<const VertexId> a,
+                                                  std::span<const VertexId> b);
+
+/// Bounded size-only adaptive intersection: trims both inputs to the
+/// window [lo_inclusive, hi_exclusive) first, then counts adaptively.
+[[nodiscard]] std::size_t intersect_size_bounded_adaptive(
+    std::span<const VertexId> a, std::span<const VertexId> b,
+    VertexId lo_inclusive, VertexId hi_exclusive);
+
+// ---------------------------------------------------------------------------
+// Bitmap kernels (one side is a precomputed bitmap over the vertex space).
+// ---------------------------------------------------------------------------
+
+/// out = { x ∈ a : bit x set in `bits` }. O(|a|) with branch-free probes.
+void intersect_bitmap(std::span<const VertexId> a, const std::uint64_t* bits,
+                      std::vector<VertexId>& out);
+
+/// |{ x ∈ a : bit x set }|.
+[[nodiscard]] std::size_t intersect_size_bitmap(std::span<const VertexId> a,
+                                                const std::uint64_t* bits);
+
+/// |{ x ∈ a : bit x set, lo_inclusive <= x < hi_exclusive }|.
+[[nodiscard]] std::size_t intersect_size_bitmap_bounded(
+    std::span<const VertexId> a, const std::uint64_t* bits,
+    VertexId lo_inclusive, VertexId hi_exclusive);
+
+/// Word-parallel popcount of `a AND b` over `words` 64-bit words — the
+/// hub-vs-hub counting kernel (64 membership tests per word op).
+[[nodiscard]] std::size_t bitmap_and_popcount(const std::uint64_t* a,
+                                              const std::uint64_t* b,
+                                              std::size_t words);
+
+/// Windowed hub-vs-hub count: popcount of `a AND b` restricted to bit
+/// positions in [lo_inclusive, hi_exclusive) ∩ [0, universe).
+[[nodiscard]] std::size_t bitmap_and_popcount_bounded(const std::uint64_t* a,
+                                                      const std::uint64_t* b,
+                                                      VertexId universe,
+                                                      VertexId lo_inclusive,
+                                                      VertexId hi_exclusive);
+
+// ---------------------------------------------------------------------------
+// Small-set helpers.
+// ---------------------------------------------------------------------------
 
 /// Removes from the sorted set `s` every element that appears in the
 /// (small, unsorted) exclusion list. O(|excl| * log |s| + moved elements).
@@ -62,5 +172,9 @@ void remove_all(std::vector<VertexId>& s, std::span<const VertexId> excluded);
 /// Number of elements of sorted `s` strictly above `bound`.
 [[nodiscard]] std::size_t count_above(std::span<const VertexId> s,
                                       VertexId bound);
+
+/// Trims sorted `s` to the window [lo_inclusive, hi_exclusive).
+[[nodiscard]] std::span<const VertexId> trim_to_window(
+    std::span<const VertexId> s, VertexId lo_inclusive, VertexId hi_exclusive);
 
 }  // namespace graphpi

@@ -75,6 +75,76 @@ TEST(Parallel, EnumerationMatchesSerialSet) {
   EXPECT_EQ(serial.size(), Matcher(g, config).count());
 }
 
+TEST(Parallel, DeterministicAcrossTaskDepthsAndThreadCounts) {
+  const Graph g = rmat(8, 900, 41);
+  for (const auto& p : {patterns::house(), patterns::clique(4)}) {
+    for (bool use_iep : {false, true}) {
+      PlannerOptions planner;
+      planner.use_iep = use_iep;
+      const Configuration config =
+          plan_configuration(p, GraphStats::of(g), planner);
+      const Count serial = Matcher(g, config).count();
+      for (int depth : {1, 2, 3}) {
+        for (int threads : {1, 2, 4}) {
+          ParallelOptions opt;
+          opt.task_depth = depth;
+          opt.num_threads = threads;
+          EXPECT_EQ(count_parallel(g, config, opt), serial)
+              << p.to_string() << " iep=" << use_iep << " depth=" << depth
+              << " threads=" << threads;
+        }
+      }
+    }
+  }
+}
+
+TEST(Parallel, WorkspacesAreCreatedOncePerThreadNotPerTask) {
+  const Graph g = clustered_power_law(300, 1800, 2.3, 0.4, 77);
+  const Configuration config = plan_configuration(
+      patterns::house(), GraphStats::of(g), PlannerOptions{});
+
+  ParallelOptions opt;
+  opt.task_depth = 2;
+  opt.num_threads = 2;
+  const std::uint64_t before = Matcher::workspace_constructions();
+  ParallelRunStats stats;
+  (void)count_parallel(g, config, opt, &stats);
+  const std::uint64_t created = Matcher::workspace_constructions() - before;
+
+  // Many tasks, but only the task generator's workspace plus one per
+  // worker thread may be constructed.
+  ASSERT_GT(stats.tasks, 100u);
+  EXPECT_LE(created, 1u + static_cast<std::uint64_t>(opt.num_threads));
+  EXPECT_GT(stats.task_groups, 0u);
+  EXPECT_LE(stats.task_groups, stats.tasks);
+}
+
+TEST(Matcher, IncrementalPrefixReuseMatchesFreshWorkspaces) {
+  const Graph g = rmat(8, 1100, 53);
+  const Configuration config = plan_configuration(
+      patterns::house(), GraphStats::of(g), PlannerOptions{});
+  const Matcher matcher(g, config);
+
+  std::vector<std::vector<VertexId>> prefixes;
+  matcher.enumerate_prefixes(2, [&](std::span<const VertexId> p) {
+    prefixes.emplace_back(p.begin(), p.end());
+    // Adversarial neighbors: swapped pairs and clones that often violate
+    // edges or restrictions, interleaved between valid shared-prefix runs.
+    prefixes.push_back({p[1], p[0]});
+    prefixes.push_back({p[0], p[0]});
+  });
+
+  Count reused = 0, fresh = 0;
+  Matcher::Workspace shared_ws;
+  for (const auto& p : prefixes) reused += matcher.count_from_prefix(shared_ws, p);
+  for (const auto& p : prefixes) {
+    Matcher::Workspace ws;
+    fresh += matcher.count_from_prefix(ws, p);
+  }
+  EXPECT_EQ(reused, fresh);
+  EXPECT_GT(fresh, 0u);
+}
+
 TEST(Parallel, ExplicitThreadCounts) {
   const Graph g = erdos_renyi(100, 400, 99);
   const Pattern p = patterns::clique(4);

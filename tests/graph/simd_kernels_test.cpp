@@ -1,0 +1,217 @@
+// Property tests pinning every vectorized / size-only / bitmap kernel to
+// the scalar reference on adversarial inputs: empty sets, dense
+// duplicate-free runs, identical inputs, and size ratios straddling the
+// gallop cutoff. The same assertions run with the dispatch forced to the
+// scalar fallback, so an AVX2 build certifies both code paths.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "graph/vertex_set.h"
+#include "support/rng.h"
+
+namespace graphpi {
+namespace {
+
+std::vector<VertexId> random_sorted_set(std::size_t n, VertexId universe,
+                                        std::uint64_t seed) {
+  support::Xoshiro256StarStar rng(seed);
+  std::vector<VertexId> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(static_cast<VertexId>(rng.bounded(universe)));
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<VertexId> reference_intersection(const std::vector<VertexId>& a,
+                                             const std::vector<VertexId>& b) {
+  std::vector<VertexId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::size_t reference_window_count(const std::vector<VertexId>& common,
+                                   VertexId lo, VertexId hi) {
+  std::size_t n = 0;
+  for (VertexId v : common)
+    if (v >= lo && v < hi) ++n;
+  return n;
+}
+
+void expect_all_variants_match(const std::vector<VertexId>& a,
+                               const std::vector<VertexId>& b,
+                               const std::string& label) {
+  const auto expected = reference_intersection(a, b);
+
+  std::vector<VertexId> got;
+  intersect(a, b, got);
+  EXPECT_EQ(got, expected) << label << " intersect";
+  intersect_gallop(a, b, got);
+  EXPECT_EQ(got, expected) << label << " gallop";
+  intersect_adaptive(a, b, got);
+  EXPECT_EQ(got, expected) << label << " adaptive";
+
+  EXPECT_EQ(intersect_size(a, b), expected.size()) << label << " size";
+  EXPECT_EQ(intersect_size_scalar(a, b), expected.size())
+      << label << " size_scalar";
+  EXPECT_EQ(intersect_size_gallop(a, b), expected.size())
+      << label << " size_gallop";
+  EXPECT_EQ(intersect_size_adaptive(a, b), expected.size())
+      << label << " size_adaptive";
+
+  const VertexId bounds[] = {0, 1, 17, 100, 250, 499, 500, 100000,
+                             kNoVertexBound};
+  for (VertexId lo : bounds) {
+    for (VertexId hi : bounds) {
+      const std::size_t want = reference_window_count(expected, lo, hi);
+      EXPECT_EQ(intersect_size_bounded(a, b, lo, hi), want)
+          << label << " bounded [" << lo << "," << hi << ")";
+      EXPECT_EQ(intersect_size_bounded_adaptive(a, b, lo, hi), want)
+          << label << " bounded_adaptive [" << lo << "," << hi << ")";
+    }
+  }
+}
+
+class SimdEquivalenceTest
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, std::size_t, VertexId>> {};
+
+TEST_P(SimdEquivalenceTest, AgreesWithScalarReference) {
+  const auto [na, nb, universe] = GetParam();
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto a = random_sorted_set(na, universe, seed * 2 + 1);
+    const auto b = random_sorted_set(nb, universe, seed * 2 + 2);
+    expect_all_variants_match(a, b, "seed " + std::to_string(seed));
+  }
+}
+
+TEST_P(SimdEquivalenceTest, ForcedScalarFallbackAgrees) {
+  const auto [na, nb, universe] = GetParam();
+  force_scalar_kernels(true);
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const auto a = random_sorted_set(na, universe, seed * 2 + 1);
+    const auto b = random_sorted_set(nb, universe, seed * 2 + 2);
+    expect_all_variants_match(a, b, "forced-scalar seed " +
+                                        std::to_string(seed));
+  }
+  force_scalar_kernels(false);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, SimdEquivalenceTest,
+    ::testing::Values(
+        // Empty and tiny sets, below one SIMD block.
+        std::make_tuple(0, 0, 500), std::make_tuple(0, 64, 500),
+        std::make_tuple(3, 5, 500), std::make_tuple(7, 9, 500),
+        // Exactly at / around the 8-lane block boundary.
+        std::make_tuple(8, 8, 64), std::make_tuple(8, 8, 1 << 20),
+        std::make_tuple(9, 17, 300),
+        // Dense overlap (small universe) and sparse overlap.
+        std::make_tuple(200, 210, 300), std::make_tuple(200, 210, 1 << 20),
+        std::make_tuple(1000, 1000, 2000),
+        // Size ratios straddling the gallop cutoff (~32).
+        std::make_tuple(31, 1000, 4000), std::make_tuple(33, 1000, 4000),
+        std::make_tuple(10, 2000, 1 << 16), std::make_tuple(2000, 10, 1 << 16),
+        std::make_tuple(1, 400, 1000)));
+
+TEST(SimdKernels, BackendIsConsistent) {
+  const std::string backend = simd_backend();
+  EXPECT_TRUE(backend == "avx2" || backend == "scalar") << backend;
+  EXPECT_EQ(backend != "scalar", simd_enabled());
+}
+
+TEST(SimdKernels, ConsecutiveRunsAndIdenticalInputs) {
+  // Duplicate-free sorted runs: worst case for the block-advance logic
+  // (every comparison window is fully dense).
+  std::vector<VertexId> a(256), b(256);
+  std::iota(a.begin(), a.end(), VertexId{0});
+  std::iota(b.begin(), b.end(), VertexId{128});
+  expect_all_variants_match(a, b, "offset runs");
+  expect_all_variants_match(a, a, "identical");
+  std::vector<VertexId> disjoint(64);
+  std::iota(disjoint.begin(), disjoint.end(), VertexId{4096});
+  expect_all_variants_match(a, disjoint, "disjoint");
+}
+
+TEST(Gallop, ProbeClampRegression) {
+  // The exponential probe used to advance a raw pointer arbitrarily far
+  // past the end before clamping (UB caught by UBSan). Sizes just off a
+  // power of two force the final probe to overshoot.
+  for (std::size_t nb : {3u, 5u, 127u, 1000u, 1025u}) {
+    std::vector<VertexId> b(nb);
+    std::iota(b.begin(), b.end(), VertexId{0});
+    const std::vector<VertexId> a{static_cast<VertexId>(nb - 1),
+                                  static_cast<VertexId>(nb + 100)};
+    std::vector<VertexId> out;
+    intersect_gallop(a, b, out);
+    EXPECT_EQ(out, (std::vector<VertexId>{static_cast<VertexId>(nb - 1)}));
+    EXPECT_EQ(intersect_size_gallop(a, b), 1u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bitmap kernels.
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint64_t> make_bitmap(const std::vector<VertexId>& set,
+                                       VertexId universe) {
+  std::vector<std::uint64_t> bits((static_cast<std::size_t>(universe) + 63) /
+                                  64);
+  for (VertexId v : set) bits[v >> 6] |= std::uint64_t{1} << (v & 63);
+  return bits;
+}
+
+TEST(BitmapKernels, MatchScalarReference) {
+  const VertexId universe = 700;  // not a multiple of 64: partial last word
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const auto a = random_sorted_set(120, universe, seed + 10);
+    const auto b = random_sorted_set(300, universe, seed + 20);
+    const auto bits = make_bitmap(b, universe);
+    const auto expected = reference_intersection(a, b);
+
+    std::vector<VertexId> got;
+    intersect_bitmap(a, bits.data(), got);
+    EXPECT_EQ(got, expected) << "seed " << seed;
+    EXPECT_EQ(intersect_size_bitmap(a, bits.data()), expected.size());
+
+    for (VertexId lo : {0u, 5u, 333u, 699u}) {
+      for (VertexId hi : {0u, 64u, 500u, 700u, kNoVertexBound}) {
+        EXPECT_EQ(intersect_size_bitmap_bounded(a, bits.data(), lo, hi),
+                  reference_window_count(expected, lo, hi))
+            << "seed " << seed << " [" << lo << "," << hi << ")";
+      }
+    }
+
+    const auto bits_a = make_bitmap(a, universe);
+    EXPECT_EQ(bitmap_and_popcount(bits_a.data(), bits.data(), bits.size()),
+              expected.size());
+    for (VertexId lo : {0u, 1u, 63u, 64u, 65u, 500u}) {
+      for (VertexId hi : {0u, 63u, 64u, 128u, 699u, 700u, kNoVertexBound}) {
+        EXPECT_EQ(bitmap_and_popcount_bounded(bits_a.data(), bits.data(),
+                                              universe, lo, hi),
+                  reference_window_count(expected, lo, hi))
+            << "window [" << lo << "," << hi << ")";
+      }
+    }
+  }
+}
+
+TEST(SmallSetHelpers, TrimToWindow) {
+  const std::vector<VertexId> s{2, 4, 6, 8, 10};
+  const auto w = trim_to_window(s, 4, 9);
+  EXPECT_EQ(std::vector<VertexId>(w.begin(), w.end()),
+            (std::vector<VertexId>{4, 6, 8}));
+  EXPECT_TRUE(trim_to_window(s, 11, kNoVertexBound).empty());
+  EXPECT_EQ(trim_to_window(s, 0, kNoVertexBound).size(), s.size());
+}
+
+}  // namespace
+}  // namespace graphpi

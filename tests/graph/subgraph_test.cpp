@@ -4,6 +4,7 @@
 #include "core/pattern_library.h"
 #include "engine/oracle.h"
 #include "graph/analysis.h"
+#include "graph/builder.h"
 #include "graph/generators.h"
 #include "graph/subgraph.h"
 
