@@ -1,6 +1,9 @@
 #include "api/graphpi.h"
 
+#include <algorithm>
+
 #include "core/automorphism.h"
+#include "engine/forest.h"
 #include "support/check.h"
 
 namespace graphpi {
@@ -47,6 +50,69 @@ Count GraphPi::count(const Configuration& config,
   }
   GRAPHPI_CHECK_MSG(false, "unknown backend");
   return 0;
+}
+
+PlanForest GraphPi::plan_batch(std::span<const Pattern> patterns,
+                               const MatchOptions& options) const {
+  std::vector<Plan> plans;
+  plans.reserve(patterns.size());
+  for (const Pattern& p : patterns) {
+    GRAPHPI_CHECK_MSG(p.size() >= 2,
+                      "count_batch requires patterns with >= 2 vertices");
+    plans.push_back(compile_plan(plan(p, options)));
+  }
+  return PlanForest(std::move(plans));
+}
+
+std::vector<Count> GraphPi::count_batch(const PlanForest& forest,
+                                        const MatchOptions& options) const {
+  GRAPHPI_CHECK_MSG(options.backend != Backend::kDistributed,
+                    "the distributed runtime has no forest path yet; use the "
+                    "pattern-span count_batch overload, which falls back to "
+                    "per-pattern distributed jobs");
+  if (options.backend == Backend::kParallel) {
+    ParallelOptions popt;
+    popt.num_threads = options.threads;
+    return count_batch_parallel(*graph_, forest, popt);
+  }
+  return ForestExecutor(*graph_, forest).count();
+}
+
+std::vector<Count> GraphPi::count_batch(std::span<const Pattern> patterns,
+                                        const MatchOptions& options) const {
+  if (patterns.empty()) return {};
+  if (options.backend == Backend::kDistributed) {
+    // The simulated cluster runtime has no forest path yet (see ROADMAP);
+    // run the batch as independent distributed jobs.
+    std::vector<Count> out;
+    out.reserve(patterns.size());
+    for (const Pattern& p : patterns) out.push_back(count(p, options));
+    return out;
+  }
+  // One forest per kMaxPlans chunk (the active-plan mask is 64 bits wide).
+  std::vector<Count> out;
+  out.reserve(patterns.size());
+  for (std::size_t offset = 0; offset < patterns.size();
+       offset += PlanForest::kMaxPlans) {
+    const std::size_t len =
+        std::min(PlanForest::kMaxPlans, patterns.size() - offset);
+    const std::vector<Count> chunk =
+        count_batch(plan_batch(patterns.subspan(offset, len), options),
+                    options);
+    out.insert(out.end(), chunk.begin(), chunk.end());
+  }
+  return out;
+}
+
+std::vector<GraphPi::MotifCount> GraphPi::motif_census(
+    int k, const MatchOptions& options) const {
+  const std::vector<Pattern> motifs = patterns::connected_motifs(k);
+  const std::vector<Count> counts = count_batch(motifs, options);
+  std::vector<MotifCount> out;
+  out.reserve(motifs.size());
+  for (std::size_t i = 0; i < motifs.size(); ++i)
+    out.push_back({motifs[i], counts[i]});
+  return out;
 }
 
 void GraphPi::find_all(const Pattern& pattern, const EmbeddingCallback& cb,

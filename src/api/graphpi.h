@@ -14,11 +14,14 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/configuration.h"
 #include "core/pattern.h"
 #include "core/pattern_library.h"
+#include "core/plan.h"
+#include "core/plan_forest.h"
 #include "dist/runtime.h"
 #include "engine/matcher.h"
 #include "engine/parallel.h"
@@ -71,6 +74,44 @@ class GraphPi {
   /// Runs a previously planned configuration.
   [[nodiscard]] Count count(const Configuration& config,
                             const MatchOptions& options = {}) const;
+
+  /// Counts every pattern of a batch in ONE traversal of the data graph:
+  /// each pattern is planned independently, the plans are compiled into
+  /// the executable IR (core/plan.h) and merged into a prefix-sharing
+  /// trie (core/plan_forest.h), and shared loop prefixes — the outer
+  /// vertex scan, common candidate intersections, common IEP suffix sets
+  /// — are extended once for all patterns. Results are indexed like
+  /// `patterns`; duplicates are allowed and each gets its own counter.
+  /// Patterns must have >= 2 vertices. The serial and parallel backends
+  /// run batched; the distributed backend falls back to per-pattern runs.
+  [[nodiscard]] std::vector<Count> count_batch(
+      std::span<const Pattern> patterns,
+      const MatchOptions& options = {}) const;
+
+  /// Plans `patterns` and merges the compiled plans into a forest — the
+  /// planning half of count_batch, exposed so callers can reuse a forest
+  /// across runs or inspect its sharing stats.
+  [[nodiscard]] PlanForest plan_batch(std::span<const Pattern> patterns,
+                                      const MatchOptions& options = {}) const;
+
+  /// Runs a previously built forest; results indexed like forest.plans().
+  /// Serial and parallel backends only (the distributed runtime has no
+  /// forest path yet — checked; the pattern-span overload falls back).
+  [[nodiscard]] std::vector<Count> count_batch(
+      const PlanForest& forest, const MatchOptions& options = {}) const;
+
+  /// One entry of a motif census: a connected k-vertex pattern and its
+  /// (deduplicated) embedding count.
+  struct MotifCount {
+    Pattern pattern;
+    Count count = 0;
+  };
+
+  /// Counts every connected k-motif (3 <= k <= 5) with one batched
+  /// traversal — the convenience wrapper the motif-census example and
+  /// bench use. Order matches patterns::connected_motifs(k).
+  [[nodiscard]] std::vector<MotifCount> motif_census(
+      int k, const MatchOptions& options = {}) const;
 
   /// Lists all embeddings (never uses IEP). The callback receives the
   /// data-graph vertices indexed by pattern vertex.

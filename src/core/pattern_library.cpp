@@ -1,8 +1,9 @@
 #include "core/pattern_library.h"
 
-#include <algorithm>
-#include <numeric>
+#include <unordered_set>
+#include <utility>
 
+#include "core/pattern_canon.h"
 #include "support/check.h"
 
 namespace graphpi::patterns {
@@ -100,30 +101,6 @@ std::string evaluation_pattern_name(int index) {
   return "P" + std::to_string(index);
 }
 
-namespace {
-
-/// True iff `a` relabeled by some permutation equals `b` (both with the
-/// same vertex count). Brute force over n! permutations; n <= 5 here.
-bool isomorphic(const Pattern& a, const Pattern& b) {
-  if (a.size() != b.size() || a.edge_count() != b.edge_count()) return false;
-  const int n = a.size();
-  std::vector<int> perm(static_cast<std::size_t>(n));
-  std::iota(perm.begin(), perm.end(), 0);
-  do {
-    bool match = true;
-    for (auto [u, v] : a.edges())
-      if (!b.has_edge(perm[static_cast<std::size_t>(u)],
-                      perm[static_cast<std::size_t>(v)])) {
-        match = false;
-        break;
-      }
-    if (match) return true;
-  } while (std::next_permutation(perm.begin(), perm.end()));
-  return false;
-}
-
-}  // namespace
-
 std::vector<Pattern> connected_motifs(int n) {
   GRAPHPI_CHECK_MSG(n >= 3 && n <= 5,
                     "motif enumeration supported for 3..5 vertices");
@@ -131,7 +108,12 @@ std::vector<Pattern> connected_motifs(int n) {
   for (int u = 0; u < n; ++u)
     for (int v = u + 1; v < n; ++v) all_edges.emplace_back(u, v);
 
+  // Dedup up to isomorphism by canonical form (pattern_canon.h): one
+  // canonicalization per candidate instead of a pairwise isomorphism
+  // check against every motif kept so far. First representative wins, so
+  // the output order matches the historical pairwise dedup.
   std::vector<Pattern> motifs;
+  std::unordered_set<std::string> seen;
   const std::uint32_t limit = 1u << all_edges.size();
   for (std::uint32_t mask = 0; mask < limit; ++mask) {
     std::vector<std::pair<int, int>> edges;
@@ -140,10 +122,7 @@ std::vector<Pattern> connected_motifs(int n) {
     if (edges.size() + 1 < static_cast<std::size_t>(n)) continue;
     Pattern p(n, edges);
     if (!p.connected()) continue;
-    const bool duplicate =
-        std::any_of(motifs.begin(), motifs.end(),
-                    [&p](const Pattern& q) { return isomorphic(p, q); });
-    if (!duplicate) motifs.push_back(std::move(p));
+    if (seen.insert(canonical_string(p)).second) motifs.push_back(std::move(p));
   }
   return motifs;
 }

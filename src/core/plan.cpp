@@ -1,0 +1,76 @@
+#include "core/plan.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace graphpi {
+
+Plan compile_plan(const Configuration& config) {
+  const int n = config.pattern.size();
+  GRAPHPI_CHECK_MSG(config.schedule.size() == n,
+                    "schedule must cover the pattern");
+  Plan plan;
+  plan.pattern = config.pattern;
+  plan.iep = config.iep;
+  const bool iep = config.iep.k > 0;
+  plan.outer_depth = iep ? n - config.iep.k : n;
+  GRAPHPI_CHECK(plan.outer_depth >= 1);
+
+  plan.steps.resize(static_cast<std::size_t>(n));
+  for (int d = 0; d < n; ++d) {
+    auto& step = plan.steps[static_cast<std::size_t>(d)];
+    const int v = config.schedule.vertex_at(d);
+    step.pattern_vertex = v;
+    if (d >= plan.outer_depth) {
+      step.kind = PlanStep::Kind::kIepSuffix;
+    } else if (!iep && d == n - 1) {
+      step.kind = PlanStep::Kind::kCountLeaf;
+    } else {
+      step.kind = PlanStep::Kind::kExtend;
+    }
+    for (int e = 0; e < d; ++e) {
+      const int u = config.schedule.vertex_at(e);
+      if (config.pattern.has_edge(u, v)) step.predecessor_depths.push_back(e);
+    }
+    if (step.predecessor_depths.size() >= 2) plan.wants_hub_index = true;
+    for (const auto& r : config.restrictions) {
+      const int dg = config.schedule.depth_of(r.greater);
+      const int ds = config.schedule.depth_of(r.smaller);
+      if (std::max(dg, ds) != d) continue;  // checked at the later depth
+      if (ds == d) {
+        // id(greater) > id(this): candidates bounded above.
+        step.upper_bound_depths.push_back(dg);
+      } else {
+        // id(this) > id(smaller): candidates bounded below.
+        step.lower_bound_depths.push_back(ds);
+      }
+    }
+  }
+  return plan;
+}
+
+std::string Plan::to_string() const {
+  std::ostringstream oss;
+  oss << "plan n=" << size() << " outer=" << outer_depth;
+  if (iep_active()) oss << " iep_k=" << iep.k;
+  for (int d = 0; d < size(); ++d) {
+    const auto& s = steps[static_cast<std::size_t>(d)];
+    oss << " | d" << d << " v" << s.pattern_vertex;
+    switch (s.kind) {
+      case PlanStep::Kind::kExtend: oss << " extend"; break;
+      case PlanStep::Kind::kCountLeaf: oss << " count"; break;
+      case PlanStep::Kind::kIepSuffix: oss << " iep"; break;
+    }
+    oss << " preds[";
+    for (std::size_t i = 0; i < s.predecessor_depths.size(); ++i)
+      oss << (i ? "," : "") << s.predecessor_depths[i];
+    oss << "]";
+    for (int b : s.lower_bound_depths) oss << " >d" << b;
+    for (int b : s.upper_bound_depths) oss << " <d" << b;
+  }
+  return oss.str();
+}
+
+}  // namespace graphpi

@@ -1,0 +1,211 @@
+#include "core/plan_forest.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace graphpi {
+
+namespace {
+
+std::vector<int> sorted_unique(std::vector<int> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+}  // namespace
+
+PlanForest::PlanForest(std::vector<Plan> plans) : plans_(std::move(plans)) {
+  GRAPHPI_CHECK_MSG(plans_.size() <= kMaxPlans,
+                    "a forest holds at most kMaxPlans plans; chunk larger "
+                    "batches (GraphPi::count_batch does)");
+  nodes_.emplace_back();  // root, depth 0
+
+  std::size_t total_extend_steps = 0;
+  std::size_t total_suffix_sets = 0;
+  for (std::size_t pi = 0; pi < plans_.size(); ++pi) {
+    const Plan& plan = plans_[pi];
+    GRAPHPI_CHECK_MSG(plan.size() >= 1, "cannot add an empty plan");
+    const PlanMask bit = PlanMask{1} << pi;
+    const int leaf_depth = plan.leaf_depth();
+    total_extend_steps += static_cast<std::size_t>(leaf_depth);
+
+    // Descend the trie along the plan's extend steps — edges are keyed on
+    // predecessor lists; the step's restriction bounds only select (or
+    // create) a branch on the shared edge.
+    int cur = 0;
+    for (int d = 0; d < leaf_depth; ++d) {
+      const PlanStep& step = plan.steps[static_cast<std::size_t>(d)];
+      Extension* ext = nullptr;
+      for (Extension& e : nodes_[static_cast<std::size_t>(cur)].extensions)
+        if (e.predecessor_depths == step.predecessor_depths) {
+          ext = &e;
+          break;
+        }
+      if (ext == nullptr) {
+        const int child = static_cast<int>(nodes_.size());
+        Node node;
+        node.depth = d + 1;
+        nodes_.push_back(std::move(node));
+        Extension e;
+        e.predecessor_depths = step.predecessor_depths;
+        e.child = child;
+        auto& exts = nodes_[static_cast<std::size_t>(cur)].extensions;
+        exts.push_back(std::move(e));
+        ext = &exts.back();
+      }
+      ext->mask |= bit;
+      Branch* branch = nullptr;
+      for (Branch& b : ext->branches)
+        if (b.lower_bound_depths == step.lower_bound_depths &&
+            b.upper_bound_depths == step.upper_bound_depths) {
+          branch = &b;
+          break;
+        }
+      if (branch == nullptr) {
+        Branch b;
+        b.lower_bound_depths = step.lower_bound_depths;
+        b.upper_bound_depths = step.upper_bound_depths;
+        ext->branches.push_back(std::move(b));
+        branch = &ext->branches.back();
+      }
+      branch->mask |= bit;
+      cur = ext->child;
+    }
+
+    // Attach the terminal action at the leaf node.
+    Node& leaf_node = nodes_[static_cast<std::size_t>(cur)];
+    if (plan.iep_active()) {
+      total_suffix_sets += static_cast<std::size_t>(plan.iep.k);
+      IepLeaf leaf;
+      leaf.plan = static_cast<int>(pi);
+      for (int s = 0; s < plan.iep.k; ++s) {
+        const auto& def =
+            plan.steps[static_cast<std::size_t>(plan.outer_depth + s)]
+                .predecessor_depths;
+        const auto it = std::find(leaf_node.suffix_defs.begin(),
+                                  leaf_node.suffix_defs.end(), def);
+        int id;
+        if (it == leaf_node.suffix_defs.end()) {
+          id = static_cast<int>(leaf_node.suffix_defs.size());
+          leaf_node.suffix_defs.push_back(def);
+          leaf_node.suffix_def_masks.push_back(0);
+        } else {
+          id = static_cast<int>(it - leaf_node.suffix_defs.begin());
+        }
+        leaf_node.suffix_def_masks[static_cast<std::size_t>(id)] |= bit;
+        leaf.set_ids.push_back(id);
+      }
+      leaf_node.iep_leaves.push_back(std::move(leaf));
+    } else {
+      const PlanStep& last = plan.steps.back();
+      CountLeaf leaf;
+      leaf.plan = static_cast<int>(pi);
+      leaf.predecessor_depths = last.predecessor_depths;
+      leaf.lower_bound_depths = last.lower_bound_depths;
+      leaf.upper_bound_depths = last.upper_bound_depths;
+      leaf_node.count_leaves.push_back(std::move(leaf));
+    }
+  }
+
+  // Memo analysis: a leaf whose dependency depths skip one of the
+  // enclosing loop depths has a loop-invariant raw count — the executor
+  // memoizes it keyed on the (at most two, for exact 64-bit packing)
+  // depths it does read. IEP leaves qualify only at k == 1, where the
+  // term sum degenerates to |S_0| and the used-vertex correction can be
+  // applied outside the memoized value.
+  for (Node& node : nodes_) {
+    for (CountLeaf& leaf : node.count_leaves) {
+      std::vector<int> deps = leaf.predecessor_depths;
+      deps.insert(deps.end(), leaf.lower_bound_depths.begin(),
+                  leaf.lower_bound_depths.end());
+      deps.insert(deps.end(), leaf.upper_bound_depths.begin(),
+                  leaf.upper_bound_depths.end());
+      deps = sorted_unique(std::move(deps));
+      if (deps.size() <= 2 && static_cast<int>(deps.size()) < node.depth) {
+        leaf.memo_id = static_cast<int>(stats_.memoized_leaves++);
+        leaf.memo_key_depths = std::move(deps);
+      }
+    }
+    for (IepLeaf& leaf : node.iep_leaves) {
+      const Plan& plan = plans_[static_cast<std::size_t>(leaf.plan)];
+      if (plan.iep.k != 1) continue;
+      const auto& terms = plan.iep.terms;
+      if (terms.size() != 1 || terms[0].coefficient != 1 ||
+          terms[0].blocks.size() != 1 ||
+          terms[0].blocks[0] != std::vector<int>{0})
+        continue;
+      const int def_id = leaf.set_ids[0];
+      std::vector<int> deps = sorted_unique(
+          node.suffix_defs[static_cast<std::size_t>(def_id)]);
+      if (deps.size() <= 2 && static_cast<int>(deps.size()) < node.depth) {
+        leaf.memo_id = static_cast<int>(stats_.memoized_leaves++);
+        leaf.memo_key_depths = std::move(deps);
+        // This leaf no longer reads the shared set; drop its demand so
+        // the executor skips the build unless another leaf needs it.
+        node.suffix_def_masks[static_cast<std::size_t>(def_id)] &=
+            ~(PlanMask{1} << leaf.plan);
+      }
+    }
+  }
+
+  // Extensions whose intersection the node's IEP leaves already
+  // materialize (same >= 2 predecessors) copy the shared set instead of
+  // re-intersecting. Only the FIRST extension of a node may reuse: a
+  // later sibling runs after earlier subtrees, whose deeper leaf nodes
+  // recycle the workspace's suffix-set slots — the shared set would be
+  // stale by then. Extension order is free (counting is order
+  // independent), so one reusable extension is rotated to the front.
+  for (Node& node : nodes_) {
+    for (std::size_t e = 0; e < node.extensions.size(); ++e) {
+      Extension& ext = node.extensions[e];
+      if (ext.predecessor_depths.size() < 2) continue;
+      const auto it = std::find(node.suffix_defs.begin(),
+                                node.suffix_defs.end(),
+                                ext.predecessor_depths);
+      if (it == node.suffix_defs.end()) continue;
+      ext.reuse_suffix_def = static_cast<int>(it - node.suffix_defs.begin());
+      std::swap(node.extensions[0], node.extensions[e]);
+      break;
+    }
+  }
+
+  std::size_t shared_defs = 0;
+  for (const Node& node : nodes_) {
+    shared_defs += node.suffix_defs.size();
+    stats_.extensions += node.extensions.size();
+    stats_.max_depth =
+        std::max(stats_.max_depth, static_cast<std::size_t>(node.depth));
+  }
+  stats_.plans = plans_.size();
+  stats_.nodes = nodes_.size();
+  stats_.shared_steps = total_extend_steps - stats_.extensions;
+  stats_.shared_suffix_sets = total_suffix_sets - shared_defs;
+}
+
+std::string PlanForest::to_string() const {
+  std::ostringstream oss;
+  oss << "forest plans=" << stats_.plans << " nodes=" << stats_.nodes
+      << " extensions=" << stats_.extensions
+      << " shared_steps=" << stats_.shared_steps
+      << " shared_suffix_sets=" << stats_.shared_suffix_sets << "\n";
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    oss << "  node " << i << " depth " << n.depth << ":";
+    for (const Extension& e : n.extensions) {
+      oss << " ext[preds";
+      for (int p : e.predecessor_depths) oss << " " << p;
+      oss << " -> " << e.child << ", " << e.branches.size() << " branches]";
+    }
+    oss << " " << n.count_leaves.size() << " count-leaves, "
+        << n.iep_leaves.size() << " iep-leaves";
+    if (!n.suffix_defs.empty())
+      oss << " (" << n.suffix_defs.size() << " suffix sets)";
+    oss << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace graphpi

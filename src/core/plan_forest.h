@@ -1,0 +1,147 @@
+// Prefix-sharing multi-plan trie.
+//
+// Motif-style workloads run many plans against the same data graph, and
+// the plans share long loop prefixes: every plan's depth-0 loop scans the
+// vertex set, most depth-1 loops scan N(v0), many depth-2 loops intersect
+// the same pair of adjacencies. A PlanForest merges compiled Plans (see
+// plan.h) into a trie keyed on each step's *predecessor list* — the part
+// of a loop that costs real work (candidate intersections) — so a single
+// traversal of the data graph extends each shared prefix once for every
+// plan.
+//
+// Per-plan restriction windows do NOT split the trie. Plans whose bounds
+// coincide on an edge are grouped into one Branch; the executor loops
+// over the union window of the active branches and narrows an active-plan
+// bitmask per candidate vertex, so plans that differ only in restrictions
+// still share every intersection below the divergence. Terminal actions
+// (counting leaves, IEP term evaluations) fire only for plans whose bit
+// survived the path. IEP leaves additionally share materialized suffix
+// candidate sets: the distinct predecessor lists across all leaves of a
+// node (and all S_i of one leaf) are deduplicated into `suffix_defs`.
+//
+// Like Plan, a forest is data-graph independent and immutable after
+// construction; engine/forest.h executes it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/plan.h"
+
+namespace graphpi {
+
+class PlanForest {
+ public:
+  /// Bit i = plans()[i]. Capacity bounds the batch size; callers with
+  /// more plans run several forests (GraphPi::count_batch chunks
+  /// automatically).
+  using PlanMask = std::uint64_t;
+  static constexpr std::size_t kMaxPlans = 64;
+
+  /// Plans whose restriction windows coincide on an edge.
+  struct Branch {
+    PlanMask mask = 0;
+    std::vector<int> lower_bound_depths;  ///< candidates > mapped[d]
+    std::vector<int> upper_bound_depths;  ///< candidates < mapped[d]
+  };
+
+  /// One distinct loop at a node, keyed on the predecessor list; leads
+  /// into `child`.
+  struct Extension {
+    std::vector<int> predecessor_depths;
+    int child = -1;
+    PlanMask mask = 0;  ///< union of branch masks
+    std::vector<Branch> branches;
+    /// Node suffix def with the same (>= 2) predecessors, or -1: when the
+    /// leaves just materialized that set, the executor copies it instead
+    /// of re-running the intersection (used vertices are absent from the
+    /// set, which the loop would skip anyway).
+    int reuse_suffix_def = -1;
+  };
+
+  /// Counting-only terminal of a plain plan: |candidates ∩ window| minus
+  /// already-used vertices, evaluated with size-only kernels.
+  ///
+  /// When the leaf's dependency set (predecessors + bounds) skips one of
+  /// the enclosing loop depths, its raw intersection size is *loop
+  /// invariant* in the skipped depth and the executor memoizes it: the
+  /// build assigns a memo table id and the mapped depths forming the memo
+  /// key. The rectangle is the canonical beneficiary — its leaf
+  /// |N(v0) ∩ N(v2)| is recomputed per wedge midpoint without this.
+  struct CountLeaf {
+    int plan = -1;  ///< index into plans()
+    std::vector<int> predecessor_depths;
+    std::vector<int> lower_bound_depths;
+    std::vector<int> upper_bound_depths;
+    int memo_id = -1;                 ///< -1 = not memoizable
+    std::vector<int> memo_key_depths;  ///< mapped depths forming the key
+  };
+
+  /// IEP terminal: evaluate plans()[plan].iep.terms over the node's shared
+  /// suffix sets; set_ids[i] is the suffix_defs index holding S_i.
+  /// k == 1 leaves whose single set skips an enclosing depth are
+  /// memoized exactly like CountLeaf (the term sum is then just |S_0|).
+  struct IepLeaf {
+    int plan = -1;
+    std::vector<int> set_ids;
+    int memo_id = -1;
+    std::vector<int> memo_key_depths;
+  };
+
+  struct Node {
+    int depth = 0;  ///< schedule positions mapped when this node is reached
+    std::vector<Extension> extensions;
+    std::vector<CountLeaf> count_leaves;
+    std::vector<IepLeaf> iep_leaves;
+    /// Distinct suffix candidate-set definitions (predecessor depth
+    /// lists) shared by this node's IEP leaves, with the plans consuming
+    /// each (so inactive plans' sets are never built).
+    std::vector<std::vector<int>> suffix_defs;
+    std::vector<PlanMask> suffix_def_masks;
+  };
+
+  struct Stats {
+    std::size_t plans = 0;
+    std::size_t nodes = 0;       ///< including the root
+    std::size_t extensions = 0;  ///< trie edges
+    /// Loop steps saved by prefix sharing: total kExtend steps across all
+    /// plans minus trie edges. Zero when nothing is shared.
+    std::size_t shared_steps = 0;
+    /// Suffix-set materializations saved by IEP set sharing.
+    std::size_t shared_suffix_sets = 0;
+    /// Leaves with loop-invariant raw counts (see CountLeaf::memo_id);
+    /// also the number of memo tables an executor workspace holds.
+    std::size_t memoized_leaves = 0;
+    std::size_t max_depth = 0;
+  };
+
+  /// Builds the trie. At most kMaxPlans plans, each of size >= 1; they
+  /// may differ in size, IEP use, and schedule shape.
+  explicit PlanForest(std::vector<Plan> plans);
+
+  /// Mask with one bit per plan — the executor's initial active set.
+  [[nodiscard]] PlanMask all_plans_mask() const noexcept {
+    const std::size_t n = plans_.size();
+    return n >= kMaxPlans ? ~PlanMask{0} : (PlanMask{1} << n) - 1;
+  }
+
+  [[nodiscard]] const std::vector<Plan>& plans() const noexcept {
+    return plans_;
+  }
+  [[nodiscard]] const std::vector<Node>& nodes() const noexcept {
+    return nodes_;
+  }
+  [[nodiscard]] const Node& root() const noexcept { return nodes_.front(); }
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<Plan> plans_;
+  std::vector<Node> nodes_;  ///< nodes_[0] is the root (depth 0)
+  Stats stats_;
+};
+
+}  // namespace graphpi

@@ -1,0 +1,299 @@
+#include "engine/forest.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <array>
+
+#include "engine/plan_exec.h"
+#include "graph/vertex_set.h"
+#include "support/check.h"
+
+namespace graphpi {
+
+namespace {
+
+using PlanMask = PlanForest::PlanMask;
+
+/// exec::restriction_window over any forest element carrying bound lists.
+template <typename Bounded>
+exec::Window bounded_window(const VertexId* mapped, const Bounded& b) {
+  return exec::restriction_window(mapped, b.lower_bound_depths,
+                                  b.upper_bound_depths);
+}
+
+}  // namespace
+
+namespace {
+std::atomic<std::uint64_t> g_next_executor_id{1};  // 0 = workspace unbound
+}  // namespace
+
+ForestExecutor::ForestExecutor(const Graph& graph, const PlanForest& forest)
+    : graph_(&graph),
+      forest_(&forest),
+      id_(g_next_executor_id.fetch_add(1, std::memory_order_relaxed)) {
+  for (const Plan& plan : forest.plans())
+    if (plan.wants_hub_index) {
+      graph.ensure_hub_index();
+      break;
+    }
+}
+
+namespace {
+
+/// Packs the (at most two) memo-key mapped values into one exact 64-bit
+/// key — no hashing ambiguity, so a hit is always the right value.
+std::uint64_t memo_key(const VertexId* mapped, std::span<const int> depths) {
+  std::uint64_t key = 0;
+  for (int d : depths) key = (key << 32) | mapped[d];
+  return key;
+}
+
+}  // namespace
+
+Count ForestExecutor::memoized_raw_count(Workspace& ws, int memo_id,
+                                         std::span<const int> key_depths,
+                                         std::span<const int> preds,
+                                         std::span<const VertexId> mapped,
+                                         VertexId lo, VertexId hi) const {
+  auto& table = ws.memo[static_cast<std::size_t>(memo_id)];
+  const int depth = static_cast<int>(mapped.size());
+  // Cheap intersections (small adjacency sums, L1-resident) beat a cold
+  // table slot; only expensive ones are worth remembering.
+  std::size_t work = 0;
+  for (int p : preds) work += graph_->degree(mapped[p]);
+  const std::uint64_t key = memo_key(ws.mapped, key_depths);
+  if (table.disabled || work < kMemoMinWork || key == kMemoEmptyKey)
+    return exec::count_intersection_bounded(*graph_, preds, mapped, lo, hi,
+                                            ws.cand[depth], ws.tmp[depth]);
+  if (table.keys.empty()) {
+    // Size to the key space: a d-depth key can take at most |V|^d values,
+    // so small graphs get small tables (kMemoSlots caps the footprint).
+    std::size_t space = 1;
+    for (std::size_t i = 0; i < key_depths.size() && space < kMemoSlots; ++i)
+      space *= graph_->vertex_count();
+    table.keys.assign(std::bit_ceil(std::min(space, kMemoSlots)),
+                      kMemoEmptyKey);
+    table.values.resize(table.keys.size());
+  }
+  // Locality-aware slot map: the low key half is the innermost-varying
+  // mapped value, which scans *sorted* adjacency lists — keeping slots
+  // linear in it turns table probes into near-sequential memory access.
+  // The outer half is scattered multiplicatively to separate subtrees.
+  const std::size_t slot =
+      (static_cast<std::size_t>(key & 0xffffffffu) +
+       static_cast<std::size_t>(static_cast<std::uint32_t>(key >> 32) *
+                                0x9E3779B9u)) &
+      (table.keys.size() - 1);
+  ++table.probes;
+  if (table.keys[slot] == key) {
+    ++table.hits;
+    return table.values[slot];
+  }
+  const Count raw = exec::count_intersection_bounded(
+      *graph_, preds, mapped, lo, hi, ws.cand[depth], ws.tmp[depth]);
+  table.keys[slot] = key;
+  table.values[slot] = raw;
+  if (table.probes - table.last_review_probes >= kMemoProbeWindow) {
+    // Review the last window (misses reach here often enough that the
+    // window overshoots by at most a few hits): a table whose keys are
+    // not repeating on this graph stops paying for itself.
+    const std::uint64_t window_probes = table.probes - table.last_review_probes;
+    const std::uint64_t window_hits = table.hits - table.last_review_hits;
+    if (window_hits * kMemoMinHitDen < window_probes * kMemoMinHitNum) {
+      table.disabled = true;
+      table.keys = {};
+      table.values = {};
+    }
+    table.last_review_probes = table.probes;
+    table.last_review_hits = table.hits;
+  }
+  return raw;
+}
+
+void ForestExecutor::eval_leaves(Workspace& ws, const PlanForest::Node& node,
+                                 PlanMask active) const {
+  const int depth = node.depth;
+  const std::span<const VertexId> mapped{ws.mapped,
+                                         static_cast<std::size_t>(depth)};
+
+  for (const PlanForest::CountLeaf& leaf : node.count_leaves) {
+    if (((active >> leaf.plan) & 1) == 0) continue;
+    const exec::Window w = bounded_window(ws.mapped, leaf);
+    if (w.empty()) continue;
+    const Count raw =
+        leaf.memo_id >= 0
+            ? memoized_raw_count(ws, leaf.memo_id, leaf.memo_key_depths,
+                                 leaf.predecessor_depths, mapped,
+                                 w.lo_inclusive, w.hi_exclusive)
+            : exec::count_intersection_bounded(
+                  *graph_, leaf.predecessor_depths, mapped, w.lo_inclusive,
+                  w.hi_exclusive, ws.cand[depth], ws.tmp[depth]);
+    ws.sums[static_cast<std::size_t>(leaf.plan)] +=
+        raw - exec::count_used_in_intersection(*graph_,
+                                               leaf.predecessor_depths, mapped,
+                                               w.lo_inclusive, w.hi_exclusive);
+  }
+
+  if (node.iep_leaves.empty()) return;
+  // Materialize each suffix candidate set some active plan consumes —
+  // once, however many S_i across however many leaves read it.
+  if (ws.suffix_sets.size() < node.suffix_defs.size())
+    ws.suffix_sets.resize(node.suffix_defs.size());
+  for (std::size_t i = 0; i < node.suffix_defs.size(); ++i)
+    if ((node.suffix_def_masks[i] & active) != 0)
+      exec::build_suffix_set(*graph_, node.suffix_defs[i], mapped,
+                             ws.suffix_sets[i], ws.scratch_a);
+  for (const PlanForest::IepLeaf& leaf : node.iep_leaves) {
+    if (((active >> leaf.plan) & 1) == 0) continue;
+    if (leaf.memo_id >= 0) {
+      // k == 1: the term sum is |S_0|; memoize the raw intersection and
+      // correct for used vertices outside the memo.
+      const auto& def =
+          node.suffix_defs[static_cast<std::size_t>(leaf.set_ids[0])];
+      const Count raw =
+          memoized_raw_count(ws, leaf.memo_id, leaf.memo_key_depths, def,
+                             mapped, 0, kNoVertexBound);
+      ws.sums[static_cast<std::size_t>(leaf.plan)] +=
+          raw - exec::count_used_in_intersection(*graph_, def, mapped, 0,
+                                                 kNoVertexBound);
+      continue;
+    }
+    const Plan& plan = forest_->plans()[static_cast<std::size_t>(leaf.plan)];
+    ws.sums[static_cast<std::size_t>(leaf.plan)] +=
+        exec::evaluate_iep_terms(plan.iep.terms, ws.suffix_sets, leaf.set_ids,
+                                 ws.scratch_a, ws.scratch_b);
+  }
+}
+
+void ForestExecutor::exec_node(Workspace& ws, const PlanForest::Node& node,
+                               PlanMask active) const {
+  // Leaves first: they may use cand[depth]/tmp[depth], which the
+  // extension loop below rebuilds.
+  if (!node.count_leaves.empty() || !node.iep_leaves.empty())
+    eval_leaves(ws, node, active);
+
+  const int depth = node.depth;
+  const std::span<const VertexId> mapped{ws.mapped,
+                                         static_cast<std::size_t>(depth)};
+  for (const PlanForest::Extension& ext : node.extensions) {
+    if ((ext.mask & active) == 0) continue;
+    const PlanForest::Node& child =
+        forest_->nodes()[static_cast<std::size_t>(ext.child)];
+
+    // Resolve each active branch's restriction window under the current
+    // mapping; the loop runs over the union window and narrows the
+    // active-plan mask per candidate, so plans differing only in
+    // restrictions share the intersection built below.
+    std::array<exec::Window, PlanForest::kMaxPlans> windows;
+    std::array<PlanMask, PlanForest::kMaxPlans> masks;
+    std::size_t live = 0;
+    exec::Window unio{kNoVertexBound, 0};
+    for (const PlanForest::Branch& branch : ext.branches) {
+      const PlanMask m = branch.mask & active;
+      if (m == 0) continue;
+      const exec::Window w = bounded_window(ws.mapped, branch);
+      if (w.empty()) continue;
+      windows[live] = w;
+      masks[live] = m;
+      ++live;
+      unio.lo_inclusive = std::min(unio.lo_inclusive, w.lo_inclusive);
+      unio.hi_exclusive = std::max(unio.hi_exclusive, w.hi_exclusive);
+    }
+    if (live == 0) continue;
+
+    std::span<const VertexId> cands;
+    if (ext.reuse_suffix_def >= 0 &&
+        (node.suffix_def_masks[static_cast<std::size_t>(
+             ext.reuse_suffix_def)] &
+         active) != 0) {
+      // eval_leaves just materialized this intersection as a shared IEP
+      // suffix set; copy it (child recursion reuses the suffix slots) —
+      // cheaper than re-intersecting, and the removed used vertices
+      // would be skipped by the loop anyway.
+      const auto& set =
+          ws.suffix_sets[static_cast<std::size_t>(ext.reuse_suffix_def)];
+      ws.cand[depth].assign(set.begin(), set.end());
+      cands = ws.cand[depth];
+    } else {
+      cands = exec::build_candidates(*graph_, ext.predecessor_depths, mapped,
+                                     ws.cand[depth], ws.tmp[depth],
+                                     ws.all_vertices);
+    }
+    const auto range = unio.unbounded()
+                           ? cands
+                           : trim_to_window(cands, unio.lo_inclusive,
+                                            unio.hi_exclusive);
+    if (live == 1) {
+      // Common case: one distinct window — the trim above already applied
+      // it, so no per-vertex checks are needed.
+      const PlanMask next = masks[0];
+      for (VertexId v : range) {
+        if (exec::already_used(mapped, v)) continue;
+        ws.mapped[depth] = v;
+        exec_node(ws, child, next);
+      }
+      continue;
+    }
+    for (VertexId v : range) {
+      PlanMask next = 0;
+      for (std::size_t b = 0; b < live; ++b)
+        if (windows[b].contains(v)) next |= masks[b];
+      if (next == 0 || exec::already_used(mapped, v)) continue;
+      ws.mapped[depth] = v;
+      exec_node(ws, child, next);
+    }
+  }
+}
+
+void ForestExecutor::reset(Workspace& ws) const {
+  ws.sums.assign(forest_->plans().size(), 0);
+  if (ws.bound_executor != id_) {
+    // Memo keys are only meaningful for the executor that wrote them.
+    ws.memo.clear();
+    ws.bound_executor = id_;
+  }
+  if (ws.memo.size() < forest_->stats().memoized_leaves)
+    ws.memo.resize(forest_->stats().memoized_leaves);
+}
+
+void ForestExecutor::accumulate_root(Workspace& ws, VertexId v0) const {
+  const PlanForest::Node& root = forest_->root();
+  GRAPHPI_CHECK_MSG(root.count_leaves.empty(),
+                    "accumulate_root requires plans with >= 2 vertices");
+  // Root extensions are always unconstrained (no predecessors or bounds
+  // can reference depth < 0), so any v0 is a valid depth-0 assignment.
+  for (const PlanForest::Extension& ext : root.extensions) {
+    ws.mapped[0] = v0;
+    exec_node(ws, forest_->nodes()[static_cast<std::size_t>(ext.child)],
+              ext.mask & forest_->all_plans_mask());
+  }
+}
+
+std::vector<Count> ForestExecutor::finalize(
+    std::span<const Count> sums) const {
+  const auto& plans = forest_->plans();
+  GRAPHPI_CHECK(sums.size() == plans.size());
+  std::vector<Count> out(sums.begin(), sums.end());
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    if (!plans[i].iep_active()) continue;
+    GRAPHPI_CHECK_MSG(out[i] % plans[i].iep.divisor == 0,
+                      "IEP sum must be divisible by the surviving-"
+                      "automorphism factor x");
+    out[i] /= plans[i].iep.divisor;
+  }
+  return out;
+}
+
+std::vector<Count> ForestExecutor::count(Workspace& ws) const {
+  reset(ws);
+  exec_node(ws, forest_->root(), forest_->all_plans_mask());
+  return finalize(ws.sums);
+}
+
+std::vector<Count> ForestExecutor::count() const {
+  Workspace ws;
+  return count(ws);
+}
+
+}  // namespace graphpi

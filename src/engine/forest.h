@@ -1,0 +1,131 @@
+// Batch executor for prefix-sharing plan forests.
+//
+// Runs a core::PlanForest against a CSR data graph in a single traversal:
+// every trie edge (one distinct loop shape) is executed once per partial
+// embedding, so work that per-pattern runs repeat — the outer vertex
+// scan, shared candidate intersections, shared IEP suffix sets — is done
+// once and feeds every plan's counter. Per-plan restriction windows
+// narrow an active-plan bitmask as the traversal descends (see the
+// Branch model in core/plan_forest.h); terminal counting and IEP term
+// evaluation fire only for plans whose bit survived the path.
+//
+// Like Matcher, the executor is immutable after construction and safe to
+// share across threads; all mutable state lives in a Workspace. The
+// parallel runtime (count_batch_parallel in engine/parallel.h) partitions
+// work by root vertex via accumulate_root().
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/pattern.h"
+#include "core/plan_forest.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace graphpi {
+
+class ForestExecutor {
+ public:
+  /// Mutable traversal state. Construct once per worker and reuse —
+  /// steady-state traversals perform no heap allocation.
+  struct Workspace {
+    VertexId mapped[Pattern::kMaxVertices] = {};
+    /// Per-depth candidate storage: cand[d] holds the current
+    /// predecessor-group intersection for depth d, tmp[d] is the chain
+    /// swap buffer. Leaves at depth d may also use both (leaves are
+    /// evaluated before the extensions that would overwrite them).
+    std::vector<VertexId> cand[Pattern::kMaxVertices];
+    std::vector<VertexId> tmp[Pattern::kMaxVertices];
+    /// Shared IEP suffix sets of the node being evaluated, indexed by the
+    /// node's suffix_defs.
+    std::vector<std::vector<VertexId>> suffix_sets;
+    std::vector<VertexId> scratch_a;
+    std::vector<VertexId> scratch_b;
+    std::vector<VertexId> all_vertices;  // lazy iota for 0-pred loops
+    /// One memo table per memoized leaf (PlanForest::Stats): a
+    /// direct-mapped cache from the packed dependency key to the leaf's
+    /// raw intersection size — one slot probe, overwrite on collision,
+    /// allocated lazily on first probe. Memoization only pays when keys
+    /// repeat (the skipped loop revisits dependency tuples — high
+    /// common-neighbor multiplicity), so each table self-tunes: it tracks
+    /// its hit rate and shuts itself off (freeing its storage) after a
+    /// probe window below kMemoMinHitNum/Den. Correctness never depends
+    /// on a hit.
+    struct MemoTable {
+      std::vector<std::uint64_t> keys;  ///< kEmptyKey marks a free slot
+      std::vector<Count> values;
+      std::uint64_t probes = 0;
+      std::uint64_t hits = 0;
+      std::uint64_t last_review_probes = 0;
+      std::uint64_t last_review_hits = 0;
+      bool disabled = false;
+    };
+    std::vector<MemoTable> memo;
+    /// Executor the memo tables belong to (ids are process-unique per
+    /// ForestExecutor lifetime, like Matcher workspaces); reset() drops
+    /// the tables when the workspace is handed to a different executor.
+    std::uint64_t bound_executor = 0;
+    /// Per-plan accumulators; *undivided* inclusion–exclusion sums for
+    /// IEP plans (see finalize()).
+    std::vector<Count> sums;
+  };
+
+  /// Direct-mapped memo geometry cap: at most 2^20 slots = 16 MB per
+  /// live table; tables are sized down to the key space (|V|^depths) on
+  /// small graphs.
+  static constexpr std::size_t kMemoSlots = std::size_t{1} << 20;
+  /// Minimum predecessor degree sum for a probe: below this the
+  /// intersection is cheaper in cache than a (likely cold) table slot, so
+  /// it is recomputed directly.
+  static constexpr std::size_t kMemoMinWork = 32;
+  static constexpr std::uint64_t kMemoEmptyKey = ~std::uint64_t{0};
+  /// Hit-rate review cadence and the minimum keep-alive rate (2/3).
+  static constexpr std::uint64_t kMemoProbeWindow = std::uint64_t{1} << 16;
+  static constexpr std::uint64_t kMemoMinHitNum = 2;
+  static constexpr std::uint64_t kMemoMinHitDen = 3;
+
+  /// The forest must outlive the executor. Builds the graph's hub bitmap
+  /// index when any plan wants it.
+  ForestExecutor(const Graph& graph, const PlanForest& forest);
+
+  /// One full traversal; returns the finalized per-plan counts, indexed
+  /// like forest().plans().
+  [[nodiscard]] std::vector<Count> count() const;
+  [[nodiscard]] std::vector<Count> count(Workspace& ws) const;
+
+  /// Zeroes ws.sums (sizing it to the plan count). Call once before a
+  /// sequence of accumulate_root() calls.
+  void reset(Workspace& ws) const;
+
+  /// Runs the forest with the depth-0 loop pinned to `v0`, adding
+  /// undivided per-plan sums into ws.sums — the work unit of the parallel
+  /// batch runtime. Requires every plan to have size >= 2 (no terminal
+  /// action at the root).
+  void accumulate_root(Workspace& ws, VertexId v0) const;
+
+  /// Converts aggregated undivided sums into final per-plan counts
+  /// (divides IEP plans by their surviving-automorphism factor x).
+  [[nodiscard]] std::vector<Count> finalize(std::span<const Count> sums) const;
+
+  [[nodiscard]] const PlanForest& forest() const noexcept { return *forest_; }
+  [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
+
+ private:
+  void exec_node(Workspace& ws, const PlanForest::Node& node,
+                 PlanForest::PlanMask active) const;
+  void eval_leaves(Workspace& ws, const PlanForest::Node& node,
+                   PlanForest::PlanMask active) const;
+  Count memoized_raw_count(Workspace& ws, int memo_id,
+                           std::span<const int> key_depths,
+                           std::span<const int> preds,
+                           std::span<const VertexId> mapped, VertexId lo,
+                           VertexId hi) const;
+
+  const Graph* graph_;
+  const PlanForest* forest_;
+  std::uint64_t id_;  ///< process-unique (see Workspace::bound_executor)
+};
+
+}  // namespace graphpi

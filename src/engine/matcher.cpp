@@ -4,46 +4,16 @@
 #include <atomic>
 #include <numeric>
 
+#include "engine/plan_exec.h"
 #include "graph/vertex_set.h"
 #include "support/check.h"
 
 namespace graphpi {
 
 namespace {
-/// IEP partial sums can exceed 64 bits before the final division.
-using Wide = unsigned __int128;
-using SignedWide = __int128;
 
 std::atomic<std::uint64_t> g_workspace_constructions{0};
 std::atomic<std::uint64_t> g_next_matcher_id{1};  // 0 = workspace unbound
-
-/// Hub-aware intersection of two adjacency lists: when one endpoint has a
-/// bitmap row, probe the other (smaller) adjacency against it in O(|adj|)
-/// instead of merging.
-void intersect_adjacencies(const Graph& g, VertexId u, VertexId v,
-                           std::vector<VertexId>& out) {
-  const auto adj_u = g.neighbors(u);
-  const auto adj_v = g.neighbors(v);
-  const std::uint64_t* bits_u = g.hub_bits(u);
-  const std::uint64_t* bits_v = g.hub_bits(v);
-  if (bits_v != nullptr && (bits_u == nullptr || adj_u.size() <= adj_v.size())) {
-    intersect_bitmap(adj_u, bits_v, out);
-  } else if (bits_u != nullptr) {
-    intersect_bitmap(adj_v, bits_u, out);
-  } else {
-    intersect_adaptive(adj_u, adj_v, out);
-  }
-}
-
-/// Hub-aware refinement step: out = set ∩ N(v).
-void intersect_with_vertex(const Graph& g, std::span<const VertexId> set,
-                           VertexId v, std::vector<VertexId>& out) {
-  if (const std::uint64_t* bits = g.hub_bits(v); bits != nullptr) {
-    intersect_bitmap(set, bits, out);
-  } else {
-    intersect_adaptive(set, g.neighbors(v), out);
-  }
-}
 
 }  // namespace
 
@@ -58,178 +28,53 @@ std::uint64_t Matcher::workspace_constructions() noexcept {
 Matcher::Matcher(const Graph& graph, Configuration config)
     : graph_(&graph),
       config_(std::move(config)),
+      plan_(compile_plan(config_)),
       id_(g_next_matcher_id.fetch_add(1, std::memory_order_relaxed)) {
-  n_ = config_.pattern.size();
-  GRAPHPI_CHECK_MSG(config_.schedule.size() == n_,
-                    "schedule must cover the pattern");
-  iep_active_ = config_.iep.k > 0;
-  outer_depth_ = iep_active_ ? n_ - config_.iep.k : n_;
-  GRAPHPI_CHECK(outer_depth_ >= 1);
+  n_ = plan_.size();
+  iep_active_ = plan_.iep_active();
+  outer_depth_ = plan_.outer_depth;
 
-  // Hub rows accelerate every intersection below; building is idempotent
-  // and must happen before the matcher is shared across threads.
-  graph.ensure_hub_index();
+  // Hub rows accelerate the multi-way intersections; building is
+  // idempotent and must happen before the matcher is shared across
+  // threads. Plans without any 2+-way intersection skip the index.
+  if (plan_.wants_hub_index) graph.ensure_hub_index();
 
-  // Precompile per-depth predecessors and restriction bounds. Bounds for
-  // depths below outer_depth_ involve only prefix endpoints, so they are
-  // identical with and without IEP (suffix-checked restrictions are the
-  // ones IEP drops); a single table serves both modes.
-  depth_info_.resize(static_cast<std::size_t>(n_));
-  for (int d = 0; d < n_; ++d) {
-    auto& info = depth_info_[static_cast<std::size_t>(d)];
-    const int v = config_.schedule.vertex_at(d);
-    for (int e = 0; e < d; ++e) {
-      const int u = config_.schedule.vertex_at(e);
-      if (config_.pattern.has_edge(u, v)) info.predecessor_depths.push_back(e);
-    }
-    for (const auto& r : config_.restrictions) {
-      const int dg = config_.schedule.depth_of(r.greater);
-      const int ds = config_.schedule.depth_of(r.smaller);
-      if (std::max(dg, ds) != d) continue;  // checked elsewhere
-      if (ds == d) {
-        // id(greater) > id(this): candidates bounded above.
-        info.upper_bound_depths.push_back(dg);
-      } else {
-        // id(this) > id(smaller): candidates bounded below.
-        info.lower_bound_depths.push_back(ds);
-      }
-    }
-  }
-}
-
-Matcher::Window Matcher::restriction_window(const Workspace& ws,
-                                            int depth) const {
-  const auto& info = depth_info_[static_cast<std::size_t>(depth)];
-  Window w{0, kNoVertexBound};
-  for (int d : info.lower_bound_depths)
-    w.lo_inclusive = std::max(w.lo_inclusive, ws.mapped[d] + 1);
-  for (int d : info.upper_bound_depths)
-    w.hi_exclusive = std::min(w.hi_exclusive, ws.mapped[d]);
-  return w;
+  identity_set_ids_.resize(static_cast<std::size_t>(plan_.iep.k));
+  std::iota(identity_set_ids_.begin(), identity_set_ids_.end(), 0);
 }
 
 std::span<const VertexId> Matcher::build_candidates(Workspace& ws,
                                                     int depth) const {
-  const auto& preds =
-      depth_info_[static_cast<std::size_t>(depth)].predecessor_depths;
-  if (preds.empty()) {
-    // Unconstrained loop over the whole vertex set (depth 0, or an
-    // inefficient schedule kept for the Figure 9 sweep).
-    if (ws.all_vertices.size() != graph_->vertex_count()) {
-      ws.all_vertices.resize(graph_->vertex_count());
-      std::iota(ws.all_vertices.begin(), ws.all_vertices.end(), VertexId{0});
-    }
-    return ws.all_vertices;
-  }
-  if (preds.size() == 1) return graph_->neighbors(ws.mapped[preds[0]]);
-
-  auto& out = ws.buf_a[depth];
-  auto& tmp = ws.buf_b[depth];
-  intersect_adjacencies(*graph_, ws.mapped[preds[0]], ws.mapped[preds[1]], out);
-  for (std::size_t p = 2; p < preds.size(); ++p) {
-    intersect_with_vertex(*graph_, out, ws.mapped[preds[p]], tmp);
-    std::swap(out, tmp);
-  }
-  return out;
+  return exec::build_candidates(
+      *graph_, plan_.steps[static_cast<std::size_t>(depth)].predecessor_depths,
+      {ws.mapped, static_cast<std::size_t>(depth)}, ws.buf_a[depth],
+      ws.buf_b[depth], ws.all_vertices);
 }
+
+namespace {
+
+exec::Window step_window(const Matcher::Workspace& ws, const PlanStep& step) {
+  return exec::restriction_window(ws.mapped, step.lower_bound_depths,
+                                  step.upper_bound_depths);
+}
+
+}  // namespace
 
 std::span<const VertexId> Matcher::bounded_range(
     const Workspace& ws, int depth, std::span<const VertexId> cands) const {
-  const Window w = restriction_window(ws, depth);
-  if (w.lo_inclusive == 0 && w.hi_exclusive == kNoVertexBound) return cands;
+  const exec::Window w =
+      step_window(ws, plan_.steps[static_cast<std::size_t>(depth)]);
+  if (w.unbounded()) return cands;
   return trim_to_window(cands, w.lo_inclusive, w.hi_exclusive);
 }
 
-bool Matcher::already_used(const Workspace& ws, int depth, VertexId v) {
-  for (int d = 0; d < depth; ++d)
-    if (ws.mapped[d] == v) return true;
-  return false;
-}
-
 Count Matcher::count_leaf(Workspace& ws, int depth) const {
-  const auto& preds =
-      depth_info_[static_cast<std::size_t>(depth)].predecessor_depths;
-  const Window w = restriction_window(ws, depth);
-  if (w.lo_inclusive >= w.hi_exclusive) return 0;
-  const std::span<const VertexId> used{ws.mapped,
-                                       static_cast<std::size_t>(depth)};
-  const auto in_window = [&w](VertexId v) {
-    return v >= w.lo_inclusive && v < w.hi_exclusive;
-  };
-
-  if (preds.empty()) {
-    // Unconstrained innermost loop: the window over the whole id range.
-    const std::uint64_t n = graph_->vertex_count();
-    const std::uint64_t lo = w.lo_inclusive;
-    const std::uint64_t hi = std::min<std::uint64_t>(w.hi_exclusive, n);
-    if (lo >= hi) return 0;
-    Count total = hi - lo;
-    for (VertexId v : used)
-      if (in_window(v)) --total;
-    return total;
-  }
-
-  if (preds.size() == 1) {
-    const auto range = trim_to_window(graph_->neighbors(ws.mapped[preds[0]]),
-                                      w.lo_inclusive, w.hi_exclusive);
-    Count total = range.size();
-    for (VertexId v : used)
-      if (in_window(v) && contains(range, v)) --total;
-    return total;
-  }
-
-  // Two or more predecessors: materialize the chain up to the last step,
-  // then compute the final intersection size inside the window directly.
-  const VertexId last = ws.mapped[preds.back()];
-  const std::uint64_t* last_bits = graph_->hub_bits(last);
-  const auto last_adj = graph_->neighbors(last);
-
-  Count total;
-  if (preds.size() == 2) {
-    const VertexId first = ws.mapped[preds[0]];
-    const std::uint64_t* first_bits = graph_->hub_bits(first);
-    const auto first_adj = graph_->neighbors(first);
-    if (first_bits != nullptr && last_bits != nullptr &&
-        graph_->hub_words() * 4 <= first_adj.size() + last_adj.size()) {
-      // Both endpoints are hubs and the rows are short relative to the
-      // adjacencies: word-parallel AND+popcount over the window.
-      total = bitmap_and_popcount_bounded(first_bits, last_bits,
-                                          graph_->vertex_count(),
-                                          w.lo_inclusive, w.hi_exclusive);
-    } else if (last_bits != nullptr) {
-      total = intersect_size_bitmap_bounded(first_adj, last_bits,
-                                            w.lo_inclusive, w.hi_exclusive);
-    } else if (first_bits != nullptr) {
-      total = intersect_size_bitmap_bounded(last_adj, first_bits,
-                                            w.lo_inclusive, w.hi_exclusive);
-    } else {
-      total = intersect_size_bounded_adaptive(first_adj, last_adj,
-                                              w.lo_inclusive, w.hi_exclusive);
-    }
-    for (VertexId v : used)
-      if (in_window(v) && graph_->has_edge(first, v) &&
-          graph_->has_edge(last, v))
-        --total;
-    return total;
-  }
-
-  auto& lhs = ws.buf_a[depth];
-  auto& tmp = ws.buf_b[depth];
-  intersect_adjacencies(*graph_, ws.mapped[preds[0]], ws.mapped[preds[1]], lhs);
-  for (std::size_t p = 2; p + 1 < preds.size(); ++p) {
-    intersect_with_vertex(*graph_, lhs, ws.mapped[preds[p]], tmp);
-    std::swap(lhs, tmp);
-  }
-  if (last_bits != nullptr) {
-    total = intersect_size_bitmap_bounded(lhs, last_bits, w.lo_inclusive,
-                                          w.hi_exclusive);
-  } else {
-    total = intersect_size_bounded_adaptive(lhs, last_adj, w.lo_inclusive,
-                                            w.hi_exclusive);
-  }
-  for (VertexId v : used)
-    if (in_window(v) && contains(lhs, v) && graph_->has_edge(last, v)) --total;
-  return total;
+  const auto& step = plan_.steps[static_cast<std::size_t>(depth)];
+  const exec::Window w = step_window(ws, step);
+  return exec::count_leaf(*graph_, step.predecessor_depths,
+                          {ws.mapped, static_cast<std::size_t>(depth)},
+                          w.lo_inclusive, w.hi_exclusive, ws.buf_a[depth],
+                          ws.buf_b[depth]);
 }
 
 Count Matcher::recurse(Workspace& ws, int depth,
@@ -242,13 +87,15 @@ Count Matcher::recurse(Workspace& ws, int depth,
   const auto range = bounded_range(ws, depth, build_candidates(ws, depth));
   Count total = 0;
   for (VertexId v : range) {
-    if (already_used(ws, depth, v)) continue;
+    if (exec::already_used({ws.mapped, static_cast<std::size_t>(depth)}, v))
+      continue;
     ws.mapped[depth] = v;
     if (depth == n_ - 1) {
       ++total;
       VertexId embedding[Pattern::kMaxVertices];
       for (int d = 0; d < n_; ++d)
-        embedding[config_.schedule.vertex_at(d)] = ws.mapped[d];
+        embedding[plan_.steps[static_cast<std::size_t>(d)].pattern_vertex] =
+            ws.mapped[d];
       (*cb)({embedding, static_cast<std::size_t>(n_)});
     } else {
       total += recurse(ws, depth + 1, cb);
@@ -258,9 +105,9 @@ Count Matcher::recurse(Workspace& ws, int depth,
 }
 
 Count Matcher::evaluate_iep_leaf(Workspace& ws) const {
-  const int k = config_.iep.k;
-  const std::span<const VertexId> used{ws.mapped,
-                                       static_cast<std::size_t>(outer_depth_)};
+  const int k = plan_.iep.k;
+  const std::span<const VertexId> mapped{
+      ws.mapped, static_cast<std::size_t>(outer_depth_)};
 
   // Materialize the suffix candidate sets S_0..S_{k-1}, each minus the
   // already-mapped vertices (Figure 6(b): "S1 <- tmpAB - {vA,vB,vC}").
@@ -268,61 +115,16 @@ Count Matcher::evaluate_iep_leaf(Workspace& ws) const {
   // materialization the leaf performs.
   ws.suffix_sets.resize(static_cast<std::size_t>(k));
   for (int s = 0; s < k; ++s) {
-    const int depth = outer_depth_ + s;
-    const auto& preds =
-        depth_info_[static_cast<std::size_t>(depth)].predecessor_depths;
-    auto& set = ws.suffix_sets[static_cast<std::size_t>(s)];
-    if (preds.size() == 1) {
-      const auto adj = graph_->neighbors(ws.mapped[preds[0]]);
-      set.assign(adj.begin(), adj.end());
-    } else {
-      intersect_adjacencies(*graph_, ws.mapped[preds[0]], ws.mapped[preds[1]],
-                            set);
-      for (std::size_t p = 2; p < preds.size(); ++p) {
-        intersect_with_vertex(*graph_, set, ws.mapped[preds[p]], ws.scratch_a);
-        std::swap(set, ws.scratch_a);
-      }
-    }
-    remove_all(set, used);
+    const auto& step =
+        plan_.steps[static_cast<std::size_t>(outer_depth_ + s)];
+    exec::build_suffix_set(*graph_, step.predecessor_depths, mapped,
+                           ws.suffix_sets[static_cast<std::size_t>(s)],
+                           ws.scratch_a);
   }
 
-  // Evaluate the inclusion–exclusion terms (Algorithm 2): every term is a
-  // signed product over its blocks of |∩_{i∈B} S_i|. The last step of
-  // every block product is size-only; single- and two-set blocks
-  // materialize nothing at all.
-  SignedWide sum = 0;
-  for (const auto& term : config_.iep.terms) {
-    SignedWide product = term.coefficient;
-    for (const auto& block : term.blocks) {
-      if (product == 0) break;
-      std::size_t factor = 0;
-      if (block.size() == 1) {
-        factor = ws.suffix_sets[static_cast<std::size_t>(block[0])].size();
-      } else if (block.size() == 2) {
-        factor = intersect_size(
-            ws.suffix_sets[static_cast<std::size_t>(block[0])],
-            ws.suffix_sets[static_cast<std::size_t>(block[1])]);
-      } else {
-        intersect(ws.suffix_sets[static_cast<std::size_t>(block[0])],
-                  ws.suffix_sets[static_cast<std::size_t>(block[1])],
-                  ws.scratch_a);
-        for (std::size_t b = 2; b + 1 < block.size(); ++b) {
-          intersect(ws.scratch_a,
-                    ws.suffix_sets[static_cast<std::size_t>(block[b])],
-                    ws.scratch_b);
-          std::swap(ws.scratch_a, ws.scratch_b);
-        }
-        factor = intersect_size(
-            ws.scratch_a,
-            ws.suffix_sets[static_cast<std::size_t>(block.back())]);
-      }
-      product *= static_cast<SignedWide>(factor);
-    }
-    sum += product;
-  }
-  GRAPHPI_CHECK_MSG(sum >= 0, "|S_IEP| is a tuple count and must be >= 0");
-  // Per-leaf sums fit 64 bits comfortably (k <= 7 factors of set sizes).
-  return static_cast<Count>(sum);
+  return exec::evaluate_iep_terms(plan_.iep.terms, ws.suffix_sets,
+                                  identity_set_ids_, ws.scratch_a,
+                                  ws.scratch_b);
 }
 
 Count Matcher::recurse_iep(Workspace& ws, int depth) const {
@@ -330,7 +132,8 @@ Count Matcher::recurse_iep(Workspace& ws, int depth) const {
   const auto range = bounded_range(ws, depth, build_candidates(ws, depth));
   Count total = 0;
   for (VertexId v : range) {
-    if (already_used(ws, depth, v)) continue;
+    if (exec::already_used({ws.mapped, static_cast<std::size_t>(depth)}, v))
+      continue;
     ws.mapped[depth] = v;
     total += recurse_iep(ws, depth + 1);
   }
@@ -341,10 +144,10 @@ Count Matcher::count(Workspace& ws) const {
   invalidate_prefix(ws);
   if (!iep_active_) return recurse(ws, 0, nullptr);
   const Count undivided = recurse_iep(ws, 0);
-  GRAPHPI_CHECK_MSG(undivided % config_.iep.divisor == 0,
+  GRAPHPI_CHECK_MSG(undivided % plan_.iep.divisor == 0,
                     "IEP sum must be divisible by the surviving-"
                     "automorphism factor x");
-  return undivided / config_.iep.divisor;
+  return undivided / plan_.iep.divisor;
 }
 
 Count Matcher::count() const {
@@ -389,7 +192,7 @@ bool Matcher::apply_prefix(Workspace& ws,
   }
   for (std::size_t d = start; d < prefix.size(); ++d) {
     const VertexId v = prefix[d];
-    if (already_used(ws, static_cast<int>(d), v)) {
+    if (exec::already_used({ws.mapped, d}, v)) {
       ws.applied_depth = static_cast<int>(d);
       return false;
     }
@@ -428,10 +231,10 @@ Count Matcher::count_from_prefix(std::span<const VertexId> prefix) const {
 
 Count Matcher::finalize_partial_counts(Count aggregated) const {
   if (!iep_active_) return aggregated;
-  GRAPHPI_CHECK_MSG(aggregated % config_.iep.divisor == 0,
+  GRAPHPI_CHECK_MSG(aggregated % plan_.iep.divisor == 0,
                     "aggregated IEP sum must be divisible by the surviving-"
                     "automorphism factor x");
-  return aggregated / config_.iep.divisor;
+  return aggregated / plan_.iep.divisor;
 }
 
 void Matcher::enumerate_from_prefix(Workspace& ws,
@@ -444,7 +247,8 @@ void Matcher::enumerate_from_prefix(Workspace& ws,
   if (depth == n_) {
     VertexId embedding[Pattern::kMaxVertices];
     for (int d = 0; d < n_; ++d)
-      embedding[config_.schedule.vertex_at(d)] = ws.mapped[d];
+      embedding[plan_.steps[static_cast<std::size_t>(d)].pattern_vertex] =
+          ws.mapped[d];
     cb({embedding, static_cast<std::size_t>(n_)});
     return;
   }
@@ -466,7 +270,8 @@ void Matcher::enumerate_prefixes(
   const std::function<void(int)> walk = [&](int d) {
     const auto range = bounded_range(ws, d, build_candidates(ws, d));
     for (VertexId v : range) {
-      if (already_used(ws, d, v)) continue;
+      if (exec::already_used({ws.mapped, static_cast<std::size_t>(d)}, v))
+        continue;
       ws.mapped[d] = v;
       if (d + 1 == depth) {
         cb({ws.mapped, static_cast<std::size_t>(depth)});

@@ -1,8 +1,12 @@
 // The nested-loop pattern-matching executor.
 //
-// Runs a Configuration (schedule + restriction set + optional IEP plan)
-// against a CSR data graph. The executor performs exactly the loop
-// structure GraphPi's code generator would emit (Figure 5(b)/6(b)):
+// Compiles its Configuration (schedule + restriction set + optional IEP
+// plan) into a core::Plan at construction and executes that IR against a
+// CSR data graph — the same one-plan specialization of the loop structure
+// the batch ForestExecutor (engine/forest.h) runs for many plans at once,
+// built from the shared primitives in engine/plan_exec.h. The executed
+// loops are exactly what GraphPi's code generator would emit
+// (Figure 5(b)/6(b)):
 //
 //   * loop depth i searches the pattern vertex schedule[i];
 //   * its candidate set is the intersection of the neighborhoods of the
@@ -33,6 +37,7 @@
 #include <vector>
 
 #include "core/configuration.h"
+#include "core/plan.h"
 #include "graph/graph.h"
 #include "graph/types.h"
 
@@ -142,30 +147,11 @@ class Matcher {
   [[nodiscard]] const Configuration& configuration() const noexcept {
     return config_;
   }
+  /// The compiled IR this matcher executes.
+  [[nodiscard]] const Plan& plan() const noexcept { return plan_; }
   [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
 
  private:
-  /// Static per-depth execution info precompiled from the configuration.
-  struct DepthInfo {
-    /// Depths (not pattern vertices) of the already-mapped pattern
-    /// neighbors whose adjacency lists are intersected.
-    std::vector<int> predecessor_depths;
-    /// Candidates must be < mapped[d] for every d here (restriction
-    /// id(mapped[d]) > id(this)).
-    std::vector<int> upper_bound_depths;
-    /// Candidates must be > mapped[d] for every d here.
-    std::vector<int> lower_bound_depths;
-  };
-
-  /// Restriction window [lo_inclusive, hi_exclusive) implied by the
-  /// restrictions at one depth under the current mapping.
-  struct Window {
-    VertexId lo_inclusive;
-    VertexId hi_exclusive;
-  };
-  [[nodiscard]] Window restriction_window(const Workspace& ws,
-                                          int depth) const;
-
   /// Builds the candidate span for `depth` given the current mapping.
   [[nodiscard]] std::span<const VertexId> build_candidates(Workspace& ws,
                                                            int depth) const;
@@ -179,10 +165,6 @@ class Matcher {
   /// already-used vertices, computed with size-only kernels — no candidate
   /// vector is materialized for the final intersection step.
   [[nodiscard]] Count count_leaf(Workspace& ws, int depth) const;
-
-  /// True iff v collides with a vertex mapped at depth < `depth`.
-  [[nodiscard]] static bool already_used(const Workspace& ws, int depth,
-                                         VertexId v);
 
   /// Recursive enumeration core; `depth` is the next schedule position to
   /// fill. Counts leaves; when `cb` is non-null also reports embeddings.
@@ -210,11 +192,12 @@ class Matcher {
 
   const Graph* graph_;
   Configuration config_;
+  Plan plan_;                       ///< compiled IR (see core/plan.h)
   std::uint64_t id_;                ///< process-unique (see Workspace)
   int n_ = 0;                       ///< pattern size
   int outer_depth_ = 0;             ///< n - iep.k when IEP active, else n
   bool iep_active_ = false;
-  std::vector<DepthInfo> depth_info_;
+  std::vector<int> identity_set_ids_;  ///< 0..k-1 (unshared suffix sets)
 };
 
 /// Convenience one-shot helpers.

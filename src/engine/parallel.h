@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/configuration.h"
+#include "core/plan_forest.h"
 #include "engine/matcher.h"
 #include "graph/graph.h"
 
@@ -47,5 +48,17 @@ struct ParallelRunStats {
 void enumerate_parallel(const Graph& graph, const Configuration& config,
                         const EmbeddingCallback& cb,
                         const ParallelOptions& options = {});
+
+/// Counts every plan of a prefix-sharing forest in one parallel traversal
+/// (engine/forest.h executes each worker's share). Work is partitioned by
+/// root vertex — the forest's depth-0 loop is always unconstrained — and
+/// scheduled dynamically in chunks so degree skew does not starve
+/// threads; `options.task_depth` does not apply. Every plan must have
+/// >= 2 vertices. Returns finalized per-plan counts, indexed like
+/// forest.plans(); exactly equal to running each plan's Matcher alone
+/// (asserted by tests).
+[[nodiscard]] std::vector<Count> count_batch_parallel(
+    const Graph& graph, const PlanForest& forest,
+    const ParallelOptions& options = {}, ParallelRunStats* stats = nullptr);
 
 }  // namespace graphpi

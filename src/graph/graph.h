@@ -93,9 +93,10 @@ class Graph {
   // and the total row storage is capped at roughly the CSR size itself.
   //
   // Building mutates lazily-initialized state and is NOT thread-safe; it
-  // must happen before the graph is shared across threads. Matcher's
-  // constructor calls ensure_hub_index(), which covers every normal flow
-  // (count_parallel constructs its Matcher before spawning workers).
+  // must happen before the graph is shared across threads. The Matcher
+  // and ForestExecutor constructors call ensure_hub_index() whenever
+  // their compiled plans want it, which covers every normal flow (the
+  // parallel runtimes construct their executor before spawning workers).
   // -------------------------------------------------------------------------
 
   /// Slot marker for "not a hub".

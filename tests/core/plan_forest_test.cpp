@@ -1,0 +1,117 @@
+// PlanForest trie construction: prefix sharing, branch grouping, suffix
+// set dedup and the invariant-leaf memo analysis.
+#include <gtest/gtest.h>
+
+#include "core/configuration.h"
+#include "core/pattern_library.h"
+#include "core/plan.h"
+#include "core/plan_forest.h"
+#include "graph/generators.h"
+
+namespace graphpi {
+namespace {
+
+GraphStats test_stats() { return GraphStats::of(erdos_renyi(60, 240, 1)); }
+
+Plan plan_of(const Pattern& p, bool use_iep = true) {
+  PlannerOptions opt;
+  opt.use_iep = use_iep;
+  return compile_plan(plan_configuration(p, test_stats(), opt));
+}
+
+std::vector<Plan> motif_plans(int k) {
+  std::vector<Plan> plans;
+  for (const Pattern& p : patterns::connected_motifs(k))
+    plans.push_back(plan_of(p));
+  return plans;
+}
+
+TEST(PlanForest, IdenticalPlansCollapseToOneChain) {
+  const Plan plan = plan_of(patterns::house());
+  const PlanForest forest({plan, plan});
+
+  // A single chain of leaf_depth edges, both terminals at its end.
+  EXPECT_EQ(forest.stats().plans, 2u);
+  EXPECT_EQ(forest.stats().nodes,
+            static_cast<std::size_t>(plan.leaf_depth()) + 1);
+  EXPECT_EQ(forest.stats().extensions,
+            static_cast<std::size_t>(plan.leaf_depth()));
+  EXPECT_EQ(forest.stats().shared_steps,
+            static_cast<std::size_t>(plan.leaf_depth()));
+  const auto& nodes = forest.nodes();
+  std::size_t terminals = 0;
+  for (const auto& node : nodes)
+    terminals += node.count_leaves.size() + node.iep_leaves.size();
+  EXPECT_EQ(terminals, 2u);
+}
+
+TEST(PlanForest, MotifForestSharesTheOuterLoops) {
+  const PlanForest forest(motif_plans(4));
+  const auto& s = forest.stats();
+  EXPECT_EQ(s.plans, 6u);
+  // All six depth-0 loops collapse into one root extension, and every
+  // depth-1 loop is N(v0): five+ steps saved at minimum.
+  ASSERT_EQ(forest.root().extensions.size(), 1u);
+  EXPECT_EQ(forest.root().extensions[0].mask, forest.all_plans_mask());
+  EXPECT_GE(s.shared_steps, 5u);
+  // The 4-motif IEP leaves reuse each other's suffix sets.
+  EXPECT_GE(s.shared_suffix_sets, 1u);
+}
+
+TEST(PlanForest, BranchMasksPartitionEachExtension) {
+  const PlanForest forest(motif_plans(4));
+  for (const auto& node : forest.nodes()) {
+    for (const auto& ext : node.extensions) {
+      ASSERT_FALSE(ext.branches.empty());
+      PlanForest::PlanMask joined = 0;
+      for (const auto& branch : ext.branches) {
+        // Branches are disjoint plan groups with distinct bounds.
+        EXPECT_EQ(joined & branch.mask, 0u);
+        joined |= branch.mask;
+      }
+      EXPECT_EQ(joined, ext.mask);
+      EXPECT_EQ(forest.nodes()[static_cast<std::size_t>(ext.child)].depth,
+                node.depth + 1);
+    }
+  }
+}
+
+TEST(PlanForest, SuffixDefsAreDeduplicatedPerNode) {
+  // The 4-star's three suffix sets are all N(v0): one definition serves
+  // every S_i of the leaf.
+  const Plan star = plan_of(patterns::star(4));
+  ASSERT_GT(star.iep.k, 1) << "star should plan with a multi-vertex suffix";
+  const PlanForest forest({star});
+  std::size_t defs = 0;
+  for (const auto& node : forest.nodes()) defs += node.suffix_defs.size();
+  EXPECT_EQ(defs, 1u);
+  EXPECT_EQ(forest.stats().shared_suffix_sets,
+            static_cast<std::size_t>(star.iep.k) - 1);
+}
+
+TEST(PlanForest, RectangleLeafIsMemoized) {
+  // The planner's rectangle (k = 1 IEP after a wedge prefix) is the
+  // canonical invariant leaf: its set reads depths {0, 2} under a
+  // depth-3 node, skipping the wedge midpoint.
+  const Plan rect = plan_of(patterns::rectangle());
+  ASSERT_EQ(rect.iep.k, 1) << "rectangle should plan with a k=1 suffix";
+  const PlanForest forest({rect});
+  EXPECT_EQ(forest.stats().memoized_leaves, 1u);
+  bool found = false;
+  for (const auto& node : forest.nodes())
+    for (const auto& leaf : node.iep_leaves)
+      if (leaf.memo_id >= 0) {
+        found = true;
+        EXPECT_LT(static_cast<int>(leaf.memo_key_depths.size()), node.depth);
+      }
+  EXPECT_TRUE(found);
+}
+
+TEST(PlanForest, RejectsOversizedBatches) {
+  std::vector<Plan> plans(PlanForest::kMaxPlans + 1,
+                          plan_of(patterns::clique(3)));
+  EXPECT_THROW(PlanForest{std::move(plans)}, std::logic_error);
+}
+
+}  // namespace
+}  // namespace graphpi

@@ -1,0 +1,109 @@
+// Plan IR compilation: the flat steps must mirror exactly what the
+// configuration's schedule, pattern and restrictions imply.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/configuration.h"
+#include "core/pattern_library.h"
+#include "core/plan.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace graphpi {
+namespace {
+
+GraphStats test_stats() { return GraphStats::of(erdos_renyi(60, 240, 1)); }
+
+TEST(Plan, StepsMirrorScheduleAndPattern) {
+  for (const Pattern& p : testing::assorted_patterns()) {
+    for (bool use_iep : {false, true}) {
+      PlannerOptions opt;
+      opt.use_iep = use_iep;
+      const Configuration config = plan_configuration(p, test_stats(), opt);
+      const Plan plan = compile_plan(config);
+
+      ASSERT_EQ(plan.size(), p.size()) << p.to_string();
+      EXPECT_EQ(plan.pattern, config.pattern);
+      EXPECT_EQ(plan.iep.k, config.iep.k);
+      const int expected_outer =
+          config.iep.k > 0 ? p.size() - config.iep.k : p.size();
+      EXPECT_EQ(plan.outer_depth, expected_outer);
+
+      bool any_multi_pred = false;
+      for (int d = 0; d < plan.size(); ++d) {
+        const PlanStep& step = plan.steps[static_cast<std::size_t>(d)];
+        EXPECT_EQ(step.pattern_vertex, config.schedule.vertex_at(d));
+        // Predecessors: exactly the earlier-scheduled pattern neighbors.
+        std::vector<int> expected_preds;
+        for (int e = 0; e < d; ++e)
+          if (p.has_edge(config.schedule.vertex_at(e),
+                         config.schedule.vertex_at(d)))
+            expected_preds.push_back(e);
+        EXPECT_EQ(step.predecessor_depths, expected_preds)
+            << p.to_string() << " depth " << d;
+        any_multi_pred |= expected_preds.size() >= 2;
+        // Kind: IEP suffix past outer_depth, counting leaf only at the
+        // last step of a plain plan.
+        if (d >= plan.outer_depth) {
+          EXPECT_EQ(step.kind, PlanStep::Kind::kIepSuffix);
+        } else if (config.iep.k == 0 && d == plan.size() - 1) {
+          EXPECT_EQ(step.kind, PlanStep::Kind::kCountLeaf);
+        } else {
+          EXPECT_EQ(step.kind, PlanStep::Kind::kExtend);
+        }
+      }
+      EXPECT_EQ(plan.wants_hub_index, any_multi_pred);
+      EXPECT_EQ(plan.leaf_depth(),
+                plan.iep_active() ? plan.outer_depth : plan.size() - 1);
+    }
+  }
+}
+
+TEST(Plan, RestrictionsBecomeBoundsAtTheLaterDepth) {
+  for (const Pattern& p :
+       {patterns::rectangle(), patterns::house(), patterns::clique(4)}) {
+    const Configuration config =
+        plan_configuration(p, test_stats(), PlannerOptions{});
+    const Plan plan = compile_plan(config);
+
+    std::size_t bounds_seen = 0;
+    for (int d = 0; d < plan.size(); ++d) {
+      const PlanStep& step = plan.steps[static_cast<std::size_t>(d)];
+      for (int b : step.upper_bound_depths) {
+        // id(vertex at b) > id(vertex at d) with b scheduled earlier.
+        EXPECT_LT(b, d);
+        EXPECT_TRUE(std::any_of(
+            config.restrictions.begin(), config.restrictions.end(),
+            [&](const Restriction& r) {
+              return config.schedule.depth_of(r.greater) == b &&
+                     config.schedule.depth_of(r.smaller) == d;
+            }));
+        ++bounds_seen;
+      }
+      for (int b : step.lower_bound_depths) {
+        EXPECT_LT(b, d);
+        EXPECT_TRUE(std::any_of(
+            config.restrictions.begin(), config.restrictions.end(),
+            [&](const Restriction& r) {
+              return config.schedule.depth_of(r.greater) == d &&
+                     config.schedule.depth_of(r.smaller) == b;
+            }));
+        ++bounds_seen;
+      }
+    }
+    EXPECT_EQ(bounds_seen, config.restrictions.size()) << p.to_string();
+  }
+}
+
+TEST(Plan, ToStringNamesEveryDepth) {
+  const Configuration config =
+      plan_configuration(patterns::house(), test_stats(), PlannerOptions{});
+  const std::string s = compile_plan(config).to_string();
+  EXPECT_NE(s.find("plan n=5"), std::string::npos);
+  for (int d = 0; d < 5; ++d)
+    EXPECT_NE(s.find("d" + std::to_string(d)), std::string::npos);
+}
+
+}  // namespace
+}  // namespace graphpi
