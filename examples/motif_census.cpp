@@ -11,8 +11,12 @@
 // "compare" to time both and print the speedup.
 //
 //   ./motif_census [dataset] [scale] [k] [batch|per-pattern|compare]
+//                  [--nodes N] [--partition hash|range] [--task-depth D]
 //
-// Defaults: mico stand-in at scale 0.3, k = 4, batch.
+// Defaults: mico stand-in at scale 0.3, k = 4, batch. With --nodes N the
+// batched census runs on the sharded distributed backend (one sharded
+// batch traversal across N logical nodes) and reports the message/byte
+// economy of the run.
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -42,10 +46,35 @@ std::vector<Count> per_pattern_census(const GraphPi& engine,
 int main(int argc, char** argv) {
   using namespace graphpi;
 
-  const std::string dataset = argc > 1 ? argv[1] : "mico";
-  const double scale = argc > 2 ? std::atof(argv[2]) : 0.3;
-  const int k = argc > 3 ? std::atoi(argv[3]) : 4;
-  const std::string mode = argc > 4 ? argv[4] : "batch";
+  int nodes = 0;  // 0 = in-process serial batch
+  int task_depth = 1;
+  dist::PartitionStrategy partition = dist::PartitionStrategy::kHash;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--nodes" && i + 1 < argc) {
+      nodes = std::atoi(argv[++i]);
+    } else if (arg == "--task-depth" && i + 1 < argc) {
+      task_depth = std::atoi(argv[++i]);
+    } else if (arg.rfind("--partition=", 0) == 0) {
+      if (!dist::parse_partition(arg.substr(12), partition)) {
+        std::cerr << "unknown partition strategy: " << arg << "\n";
+        return 1;
+      }
+    } else if (arg == "--partition" && i + 1 < argc) {
+      if (!dist::parse_partition(argv[++i], partition)) {
+        std::cerr << "unknown partition strategy: " << argv[i] << "\n";
+        return 1;
+      }
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  const std::string dataset = positional.size() > 0 ? positional[0] : "mico";
+  const double scale =
+      positional.size() > 1 ? std::atof(positional[1].c_str()) : 0.3;
+  const int k = positional.size() > 2 ? std::atoi(positional[2].c_str()) : 4;
+  const std::string mode = positional.size() > 3 ? positional[3] : "batch";
   if (k < 3 || k > 5) {
     std::cerr << "motif size must be 3..5\n";
     return 1;
@@ -69,13 +98,29 @@ int main(int argc, char** argv) {
   if (mode != "per-pattern") {
     support::Timer timer;
     const PlanForest forest = engine.plan_batch(motifs);
-    counts = engine.count_batch(forest);
+    MatchOptions batch_options;
+    dist::ClusterStats cluster;
+    if (nodes > 0) {
+      batch_options.backend = Backend::kDistributed;
+      batch_options.nodes = nodes;
+      batch_options.task_depth = task_depth;
+      batch_options.partition = partition;
+      batch_options.cluster_stats = &cluster;
+    }
+    counts = engine.count_batch(forest, batch_options);
     batch_seconds = timer.elapsed_seconds();
     const auto& s = forest.stats();
     std::cout << "batched: " << s.plans << " plans -> " << s.nodes
               << " trie nodes, " << s.extensions << " loops ("
               << s.shared_steps << " shared), " << s.shared_suffix_sets
               << " shared IEP suffix sets\n";
+    if (nodes > 0)
+      std::cout << "sharded: " << nodes << " nodes ("
+                << dist::to_string(partition) << "), tasks "
+                << cluster.total_tasks << ", messages " << cluster.messages
+                << " (" << cluster.bytes << " B), shipped candidates "
+                << cluster.shipped_set_vertices << " vertices, replication "
+                << cluster.replication_factor << "\n";
   }
   if (mode != "batch") {
     support::Timer timer;

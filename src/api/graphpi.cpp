@@ -45,7 +45,9 @@ Count GraphPi::count(const Configuration& config,
       dist::ClusterOptions copt;
       copt.nodes = options.nodes;
       copt.task_depth = options.task_depth;
-      return dist::distributed_count(*graph_, config, copt);
+      copt.partition = options.partition;
+      return dist::distributed_count(*graph_, config, copt,
+                                     options.cluster_stats);
     }
   }
   GRAPHPI_CHECK_MSG(false, "unknown backend");
@@ -66,10 +68,14 @@ PlanForest GraphPi::plan_batch(std::span<const Pattern> patterns,
 
 std::vector<Count> GraphPi::count_batch(const PlanForest& forest,
                                         const MatchOptions& options) const {
-  GRAPHPI_CHECK_MSG(options.backend != Backend::kDistributed,
-                    "the distributed runtime has no forest path yet; use the "
-                    "pattern-span count_batch overload, which falls back to "
-                    "per-pattern distributed jobs");
+  if (options.backend == Backend::kDistributed) {
+    dist::ClusterOptions copt;
+    copt.nodes = options.nodes;
+    copt.task_depth = options.task_depth;
+    copt.partition = options.partition;
+    return dist::distributed_count_batch(*graph_, forest, copt,
+                                         options.cluster_stats);
+  }
   if (options.backend == Backend::kParallel) {
     ParallelOptions popt;
     popt.num_threads = options.threads;
@@ -81,15 +87,15 @@ std::vector<Count> GraphPi::count_batch(const PlanForest& forest,
 std::vector<Count> GraphPi::count_batch(std::span<const Pattern> patterns,
                                         const MatchOptions& options) const {
   if (patterns.empty()) return {};
-  if (options.backend == Backend::kDistributed) {
-    // The simulated cluster runtime has no forest path yet (see ROADMAP);
-    // run the batch as independent distributed jobs.
-    std::vector<Count> out;
-    out.reserve(patterns.size());
-    for (const Pattern& p : patterns) out.push_back(count(p, options));
-    return out;
-  }
   // One forest per kMaxPlans chunk (the active-plan mask is 64 bits wide).
+  // Like every public entry point, a stats out-param describes THIS call
+  // only: it is reset here and the chunks accumulate into it.
+  if (options.cluster_stats != nullptr)
+    *options.cluster_stats = dist::ClusterStats{};
+  MatchOptions chunk_options = options;
+  dist::ClusterStats chunk_stats;
+  if (options.cluster_stats != nullptr)
+    chunk_options.cluster_stats = &chunk_stats;
   std::vector<Count> out;
   out.reserve(patterns.size());
   for (std::size_t offset = 0; offset < patterns.size();
@@ -97,9 +103,11 @@ std::vector<Count> GraphPi::count_batch(std::span<const Pattern> patterns,
     const std::size_t len =
         std::min(PlanForest::kMaxPlans, patterns.size() - offset);
     const std::vector<Count> chunk =
-        count_batch(plan_batch(patterns.subspan(offset, len), options),
-                    options);
+        count_batch(plan_batch(patterns.subspan(offset, len), chunk_options),
+                    chunk_options);
     out.insert(out.end(), chunk.begin(), chunk.end());
+    if (options.cluster_stats != nullptr)
+      options.cluster_stats->accumulate(chunk_stats);
   }
   return out;
 }

@@ -49,6 +49,16 @@ struct MatchOptions {
   int threads = 0;
   int nodes = 2;
   int task_depth = 1;
+  /// How the distributed backend partitions the data graph into per-node
+  /// CSR shards (dist/shard.h).
+  dist::PartitionStrategy partition = dist::PartitionStrategy::kHash;
+  /// Observability out-param: when non-null, the distributed backend
+  /// writes the statistics of the call here — tasks, messages, serialized
+  /// bytes, shipped candidate vertices, per-node load, and the shard
+  /// shape. Each public call overwrites (a batch spanning several 64-plan
+  /// forest chunks reports its chunks' aggregate). Ignored by the serial
+  /// and parallel backends.
+  dist::ClusterStats* cluster_stats = nullptr;
   /// Re-validate the planned configuration empirically on small graphs
   /// before running (cheap belt-and-braces on top of the K_n validation).
   bool empirical_validation = false;
@@ -82,8 +92,9 @@ class GraphPi {
   /// vertex scan, common candidate intersections, common IEP suffix sets
   /// — are extended once for all patterns. Results are indexed like
   /// `patterns`; duplicates are allowed and each gets its own counter.
-  /// Patterns must have >= 2 vertices. The serial and parallel backends
-  /// run batched; the distributed backend falls back to per-pattern runs.
+  /// Patterns must have >= 2 vertices. Every backend runs batched: the
+  /// distributed backend executes the forest as one sharded batch
+  /// traversal (dist/runtime.h).
   [[nodiscard]] std::vector<Count> count_batch(
       std::span<const Pattern> patterns,
       const MatchOptions& options = {}) const;
@@ -95,8 +106,6 @@ class GraphPi {
                                       const MatchOptions& options = {}) const;
 
   /// Runs a previously built forest; results indexed like forest.plans().
-  /// Serial and parallel backends only (the distributed runtime has no
-  /// forest path yet — checked; the pattern-span overload falls back).
   [[nodiscard]] std::vector<Count> count_batch(
       const PlanForest& forest, const MatchOptions& options = {}) const;
 

@@ -92,10 +92,12 @@ PlanForest::PlanForest(std::vector<Plan> plans) : plans_(std::move(plans)) {
           id = static_cast<int>(leaf_node.suffix_defs.size());
           leaf_node.suffix_defs.push_back(def);
           leaf_node.suffix_def_masks.push_back(0);
+          leaf_node.suffix_def_demand_masks.push_back(0);
         } else {
           id = static_cast<int>(it - leaf_node.suffix_defs.begin());
         }
         leaf_node.suffix_def_masks[static_cast<std::size_t>(id)] |= bit;
+        leaf_node.suffix_def_demand_masks[static_cast<std::size_t>(id)] |= bit;
         leaf.set_ids.push_back(id);
       }
       leaf_node.iep_leaves.push_back(std::move(leaf));
@@ -143,8 +145,10 @@ PlanForest::PlanForest(std::vector<Plan> plans) : plans_(std::move(plans)) {
       if (deps.size() <= 2 && static_cast<int>(deps.size()) < node.depth) {
         leaf.memo_id = static_cast<int>(stats_.memoized_leaves++);
         leaf.memo_key_depths = std::move(deps);
-        // This leaf no longer reads the shared set; drop its demand so
-        // the executor skips the build unless another leaf needs it.
+        // This leaf no longer reads the shared set when served from the
+        // memo; drop it from the materialize mask so the ForestExecutor
+        // skips the build unless another leaf needs it. The demand mask
+        // keeps the bit for executors that always materialize.
         node.suffix_def_masks[static_cast<std::size_t>(def_id)] &=
             ~(PlanMask{1} << leaf.plan);
       }

@@ -96,10 +96,17 @@ class PlanForest {
     std::vector<CountLeaf> count_leaves;
     std::vector<IepLeaf> iep_leaves;
     /// Distinct suffix candidate-set definitions (predecessor depth
-    /// lists) shared by this node's IEP leaves, with the plans consuming
-    /// each (so inactive plans' sets are never built).
+    /// lists) shared by this node's IEP leaves.
     std::vector<std::vector<int>> suffix_defs;
+    /// Plans whose term evaluation reads the MATERIALIZED set — the
+    /// ForestExecutor's build gate (so inactive plans' sets are never
+    /// built). Memoized k==1 leaves are excluded: that executor serves
+    /// them from its memo tables instead.
     std::vector<PlanMask> suffix_def_masks;
+    /// Plans whose IEP leaves name each def at all — the full demand,
+    /// memoized leaves included. Executors without memo tables (the
+    /// sharded distributed runtime) gate their set builds on this.
+    std::vector<PlanMask> suffix_def_demand_masks;
   };
 
   struct Stats {

@@ -1,0 +1,166 @@
+#include "dist/comm.h"
+
+#include <cstring>
+
+#include "support/check.h"
+
+namespace graphpi::dist {
+
+Channel::Channel(int nodes) {
+  GRAPHPI_CHECK_MSG(nodes >= 1, "channel needs at least one node");
+  inboxes_.resize(static_cast<std::size_t>(nodes));
+  stats_.sent_messages_per_node.assign(static_cast<std::size_t>(nodes), 0);
+  stats_.sent_bytes_per_node.assign(static_cast<std::size_t>(nodes), 0);
+}
+
+void Channel::send(int from, int to, MessageKind kind,
+                   std::vector<std::uint8_t> payload) {
+  GRAPHPI_CHECK(from >= 0 && from < static_cast<int>(inboxes_.size()));
+  GRAPHPI_CHECK(to >= 0 && to < static_cast<int>(inboxes_.size()));
+  const auto k = static_cast<std::size_t>(kind);
+  ++stats_.messages;
+  ++stats_.messages_by_kind[k];
+  stats_.bytes += payload.size();
+  stats_.bytes_by_kind[k] += payload.size();
+  ++stats_.sent_messages_per_node[static_cast<std::size_t>(from)];
+  stats_.sent_bytes_per_node[static_cast<std::size_t>(from)] += payload.size();
+  inboxes_[static_cast<std::size_t>(to)].push_back(
+      Message{kind, from, to, std::move(payload)});
+  ++in_flight_;
+}
+
+bool Channel::receive(int node, Message& out) {
+  auto& inbox = inboxes_[static_cast<std::size_t>(node)];
+  if (inbox.empty()) return false;
+  out = std::move(inbox.front());
+  inbox.pop_front();
+  --in_flight_;
+  return true;
+}
+
+// --------------------------------------------------------------------------
+// Wire codec.
+// --------------------------------------------------------------------------
+
+namespace {
+
+template <typename T>
+void append_le(std::vector<std::uint8_t>& buf, T v) {
+  for (std::size_t i = 0; i < sizeof(T); ++i)
+    buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+}  // namespace
+
+void WireWriter::u16(std::uint16_t v) { append_le(buf_, v); }
+void WireWriter::u32(std::uint32_t v) { append_le(buf_, v); }
+void WireWriter::u64(std::uint64_t v) { append_le(buf_, v); }
+
+void WireWriter::vertex_span(std::span<const VertexId> vs) {
+  u32(static_cast<std::uint32_t>(vs.size()));
+  for (VertexId v : vs) u32(v);
+}
+
+void WireWriter::count_span(std::span<const Count> cs) {
+  u32(static_cast<std::uint32_t>(cs.size()));
+  for (Count c : cs) u64(c);
+}
+
+namespace {
+
+template <typename T>
+T read_le(const std::uint8_t*& p, const std::uint8_t* end) {
+  GRAPHPI_CHECK_MSG(static_cast<std::size_t>(end - p) >= sizeof(T),
+                    "wire payload truncated");
+  T v = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i)
+    v |= static_cast<T>(static_cast<T>(p[i]) << (8 * i));
+  p += sizeof(T);
+  return v;
+}
+
+}  // namespace
+
+std::uint8_t WireReader::u8() { return read_le<std::uint8_t>(p_, end_); }
+std::uint16_t WireReader::u16() { return read_le<std::uint16_t>(p_, end_); }
+std::uint32_t WireReader::u32() { return read_le<std::uint32_t>(p_, end_); }
+std::uint64_t WireReader::u64() { return read_le<std::uint64_t>(p_, end_); }
+
+void WireReader::vertex_vec(std::vector<VertexId>& out) {
+  const std::uint32_t n = u32();
+  out.clear();
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) out.push_back(u32());
+}
+
+void WireReader::count_vec(std::vector<Count>& out) {
+  const std::uint32_t n = u32();
+  out.clear();
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) out.push_back(u64());
+}
+
+// --------------------------------------------------------------------------
+// Typed payloads.
+// --------------------------------------------------------------------------
+
+std::vector<std::uint8_t> ContinuationMsg::encode() const {
+  WireWriter w;
+  w.u32(trie_node);
+  w.u8(static_cast<std::uint8_t>(target));
+  w.u16(item);
+  w.u8(depth_limit);
+  w.u64(mask);
+  w.u8(folded);
+  w.u8(has_partial ? 1 : 0);
+  w.vertex_span(mapped);
+  w.vertex_span(has_partial ? std::span<const VertexId>{partial}
+                            : std::span<const VertexId>{});
+  w.u16(static_cast<std::uint16_t>(done_sets.size()));
+  for (const auto& set : done_sets) w.vertex_span(set);
+  return w.take();
+}
+
+ContinuationMsg ContinuationMsg::decode(std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  ContinuationMsg m;
+  m.trie_node = r.u32();
+  m.target = static_cast<Target>(r.u8());
+  m.item = r.u16();
+  m.depth_limit = r.u8();
+  m.mask = r.u64();
+  m.folded = r.u8();
+  m.has_partial = r.u8() != 0;
+  r.vertex_vec(m.mapped);
+  r.vertex_vec(m.partial);
+  const std::uint16_t sets = r.u16();
+  m.done_sets.resize(sets);
+  for (auto& set : m.done_sets) r.vertex_vec(set);
+  GRAPHPI_CHECK_MSG(r.done(), "continuation payload has trailing bytes");
+  return m;
+}
+
+std::uint64_t ContinuationMsg::shipped_set_vertices() const noexcept {
+  std::uint64_t total = has_partial ? partial.size() : 0;
+  for (const auto& set : done_sets) total += set.size();
+  return total;
+}
+
+std::vector<std::uint8_t> PartialCountsMsg::encode() const {
+  WireWriter w;
+  w.count_span(sums);
+  w.u64(tasks);
+  return w.take();
+}
+
+PartialCountsMsg PartialCountsMsg::decode(
+    std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  PartialCountsMsg m;
+  r.count_vec(m.sums);
+  m.tasks = r.u64();
+  GRAPHPI_CHECK_MSG(r.done(), "partial-counts payload has trailing bytes");
+  return m;
+}
+
+}  // namespace graphpi::dist

@@ -1,0 +1,164 @@
+// In-process typed message channel for the sharded distributed runtime.
+//
+// Every cross-node interaction of the sharded executor travels through a
+// Channel as a SERIALIZED byte payload — continuations carrying partial
+// embeddings and in-flight candidate sets, and per-plan partial counts.
+// Serializing (instead of passing pointers between logical nodes of the
+// same process) keeps the simulation honest: the byte counters measure
+// exactly what a wire would carry, so the paper's "counts travel,
+// embeddings never do" economy becomes a number instead of a slogan, and
+// the comm-cost model in dist/simulator.h has real inputs.
+//
+// The channel is single-threaded by design (the runtime services logical
+// nodes round-robin); it is a measurement device, not a transport.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace graphpi::dist {
+
+enum class MessageKind : std::uint8_t {
+  /// A walk continuation: partial embedding + set-build progress shipped
+  /// to the owner of an adjacency the sender does not hold.
+  kContinuation = 0,
+  /// A node's per-plan partial sums reported to the master.
+  kPartialCounts = 1,
+};
+inline constexpr std::size_t kMessageKindCount = 2;
+
+struct Message {
+  MessageKind kind = MessageKind::kContinuation;
+  int from = -1;
+  int to = -1;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Aggregate traffic counters, by kind and by sending node.
+struct CommStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;  ///< payload bytes (headers excluded)
+  std::uint64_t messages_by_kind[kMessageKindCount] = {};
+  std::uint64_t bytes_by_kind[kMessageKindCount] = {};
+  std::vector<std::uint64_t> sent_messages_per_node;
+  std::vector<std::uint64_t> sent_bytes_per_node;
+};
+
+/// All-to-all mailboxes between `nodes` logical nodes.
+class Channel {
+ public:
+  explicit Channel(int nodes);
+
+  void send(int from, int to, MessageKind kind,
+            std::vector<std::uint8_t> payload);
+
+  /// Pops the oldest message addressed to `node`; false when its inbox is
+  /// empty.
+  [[nodiscard]] bool receive(int node, Message& out);
+
+  /// True when every inbox is empty.
+  [[nodiscard]] bool idle() const noexcept { return in_flight_ == 0; }
+
+  [[nodiscard]] const CommStats& stats() const noexcept { return stats_; }
+
+ private:
+  std::vector<std::deque<Message>> inboxes_;
+  std::size_t in_flight_ = 0;
+  CommStats stats_;
+};
+
+// ---------------------------------------------------------------------------
+// Wire codec: little-endian, length-prefixed vectors. Small on purpose —
+// payload layouts live with the typed message structs below.
+// ---------------------------------------------------------------------------
+
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void vertex_span(std::span<const VertexId> vs);
+  void count_span(std::span<const Count> cs);
+
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::uint8_t> data)
+      : p_(data.data()), end_(data.data() + data.size()) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint16_t u16();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  void vertex_vec(std::vector<VertexId>& out);
+  void count_vec(std::vector<Count>& out);
+  [[nodiscard]] bool done() const noexcept { return p_ == end_; }
+
+ private:
+  const std::uint8_t* p_;
+  const std::uint8_t* end_;
+};
+
+// ---------------------------------------------------------------------------
+// Typed payloads.
+// ---------------------------------------------------------------------------
+
+/// A shipped walk continuation (MessageKind::kContinuation). The receiver
+/// re-derives restriction windows and branch masks from `mapped`, so only
+/// identity (which trie node, which item), progress (which predecessors
+/// are already folded into `partial`), and the actual candidate data
+/// travel.
+struct ContinuationMsg {
+  enum class Target : std::uint8_t {
+    kExtension = 0,  ///< building extension `item`'s candidate set
+    kCountLeaf = 1,  ///< building counting leaf `item`'s intersection
+    kIepChain = 2,   ///< building suffix set `item`; done_sets carries the
+                     ///< node's already-completed suffix sets
+  };
+  static constexpr std::uint8_t kNoDepthLimit = 0xff;
+
+  std::uint32_t trie_node = 0;
+  Target target = Target::kExtension;
+  std::uint16_t item = 0;
+  /// Task-granularity cutoff still in force for the descent (see
+  /// ClusterOptions::task_depth); kNoDepthLimit once past generation.
+  std::uint8_t depth_limit = kNoDepthLimit;
+  std::uint64_t mask = 0;  ///< active-plan bitmask at the trie node
+  /// Bit i set = predecessor_depths[i] already folded into `partial`.
+  std::uint8_t folded = 0;
+  bool has_partial = false;
+  std::vector<VertexId> mapped;   ///< schedule depths [0, trie depth)
+  std::vector<VertexId> partial;  ///< in-flight candidate intersection
+  std::vector<std::vector<VertexId>> done_sets;  ///< kIepChain only
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  [[nodiscard]] static ContinuationMsg decode(
+      std::span<const std::uint8_t> payload);
+
+  /// Candidate-set vertices this continuation carries (partial + completed
+  /// suffix sets) — the "shipped candidates" half of the byte economy.
+  [[nodiscard]] std::uint64_t shipped_set_vertices() const noexcept;
+};
+
+/// A node's end-of-run report (MessageKind::kPartialCounts): undivided
+/// per-plan sums plus how many tasks it executed.
+struct PartialCountsMsg {
+  std::vector<Count> sums;
+  std::uint64_t tasks = 0;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  [[nodiscard]] static PartialCountsMsg decode(
+      std::span<const std::uint8_t> payload);
+};
+
+}  // namespace graphpi::dist

@@ -1,9 +1,16 @@
 #include "dist/runtime.h"
 
 #include <algorithm>
+#include <array>
+#include <climits>
 #include <deque>
+#include <numeric>
 
-#include "engine/matcher.h"
+#include "core/plan.h"
+#include "dist/comm.h"
+#include "engine/forest.h"
+#include "engine/plan_exec.h"
+#include "graph/vertex_set.h"
 #include "support/check.h"
 #include "support/timer.h"
 
@@ -11,88 +18,593 @@ namespace graphpi::dist {
 
 namespace {
 
-int clamp_task_depth(const Configuration& config, int requested) {
-  const int outer = config.iep.k > 0 ? config.pattern.size() - config.iep.k
-                                     : config.pattern.size();
-  return std::clamp(requested, 1, std::max(1, outer));
+using PlanMask = PlanForest::PlanMask;
+using Target = ContinuationMsg::Target;
+
+constexpr std::uint8_t kNoLimit = ContinuationMsg::kNoDepthLimit;
+
+/// A node-local unit of work: run the subtree rooted at `trie_node` under
+/// `mask` with the first `depth` schedule positions already mapped. Tasks
+/// are created when the descent from a root crosses the task_depth cutoff
+/// and never travel between nodes by themselves.
+struct LocalTask {
+  std::uint32_t trie_node = 0;
+  PlanMask mask = 0;
+  std::uint8_t depth = 0;
+  VertexId mapped[Pattern::kMaxVertices] = {};
+};
+
+/// Per-node execution state: the shard, the workspace buffers (one
+/// allocation per node for the whole run, mirroring Matcher::Workspace),
+/// undivided per-plan sums, and the work queues.
+struct NodeState {
+  const Shard* shard = nullptr;
+  std::vector<Count> sums;
+  std::deque<LocalTask> tasks;
+  std::size_t next_root = 0;
+  std::uint64_t tasks_run = 0;
+  double seconds = 0.0;
+
+  VertexId mapped[Pattern::kMaxVertices] = {};
+  std::vector<VertexId> cand[Pattern::kMaxVertices];
+  std::vector<VertexId> tmp[Pattern::kMaxVertices];
+  std::vector<std::vector<VertexId>> suffix_sets;
+  std::vector<VertexId> scratch_a;
+  std::vector<VertexId> scratch_b;
+  std::vector<VertexId> all_vertices;
+  std::vector<VertexId> fold_tmp;  ///< chain-folding swap buffer
+};
+
+[[nodiscard]] std::uint8_t full_fold_mask(std::size_t preds) {
+  return static_cast<std::uint8_t>((1u << preds) - 1);
+}
+
+/// The sharded batch traversal: every logical node walks the plan-forest
+/// trie against its own shard only, shipping serialized continuations to
+/// owners when an adjacency it needs is not resident. Single-threaded
+/// round-robin service keeps the run deterministic.
+class ShardedForestRun {
+ public:
+  ShardedForestRun(const ShardedGraph& sharded, const PlanForest& forest,
+                   const ClusterOptions& options)
+      : sharded_(&sharded), forest_(&forest), channel_(sharded.nodes()) {
+    int min_leaf = INT_MAX;
+    bool wants_hub = false;
+    for (const Plan& plan : forest.plans()) {
+      GRAPHPI_CHECK_MSG(plan.size() >= 2,
+                        "the sharded runtime requires plans with >= 2 "
+                        "vertices (no terminal action at the root)");
+      min_leaf = std::min(min_leaf, plan.leaf_depth());
+      wants_hub |= plan.wants_hub_index;
+    }
+    GRAPHPI_CHECK_MSG(forest.root().count_leaves.empty(),
+                      "root terminal actions are impossible for plans of "
+                      "size >= 2");
+    if (wants_hub) sharded.ensure_hub_indexes();
+    cutoff_ = static_cast<std::uint8_t>(
+        std::clamp(options.task_depth, 1, std::max(1, min_leaf)));
+
+    nodes_.resize(static_cast<std::size_t>(sharded.nodes()));
+    for (std::size_t n = 0; n < nodes_.size(); ++n) {
+      nodes_[n].shard = &sharded.shard(static_cast<int>(n));
+      nodes_[n].sums.assign(forest.plans().size(), 0);
+    }
+  }
+
+  std::vector<Count> run(ClusterStats* stats) {
+    // Service nodes round-robin, one unit of work per turn, until no node
+    // has anything left: inbox message first, then a queued task, then
+    // the next owned root.
+    bool any = true;
+    while (any) {
+      any = false;
+      for (std::size_t n = 0; n < nodes_.size(); ++n)
+        any |= service(static_cast<int>(n));
+    }
+
+    // Every non-master node reports its undivided per-plan sums once —
+    // the "counts travel" half of the paper's message economy.
+    for (std::size_t n = 1; n < nodes_.size(); ++n) {
+      PartialCountsMsg report;
+      report.sums = nodes_[n].sums;
+      report.tasks = nodes_[n].tasks_run;
+      channel_.send(static_cast<int>(n), 0, MessageKind::kPartialCounts,
+                    report.encode());
+    }
+    std::vector<Count> total = nodes_[0].sums;
+    Message msg;
+    while (channel_.receive(0, msg)) {
+      GRAPHPI_CHECK(msg.kind == MessageKind::kPartialCounts);
+      const PartialCountsMsg report = PartialCountsMsg::decode(msg.payload);
+      GRAPHPI_CHECK(report.sums.size() == total.size());
+      for (std::size_t i = 0; i < total.size(); ++i) total[i] += report.sums[i];
+    }
+
+    if (stats != nullptr) fill_stats(*stats);
+    return finalize(total);
+  }
+
+ private:
+  // -- scheduling ----------------------------------------------------------
+
+  bool service(int n) {
+    NodeState& ns = nodes_[static_cast<std::size_t>(n)];
+    Message msg;
+    if (channel_.receive(n, msg)) {
+      support::Timer timer;
+      GRAPHPI_CHECK(msg.kind == MessageKind::kContinuation);
+      ContinuationMsg m = ContinuationMsg::decode(msg.payload);
+      std::copy(m.mapped.begin(), m.mapped.end(), ns.mapped);
+      advance_chain(n, ns, m);
+      ns.seconds += timer.elapsed_seconds();
+      return true;
+    }
+    if (!ns.tasks.empty()) {
+      const LocalTask task = ns.tasks.front();
+      ns.tasks.pop_front();
+      support::Timer timer;
+      std::copy(task.mapped, task.mapped + task.depth, ns.mapped);
+      ++ns.tasks_run;
+      exec_node(n, ns, task.trie_node, task.mask, kNoLimit);
+      ns.seconds += timer.elapsed_seconds();
+      return true;
+    }
+    const auto owned = ns.shard->owned();
+    if (ns.next_root < owned.size()) {
+      const VertexId v0 = owned[ns.next_root++];
+      support::Timer timer;
+      ns.mapped[0] = v0;
+      // Root extensions are always unconstrained (no predecessors or
+      // bounds can reference depth < 0), so any owned v0 is valid.
+      for (const PlanForest::Extension& ext : forest_->root().extensions)
+        exec_node(n, ns, static_cast<std::uint32_t>(ext.child),
+                  ext.mask & forest_->all_plans_mask(), cutoff_);
+      ns.seconds += timer.elapsed_seconds();
+      return true;
+    }
+    return false;
+  }
+
+  // -- trie walk -----------------------------------------------------------
+
+  [[nodiscard]] bool all_resident(const NodeState& ns,
+                                  std::span<const int> preds) const {
+    for (int p : preds)
+      if (!ns.shard->is_resident(ns.mapped[p])) return false;
+    return true;
+  }
+
+  void exec_node(int n, NodeState& ns, std::uint32_t node_idx, PlanMask active,
+                 std::uint8_t limit) {
+    const PlanForest::Node& node =
+        forest_->nodes()[static_cast<std::size_t>(node_idx)];
+    if (limit != kNoLimit && node.depth >= static_cast<int>(limit)) {
+      LocalTask task;
+      task.trie_node = node_idx;
+      task.mask = active;
+      task.depth = static_cast<std::uint8_t>(node.depth);
+      std::copy(ns.mapped, ns.mapped + node.depth, task.mapped);
+      ns.tasks.push_back(task);
+      return;
+    }
+
+    // Leaves first: they may use cand[depth]/tmp[depth], which the
+    // extension loop below rebuilds (same order as ForestExecutor).
+    if (!node.count_leaves.empty() || !node.iep_leaves.empty())
+      eval_leaves(n, ns, node_idx, active);
+
+    const int depth = node.depth;
+    const std::span<const VertexId> mapped{ns.mapped,
+                                           static_cast<std::size_t>(depth)};
+    for (std::size_t e = 0; e < node.extensions.size(); ++e) {
+      const PlanForest::Extension& ext = node.extensions[e];
+      if ((ext.mask & active) == 0) continue;
+      const ResolvedBranches rb = resolve_branches(ns.mapped, ext, active);
+      if (rb.live == 0) continue;
+
+      if (all_resident(ns, ext.predecessor_depths)) {
+        const std::span<const VertexId> cands = exec::build_candidates(
+            ns.shard->view(), ext.predecessor_depths, mapped, ns.cand[depth],
+            ns.tmp[depth], ns.all_vertices);
+        run_extension_loop(n, ns, node_idx, e, rb, cands, limit);
+      } else {
+        ContinuationMsg m;
+        m.trie_node = node_idx;
+        m.target = Target::kExtension;
+        m.item = static_cast<std::uint16_t>(e);
+        m.depth_limit = limit;
+        m.mask = active;
+        m.mapped.assign(ns.mapped, ns.mapped + depth);
+        advance_chain(n, ns, m);
+      }
+    }
+  }
+
+  void eval_leaves(int n, NodeState& ns, std::uint32_t node_idx,
+                   PlanMask active) {
+    const PlanForest::Node& node =
+        forest_->nodes()[static_cast<std::size_t>(node_idx)];
+    const int depth = node.depth;
+    const std::span<const VertexId> mapped{ns.mapped,
+                                           static_cast<std::size_t>(depth)};
+
+    for (std::size_t li = 0; li < node.count_leaves.size(); ++li) {
+      const PlanForest::CountLeaf& leaf = node.count_leaves[li];
+      if (((active >> leaf.plan) & 1) == 0) continue;
+      const exec::Window w = exec::restriction_window(
+          ns.mapped, leaf.lower_bound_depths, leaf.upper_bound_depths);
+      if (w.empty()) continue;
+      if (all_resident(ns, leaf.predecessor_depths)) {
+        const Count raw = exec::count_intersection_bounded(
+            ns.shard->view(), leaf.predecessor_depths, mapped, w.lo_inclusive,
+            w.hi_exclusive, ns.cand[depth], ns.tmp[depth]);
+        ns.sums[static_cast<std::size_t>(leaf.plan)] +=
+            raw - exec::count_used_in_intersection(
+                      ns.shard->view(), leaf.predecessor_depths, mapped,
+                      w.lo_inclusive, w.hi_exclusive);
+      } else {
+        ContinuationMsg m;
+        m.trie_node = node_idx;
+        m.target = Target::kCountLeaf;
+        m.item = static_cast<std::uint16_t>(li);
+        m.mask = active;
+        m.mapped.assign(ns.mapped, ns.mapped + depth);
+        advance_chain(n, ns, m);
+      }
+    }
+
+    if (node.iep_leaves.empty()) return;
+    PlanMask iep_active = 0;
+    for (const PlanForest::IepLeaf& leaf : node.iep_leaves)
+      if (((active >> leaf.plan) & 1) != 0) iep_active |= PlanMask{1} << leaf.plan;
+    if (iep_active == 0) return;
+
+    // The sharded executor has no memo tables, so it builds every DEMANDED
+    // set (suffix_def_demand_masks), not just the ForestExecutor's
+    // materialize subset.
+    const std::vector<PlanMask>& demand = node.suffix_def_demand_masks;
+    bool local = true;
+    for (std::size_t i = 0; i < node.suffix_defs.size() && local; ++i)
+      if ((demand[i] & active) != 0 && !all_resident(ns, node.suffix_defs[i]))
+        local = false;
+
+    if (local) {
+      // Every needed suffix set is computable on this shard: exactly the
+      // ForestExecutor evaluation (shared sets, then per-plan terms).
+      if (ns.suffix_sets.size() < node.suffix_defs.size())
+        ns.suffix_sets.resize(node.suffix_defs.size());
+      for (std::size_t i = 0; i < node.suffix_defs.size(); ++i)
+        if ((demand[i] & active) != 0)
+          exec::build_suffix_set(ns.shard->view(), node.suffix_defs[i], mapped,
+                                 ns.suffix_sets[i], ns.scratch_a);
+      for (const PlanForest::IepLeaf& leaf : node.iep_leaves) {
+        if (((active >> leaf.plan) & 1) == 0) continue;
+        const Plan& plan =
+            forest_->plans()[static_cast<std::size_t>(leaf.plan)];
+        ns.sums[static_cast<std::size_t>(leaf.plan)] +=
+            exec::evaluate_iep_terms(plan.iep.terms, ns.suffix_sets,
+                                     leaf.set_ids, ns.scratch_a, ns.scratch_b);
+      }
+      return;
+    }
+
+    // Some suffix set needs a non-resident adjacency: build them as a
+    // shipped chain carrying the completed sets along.
+    ContinuationMsg m;
+    m.trie_node = node_idx;
+    m.target = Target::kIepChain;
+    m.item = 0;
+    m.mask = active;
+    m.mapped.assign(ns.mapped, ns.mapped + depth);
+    m.done_sets.resize(node.suffix_defs.size());
+    advance_chain(n, ns, m);
+  }
+
+  /// Candidate loop of one extension over already-resolved branches: the
+  /// loop runs the union window and narrows the active-plan mask per
+  /// candidate (same model as ForestExecutor; `rb` must come from
+  /// resolve_branches under the current mapping and have live > 0).
+  void run_extension_loop(int n, NodeState& ns, std::uint32_t node_idx,
+                          std::size_t ext_idx, const ResolvedBranches& rb,
+                          std::span<const VertexId> cands,
+                          std::uint8_t limit) {
+    const PlanForest::Node& node =
+        forest_->nodes()[static_cast<std::size_t>(node_idx)];
+    const PlanForest::Extension& ext = node.extensions[ext_idx];
+    const int depth = node.depth;
+    const std::span<const VertexId> mapped{ns.mapped,
+                                           static_cast<std::size_t>(depth)};
+
+    const auto range =
+        rb.union_window.unbounded()
+            ? cands
+            : trim_to_window(cands, rb.union_window.lo_inclusive,
+                             rb.union_window.hi_exclusive);
+    const auto child = static_cast<std::uint32_t>(ext.child);
+    if (rb.live == 1) {
+      const PlanMask next = rb.masks[0];
+      for (VertexId v : range) {
+        if (exec::already_used(mapped, v)) continue;
+        ns.mapped[depth] = v;
+        exec_node(n, ns, child, next, limit);
+      }
+      return;
+    }
+    for (VertexId v : range) {
+      const PlanMask next = rb.mask_at(v);
+      if (next == 0 || exec::already_used(mapped, v)) continue;
+      ns.mapped[depth] = v;
+      exec_node(n, ns, child, next, limit);
+    }
+  }
+
+  // -- continuation chains -------------------------------------------------
+
+  /// Folds every locally-resident, not-yet-folded predecessor of the
+  /// chain's current item into m.partial (first fold materializes the
+  /// window-trimmed adjacency). Returns true when the set is complete —
+  /// either all predecessors folded or the intersection emptied out.
+  bool fold_local(NodeState& ns, std::span<const int> preds,
+                  exec::Window clamp, ContinuationMsg& m) {
+    for (std::size_t i = 0; i < preds.size(); ++i) {
+      if (m.folded & (1u << i)) continue;
+      const VertexId pv = ns.mapped[preds[i]];
+      if (!ns.shard->is_resident(pv)) continue;
+      if (!m.has_partial) {
+        const auto adj = trim_to_window(ns.shard->neighbors(pv),
+                                        clamp.lo_inclusive, clamp.hi_exclusive);
+        m.partial.assign(adj.begin(), adj.end());
+        m.has_partial = true;
+      } else {
+        exec::intersect_with_vertex(ns.shard->view(), m.partial, pv,
+                                    ns.fold_tmp);
+        std::swap(m.partial, ns.fold_tmp);
+      }
+      m.folded |= static_cast<std::uint8_t>(1u << i);
+      if (m.partial.empty()) {
+        // Nothing can survive the remaining intersections.
+        m.folded = full_fold_mask(preds.size());
+        return true;
+      }
+    }
+    return m.folded == full_fold_mask(preds.size());
+  }
+
+  /// Serializes the chain and ships it to the owner of the first
+  /// predecessor whose adjacency this node does not hold.
+  void ship(int n, std::span<const int> preds, const ContinuationMsg& m) {
+    int dest = -1;
+    for (std::size_t i = 0; i < preds.size(); ++i)
+      if ((m.folded & (1u << i)) == 0) {
+        dest = sharded_->owner(m.mapped[static_cast<std::size_t>(preds[i])]);
+        break;
+      }
+    GRAPHPI_CHECK_MSG(dest >= 0 && dest != n,
+                      "a chain only ships when a predecessor is non-"
+                      "resident, and owners always hold their vertices");
+    shipped_set_vertices_ += m.shipped_set_vertices();
+    channel_.send(n, dest, MessageKind::kContinuation, m.encode());
+  }
+
+  /// Advances a chain on this node as far as local residency allows:
+  /// completes the item (running the dependent loop / count / IEP
+  /// evaluation here) or ships the remainder. ns.mapped must already hold
+  /// m.mapped.
+  void advance_chain(int n, NodeState& ns, ContinuationMsg& m) {
+    const PlanForest::Node& node =
+        forest_->nodes()[static_cast<std::size_t>(m.trie_node)];
+    switch (m.target) {
+      case Target::kExtension: {
+        const PlanForest::Extension& ext = node.extensions[m.item];
+        const ResolvedBranches rb =
+            resolve_branches(ns.mapped, ext, m.mask);
+        if (rb.live == 0) return;
+        if (!fold_local(ns, ext.predecessor_depths, rb.union_window, m)) {
+          ship(n, ext.predecessor_depths, m);
+          return;
+        }
+        run_extension_loop(n, ns, m.trie_node, m.item, rb, m.partial,
+                           m.depth_limit);
+        return;
+      }
+      case Target::kCountLeaf: {
+        const PlanForest::CountLeaf& leaf = node.count_leaves[m.item];
+        const exec::Window w = exec::restriction_window(
+            ns.mapped, leaf.lower_bound_depths, leaf.upper_bound_depths);
+        if (w.empty()) return;
+        if (!fold_local(ns, leaf.predecessor_depths, w, m)) {
+          ship(n, leaf.predecessor_depths, m);
+          return;
+        }
+        // The materialized intersection is already window-trimmed; the
+        // used-vertex correction is membership of mapped vertices in it.
+        Count used = 0;
+        for (VertexId v : m.mapped)
+          if (contains(m.partial, v)) ++used;
+        ns.sums[static_cast<std::size_t>(leaf.plan)] +=
+            static_cast<Count>(m.partial.size()) - used;
+        return;
+      }
+      case Target::kIepChain:
+        advance_iep_chain(n, ns, m);
+        return;
+    }
+    GRAPHPI_CHECK_MSG(false, "unknown continuation target");
+  }
+
+  void advance_iep_chain(int n, NodeState& ns, ContinuationMsg& m) {
+    const PlanForest::Node& node =
+        forest_->nodes()[static_cast<std::size_t>(m.trie_node)];
+    const std::vector<PlanMask>& demand = node.suffix_def_demand_masks;
+    const std::span<const VertexId> mapped{ns.mapped, m.mapped.size()};
+    while (m.item < node.suffix_defs.size()) {
+      if ((demand[m.item] & m.mask) == 0) {
+        ++m.item;  // no active plan consumes this set
+        continue;
+      }
+      const std::vector<int>& def = node.suffix_defs[m.item];
+      if (def.empty()) {
+        // Disconnected suffix vertex: every vertex minus the mapped ones.
+        auto& set = m.done_sets[m.item];
+        set.resize(sharded_->parent().vertex_count());
+        std::iota(set.begin(), set.end(), VertexId{0});
+        remove_all(set, mapped);
+        ++m.item;
+        continue;
+      }
+      if (!fold_local(ns, def, exec::Window{}, m)) {
+        ship(n, def, m);
+        return;
+      }
+      remove_all(m.partial, mapped);
+      m.done_sets[m.item] = std::move(m.partial);
+      m.partial.clear();
+      m.has_partial = false;
+      m.folded = 0;
+      ++m.item;
+    }
+    // All needed sets materialized: evaluate every active plan's terms.
+    for (const PlanForest::IepLeaf& leaf : node.iep_leaves) {
+      if (((m.mask >> leaf.plan) & 1) == 0) continue;
+      const Plan& plan = forest_->plans()[static_cast<std::size_t>(leaf.plan)];
+      ns.sums[static_cast<std::size_t>(leaf.plan)] +=
+          exec::evaluate_iep_terms(plan.iep.terms, m.done_sets, leaf.set_ids,
+                                   ns.scratch_a, ns.scratch_b);
+    }
+  }
+
+  // -- epilogue ------------------------------------------------------------
+
+  std::vector<Count> finalize(std::vector<Count> sums) const {
+    const auto& plans = forest_->plans();
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+      if (!plans[i].iep_active()) continue;
+      GRAPHPI_CHECK_MSG(sums[i] % plans[i].iep.divisor == 0,
+                        "IEP sum must be divisible by the surviving-"
+                        "automorphism factor x");
+      sums[i] /= plans[i].iep.divisor;
+    }
+    return sums;
+  }
+
+  void fill_stats(ClusterStats& out) const {
+    const CommStats& comm = channel_.stats();
+    out = ClusterStats{};
+    out.messages = comm.messages;
+    out.bytes = comm.bytes;
+    out.continuation_messages =
+        comm.messages_by_kind[static_cast<std::size_t>(
+            MessageKind::kContinuation)];
+    out.continuation_bytes = comm.bytes_by_kind[static_cast<std::size_t>(
+        MessageKind::kContinuation)];
+    out.count_messages = comm.messages_by_kind[static_cast<std::size_t>(
+        MessageKind::kPartialCounts)];
+    out.count_bytes = comm.bytes_by_kind[static_cast<std::size_t>(
+        MessageKind::kPartialCounts)];
+    out.shipped_set_vertices = shipped_set_vertices_;
+    out.sent_messages_per_node = comm.sent_messages_per_node;
+    out.sent_bytes_per_node = comm.sent_bytes_per_node;
+    out.tasks_per_node.reserve(nodes_.size());
+    out.seconds_per_node.reserve(nodes_.size());
+    for (const NodeState& ns : nodes_) {
+      out.total_tasks += ns.tasks_run;
+      out.tasks_per_node.push_back(ns.tasks_run);
+      out.seconds_per_node.push_back(ns.seconds);
+    }
+    const ShardedGraph::Stats& shape = sharded_->stats();
+    out.owned_per_node = shape.owned_per_node;
+    out.ghosts_per_node = shape.ghosts_per_node;
+    out.replication_factor = shape.replication_factor;
+  }
+
+  const ShardedGraph* sharded_;
+  const PlanForest* forest_;
+  Channel channel_;
+  std::vector<NodeState> nodes_;
+  std::uint8_t cutoff_ = 1;
+  std::uint64_t shipped_set_vertices_ = 0;
+};
+
+/// Single-node run: the whole graph is one shard, so the plain batch
+/// executor over the full root domain is the honest (and fastest) path —
+/// no replication, no messages.
+std::vector<Count> single_node_run(const Graph& graph, const PlanForest& forest,
+                                   ClusterStats* stats) {
+  const ForestExecutor executor(graph, forest);
+  ForestExecutor::Workspace ws;
+  std::vector<VertexId> roots(graph.vertex_count());
+  std::iota(roots.begin(), roots.end(), VertexId{0});
+  support::Timer timer;
+  const std::vector<Count> counts = executor.count_roots(ws, roots);
+  if (stats != nullptr) {
+    *stats = ClusterStats{};
+    stats->total_tasks = roots.size();
+    stats->tasks_per_node = {roots.size()};
+    stats->seconds_per_node = {timer.elapsed_seconds()};
+    stats->sent_messages_per_node = {0};
+    stats->sent_bytes_per_node = {0};
+    stats->owned_per_node = {graph.vertex_count()};
+    stats->ghosts_per_node = {0};
+    stats->replication_factor = 1.0;
+  }
+  return counts;
 }
 
 }  // namespace
 
+void ClusterStats::accumulate(const ClusterStats& other) {
+  const auto merge_u64 = [](std::vector<std::uint64_t>& into,
+                            const std::vector<std::uint64_t>& from) {
+    if (into.size() < from.size()) into.resize(from.size(), 0);
+    for (std::size_t i = 0; i < from.size(); ++i) into[i] += from[i];
+  };
+  total_tasks += other.total_tasks;
+  messages += other.messages;
+  bytes += other.bytes;
+  continuation_messages += other.continuation_messages;
+  continuation_bytes += other.continuation_bytes;
+  shipped_set_vertices += other.shipped_set_vertices;
+  count_messages += other.count_messages;
+  count_bytes += other.count_bytes;
+  merge_u64(tasks_per_node, other.tasks_per_node);
+  merge_u64(sent_messages_per_node, other.sent_messages_per_node);
+  merge_u64(sent_bytes_per_node, other.sent_bytes_per_node);
+  if (seconds_per_node.size() < other.seconds_per_node.size())
+    seconds_per_node.resize(other.seconds_per_node.size(), 0.0);
+  for (std::size_t i = 0; i < other.seconds_per_node.size(); ++i)
+    seconds_per_node[i] += other.seconds_per_node[i];
+  // Shard shape is identical across chunks of one batch: keep the latest.
+  owned_per_node = other.owned_per_node;
+  ghosts_per_node = other.ghosts_per_node;
+  replication_factor = other.replication_factor;
+}
+
 Count distributed_count(const Graph& graph, const Configuration& config,
                         const ClusterOptions& options, ClusterStats* stats) {
+  std::vector<Plan> plans;
+  plans.push_back(compile_plan(config));
+  const PlanForest forest(std::move(plans));
+  return distributed_count_batch(graph, forest, options, stats).front();
+}
+
+std::vector<Count> distributed_count_batch(const Graph& graph,
+                                           const PlanForest& forest,
+                                           const ClusterOptions& options,
+                                           ClusterStats* stats) {
   GRAPHPI_CHECK_MSG(options.nodes >= 1, "cluster needs at least one node");
-  const Matcher matcher(graph, config);
-  const int depth = clamp_task_depth(config, options.task_depth);
-  const auto nodes = static_cast<std::size_t>(options.nodes);
+  if (options.nodes == 1) return single_node_run(graph, forest, stats);
+  ShardOptions shard_options;
+  shard_options.nodes = options.nodes;
+  shard_options.strategy = options.partition;
+  const ShardedGraph sharded(graph, shard_options);
+  return ShardedForestRun(sharded, forest, options).run(stats);
+}
 
-  // Master: run the outer loops, pack tasks flat, deal them round-robin.
-  std::vector<VertexId> flat;
-  {
-    Matcher::Workspace master_ws;
-    matcher.enumerate_prefixes(master_ws, depth,
-                               [&flat](std::span<const VertexId> p) {
-                                 flat.insert(flat.end(), p.begin(), p.end());
-                               });
-  }
-  const std::size_t task_count =
-      flat.size() / static_cast<std::size_t>(depth);
-  const auto task = [&flat, depth](std::size_t i) {
-    return std::span<const VertexId>{
-        flat.data() + i * static_cast<std::size_t>(depth),
-        static_cast<std::size_t>(depth)};
-  };
-
-  std::vector<std::deque<std::size_t>> queues(nodes);
-  for (std::size_t t = 0; t < task_count; ++t) queues[t % nodes].push_back(t);
-
-  ClusterStats local;
-  local.total_tasks = task_count;
-  local.messages = task_count;  // one send per task
-  local.tasks_per_node.assign(nodes, 0);
-  local.seconds_per_node.assign(nodes, 0.0);
-
-  // Workers: one workspace per node for its whole lifetime. Nodes are
-  // serviced round-robin one task at a time so queue-drain order (and
-  // therefore stealing) matches a concurrent cluster's dynamics.
-  std::vector<Matcher::Workspace> workspaces(nodes);
-  Count aggregated = 0;
-  std::size_t remaining = task_count;
-  while (remaining > 0) {
-    for (std::size_t node = 0; node < nodes && remaining > 0; ++node) {
-      if (queues[node].empty()) {
-        // Steal half of the longest queue (the paper's idle-worker rule).
-        ++local.steals_attempted;
-        std::size_t victim = node;
-        std::size_t best = 0;
-        for (std::size_t other = 0; other < nodes; ++other)
-          if (queues[other].size() > best) {
-            best = queues[other].size();
-            victim = other;
-          }
-        if (best == 0) continue;  // nothing left to steal this pass
-        ++local.steals_successful;
-        ++local.messages;  // steal request/response
-        const std::size_t grab = (best + 1) / 2;
-        for (std::size_t i = 0; i < grab; ++i) {
-          queues[node].push_back(queues[victim].back());
-          queues[victim].pop_back();
-        }
-      }
-      if (queues[node].empty()) continue;
-      const std::size_t t = queues[node].front();
-      queues[node].pop_front();
-      support::Timer timer;
-      aggregated += matcher.count_from_prefix(workspaces[node], task(t));
-      local.seconds_per_node[node] += timer.elapsed_seconds();
-      ++local.tasks_per_node[node];
-      --remaining;
-    }
-  }
-  local.messages += nodes;  // every node reports its partial count once
-
-  if (stats != nullptr) *stats = local;
-  return matcher.finalize_partial_counts(aggregated);
+std::vector<Count> distributed_count_batch(const ShardedGraph& sharded,
+                                           const PlanForest& forest,
+                                           const ClusterOptions& options,
+                                           ClusterStats* stats) {
+  return ShardedForestRun(sharded, forest, options).run(stats);
 }
 
 }  // namespace graphpi::dist

@@ -1,50 +1,101 @@
-// Simulated multi-node distributed runtime (Section IV-E).
+// Sharded multi-node distributed runtime (Section IV-E, grown past the
+// paper's whole-graph-per-node assumption).
 //
-// The paper's cluster design: the master executes the outer loops of the
-// schedule and packs each valid partial embedding into a fine-grained
-// task; workers pull tasks, run the continuation locally, and send back
-// partial counts; idle workers steal from loaded ones. This module
-// reproduces that control flow faithfully on one physical machine — every
-// "node" is a logical worker with its own task queue and its own
-// Matcher::Workspace (created once per node, reused across all its tasks),
-// processed round-robin so stealing dynamics are observable — while the
-// actual counting runs in-process through the same Matcher the real
-// engines use. Results are therefore bit-identical to Matcher::count().
+// Every logical node holds ONLY its shard of the data graph — owned CSR
+// rows plus the 1-hop ghost halo (dist/shard.h) — and executes the
+// compiled plan forest against that shard with its own workspace and its
+// own per-shard hub index. The walk over the trie proceeds exactly like
+// engine/forest.h, except that every candidate-set build first folds in
+// the adjacencies resident on the current node and, when a predecessor's
+// adjacency is not resident, serializes the continuation — partial
+// embedding, set-build progress, and the in-flight candidate set — and
+// ships it to that predecessor's owner over the typed channel
+// (dist/comm.h). Partial counts flow back to the master at the end; full
+// embeddings never travel. Message and byte counters make that economy
+// measurable, and feed the comm-cost model in dist/simulator.h.
+//
+// A single pattern is executed as a one-plan forest, so the same sharded
+// executor serves Matcher-equivalent counting (distributed_count) and
+// whole-batch motif censuses (distributed_count_batch) — results are
+// bit-identical to Matcher::count() / ForestExecutor::count(), asserted
+// by tests that also poison non-resident adjacency to prove no node ever
+// reads outside its shard.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "core/configuration.h"
+#include "core/plan_forest.h"
+#include "dist/shard.h"
 #include "graph/graph.h"
 #include "graph/types.h"
 
 namespace graphpi::dist {
 
 struct ClusterOptions {
-  /// Number of simulated nodes (>= 1).
+  /// Number of logical nodes (>= 1). 1 runs the whole forest locally
+  /// (no sharding, no messages).
   int nodes = 2;
-  /// Schedule depth of one task (clamped to the outer loops under IEP).
+  /// Schedule depth at which the descent from a root is cut into
+  /// node-local tasks (clamped to [1, shallowest plan leaf]). Finer tasks
+  /// produce the fine-grained load profile the scheduling simulator
+  /// replays; they never travel between nodes by themselves — only
+  /// boundary-crossing continuations do.
   int task_depth = 1;
+  PartitionStrategy partition = PartitionStrategy::kHash;
 };
 
-/// Observability counters for one distributed run.
+/// Observability counters for one distributed run. Byte counters measure
+/// serialized payloads (see dist/comm.h).
 struct ClusterStats {
+  /// Node-local task units executed (valid depth-`task_depth` subtree
+  /// roots; 0 when every plan's leaf is shallower than the cutoff).
   std::uint64_t total_tasks = 0;
-  /// Task sends + per-node result sends (the paper's message economy:
-  /// counts travel, embeddings never do).
-  std::uint64_t messages = 0;
-  std::uint64_t steals_attempted = 0;
-  std::uint64_t steals_successful = 0;
+  std::uint64_t messages = 0;  ///< all channel messages
+  std::uint64_t bytes = 0;     ///< all channel payload bytes
+  /// Shipped walk continuations (the candidate economy).
+  std::uint64_t continuation_messages = 0;
+  std::uint64_t continuation_bytes = 0;
+  /// Candidate-set vertices carried inside continuations (in-flight
+  /// intersections + completed IEP suffix sets).
+  std::uint64_t shipped_set_vertices = 0;
+  /// Partial-count reports to the master.
+  std::uint64_t count_messages = 0;
+  std::uint64_t count_bytes = 0;
   std::vector<std::uint64_t> tasks_per_node;
-  std::vector<double> seconds_per_node;
+  std::vector<double> seconds_per_node;  ///< busy time per node
+  std::vector<std::uint64_t> sent_messages_per_node;
+  std::vector<std::uint64_t> sent_bytes_per_node;
+  /// Shard shape of the run.
+  std::vector<std::uint32_t> owned_per_node;
+  std::vector<std::uint32_t> ghosts_per_node;
+  double replication_factor = 0.0;
+
+  /// Element-wise merge (chunked batches accumulate across forests).
+  void accumulate(const ClusterStats& other);
 };
 
-/// Counts embeddings of `config` on `graph` with the simulated cluster.
+/// Counts embeddings of `config` on `graph` with the sharded cluster.
 /// Exactly equal to Matcher::count() (asserted by tests).
 [[nodiscard]] Count distributed_count(const Graph& graph,
                                       const Configuration& config,
                                       const ClusterOptions& options = {},
                                       ClusterStats* stats = nullptr);
+
+/// Counts every plan of a prefix-sharing forest in one sharded batch
+/// traversal — the distributed twin of ForestExecutor::count(), returning
+/// finalized per-plan counts indexed like forest.plans(). Every plan must
+/// have >= 2 vertices.
+[[nodiscard]] std::vector<Count> distributed_count_batch(
+    const Graph& graph, const PlanForest& forest,
+    const ClusterOptions& options = {}, ClusterStats* stats = nullptr);
+
+/// Same, on a prebuilt sharding (`options.nodes`/`options.partition` are
+/// ignored in favor of the sharding's own). This is the entry point the
+/// shard-isolation tests use with poisoned non-resident rows.
+[[nodiscard]] std::vector<Count> distributed_count_batch(
+    const ShardedGraph& sharded, const PlanForest& forest,
+    const ClusterOptions& options = {}, ClusterStats* stats = nullptr);
 
 }  // namespace graphpi::dist

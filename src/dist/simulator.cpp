@@ -60,4 +60,32 @@ SimResult simulate_cluster(const std::vector<double>& task_costs, int nodes) {
   return result;
 }
 
+ShardSimResult simulate_sharded_cluster(
+    const std::vector<double>& busy_seconds_per_node,
+    const std::vector<std::uint64_t>& sent_messages_per_node,
+    const std::vector<std::uint64_t>& sent_bytes_per_node,
+    const CommCostModel& model) {
+  ShardSimResult result;
+  const std::size_t nodes = busy_seconds_per_node.size();
+  for (std::size_t n = 0; n < nodes; ++n) {
+    const double busy = busy_seconds_per_node[n];
+    result.serial_seconds += busy;
+    const double msgs =
+        n < sent_messages_per_node.size()
+            ? static_cast<double>(sent_messages_per_node[n])
+            : 0.0;
+    const double bytes = n < sent_bytes_per_node.size()
+                             ? static_cast<double>(sent_bytes_per_node[n])
+                             : 0.0;
+    const double comm =
+        msgs * model.latency_seconds +
+        (model.bytes_per_second > 0.0 ? bytes / model.bytes_per_second : 0.0);
+    if (busy + comm > result.makespan_seconds) {
+      result.makespan_seconds = busy + comm;
+      result.comm_seconds = comm;
+    }
+  }
+  return result;
+}
+
 }  // namespace graphpi::dist

@@ -30,4 +30,44 @@ struct SimResult {
 [[nodiscard]] SimResult simulate_cluster(const std::vector<double>& task_costs,
                                          int nodes);
 
+// ---------------------------------------------------------------------------
+// Comm-cost model for the SHARDED runtime.
+//
+// The sharded executor (dist/runtime.h) measures per-node busy seconds and
+// per-node sent message/byte counters on one physical machine; this model
+// projects what the same run would cost on a real interconnect by charging
+// each node a per-message latency and a bandwidth-proportional transfer
+// time on top of its measured compute. Feed it ClusterStats directly.
+// ---------------------------------------------------------------------------
+
+struct CommCostModel {
+  /// One-way software + switch latency charged per message.
+  double latency_seconds = 2e-6;
+  /// Effective per-node bandwidth (default ~100 Gb/s full duplex).
+  double bytes_per_second = 12.5e9;
+};
+
+struct ShardSimResult {
+  double serial_seconds = 0.0;    ///< sum of per-node busy time
+  double makespan_seconds = 0.0;  ///< slowest node, compute + comm
+  double comm_seconds = 0.0;      ///< comm share of the critical node
+
+  [[nodiscard]] double speedup_vs_serial() const {
+    return makespan_seconds > 0.0 ? serial_seconds / makespan_seconds : 1.0;
+  }
+  [[nodiscard]] double efficiency(int nodes) const {
+    return nodes > 0 ? speedup_vs_serial() / static_cast<double>(nodes) : 0.0;
+  }
+};
+
+/// Projects the makespan of a measured sharded run under `model`. The
+/// three vectors are indexed by node and must have equal sizes (they are
+/// ClusterStats::seconds_per_node / sent_messages_per_node /
+/// sent_bytes_per_node).
+[[nodiscard]] ShardSimResult simulate_sharded_cluster(
+    const std::vector<double>& busy_seconds_per_node,
+    const std::vector<std::uint64_t>& sent_messages_per_node,
+    const std::vector<std::uint64_t>& sent_bytes_per_node,
+    const CommCostModel& model = {});
+
 }  // namespace graphpi::dist

@@ -28,6 +28,26 @@ namespace {
 std::atomic<std::uint64_t> g_next_executor_id{1};  // 0 = workspace unbound
 }  // namespace
 
+ResolvedBranches resolve_branches(const VertexId* mapped,
+                                  const PlanForest::Extension& ext,
+                                  PlanForest::PlanMask active) {
+  ResolvedBranches rb;
+  for (const PlanForest::Branch& branch : ext.branches) {
+    const PlanForest::PlanMask m = branch.mask & active;
+    if (m == 0) continue;
+    const exec::Window w = bounded_window(mapped, branch);
+    if (w.empty()) continue;
+    rb.windows[rb.live] = w;
+    rb.masks[rb.live] = m;
+    ++rb.live;
+    rb.union_window.lo_inclusive =
+        std::min(rb.union_window.lo_inclusive, w.lo_inclusive);
+    rb.union_window.hi_exclusive =
+        std::max(rb.union_window.hi_exclusive, w.hi_exclusive);
+  }
+  return rb;
+}
+
 ForestExecutor::ForestExecutor(const Graph& graph, const PlanForest& forest)
     : graph_(&graph),
       forest_(&forest),
@@ -185,22 +205,8 @@ void ForestExecutor::exec_node(Workspace& ws, const PlanForest::Node& node,
     // mapping; the loop runs over the union window and narrows the
     // active-plan mask per candidate, so plans differing only in
     // restrictions share the intersection built below.
-    std::array<exec::Window, PlanForest::kMaxPlans> windows;
-    std::array<PlanMask, PlanForest::kMaxPlans> masks;
-    std::size_t live = 0;
-    exec::Window unio{kNoVertexBound, 0};
-    for (const PlanForest::Branch& branch : ext.branches) {
-      const PlanMask m = branch.mask & active;
-      if (m == 0) continue;
-      const exec::Window w = bounded_window(ws.mapped, branch);
-      if (w.empty()) continue;
-      windows[live] = w;
-      masks[live] = m;
-      ++live;
-      unio.lo_inclusive = std::min(unio.lo_inclusive, w.lo_inclusive);
-      unio.hi_exclusive = std::max(unio.hi_exclusive, w.hi_exclusive);
-    }
-    if (live == 0) continue;
+    const ResolvedBranches rb = resolve_branches(ws.mapped, ext, active);
+    if (rb.live == 0) continue;
 
     std::span<const VertexId> cands;
     if (ext.reuse_suffix_def >= 0 &&
@@ -220,14 +226,15 @@ void ForestExecutor::exec_node(Workspace& ws, const PlanForest::Node& node,
                                      ws.cand[depth], ws.tmp[depth],
                                      ws.all_vertices);
     }
-    const auto range = unio.unbounded()
-                           ? cands
-                           : trim_to_window(cands, unio.lo_inclusive,
-                                            unio.hi_exclusive);
-    if (live == 1) {
+    const auto range =
+        rb.union_window.unbounded()
+            ? cands
+            : trim_to_window(cands, rb.union_window.lo_inclusive,
+                             rb.union_window.hi_exclusive);
+    if (rb.live == 1) {
       // Common case: one distinct window — the trim above already applied
       // it, so no per-vertex checks are needed.
-      const PlanMask next = masks[0];
+      const PlanMask next = rb.masks[0];
       for (VertexId v : range) {
         if (exec::already_used(mapped, v)) continue;
         ws.mapped[depth] = v;
@@ -236,9 +243,7 @@ void ForestExecutor::exec_node(Workspace& ws, const PlanForest::Node& node,
       continue;
     }
     for (VertexId v : range) {
-      PlanMask next = 0;
-      for (std::size_t b = 0; b < live; ++b)
-        if (windows[b].contains(v)) next |= masks[b];
+      const PlanMask next = rb.mask_at(v);
       if (next == 0 || exec::already_used(mapped, v)) continue;
       ws.mapped[depth] = v;
       exec_node(ws, child, next);
@@ -288,6 +293,13 @@ std::vector<Count> ForestExecutor::finalize(
 std::vector<Count> ForestExecutor::count(Workspace& ws) const {
   reset(ws);
   exec_node(ws, forest_->root(), forest_->all_plans_mask());
+  return finalize(ws.sums);
+}
+
+std::vector<Count> ForestExecutor::count_roots(
+    Workspace& ws, std::span<const VertexId> roots) const {
+  reset(ws);
+  for (VertexId v0 : roots) accumulate_root(ws, v0);
   return finalize(ws.sums);
 }
 

@@ -15,16 +15,44 @@
 // work by root vertex via accumulate_root().
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "core/pattern.h"
 #include "core/plan_forest.h"
+#include "engine/plan_exec.h"
 #include "graph/graph.h"
 #include "graph/types.h"
 
 namespace graphpi {
+
+/// Restriction windows of one trie extension resolved under a concrete
+/// mapping and active-plan mask: the surviving branches' windows and
+/// plan masks, plus their union window (the loop range). Shared by the
+/// in-memory ForestExecutor and the sharded distributed executor so the
+/// window/mask-narrowing semantics live in exactly one place.
+struct ResolvedBranches {
+  std::array<exec::Window, PlanForest::kMaxPlans> windows;
+  std::array<PlanForest::PlanMask, PlanForest::kMaxPlans> masks;
+  std::size_t live = 0;
+  exec::Window union_window{kNoVertexBound, 0};
+
+  /// Plans whose window admits v (narrowing step of the candidate loop).
+  [[nodiscard]] PlanForest::PlanMask mask_at(VertexId v) const noexcept {
+    PlanForest::PlanMask m = 0;
+    for (std::size_t b = 0; b < live; ++b)
+      if (windows[b].contains(v)) m |= masks[b];
+    return m;
+  }
+};
+
+/// Resolves `ext`'s branches against `mapped` under `active`; branches
+/// that are masked out or whose window is empty do not survive.
+[[nodiscard]] ResolvedBranches resolve_branches(
+    const VertexId* mapped, const PlanForest::Extension& ext,
+    PlanForest::PlanMask active);
 
 class ForestExecutor {
  public:
@@ -94,6 +122,15 @@ class ForestExecutor {
   /// like forest().plans().
   [[nodiscard]] std::vector<Count> count() const;
   [[nodiscard]] std::vector<Count> count(Workspace& ws) const;
+
+  /// Traversal restricted to an explicit depth-0 vertex domain: counts
+  /// only embeddings rooted at `roots` (duplicates count twice — pass a
+  /// set). This is the shard-local entry point of the distributed
+  /// runtime: a node that owns a subset of the vertex space runs the
+  /// whole forest over exactly its owned roots. Equals count() when
+  /// `roots` is the full vertex range. Requires plans with >= 2 vertices.
+  [[nodiscard]] std::vector<Count> count_roots(
+      Workspace& ws, std::span<const VertexId> roots) const;
 
   /// Zeroes ws.sums (sizing it to the plan count). Call once before a
   /// sequence of accumulate_root() calls.

@@ -71,4 +71,31 @@ SubgraphResult k_core_subgraph(const Graph& g, std::uint32_t k) {
   return induced_subgraph(g, std::move(selected));
 }
 
+Graph csr_row_slice(const Graph& g, const std::vector<bool>& keep,
+                    std::span<const VertexId> fill_dropped) {
+  const VertexId n = g.vertex_count();
+  GRAPHPI_CHECK_MSG(keep.size() == n, "keep mask must cover every vertex");
+
+  std::vector<EdgeIndex> offsets(static_cast<std::size_t>(n) + 1, 0);
+  EdgeIndex slots = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    offsets[v] = slots;
+    slots += keep[v] ? g.degree(v) : fill_dropped.size();
+  }
+  offsets[n] = slots;
+
+  std::vector<VertexId> neighbors;
+  neighbors.reserve(slots);
+  for (VertexId v = 0; v < n; ++v) {
+    if (keep[v]) {
+      const auto adj = g.neighbors(v);
+      neighbors.insert(neighbors.end(), adj.begin(), adj.end());
+    } else {
+      neighbors.insert(neighbors.end(), fill_dropped.begin(),
+                       fill_dropped.end());
+    }
+  }
+  return Graph(std::move(offsets), std::move(neighbors));
+}
+
 }  // namespace graphpi

@@ -5,6 +5,7 @@
 // reported by the engine, or building per-community test fixtures.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "graph/graph.h"
@@ -32,5 +33,24 @@ struct SubgraphResult {
 /// Induced subgraph on the k-core (vertices with core number >= k).
 [[nodiscard]] SubgraphResult k_core_subgraph(const Graph& g,
                                              std::uint32_t k);
+
+/// Row-sliced CSR view: a graph over the SAME (global) vertex-id space as
+/// `g` that keeps the full adjacency row of every vertex with
+/// `keep[v] == true` and drops the rows of all others. Unlike
+/// induced_subgraph, vertex ids are NOT remapped and kept rows are NOT
+/// filtered — a kept row may reference dropped vertices. This is the
+/// storage shape of one node's shard in the distributed runtime
+/// (dist/shard.h): resident vertices carry their real adjacency, everyone
+/// else carries nothing.
+///
+/// Dropped rows are empty by default; when `fill_dropped` is non-empty,
+/// every dropped row is filled with that list instead (a deliberately
+/// wrong "poison" adjacency — the shard-isolation tests use it to prove
+/// an executor never reads non-resident rows). The result intentionally
+/// violates Graph::validate()'s symmetry invariant whenever a kept row
+/// references a dropped vertex; it is a storage view, not a standalone
+/// graph.
+[[nodiscard]] Graph csr_row_slice(const Graph& g, const std::vector<bool>& keep,
+                                  std::span<const VertexId> fill_dropped = {});
 
 }  // namespace graphpi

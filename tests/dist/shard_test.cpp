@@ -1,0 +1,164 @@
+// Shard construction invariants: ownership partitions, the ghost halo,
+// global-id CSR views, local<->global remapping, poisoning, and the
+// replication accounting the distributed runtime's isolation rests on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "dist/shard.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace graphpi::dist {
+namespace {
+
+Graph test_graph() { return clustered_power_law(80, 320, 2.3, 0.5, 77); }
+
+TEST(Shard, PartitionCoversEveryVertexExactlyOnce) {
+  const Graph g = test_graph();
+  for (const auto strategy :
+       {PartitionStrategy::kHash, PartitionStrategy::kRange}) {
+    for (int nodes : {1, 2, 3, 7}) {
+      const std::vector<int> owner = partition_owners(g, nodes, strategy);
+      ASSERT_EQ(owner.size(), g.vertex_count());
+      std::vector<std::uint32_t> per_node(static_cast<std::size_t>(nodes), 0);
+      for (int o : owner) {
+        ASSERT_GE(o, 0);
+        ASSERT_LT(o, nodes);
+        ++per_node[static_cast<std::size_t>(o)];
+      }
+      std::uint32_t total = 0;
+      for (auto c : per_node) total += c;
+      EXPECT_EQ(total, g.vertex_count()) << to_string(strategy);
+    }
+  }
+}
+
+TEST(Shard, RangePartitionIsContiguousAndSlotBalanced) {
+  const Graph g = test_graph();
+  const int nodes = 4;
+  const std::vector<int> owner =
+      partition_owners(g, nodes, PartitionStrategy::kRange);
+  std::vector<std::uint64_t> slots(static_cast<std::size_t>(nodes), 0);
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    if (v > 0) EXPECT_GE(owner[v], owner[v - 1]);  // contiguous ranges
+    slots[static_cast<std::size_t>(owner[v])] += g.degree(v);
+  }
+  // Degree-balanced: no node holds more than twice the fair share plus
+  // one vertex's worth of slack (the greedy cut can overshoot by at most
+  // the degree of the boundary vertex).
+  const std::uint64_t fair = g.directed_edge_count() / nodes;
+  for (std::uint64_t s : slots)
+    EXPECT_LE(s, 2 * fair + g.max_degree());
+}
+
+TEST(Shard, HashPartitionIsDeterministic) {
+  const Graph g = test_graph();
+  EXPECT_EQ(partition_owners(g, 5, PartitionStrategy::kHash),
+            partition_owners(g, 5, PartitionStrategy::kHash));
+}
+
+TEST(Shard, ResidencyIsOwnedPlusHaloAndViewsMatchParent) {
+  const Graph g = test_graph();
+  ShardOptions options;
+  options.nodes = 3;
+  for (const auto strategy :
+       {PartitionStrategy::kHash, PartitionStrategy::kRange}) {
+    options.strategy = strategy;
+    const ShardedGraph sharded(g, options);
+    for (int n = 0; n < sharded.nodes(); ++n) {
+      const Shard& shard = sharded.shard(n);
+      // Expected resident set: owned + neighbors of owned.
+      std::set<VertexId> expected;
+      for (VertexId v = 0; v < g.vertex_count(); ++v) {
+        if (sharded.owner(v) != n) continue;
+        expected.insert(v);
+        for (VertexId w : g.neighbors(v)) expected.insert(w);
+      }
+      ASSERT_EQ(shard.resident_count(), expected.size());
+      for (VertexId v = 0; v < g.vertex_count(); ++v) {
+        ASSERT_EQ(shard.is_resident(v), expected.count(v) > 0);
+        if (!shard.is_resident(v)) continue;
+        // Remap roundtrip and exact adjacency replication.
+        ASSERT_EQ(shard.global_id(shard.local_id(v)), v);
+        const auto got = shard.neighbors(v);
+        const auto want = g.neighbors(v);
+        ASSERT_TRUE(std::equal(got.begin(), got.end(), want.begin(),
+                               want.end()))
+            << "vertex " << v << " node " << n;
+      }
+      EXPECT_EQ(shard.owned_count() + shard.ghost_count(),
+                shard.resident_count());
+    }
+  }
+}
+
+TEST(Shard, NonResidentRowsAreEmptyAndCheckedAccessThrows) {
+  const Graph g = test_graph();
+  ShardOptions options;
+  options.nodes = 3;
+  const ShardedGraph sharded(g, options);
+  bool saw_nonresident = false;
+  for (int n = 0; n < sharded.nodes(); ++n) {
+    const Shard& shard = sharded.shard(n);
+    for (VertexId v = 0; v < g.vertex_count(); ++v) {
+      if (shard.is_resident(v)) continue;
+      saw_nonresident = true;
+      EXPECT_TRUE(shard.view().neighbors(v).empty());
+      EXPECT_THROW((void)shard.neighbors(v), std::logic_error);
+      EXPECT_EQ(shard.local_id(v), Shard::kNotResident);
+    }
+  }
+  EXPECT_TRUE(saw_nonresident);  // 3-way split must drop something
+}
+
+TEST(Shard, PoisonFillsNonResidentRowsOnly) {
+  const Graph g = test_graph();
+  ShardOptions options;
+  options.nodes = 3;
+  options.poison_nonresident = true;
+  const ShardedGraph sharded(g, options);
+  for (int n = 0; n < sharded.nodes(); ++n) {
+    const Shard& shard = sharded.shard(n);
+    for (VertexId v = 0; v < g.vertex_count(); ++v) {
+      const auto row = shard.view().neighbors(v);
+      if (shard.is_resident(v)) {
+        const auto want = g.neighbors(v);
+        EXPECT_TRUE(
+            std::equal(row.begin(), row.end(), want.begin(), want.end()));
+      } else {
+        EXPECT_FALSE(row.empty());  // garbage, loudly present
+      }
+    }
+  }
+}
+
+TEST(Shard, StatsAccountOwnershipAndReplication) {
+  const Graph g = test_graph();
+  ShardOptions options;
+  options.nodes = 4;
+  const ShardedGraph sharded(g, options);
+  const auto& stats = sharded.stats();
+  std::uint64_t owned_total = 0;
+  for (std::size_t n = 0; n < stats.owned_per_node.size(); ++n)
+    owned_total += stats.owned_per_node[n];
+  EXPECT_EQ(owned_total, g.vertex_count());
+  // Halos replicate boundary rows, so a multi-way split of a connected
+  // graph stores strictly more than the parent.
+  EXPECT_GT(stats.replication_factor, 1.0);
+}
+
+TEST(Shard, SingleNodeShardIsTheWholeGraph) {
+  const Graph g = erdos_renyi(40, 160, 9);
+  const ShardedGraph sharded(g, ShardOptions{.nodes = 1});
+  const Shard& shard = sharded.shard(0);
+  EXPECT_EQ(shard.owned_count(), g.vertex_count());
+  EXPECT_EQ(shard.ghost_count(), 0u);
+  EXPECT_DOUBLE_EQ(sharded.stats().replication_factor, 1.0);
+}
+
+}  // namespace
+}  // namespace graphpi::dist

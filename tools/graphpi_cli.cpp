@@ -35,6 +35,7 @@ int usage() {
       R"(usage: graphpi <command> [args]
   stats <graph>
   count <graph> <pattern> [--no-iep] [--parallel] [--nodes N]
+        [--partition hash|range] [--task-depth D]
   list  <graph> <pattern> [limit]
   plan  <graph> <pattern>
   gen   <pattern> [out.cpp]
@@ -114,13 +115,29 @@ int cmd_count(const std::string& graph_spec, const std::string& pattern_spec,
       options.backend = Backend::kDistributed;
       options.nodes = std::atoi(argv[++i]);
     }
+    if (arg == "--task-depth" && i + 1 < argc)
+      options.task_depth = std::atoi(argv[++i]);
+    if (arg == "--partition" && i + 1 < argc) {
+      if (!dist::parse_partition(argv[++i], options.partition)) {
+        std::cerr << "unknown partition strategy: " << argv[i] << "\n";
+        return 2;
+      }
+    }
   }
   const Graph g = parse_graph(graph_spec);
   const Pattern p = parse_pattern(pattern_spec);
   const GraphPi engine(g);
+  dist::ClusterStats stats;
+  if (options.backend == Backend::kDistributed) options.cluster_stats = &stats;
   support::Timer t;
   const Count n = engine.count(p, options);
   std::cout << n << " embeddings in " << t.elapsed_seconds() << "s\n";
+  if (options.backend == Backend::kDistributed)
+    std::cout << "sharded run: " << options.nodes << " nodes ("
+              << dist::to_string(options.partition) << "), tasks "
+              << stats.total_tasks << ", messages " << stats.messages << " ("
+              << stats.bytes << " B), shipped candidate vertices "
+              << stats.shipped_set_vertices << "\n";
   return 0;
 }
 
