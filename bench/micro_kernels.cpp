@@ -407,8 +407,14 @@ int run_json_suite(const std::string& path) {
   count_case("count_clique5_rmat/scalar", patterns::clique(5), true, false);
   count_case("count_clique5_rmat/simd", patterns::clique(5), true, true);
 
-  std::fprintf(f, "{\n  \"backend\": \"%s\",\n  \"results\": [\n",
-               simd_backend());
+  // The runtime dispatch means the compiled-in flags no longer pin the
+  // path: record which table actually ran and what the CPU offers.
+  std::fprintf(f,
+               "{\n  \"backend\": \"%s\",\n  \"active_isa\": \"%s\",\n"
+               "  \"detected_isa\": \"%s\",\n  \"cpu_avx512\": %s,\n"
+               "  \"results\": [\n",
+               simd_backend(), active_isa(), detected_isa(),
+               cpu_supports(KernelIsa::kAvx512) ? "true" : "false");
   for (std::size_t i = 0; i < records.size(); ++i) {
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"ns_per_op\": %.3f, "
@@ -419,8 +425,8 @@ int run_json_suite(const std::string& path) {
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
-  std::printf("wrote %zu kernel records to %s (backend: %s)\n",
-              records.size(), path.c_str(), simd_backend());
+  std::printf("wrote %zu kernel records to %s (active isa: %s, detected: %s)\n",
+              records.size(), path.c_str(), active_isa(), detected_isa());
   return 0;
 }
 

@@ -110,8 +110,11 @@ int write_json(const std::string& path) {
     return 1;
   }
   const std::vector<Record> records = run_suite(/*verbose=*/false);
-  std::fprintf(f, "{\n  \"input\": \"rmat(10, 14000, 17)\",\n"
-                  "  \"results\": [\n");
+  std::fprintf(f,
+               "{\n  \"input\": \"rmat(10, 14000, 17)\",\n"
+               "  \"active_isa\": \"%s\",\n  \"detected_isa\": \"%s\",\n"
+               "  \"results\": [\n",
+               active_isa(), detected_isa());
   for (std::size_t i = 0; i < records.size(); ++i) {
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"ns_per_op\": %.3f, "

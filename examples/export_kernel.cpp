@@ -1,6 +1,8 @@
-// Kernel export: emits the AutoMine-style C++ source GraphPi generates for
-// a configuration (Figure 3's code-generation stage) so it can be
-// inspected or compiled standalone.
+// Kernel export: emits the plan-IR C++ source GraphPi generates for a
+// configuration (Figure 3's code-generation stage) so it can be
+// inspected or compiled standalone — IEP plans included (the emitted
+// kernel evaluates the suffix-set term products inline and divides by
+// the surviving-automorphism factor itself).
 //
 //   ./export_kernel [pattern_index 1..6] [out.cpp]
 //
@@ -21,8 +23,7 @@ int main(int argc, char** argv) {
   // Plan against a representative stand-in so the emitted schedule is the
   // one GraphPi would actually run.
   const Graph graph = datasets::load("wiki_vote", 0.1);
-  const Configuration config =
-      GraphPi(graph).plan(pattern, MatchOptions{.use_iep = false});
+  const Configuration config = GraphPi(graph).plan(pattern);
 
   const std::string source = codegen::generate_standalone(config);
   if (argc > 2) {

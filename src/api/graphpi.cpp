@@ -4,9 +4,33 @@
 
 #include "core/automorphism.h"
 #include "engine/forest.h"
+#include "engine/jit.h"
 #include "support/check.h"
 
 namespace graphpi {
+
+namespace {
+
+/// Applies MatchOptions::kernels for the duration of one public call and
+/// restores the previous dispatch selection after (no-op for kAuto).
+class ScopedIsa {
+ public:
+  explicit ScopedIsa(KernelIsa want)
+      : prev_(active_kernel_isa()),
+        applied_(want != KernelIsa::kAuto && want != prev_ &&
+                 select_kernel_isa(want)) {}
+  ~ScopedIsa() {
+    if (applied_) select_kernel_isa(prev_);
+  }
+  ScopedIsa(const ScopedIsa&) = delete;
+  ScopedIsa& operator=(const ScopedIsa&) = delete;
+
+ private:
+  KernelIsa prev_;
+  bool applied_;
+};
+
+}  // namespace
 
 GraphPi::GraphPi(const Graph& graph)
     : graph_(&graph), stats_(GraphStats::of(graph)) {}
@@ -32,9 +56,18 @@ Count GraphPi::count(const Pattern& pattern,
 
 Count GraphPi::count(const Configuration& config,
                      const MatchOptions& options) const {
+  const ScopedIsa isa(options.kernels);
   switch (options.backend) {
     case Backend::kSerial:
       return Matcher(*graph_, config).count();
+    case Backend::kGenerated: {
+      // One-plan forest through the kernel cache; interpreter fallback
+      // when no system compiler is available (or the build failed).
+      const PlanForest forest({compile_plan(config)});
+      if (const auto counts = jit::run_generated(*graph_, forest))
+        return counts->front();
+      return Matcher(*graph_, config).count();
+    }
     case Backend::kParallel: {
       ParallelOptions popt;
       popt.task_depth = options.task_depth;
@@ -68,6 +101,11 @@ PlanForest GraphPi::plan_batch(std::span<const Pattern> patterns,
 
 std::vector<Count> GraphPi::count_batch(const PlanForest& forest,
                                         const MatchOptions& options) const {
+  const ScopedIsa isa(options.kernels);
+  if (options.backend == Backend::kGenerated) {
+    if (auto counts = jit::run_generated(*graph_, forest)) return *counts;
+    return ForestExecutor(*graph_, forest).count();
+  }
   if (options.backend == Backend::kDistributed) {
     dist::ClusterOptions copt;
     copt.nodes = options.nodes;
@@ -125,6 +163,7 @@ std::vector<GraphPi::MotifCount> GraphPi::motif_census(
 
 void GraphPi::find_all(const Pattern& pattern, const EmbeddingCallback& cb,
                        const MatchOptions& options) const {
+  const ScopedIsa isa(options.kernels);
   MatchOptions listing = options;
   listing.use_iep = false;  // IEP cannot list embeddings
   const Configuration config = plan(pattern, listing);

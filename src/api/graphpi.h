@@ -30,6 +30,7 @@
 #include "graph/generators.h"
 #include "graph/graph.h"
 #include "graph/io.h"
+#include "graph/vertex_set.h"
 
 namespace graphpi {
 
@@ -38,6 +39,11 @@ enum class Backend {
   kSerial,       ///< single-thread Matcher
   kParallel,     ///< OpenMP engine (Section IV-E, intra-node)
   kDistributed,  ///< simulated multi-node cluster (Section IV-E)
+  /// Generated C++ kernel: the plan IR is emitted, compiled by the system
+  /// compiler, dlopened and executed (engine/jit.h). Falls back to the
+  /// interpreter transparently when no compiler is available; listing
+  /// always uses the interpreter.
+  kGenerated,
 };
 
 struct MatchOptions {
@@ -45,6 +51,12 @@ struct MatchOptions {
   /// exists (Section IV-D). Ignored for listing.
   bool use_iep = true;
   Backend backend = Backend::kSerial;
+  /// Set-kernel ISA for this call (graph/vertex_set.h): kAuto keeps the
+  /// current runtime dispatch choice; any other value selects that table
+  /// for the duration of the call and restores the previous selection
+  /// after. The dispatch table is an unsynchronized process-wide global —
+  /// don't mix per-call overrides with concurrent matching.
+  KernelIsa kernels = KernelIsa::kAuto;
   /// Backend knobs (parallel / distributed only).
   int threads = 0;
   int nodes = 2;

@@ -1,48 +1,80 @@
-// C++ code generation for a configuration (Figure 3: "GraphPi uses the
-// pattern matching algorithm and the code generation method proposed by
-// AutoMine to generate efficient C++ code with this configuration").
+// C++ code generation from the executable plan IR.
 //
-// The emitted code has exactly the shape of Figure 5(b): one nested loop
-// per schedule position, candidate sets built by sorted-merge
-// intersections, restrictions enforced with early `break` on the sorted
-// candidates, duplicate vertices skipped. It is self-contained (no GraphPi
-// headers) and operates directly on CSR arrays, so it can be compiled by
-// any C++17 compiler.
+// The paper's pipeline ends in "optimal configuration → generated C++
+// kernel" (Figure 3, after AutoMine's method). This generator targets the
+// same IR every engine executes — core::Plan for one pattern,
+// core::PlanForest for a prefix-sharing batch — so emitted kernels carry
+// the full plan semantics the Matcher and ForestExecutor run:
 //
-// The in-process Matcher executes the identical loop structure; the
-// integration test (tests/codegen/codegen_exec_test.cpp) compiles emitted
-// code with the system compiler and checks that both produce the same
-// counts.
+//   * restriction windows: each loop's [lo, hi) bound is resolved from
+//     the mapped vertices and enforced on the sorted candidates with a
+//     start lower-bound and an early `break` (Figure 5(b));
+//   * counting-only leaves: the innermost loop of a plain plan never
+//     materializes its candidate set — the windowed intersection size is
+//     computed by the size-only kernels, minus the already-used vertices;
+//   * IEP: the suffix candidate sets S_1..S_k are materialized once per
+//     outer assignment and the signed inclusion–exclusion term products
+//     (Algorithm 2) are unrolled inline; the kernel divides the
+//     aggregated sum by the surviving-automorphism factor x;
+//   * hub hints: multi-way intersections probe the graph view's hub
+//     bitmap rows when present, mirroring exec::intersect_adjacencies;
+//   * forests: one function per trie node, per-plan restriction branches
+//     narrowing a runtime active-plan bitmask, exactly the
+//     ForestExecutor model (minus its leaf memoization).
+//
+// Emitted sources are self-contained C++17 translation units. They take
+// the data graph and, optionally, the host's runtime-dispatched set
+// kernels through the C ABI in kernel_abi.h — with ops == nullptr they
+// run on portable inline fallbacks, so a standalone build needs nothing
+// but a compiler. The execution path is engine/jit.h: KernelCache
+// compiles emitted sources with the system compiler, dlopens the result,
+// and serves Backend::kGenerated.
+//
+// tests/codegen/codegen_exec_test.cpp compiles emitted kernels (plain,
+// IEP, and forest forms) and checks them against Matcher and
+// ForestExecutor counts under both scalar and vector dispatch.
 #pragma once
 
 #include <string>
 
 #include "core/configuration.h"
+#include "core/plan.h"
+#include "core/plan_forest.h"
 
 namespace graphpi::codegen {
 
 struct CodegenOptions {
-  /// Name of the emitted extern "C" counting function.
+  /// Name of the emitted extern "C" entry point. The ABI version probe is
+  /// exported alongside as "<name>_abi".
   std::string function_name = "graphpi_generated_count";
 };
 
 /// Emits a translation unit defining
-///   extern "C" unsigned long long <name>(
-///       const unsigned long long* offsets,
-///       const unsigned* neighbors,
-///       unsigned n_vertices);
-/// that counts the embeddings of the configuration's pattern. Plain
-/// enumeration (IEP plans are executed by the library engine, not by
-/// generated code — matching the paper's generated kernels, which inline
-/// the IEP sums only for counting-only workloads; our generator emits the
-/// enumeration form).
+///   extern "C" unsigned long long <name>(const void* graph,
+///                                        const void* ops);
+/// counting the embeddings of the plan's pattern (final count: IEP plans
+/// divide by x internally). `graph` / `ops` follow kernel_abi.h. The plan
+/// must have >= 2 steps.
+[[nodiscard]] std::string generate_source(const Plan& plan,
+                                          const CodegenOptions& options = {});
+
+/// Convenience: compiles `config` (schedule must cover the pattern) into
+/// a Plan first. Unlike the pre-IR generator, IEP configurations are
+/// fully supported.
 [[nodiscard]] std::string generate_source(const Configuration& config,
                                           const CodegenOptions& options = {});
 
-/// Emits a complete standalone program: the counting kernel plus a main()
-/// that loads an edge list ("u v" lines) from argv[1], builds CSR and
-/// prints the count. Useful as human-readable documentation of what the
-/// engine executes.
+/// Emits a batch kernel for a whole forest:
+///   extern "C" void <name>(const void* graph, const void* ops,
+///                          unsigned long long* counts);
+/// `counts` receives one finalized count per forest.plans() entry.
+[[nodiscard]] std::string generate_forest_source(
+    const PlanForest& forest, const CodegenOptions& options = {});
+
+/// Emits a complete standalone program: the counting kernel (running on
+/// its inline fallback kernels) plus a main() that loads an edge list
+/// ("u v" lines) from argv[1], builds CSR and prints the count. Useful as
+/// human-readable documentation of what the engine executes.
 [[nodiscard]] std::string generate_standalone(const Configuration& config,
                                               const CodegenOptions& options = {});
 

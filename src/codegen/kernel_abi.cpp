@@ -1,0 +1,67 @@
+#include "codegen/kernel_abi.h"
+
+#include "graph/vertex_set.h"
+
+namespace graphpi::codegen {
+
+namespace {
+
+// Flat extern-"C"-shaped adapters over the dispatching kernels. They pick
+// up whatever table select_kernel_isa() has active at call time, so a
+// generated kernel follows runtime ISA switches exactly like the
+// interpreter.
+
+std::uint64_t ops_intersect(const std::uint32_t* a, std::uint64_t an,
+                            const std::uint32_t* b, std::uint64_t bn,
+                            std::uint32_t* out) {
+  return intersect_into({a, static_cast<std::size_t>(an)},
+                        {b, static_cast<std::size_t>(bn)}, out);
+}
+
+std::uint64_t ops_intersect_size_bounded(const std::uint32_t* a,
+                                         std::uint64_t an,
+                                         const std::uint32_t* b,
+                                         std::uint64_t bn, std::uint32_t lo,
+                                         std::uint32_t hi) {
+  return intersect_size_bounded({a, static_cast<std::size_t>(an)},
+                                {b, static_cast<std::size_t>(bn)}, lo, hi);
+}
+
+std::uint64_t ops_intersect_bitmap(const std::uint32_t* a, std::uint64_t an,
+                                   const std::uint64_t* bits,
+                                   std::uint32_t* out) {
+  return intersect_bitmap_into({a, static_cast<std::size_t>(an)}, bits, out);
+}
+
+std::uint64_t ops_intersect_size_bitmap_bounded(const std::uint32_t* a,
+                                                std::uint64_t an,
+                                                const std::uint64_t* bits,
+                                                std::uint32_t lo,
+                                                std::uint32_t hi) {
+  return intersect_size_bitmap_bounded({a, static_cast<std::size_t>(an)},
+                                       bits, lo, hi);
+}
+
+}  // namespace
+
+const KernelOps& host_kernel_ops() noexcept {
+  static const KernelOps ops{&ops_intersect, &ops_intersect_size_bounded,
+                             &ops_intersect_bitmap,
+                             &ops_intersect_size_bitmap_bounded};
+  return ops;
+}
+
+KernelGraph make_kernel_graph(const Graph& g) noexcept {
+  KernelGraph view;
+  view.offsets = g.raw_offsets().data();
+  view.neighbors = g.raw_neighbors().data();
+  view.n_vertices = g.vertex_count();
+  if (g.has_hub_index() && !g.hub_slots().empty()) {
+    view.hub_slot = g.hub_slots().data();
+    view.hub_bits = g.hub_rows().data();
+    view.hub_words = g.hub_words();
+  }
+  return view;
+}
+
+}  // namespace graphpi::codegen

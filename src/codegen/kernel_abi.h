@@ -1,0 +1,79 @@
+// The C ABI between the host and generated kernels.
+//
+// Emitted kernels are self-contained translation units (no GraphPi
+// headers), so they mirror these two structs verbatim (as `GenGraph` /
+// `GenOps` in the emitted source) and take them through opaque `const
+// void*` parameters:
+//
+//   extern "C" unsigned long long <name>(const void* graph, const void* ops);
+//   extern "C" void <name>(const void* graph, const void* ops,
+//                          unsigned long long* counts);   // forest form
+//   extern "C" unsigned <name>_abi();                     // layout version
+//
+// `graph` is the data graph: plain CSR arrays plus the optional hub
+// bitmap index (null slot array when not built — kernels fall back to
+// merge intersections, exactly like the interpreter without the index).
+// `ops` is the host's set-kernel table, routed through the runtime CPU
+// dispatch in graph/vertex_set.h — this is how one compiled kernel serves
+// scalar and vector machines, and how force_scalar_kernels() /
+// select_kernel_isa() apply to generated code too. Kernels accept
+// `ops == nullptr` and fall back to portable inline implementations
+// (the standalone programs emitted by generate_standalone use this).
+//
+// Any layout change here MUST bump kKernelAbiVersion; the KernelCache
+// (engine/jit.h) refuses to run a dlopened kernel whose <name>_abi()
+// disagrees.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace graphpi::codegen {
+
+inline constexpr unsigned kKernelAbiVersion = 1;
+
+/// CSR view + optional hub index handed to a generated kernel. Mirrored
+/// as `GenGraph` in emitted sources — field order and types are the ABI.
+struct KernelGraph {
+  const std::uint64_t* offsets = nullptr;  ///< n_vertices + 1 entries
+  const std::uint32_t* neighbors = nullptr;
+  std::uint32_t n_vertices = 0;
+  /// Hub bitmap index (graph.h); null slot array disables hub probing.
+  const std::uint32_t* hub_slot = nullptr;  ///< 0xffffffff = not a hub
+  const std::uint64_t* hub_bits = nullptr;  ///< rows of hub_words words
+  std::uint64_t hub_words = 0;
+};
+
+/// Host set kernels a generated kernel calls back into. Mirrored as
+/// `GenOps` in emitted sources. All sorted inputs strictly ascending;
+/// `out` needs min(an, bn) + 8 capacity (vector block stores).
+struct KernelOps {
+  std::uint64_t (*intersect)(const std::uint32_t* a, std::uint64_t an,
+                             const std::uint32_t* b, std::uint64_t bn,
+                             std::uint32_t* out) = nullptr;
+  std::uint64_t (*intersect_size_bounded)(const std::uint32_t* a,
+                                          std::uint64_t an,
+                                          const std::uint32_t* b,
+                                          std::uint64_t bn, std::uint32_t lo,
+                                          std::uint32_t hi) = nullptr;
+  std::uint64_t (*intersect_bitmap)(const std::uint32_t* a, std::uint64_t an,
+                                    const std::uint64_t* bits,
+                                    std::uint32_t* out) = nullptr;
+  std::uint64_t (*intersect_size_bitmap_bounded)(const std::uint32_t* a,
+                                                 std::uint64_t an,
+                                                 const std::uint64_t* bits,
+                                                 std::uint32_t lo,
+                                                 std::uint32_t hi) = nullptr;
+};
+
+/// The ops table backed by the host's runtime-dispatched kernels
+/// (graph/vertex_set.h). One static instance; always valid.
+[[nodiscard]] const KernelOps& host_kernel_ops() noexcept;
+
+/// View over `g` for a kernel call. Includes the hub index iff built —
+/// call g.ensure_hub_index() first when the plan wants it. The view
+/// borrows; `g` must outlive every call made with it.
+[[nodiscard]] KernelGraph make_kernel_graph(const Graph& g) noexcept;
+
+}  // namespace graphpi::codegen

@@ -231,8 +231,7 @@ class ShardedForestRun {
     for (std::size_t li = 0; li < node.count_leaves.size(); ++li) {
       const PlanForest::CountLeaf& leaf = node.count_leaves[li];
       if (((active >> leaf.plan) & 1) == 0) continue;
-      const exec::Window w = exec::restriction_window(
-          ns.mapped, leaf.lower_bound_depths, leaf.upper_bound_depths);
+      const exec::Window w = exec::bounded_window(ns.mapped, leaf);
       if (w.empty()) continue;
       if (all_resident(ns, leaf.predecessor_depths)) {
         const Count raw = exec::count_intersection_bounded(
@@ -409,8 +408,7 @@ class ShardedForestRun {
       }
       case Target::kCountLeaf: {
         const PlanForest::CountLeaf& leaf = node.count_leaves[m.item];
-        const exec::Window w = exec::restriction_window(
-            ns.mapped, leaf.lower_bound_depths, leaf.upper_bound_depths);
+        const exec::Window w = exec::bounded_window(ns.mapped, leaf);
         if (w.empty()) return;
         if (!fold_local(ns, leaf.predecessor_depths, w, m)) {
           ship(n, leaf.predecessor_depths, m);

@@ -15,17 +15,8 @@ namespace {
 
 using PlanMask = PlanForest::PlanMask;
 
-/// exec::restriction_window over any forest element carrying bound lists.
-template <typename Bounded>
-exec::Window bounded_window(const VertexId* mapped, const Bounded& b) {
-  return exec::restriction_window(mapped, b.lower_bound_depths,
-                                  b.upper_bound_depths);
-}
-
-}  // namespace
-
-namespace {
 std::atomic<std::uint64_t> g_next_executor_id{1};  // 0 = workspace unbound
+
 }  // namespace
 
 ResolvedBranches resolve_branches(const VertexId* mapped,
@@ -35,7 +26,7 @@ ResolvedBranches resolve_branches(const VertexId* mapped,
   for (const PlanForest::Branch& branch : ext.branches) {
     const PlanForest::PlanMask m = branch.mask & active;
     if (m == 0) continue;
-    const exec::Window w = bounded_window(mapped, branch);
+    const exec::Window w = exec::bounded_window(mapped, branch);
     if (w.empty()) continue;
     rb.windows[rb.live] = w;
     rb.masks[rb.live] = m;
@@ -139,7 +130,7 @@ void ForestExecutor::eval_leaves(Workspace& ws, const PlanForest::Node& node,
 
   for (const PlanForest::CountLeaf& leaf : node.count_leaves) {
     if (((active >> leaf.plan) & 1) == 0) continue;
-    const exec::Window w = bounded_window(ws.mapped, leaf);
+    const exec::Window w = exec::bounded_window(ws.mapped, leaf);
     if (w.empty()) continue;
     const Count raw =
         leaf.memo_id >= 0

@@ -1,0 +1,241 @@
+#include "engine/jit.h"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+
+#include "codegen/codegen.h"
+#include "core/pattern_canon.h"
+#include "support/check.h"
+
+namespace graphpi::jit {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Exported symbol names of every cached kernel (the function name is
+/// fixed; the artifact file name carries the key).
+constexpr const char* kEntrySymbol = "graphpi_kernel_batch";
+
+bool jit_disabled() { return std::getenv("GRAPHPI_JIT_DISABLE") != nullptr; }
+
+/// Probes `cmd --version` quietly.
+bool compiler_works(const std::string& cmd) {
+  if (cmd.empty()) return false;
+  const std::string probe = cmd + " --version > /dev/null 2>&1";
+  return std::system(probe.c_str()) == 0;
+}
+
+const std::string& probed_compiler() {
+  static const std::string compiler = [] {
+    for (const char* env : {"GRAPHPI_CXX", "CXX"}) {
+      if (const char* c = std::getenv(env); c != nullptr && compiler_works(c))
+        return std::string(c);
+    }
+    for (const char* candidate : {"c++", "g++", "clang++"})
+      if (compiler_works(candidate)) return std::string(candidate);
+    return std::string();
+  }();
+  return compiler;
+}
+
+/// Shell-quotes a path for the std::system compile line (cache dirs may
+/// contain spaces; metacharacters must not reach the shell).
+std::string quoted(const fs::path& p) {
+  std::string out = "'";
+  for (char c : p.string()) {
+    if (c == '\'') {
+      out += "'\\''";
+    } else {
+      out += c;
+    }
+  }
+  out += '\'';
+  return out;
+}
+
+/// FNV-1a over the emitted source — the exact fingerprint of the plan
+/// semantics (schedules, windows, IEP terms) the kernel implements.
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Human-auditable key prefix: a second hash over the canonical pattern
+/// strings, so artifacts of the same pattern set sort together on disk.
+std::uint64_t pattern_set_hash(const PlanForest& forest) {
+  std::ostringstream oss;
+  for (const Plan& plan : forest.plans())
+    oss << canonical_string(plan.pattern) << ';';
+  return fnv1a(oss.str());
+}
+
+}  // namespace
+
+bool compiler_available() {
+  return !jit_disabled() && !probed_compiler().empty();
+}
+
+const std::string& compiler_command() { return probed_compiler(); }
+
+struct KernelCache::Entry {
+  GeneratedBatchFn fn = nullptr;  ///< nullptr = remembered failure
+};
+
+struct KernelCache::Impl {
+  std::mutex mutex;
+  std::unordered_map<std::uint64_t, Entry> entries;
+  Stats stats;
+};
+
+KernelCache& KernelCache::instance() {
+  static KernelCache cache;
+  return cache;
+}
+
+KernelCache::KernelCache() : impl_(new Impl) {
+  if (const char* dir = std::getenv("GRAPHPI_KERNEL_CACHE_DIR");
+      dir != nullptr) {
+    dir_ = dir;
+  } else {
+    std::error_code ec;
+    const fs::path tmp = fs::temp_directory_path(ec);
+    dir_ = (ec ? fs::path("/tmp") : tmp) / "graphpi-kernel-cache";
+  }
+}
+
+GeneratedBatchFn KernelCache::get(const PlanForest& forest) {
+  if (!compiler_available()) return nullptr;
+
+  codegen::CodegenOptions opt;
+  opt.function_name = kEntrySymbol;
+  const std::string source = codegen::generate_forest_source(forest, opt);
+  const std::uint64_t key = fnv1a(source);
+
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    if (const auto it = impl_->entries.find(key);
+        it != impl_->entries.end()) {
+      if (it->second.fn != nullptr) ++impl_->stats.memory_hits;
+      return it->second.fn;
+    }
+  }
+
+  // Build with the lock RELEASED: a cold compile takes seconds and must
+  // not stall other threads' memory hits. Two threads racing on the same
+  // key do benign duplicate work — the .so is published by atomic rename
+  // (identical content either way) and the first map insert below wins.
+  char stem[64];
+  std::snprintf(stem, sizeof stem, "graphpi_%016llx_%016llx",
+                static_cast<unsigned long long>(pattern_set_hash(forest)),
+                static_cast<unsigned long long>(key));
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  const fs::path so = fs::path(dir_) / (std::string(stem) + ".so");
+  const fs::path cpp = fs::path(dir_) / (std::string(stem) + ".cpp");
+
+  const auto load = [&](bool fresh_build) -> GeneratedBatchFn {
+    void* handle = dlopen(so.c_str(), RTLD_NOW | RTLD_LOCAL);
+    if (handle == nullptr) return nullptr;
+    // Refuse kernels emitted under a different ABI layout (stale disk
+    // artifacts from an older build).
+    using AbiFn = unsigned (*)();
+    const auto abi = reinterpret_cast<AbiFn>(
+        dlsym(handle, (std::string(kEntrySymbol) + "_abi").c_str()));
+    if (abi == nullptr || abi() != codegen::kKernelAbiVersion) {
+      dlclose(handle);
+      if (!fresh_build) fs::remove(so, ec);  // evict, then recompile
+      return nullptr;
+    }
+    // The handle stays open for the process lifetime: returned function
+    // pointers may be in flight on other threads.
+    return reinterpret_cast<GeneratedBatchFn>(dlsym(handle, kEntrySymbol));
+  };
+
+  GeneratedBatchFn fn = nullptr;
+  bool disk_hit = false;
+  bool compiled = false;
+
+  if (fs::exists(so, ec)) {
+    fn = load(/*fresh_build=*/false);
+    disk_hit = fn != nullptr;
+  }
+
+  if (fn == nullptr) {
+    // Compile: write the source, build to a process-unique temp name,
+    // publish atomically (concurrent processes race benignly too).
+    compiled = true;
+    std::ofstream out(cpp);
+    out << source;
+    out.close();
+    if (!out) return record_result(key, nullptr, disk_hit, compiled);
+    const fs::path tmp_so =
+        fs::path(dir_) /
+        (std::string(stem) + ".tmp" +
+         std::to_string(static_cast<long>(::getpid())) + ".so");
+    const fs::path log = fs::path(dir_) / (std::string(stem) + ".log");
+    const std::string cmd = probed_compiler() +
+                            " -O2 -std=c++17 -shared -fPIC -o " +
+                            quoted(tmp_so) + " " + quoted(cpp) + " 2> " +
+                            quoted(log);
+    if (std::system(cmd.c_str()) != 0) {
+      fs::remove(tmp_so, ec);
+      return record_result(key, nullptr, disk_hit, compiled);
+    }
+    fs::rename(tmp_so, so, ec);
+    if (ec) {
+      fs::remove(tmp_so, ec);
+      return record_result(key, nullptr, disk_hit, compiled);
+    }
+    fn = load(/*fresh_build=*/true);
+  }
+  return record_result(key, fn, disk_hit, compiled);
+}
+
+GeneratedBatchFn KernelCache::record_result(std::uint64_t key,
+                                            GeneratedBatchFn fn,
+                                            bool disk_hit, bool compiled) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (disk_hit) ++impl_->stats.disk_hits;
+  if (compiled) ++impl_->stats.compiles;
+  if (fn == nullptr && compiled) ++impl_->stats.failures;
+  const auto [it, inserted] = impl_->entries.emplace(key, Entry{fn});
+  if (!inserted && it->second.fn == nullptr) it->second.fn = fn;
+  return it->second.fn;  // first successful publisher wins
+}
+
+KernelCache::Stats KernelCache::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->stats;
+}
+
+std::optional<std::vector<Count>> run_generated(const Graph& graph,
+                                                const PlanForest& forest) {
+  GeneratedBatchFn fn = KernelCache::instance().get(forest);
+  if (fn == nullptr) return std::nullopt;
+  // Mirror the interpreter: build the hub index when any plan hints it,
+  // so the kernel's hub-probing branches engage.
+  for (const Plan& plan : forest.plans())
+    if (plan.wants_hub_index) {
+      graph.ensure_hub_index();
+      break;
+    }
+  const codegen::KernelGraph view = codegen::make_kernel_graph(graph);
+  std::vector<unsigned long long> counts(forest.plans().size(), 0);
+  fn(&view, &codegen::host_kernel_ops(), counts.data());
+  return std::vector<Count>(counts.begin(), counts.end());
+}
+
+}  // namespace graphpi::jit

@@ -51,26 +51,17 @@ std::span<const VertexId> Matcher::build_candidates(Workspace& ws,
       ws.buf_b[depth], ws.all_vertices);
 }
 
-namespace {
-
-exec::Window step_window(const Matcher::Workspace& ws, const PlanStep& step) {
-  return exec::restriction_window(ws.mapped, step.lower_bound_depths,
-                                  step.upper_bound_depths);
-}
-
-}  // namespace
-
 std::span<const VertexId> Matcher::bounded_range(
     const Workspace& ws, int depth, std::span<const VertexId> cands) const {
-  const exec::Window w =
-      step_window(ws, plan_.steps[static_cast<std::size_t>(depth)]);
+  const exec::Window w = exec::bounded_window(
+      ws.mapped, plan_.steps[static_cast<std::size_t>(depth)]);
   if (w.unbounded()) return cands;
   return trim_to_window(cands, w.lo_inclusive, w.hi_exclusive);
 }
 
 Count Matcher::count_leaf(Workspace& ws, int depth) const {
   const auto& step = plan_.steps[static_cast<std::size_t>(depth)];
-  const exec::Window w = step_window(ws, step);
+  const exec::Window w = exec::bounded_window(ws.mapped, step);
   return exec::count_leaf(*graph_, step.predecessor_depths,
                           {ws.mapped, static_cast<std::size_t>(depth)},
                           w.lo_inclusive, w.hi_exclusive, ws.buf_a[depth],

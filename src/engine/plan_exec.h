@@ -52,6 +52,17 @@ struct Window {
   return w;
 }
 
+/// restriction_window over any plan/forest element carrying bound-depth
+/// lists (PlanStep, PlanForest::Branch/CountLeaf). The single place the
+/// window-resolution convention lives — Matcher, ForestExecutor and the
+/// sharded distributed runtime all resolve through it.
+template <typename Bounded>
+[[nodiscard]] inline Window bounded_window(const VertexId* mapped,
+                                           const Bounded& b) {
+  return restriction_window(mapped, b.lower_bound_depths,
+                            b.upper_bound_depths);
+}
+
 /// True iff v collides with an already-mapped vertex.
 [[nodiscard]] inline bool already_used(std::span<const VertexId> mapped,
                                        VertexId v) {

@@ -135,6 +135,17 @@ class Graph {
     return hub_bits_.data() + static_cast<std::size_t>(slot) * hub_words_;
   }
 
+  /// Raw index arrays for kernels that take the whole structure (generated
+  /// code; see codegen/kernel_abi.h). Empty spans when the index is not
+  /// built. hub_slots()[v] is the row number of v or kNotAHub; row r
+  /// occupies hub_rows()[r * hub_words() .. (r + 1) * hub_words()).
+  [[nodiscard]] std::span<const std::uint32_t> hub_slots() const noexcept {
+    return hub_slot_;
+  }
+  [[nodiscard]] std::span<const std::uint64_t> hub_rows() const noexcept {
+    return hub_bits_;
+  }
+
  private:
   std::vector<EdgeIndex> offsets_;
   std::vector<VertexId> neighbors_;

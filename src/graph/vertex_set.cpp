@@ -2,32 +2,22 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdlib>
+#include <cstring>
 
-#if defined(__AVX2__)
-#define GRAPHPI_SIMD_AVX2 1
+// Runtime dispatch: on x86 with GCC/Clang the vector kernels are compiled
+// unconditionally via per-function target attributes, so even a portable
+// baseline build (-DGRAPHPI_NATIVE=OFF) carries them and picks the best
+// slot at load time with a cpuid probe.
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define GRAPHPI_DISPATCH_X86 1
 #include <immintrin.h>
 #else
-#define GRAPHPI_SIMD_AVX2 0
+#define GRAPHPI_DISPATCH_X86 0
 #endif
 
 namespace graphpi {
-
-const char* simd_backend() noexcept {
-#if GRAPHPI_SIMD_AVX2
-  return "avx2";
-#else
-  return "scalar";
-#endif
-}
-
-bool simd_enabled() noexcept { return GRAPHPI_SIMD_AVX2 != 0; }
-
-namespace {
-bool g_force_scalar = false;
-}  // namespace
-
-void force_scalar_kernels(bool on) noexcept { g_force_scalar = on; }
-bool scalar_kernels_forced() noexcept { return g_force_scalar; }
 
 // ---------------------------------------------------------------------------
 // Scalar reference kernels.
@@ -67,7 +57,35 @@ std::size_t intersect_size_scalar(std::span<const VertexId> a,
   return n;
 }
 
-#if GRAPHPI_SIMD_AVX2
+namespace {
+
+std::size_t intersect_into_scalar(std::span<const VertexId> a,
+                                  std::span<const VertexId> b, VertexId* out) {
+  std::size_t i = 0, j = 0, n = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      out[n++] = a[i];
+      ++i;
+      ++j;
+    }
+  }
+  return n;
+}
+
+std::size_t bitmap_and_popcount_scalar(const std::uint64_t* a,
+                                       const std::uint64_t* b,
+                                       std::size_t words) {
+  std::size_t n = 0;
+  for (std::size_t w = 0; w < words; ++w)
+    n += static_cast<std::size_t>(std::popcount(a[w] & b[w]));
+  return n;
+}
+
+#if GRAPHPI_DISPATCH_X86
 
 // ---------------------------------------------------------------------------
 // AVX2 kernels.
@@ -81,10 +99,10 @@ std::size_t intersect_size_scalar(std::span<const VertexId> a,
 // popcount is exactly the number of common elements in the block pair.
 // ---------------------------------------------------------------------------
 
-namespace {
+#define GRAPHPI_AVX2_FN __attribute__((target("avx2")))
 
 /// Lane-rotation index vectors for _mm256_permutevar8x32_epi32.
-inline __m256i rotation(int r) {
+GRAPHPI_AVX2_FN inline __m256i rotation(int r) {
   alignas(32) static const std::uint32_t kRot[8][8] = {
       {0, 1, 2, 3, 4, 5, 6, 7}, {1, 2, 3, 4, 5, 6, 7, 0},
       {2, 3, 4, 5, 6, 7, 0, 1}, {3, 4, 5, 6, 7, 0, 1, 2},
@@ -94,7 +112,7 @@ inline __m256i rotation(int r) {
 }
 
 /// 8-bit match mask of which lanes of block `va` occur anywhere in `vb`.
-inline unsigned block_match_mask(__m256i va, __m256i vb) {
+GRAPHPI_AVX2_FN inline unsigned block_match_mask(__m256i va, __m256i vb) {
   __m256i eq = _mm256_cmpeq_epi32(va, vb);
   eq = _mm256_or_si256(eq, _mm256_cmpeq_epi32(
                                va, _mm256_permutevar8x32_epi32(vb, rotation(1))));
@@ -129,11 +147,8 @@ struct CompactTable {
 };
 constexpr CompactTable kCompact{};
 
-}  // namespace
-
-std::size_t intersect_size(std::span<const VertexId> a,
-                           std::span<const VertexId> b) {
-  if (g_force_scalar) return intersect_size_scalar(a, b);
+GRAPHPI_AVX2_FN std::size_t intersect_size_avx2(std::span<const VertexId> a,
+                                                std::span<const VertexId> b) {
   const std::size_t na = a.size(), nb = b.size();
   std::size_t i = 0, j = 0, n = 0;
   if (na >= 8 && nb >= 8) {
@@ -164,20 +179,14 @@ std::size_t intersect_size(std::span<const VertexId> a,
   return n;
 }
 
-void intersect(std::span<const VertexId> a, std::span<const VertexId> b,
-               std::vector<VertexId>& out) {
-  if (g_force_scalar) {
-    intersect_scalar(a, b, out);
-    return;
-  }
+GRAPHPI_AVX2_FN std::size_t intersect_into_avx2(std::span<const VertexId> a,
+                                                std::span<const VertexId> b,
+                                                VertexId* out) {
   const std::size_t na = a.size(), nb = b.size();
-  // Headroom: a block store writes a full 8 lanes at the current match
-  // offset (<= min(na, nb)) even when few of them are real matches. Grow
-  // only — resize past the previous (smaller) result value-initializes the
-  // gap, so never pre-shrink a reused buffer.
-  const std::size_t need = std::min(na, nb) + 8;
-  if (out.size() < need) out.resize(need);
-  VertexId* dst = out.data();
+  // The caller provides min(na, nb) + 8 capacity: a block store writes a
+  // full 8 lanes at the current match offset even when few are real
+  // matches.
+  VertexId* dst = out;
   std::size_t i = 0, j = 0;
   if (na >= 8 && nb >= 8) {
     const VertexId* pa = a.data();
@@ -209,11 +218,12 @@ void intersect(std::span<const VertexId> a, std::span<const VertexId> b,
       ++j;
     }
   }
-  out.resize(static_cast<std::size_t>(dst - out.data()));
+  return static_cast<std::size_t>(dst - out);
 }
 
-std::size_t bitmap_and_popcount(const std::uint64_t* a, const std::uint64_t* b,
-                                std::size_t words) {
+GRAPHPI_AVX2_FN std::size_t bitmap_and_popcount_avx2(const std::uint64_t* a,
+                                                     const std::uint64_t* b,
+                                                     std::size_t words) {
   std::size_t n = 0;
   std::size_t w = 0;
   for (; w + 4 <= words; w += 4) {
@@ -231,27 +241,183 @@ std::size_t bitmap_and_popcount(const std::uint64_t* a, const std::uint64_t* b,
   return n;
 }
 
-#else  // !GRAPHPI_SIMD_AVX2
+#endif  // GRAPHPI_DISPATCH_X86
+
+// ---------------------------------------------------------------------------
+// Kernel table + runtime selection.
+// ---------------------------------------------------------------------------
+
+struct KernelTable {
+  const char* name;
+  KernelIsa isa;
+  std::size_t (*intersect_size)(std::span<const VertexId>,
+                                std::span<const VertexId>);
+  std::size_t (*intersect_into)(std::span<const VertexId>,
+                                std::span<const VertexId>, VertexId*);
+  std::size_t (*bitmap_and_popcount)(const std::uint64_t*,
+                                     const std::uint64_t*, std::size_t);
+};
+
+constexpr KernelTable kScalarTable{"scalar", KernelIsa::kScalar,
+                                   &intersect_size_scalar,
+                                   &intersect_into_scalar,
+                                   &bitmap_and_popcount_scalar};
+
+#if GRAPHPI_DISPATCH_X86
+constexpr KernelTable kAvx2Table{"avx2", KernelIsa::kAvx2,
+                                 &intersect_size_avx2, &intersect_into_avx2,
+                                 &bitmap_and_popcount_avx2};
+#endif
+
+bool probe_cpu(KernelIsa isa) noexcept {
+#if GRAPHPI_DISPATCH_X86
+  __builtin_cpu_init();
+  switch (isa) {
+    case KernelIsa::kAuto:
+    case KernelIsa::kScalar:
+      return true;
+    case KernelIsa::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0;
+    case KernelIsa::kAvx512:
+      // The planned kernel variant needs the VBMI2 compress-store forms.
+      return __builtin_cpu_supports("avx512f") != 0 &&
+             __builtin_cpu_supports("avx512vbmi2") != 0;
+  }
+  return false;
+#else
+  return isa == KernelIsa::kAuto || isa == KernelIsa::kScalar;
+#endif
+}
+
+/// Best populated slot the CPU supports, before any override.
+const KernelTable& probed_best_table() noexcept {
+#if GRAPHPI_DISPATCH_X86
+  static const KernelTable* best =
+      probe_cpu(KernelIsa::kAvx2) ? &kAvx2Table : &kScalarTable;
+  return *best;
+#else
+  return kScalarTable;
+#endif
+}
+
+/// What kAuto resolves to: the probed best, unless GRAPHPI_KERNEL_ISA pins
+/// the initial selection ("scalar" | "avx2" | "auto"; unknown values and
+/// unsupported requests fall back to the probed best).
+const KernelTable& default_table() noexcept {
+  static const KernelTable* chosen = [] {
+    const char* env = std::getenv("GRAPHPI_KERNEL_ISA");
+    if (env != nullptr) {
+      if (std::strcmp(env, "scalar") == 0) return &kScalarTable;
+#if GRAPHPI_DISPATCH_X86
+      if (std::strcmp(env, "avx2") == 0 && probe_cpu(KernelIsa::kAvx2))
+        return &kAvx2Table;
+#endif
+    }
+    return &probed_best_table();
+  }();
+  return *chosen;
+}
+
+/// Active table pointer. Unsynchronized by design (documented contract:
+/// switch only while no matcher runs); a torn read is impossible for a
+/// single pointer on the supported platforms.
+const KernelTable* g_active = nullptr;
+
+inline const KernelTable& table() noexcept {
+  const KernelTable* t = g_active;
+  if (t == nullptr) {
+    t = &default_table();
+    g_active = t;
+  }
+  return *t;
+}
+
+}  // namespace
+
+const char* to_string(KernelIsa isa) noexcept {
+  switch (isa) {
+    case KernelIsa::kAuto: return "auto";
+    case KernelIsa::kScalar: return "scalar";
+    case KernelIsa::kAvx2: return "avx2";
+    case KernelIsa::kAvx512: return "avx512";
+  }
+  return "?";
+}
+
+bool cpu_supports(KernelIsa isa) noexcept { return probe_cpu(isa); }
+
+KernelIsa active_kernel_isa() noexcept { return table().isa; }
+
+const char* active_isa() noexcept { return table().name; }
+
+const char* detected_isa() noexcept { return probed_best_table().name; }
+
+bool select_kernel_isa(KernelIsa isa) noexcept {
+  switch (isa) {
+    case KernelIsa::kAuto:
+      g_active = &default_table();
+      return true;
+    case KernelIsa::kScalar:
+      g_active = &kScalarTable;
+      return true;
+    case KernelIsa::kAvx2:
+#if GRAPHPI_DISPATCH_X86
+      if (probe_cpu(KernelIsa::kAvx2)) {
+        g_active = &kAvx2Table;
+        return true;
+      }
+#endif
+      return false;
+    case KernelIsa::kAvx512:
+      // Stub slot: probed but unpopulated until the VBMI2 kernels land.
+      return false;
+  }
+  return false;
+}
+
+const char* simd_backend() noexcept { return active_isa(); }
+
+bool simd_enabled() noexcept {
+  return active_kernel_isa() != KernelIsa::kScalar;
+}
+
+void force_scalar_kernels(bool on) noexcept {
+  select_kernel_isa(on ? KernelIsa::kScalar : KernelIsa::kAuto);
+}
+
+bool scalar_kernels_forced() noexcept {
+  return active_kernel_isa() == KernelIsa::kScalar &&
+         default_table().isa != KernelIsa::kScalar;
+}
+
+// ---------------------------------------------------------------------------
+// Dispatching entry points.
+// ---------------------------------------------------------------------------
+
+std::size_t intersect_into(std::span<const VertexId> a,
+                           std::span<const VertexId> b, VertexId* out) {
+  return table().intersect_into(a, b, out);
+}
 
 std::size_t intersect_size(std::span<const VertexId> a,
                            std::span<const VertexId> b) {
-  return intersect_size_scalar(a, b);
+  return table().intersect_size(a, b);
 }
 
 void intersect(std::span<const VertexId> a, std::span<const VertexId> b,
                std::vector<VertexId>& out) {
-  intersect_scalar(a, b, out);
+  // Headroom for the vector slot's block stores. Grow only — resize past
+  // the previous (smaller) result value-initializes the gap, so never
+  // pre-shrink a reused buffer.
+  const std::size_t need = std::min(a.size(), b.size()) + 8;
+  if (out.size() < need) out.resize(need);
+  out.resize(table().intersect_into(a, b, out.data()));
 }
 
 std::size_t bitmap_and_popcount(const std::uint64_t* a, const std::uint64_t* b,
                                 std::size_t words) {
-  std::size_t n = 0;
-  for (std::size_t w = 0; w < words; ++w)
-    n += static_cast<std::size_t>(std::popcount(a[w] & b[w]));
-  return n;
+  return table().bitmap_and_popcount(a, b, words);
 }
-
-#endif  // GRAPHPI_SIMD_AVX2
 
 // ---------------------------------------------------------------------------
 // Bounded / galloping / adaptive variants (built on the kernels above).
@@ -384,6 +550,14 @@ void intersect_bitmap(std::span<const VertexId> a, const std::uint64_t* bits,
   out.clear();
   for (VertexId v : a)
     if (bit_probe(bits, v) != 0) out.push_back(v);
+}
+
+std::size_t intersect_bitmap_into(std::span<const VertexId> a,
+                                  const std::uint64_t* bits, VertexId* out) {
+  std::size_t n = 0;
+  for (VertexId v : a)
+    if (bit_probe(bits, v) != 0) out[n++] = v;
+  return n;
 }
 
 std::size_t intersect_size_bitmap(std::span<const VertexId> a,

@@ -11,11 +11,19 @@
 //     they are always compiled and are the ground truth the property
 //     tests compare every other variant against.
 //   * The un-suffixed entry points (`intersect`, `intersect_size`, ...)
-//     dispatch to an AVX2 implementation when the translation unit is
-//     compiled with AVX2 support (`-march=native` / `-mavx2`, see the
-//     top-level CMake option GRAPHPI_NATIVE) and to the scalar reference
-//     otherwise. The choice is made at compile time — the hot loops
-//     contain no runtime feature branches.
+//     dispatch at RUNTIME through a cpuid-probed kernel table: the AVX2
+//     implementations are compiled unconditionally on x86 (per-function
+//     `target("avx2")` attributes, so the baseline build stays portable)
+//     and selected when the executing CPU supports them — one binary
+//     serves scalar and vector machines without recompiling. An AVX-512
+//     slot is probed (cpu_supports) but not yet populated; selecting it
+//     fails until the VBMI2 compress-store kernels land (ROADMAP).
+//     `select_kernel_isa()` / `force_scalar_kernels()` switch the table
+//     at runtime, and the GRAPHPI_KERNEL_ISA environment variable
+//     ("scalar" | "avx2" | "auto") pins the initial choice. Generated
+//     kernels (src/codegen/) call back into these same entry points, so
+//     the dispatch decision covers interpreted and compiled execution
+//     alike.
 //   * `*_size*` variants compute |result| without materializing it; the
 //     matcher's innermost loop and single-block IEP terms go through
 //     these so counting runs allocate nothing at the leaves.
@@ -41,17 +49,60 @@ namespace graphpi {
 /// Sentinel for "no upper bound" in the bounded size kernels.
 inline constexpr VertexId kNoVertexBound = std::numeric_limits<VertexId>::max();
 
-/// Name of the compiled-in kernel backend ("avx2" or "scalar").
+// ---------------------------------------------------------------------------
+// Runtime CPU dispatch.
+//
+// The hot kernels exist in one slot per ISA; a global table pointer picks
+// the slot. Selection is an unsynchronized global (like the old
+// force_scalar flag): switch it only while no matcher is running.
+// ---------------------------------------------------------------------------
+
+/// Kernel instruction-set slots. kAuto means "best the CPU supports".
+enum class KernelIsa {
+  kAuto,
+  kScalar,
+  kAvx2,
+  /// Probed (cpu_supports) but intentionally unpopulated: selecting it
+  /// fails until the AVX-512 VBMI2 compress-store kernels land.
+  kAvx512,
+};
+
+[[nodiscard]] const char* to_string(KernelIsa isa) noexcept;
+
+/// True when the executing CPU can run `isa` (cpuid probe; kAuto and
+/// kScalar are always true). Independent of whether a kernel slot exists.
+[[nodiscard]] bool cpu_supports(KernelIsa isa) noexcept;
+
+/// ISA of the kernel table the dispatching entry points currently use.
+/// Never returns kAuto.
+[[nodiscard]] KernelIsa active_kernel_isa() noexcept;
+
+/// Name of the active table ("avx2" or "scalar").
+[[nodiscard]] const char* active_isa() noexcept;
+
+/// Name of the best table this CPU supports (what kAuto resolves to,
+/// before any GRAPHPI_KERNEL_ISA override).
+[[nodiscard]] const char* detected_isa() noexcept;
+
+/// Routes the dispatching kernels to `isa`. Returns false (and leaves the
+/// selection unchanged) when the slot is missing or the CPU lacks the
+/// feature — kAvx512 currently always fails (stub slot).
+bool select_kernel_isa(KernelIsa isa) noexcept;
+
+/// Name of the active kernel backend. Kept for older call sites; equal to
+/// active_isa() now that the choice is made at runtime.
 [[nodiscard]] const char* simd_backend() noexcept;
 
-/// True when the dispatching kernels use vector instructions.
+/// True when the dispatching kernels currently use vector instructions.
 [[nodiscard]] bool simd_enabled() noexcept;
 
-/// Test/benchmark hook: routes the dispatching kernels to the scalar
-/// reference at runtime, so an AVX2 build can measure and property-test
-/// the fallback without recompiling. A no-op in scalar builds. The flag is
-/// an unsynchronized global — toggle it only while no matcher is running.
+/// Test/benchmark hook: `force_scalar_kernels(true)` selects the scalar
+/// table, `(false)` restores the best probed table — sugar over
+/// select_kernel_isa so existing call sites keep working.
 void force_scalar_kernels(bool on) noexcept;
+
+/// True when the scalar table is active on a machine whose best table is
+/// vectorized (i.e. scalar was forced rather than all the CPU offers).
 [[nodiscard]] bool scalar_kernels_forced() noexcept;
 
 // ---------------------------------------------------------------------------
@@ -67,8 +118,17 @@ void intersect_scalar(std::span<const VertexId> a, std::span<const VertexId> b,
                                                 std::span<const VertexId> b);
 
 // ---------------------------------------------------------------------------
-// Dispatching kernels (AVX2 when compiled in, scalar otherwise).
+// Dispatching kernels (routed through the runtime-selected table).
 // ---------------------------------------------------------------------------
+
+/// Writes a ∩ b to `out` and returns the element count. `out` must have
+/// capacity for min(|a|, |b|) + 8 elements — the vector slots store full
+/// 8-lane blocks at the current match offset. This is the raw core the
+/// vector-output `intersect` wraps, and the entry point generated kernels
+/// call through the codegen ops table (codegen/kernel_abi.h).
+[[nodiscard]] std::size_t intersect_into(std::span<const VertexId> a,
+                                         std::span<const VertexId> b,
+                                         VertexId* out);
 
 /// out = a ∩ b. `out` is cleared first.
 void intersect(std::span<const VertexId> a, std::span<const VertexId> b,
@@ -125,6 +185,12 @@ void intersect_adaptive(std::span<const VertexId> a,
 /// out = { x ∈ a : bit x set in `bits` }. O(|a|) with branch-free probes.
 void intersect_bitmap(std::span<const VertexId> a, const std::uint64_t* bits,
                       std::vector<VertexId>& out);
+
+/// Raw-pointer form of intersect_bitmap: writes survivors to `out`
+/// (capacity >= |a|) and returns the count.
+[[nodiscard]] std::size_t intersect_bitmap_into(std::span<const VertexId> a,
+                                                const std::uint64_t* bits,
+                                                VertexId* out);
 
 /// |{ x ∈ a : bit x set }|.
 [[nodiscard]] std::size_t intersect_size_bitmap(std::span<const VertexId> a,

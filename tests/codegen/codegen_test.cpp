@@ -6,38 +6,71 @@
 #include "codegen/codegen.h"
 #include "core/configuration.h"
 #include "core/pattern_library.h"
+#include "core/plan.h"
 #include "graph/generators.h"
 
 namespace graphpi {
 namespace {
 
-Configuration house_config() {
+Configuration house_config(bool use_iep = false) {
   const Graph g = clustered_power_law(200, 900, 2.3, 0.4, 3);
-  return plan_configuration(patterns::house(), GraphStats::of(g),
-                            PlannerOptions{});
+  PlannerOptions planner;
+  planner.use_iep = use_iep;
+  return plan_configuration(patterns::house(), GraphStats::of(g), planner);
+}
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + 1))
+    ++n;
+  return n;
 }
 
 TEST(Codegen, EmitsOneLoopPerScheduledVertex) {
   const Configuration config = house_config();
   const std::string src = codegen::generate_source(config);
-  std::size_t loops = 0;
-  for (std::size_t pos = src.find("for ("); pos != std::string::npos;
-       pos = src.find("for (", pos + 1))
-    ++loops;
-  // One loop per pattern vertex plus the intersection helper's while is
-  // not a for; allow >= n.
-  EXPECT_GE(loops, static_cast<std::size_t>(config.pattern.size()));
+  // One loop per non-leaf schedule position plus the prelude helpers'
+  // loops; the counting leaf materializes nothing, so >= n - 1.
+  EXPECT_GE(count_occurrences(src, "for ("),
+            static_cast<std::size_t>(config.pattern.size() - 1));
 }
 
-TEST(Codegen, EmitsRestrictionChecks) {
+TEST(Codegen, EmitsRestrictionWindows) {
   Configuration config = house_config();
   ASSERT_FALSE(config.restrictions.empty());
   const std::string src = codegen::generate_source(config);
-  // Figure 5(b): restrictions appear as break/continue on sorted
-  // candidates.
-  EXPECT_NE(src.find("restriction id(pattern"), std::string::npos);
-  EXPECT_TRUE(src.find(") break;") != std::string::npos ||
-              src.find(") continue;") != std::string::npos);
+  // Restriction windows appear as bound updates on the sorted candidates
+  // with an early break (Figure 5(b)).
+  EXPECT_NE(src.find("restriction early break"), std::string::npos);
+  EXPECT_NE(src.find("u32 lo"), std::string::npos);
+  EXPECT_NE(src.find(" = kNoBound;"), std::string::npos);
+}
+
+TEST(Codegen, EmitsSizeOnlyCountingLeaf) {
+  const std::string src = codegen::generate_source(house_config());
+  // The innermost loop of a plain plan is a size-only bounded count, not
+  // a materialized candidate loop.
+  EXPECT_NE(src.find("counting leaf"), std::string::npos);
+  EXPECT_NE(src.find("isect_size"), std::string::npos);
+}
+
+TEST(Codegen, EmitsIepTermProducts) {
+  const Configuration config = house_config(/*use_iep=*/true);
+  ASSERT_GT(config.iep.k, 0);
+  const std::string src = codegen::generate_source(config);
+  EXPECT_NE(src.find("IEP leaf"), std::string::npos);
+  EXPECT_NE(src.find("suffix set"), std::string::npos);
+  EXPECT_NE(src.find("__int128"), std::string::npos);
+  // The surviving-automorphism divisor is applied inside the kernel.
+  EXPECT_NE(src.find("IEP surviving-automorphism factor"), std::string::npos);
+}
+
+TEST(Codegen, EmitsHubProbes) {
+  const std::string src = codegen::generate_source(house_config());
+  // Multi-way intersections go through the hub-aware helpers.
+  EXPECT_NE(src.find("hub_row"), std::string::npos);
 }
 
 TEST(Codegen, FunctionNameHonored) {
@@ -46,6 +79,7 @@ TEST(Codegen, FunctionNameHonored) {
   const std::string src = codegen::generate_source(house_config(), opt);
   EXPECT_NE(src.find("unsigned long long my_custom_kernel("),
             std::string::npos);
+  EXPECT_NE(src.find("unsigned my_custom_kernel_abi()"), std::string::npos);
 }
 
 TEST(Codegen, StandaloneContainsMain) {
@@ -61,6 +95,29 @@ TEST(Codegen, MentionsConfigurationInHeaderComment) {
             std::string::npos);
   EXPECT_NE(src.find("// Restrictions: " + to_string(config.restrictions)),
             std::string::npos);
+}
+
+TEST(Codegen, PlanFormMentionsPlanString) {
+  const Configuration config = house_config();
+  const Plan plan = compile_plan(config);
+  const std::string src = codegen::generate_source(plan);
+  EXPECT_NE(src.find("// Plan 0: " + plan.to_string()), std::string::npos);
+}
+
+TEST(CodegenForest, OneNodeFunctionPerTrieNode) {
+  const Graph g = clustered_power_law(200, 900, 2.3, 0.4, 3);
+  const GraphStats stats = GraphStats::of(g);
+  std::vector<Plan> plans;
+  for (const Pattern& p : {patterns::clique(3), patterns::rectangle()})
+    plans.push_back(compile_plan(plan_configuration(p, stats, {})));
+  const PlanForest forest(std::move(plans));
+  const std::string src = codegen::generate_forest_source(forest);
+  for (std::size_t i = 0; i < forest.nodes().size(); ++i)
+    EXPECT_NE(src.find("void node" + std::to_string(i) + "("),
+              std::string::npos)
+        << "missing node function " << i;
+  // Batch entry writes one count per plan.
+  EXPECT_NE(src.find("unsigned long long* counts"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,102 @@
+// KernelCache / Backend::kGenerated integration: the emit -> compile ->
+// dlopen -> execute pipeline behind the generated backend, its caching
+// behavior, and the transparent interpreter fallback.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "api/graphpi.h"
+#include "core/pattern_library.h"
+#include "engine/jit.h"
+#include "graph/generators.h"
+#include "graph/vertex_set.h"
+
+namespace graphpi {
+namespace {
+
+Graph test_graph() { return clustered_power_law(200, 900, 2.3, 0.4, 3); }
+
+MatchOptions generated_backend() {
+  MatchOptions options;
+  options.backend = Backend::kGenerated;
+  return options;
+}
+
+TEST(KernelCache, GeneratedBackendMatchesSerial) {
+  if (!jit::compiler_available()) GTEST_SKIP() << "no system compiler";
+  const Graph g = test_graph();
+  const GraphPi engine(g);
+  for (const auto& [name, pattern] :
+       {std::pair<const char*, Pattern>{"house", patterns::house()},
+        {"pentagon", patterns::pentagon()},
+        {"rectangle", patterns::rectangle()},
+        {"clique4", patterns::clique(4)}}) {
+    EXPECT_EQ(engine.count(pattern, generated_backend()),
+              engine.count(pattern))
+        << name;
+  }
+}
+
+TEST(KernelCache, BatchGeneratedMatchesForestExecutor) {
+  if (!jit::compiler_available()) GTEST_SKIP() << "no system compiler";
+  const Graph g = test_graph();
+  const GraphPi engine(g);
+  const std::vector<Pattern> batch = {patterns::clique(3),
+                                      patterns::rectangle(),
+                                      patterns::house()};
+  EXPECT_EQ(engine.count_batch(batch, generated_backend()),
+            engine.count_batch(batch));
+}
+
+TEST(KernelCache, SecondUseHitsTheCache) {
+  if (!jit::compiler_available()) GTEST_SKIP() << "no system compiler";
+  const Graph g = test_graph();
+  const GraphPi engine(g);
+  const Count first = engine.count(patterns::house(), generated_backend());
+  const auto before = jit::KernelCache::instance().stats();
+  const Count second = engine.count(patterns::house(), generated_backend());
+  const auto after = jit::KernelCache::instance().stats();
+  EXPECT_EQ(first, second);
+  // The second identical run must not recompile.
+  EXPECT_EQ(after.compiles, before.compiles);
+  EXPECT_GT(after.memory_hits, before.memory_hits);
+}
+
+TEST(KernelCache, ScalarDispatchReachesGeneratedKernels) {
+  if (!jit::compiler_available()) GTEST_SKIP() << "no system compiler";
+  const Graph g = test_graph();
+  const GraphPi engine(g);
+  const Count want = engine.count(patterns::house());
+  const std::string before = active_isa();
+  // Per-call ISA override: the generated kernel calls back into the
+  // host's dispatched set kernels, so the selection applies to it too.
+  MatchOptions options = generated_backend();
+  options.kernels = KernelIsa::kScalar;
+  EXPECT_EQ(engine.count(patterns::house(), options), want);
+  // The override is scoped to the call.
+  EXPECT_EQ(std::string(active_isa()), before);
+}
+
+TEST(KernelCache, DisabledJitFallsBackToInterpreter) {
+  const Graph g = test_graph();
+  const GraphPi engine(g);
+  const Count want = engine.count(patterns::house());
+  ::setenv("GRAPHPI_JIT_DISABLE", "1", 1);
+  EXPECT_FALSE(jit::compiler_available());
+  EXPECT_EQ(engine.count(patterns::house(), generated_backend()), want);
+  ::unsetenv("GRAPHPI_JIT_DISABLE");
+}
+
+TEST(KernelCache, ListingUsesInterpreter) {
+  // find_all has no generated path; the backend silently serves it with
+  // the serial matcher.
+  const Graph g = erdos_renyi(40, 140, 7);
+  const GraphPi engine(g);
+  const auto serial = engine.find_all(patterns::clique(3));
+  const auto generated = engine.find_all(patterns::clique(3),
+                                         generated_backend());
+  EXPECT_EQ(serial, generated);
+}
+
+}  // namespace
+}  // namespace graphpi

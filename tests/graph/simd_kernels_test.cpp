@@ -126,6 +126,55 @@ TEST(SimdKernels, BackendIsConsistent) {
   const std::string backend = simd_backend();
   EXPECT_TRUE(backend == "avx2" || backend == "scalar") << backend;
   EXPECT_EQ(backend != "scalar", simd_enabled());
+  EXPECT_EQ(backend, active_isa());
+}
+
+TEST(RuntimeDispatch, SelectionRoundTrips) {
+  const KernelIsa initial = active_kernel_isa();
+  // Scalar is always selectable.
+  EXPECT_TRUE(select_kernel_isa(KernelIsa::kScalar));
+  EXPECT_EQ(active_kernel_isa(), KernelIsa::kScalar);
+  EXPECT_EQ(std::string(active_isa()), "scalar");
+  // kAuto restores the probed/pinned default.
+  EXPECT_TRUE(select_kernel_isa(KernelIsa::kAuto));
+  EXPECT_EQ(active_kernel_isa(), initial);
+  // The AVX2 slot is selectable exactly when the CPU supports it.
+  EXPECT_EQ(select_kernel_isa(KernelIsa::kAvx2),
+            cpu_supports(KernelIsa::kAvx2));
+  EXPECT_TRUE(select_kernel_isa(KernelIsa::kAuto));
+  // The AVX-512 slot is probe-only until the VBMI2 kernels land: the
+  // cpuid answer is whatever it is, but selection must fail.
+  EXPECT_FALSE(select_kernel_isa(KernelIsa::kAvx512));
+  EXPECT_EQ(active_kernel_isa(), initial);
+}
+
+TEST(RuntimeDispatch, ForcedScalarIsObservable) {
+  force_scalar_kernels(true);
+  EXPECT_EQ(active_kernel_isa(), KernelIsa::kScalar);
+  EXPECT_FALSE(simd_enabled());
+  force_scalar_kernels(false);
+  EXPECT_EQ(std::string(to_string(active_kernel_isa())), active_isa());
+}
+
+TEST(RuntimeDispatch, DispatchSwitchesKernelsAtRuntime) {
+  // The same un-suffixed entry points must agree with the scalar
+  // reference under every selectable table — one binary, every path.
+  const auto a = random_sorted_set(500, 4000, 101);
+  const auto b = random_sorted_set(700, 4000, 202);
+  const auto expected = reference_intersection(a, b);
+  for (const KernelIsa isa : {KernelIsa::kScalar, KernelIsa::kAvx2}) {
+    if (!select_kernel_isa(isa)) continue;
+    std::vector<VertexId> got;
+    intersect(a, b, got);
+    EXPECT_EQ(got, expected) << to_string(isa);
+    EXPECT_EQ(intersect_size(a, b), expected.size()) << to_string(isa);
+    // Raw-pointer form (the codegen ops-table entry point).
+    std::vector<VertexId> raw(std::min(a.size(), b.size()) + 8);
+    const std::size_t n = intersect_into(a, b, raw.data());
+    raw.resize(n);
+    EXPECT_EQ(raw, expected) << to_string(isa);
+  }
+  EXPECT_TRUE(select_kernel_isa(KernelIsa::kAuto));
 }
 
 TEST(SimdKernels, ConsecutiveRunsAndIdenticalInputs) {

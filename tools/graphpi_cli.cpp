@@ -22,6 +22,7 @@
 #include "api/graphpi.h"
 #include "codegen/codegen.h"
 #include "core/automorphism.h"
+#include "engine/jit.h"
 #include "graph/analysis.h"
 #include "support/table.h"
 #include "support/timer.h"
@@ -36,13 +37,18 @@ int usage() {
   stats <graph>
   count <graph> <pattern> [--no-iep] [--parallel] [--nodes N]
         [--partition hash|range] [--task-depth D]
+        [--backend serial|parallel|generated] [--emit <file.cpp>]
   list  <graph> <pattern> [limit]
   plan  <graph> <pattern>
-  gen   <pattern> [out.cpp]
+  gen   <pattern> [out.cpp] [--no-iep]
   make  <er|powerlaw|clustered> <n> <m> <seed> <out>
 graph:   path to an edge list, or dataset:NAME[:SCALE]
 pattern: triangle|rectangle|house|pentagon|hourglass|cycle6tri|p1..p6|
          clique<K>|cycle<K>|path<K>|star<K>|N:ADJSTRING
+--backend generated runs the plan through the self-compiling kernel cache
+(emit -> system compiler -> dlopen; falls back to the interpreter when no
+compiler is found). --emit writes the generated C++ kernel for the
+planned configuration without requiring that backend.
 )";
   return 2;
 }
@@ -107,6 +113,7 @@ int cmd_stats(const std::string& graph_spec) {
 int cmd_count(const std::string& graph_spec, const std::string& pattern_spec,
               int argc, char** argv) {
   MatchOptions options;
+  std::string emit_path;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--no-iep") options.use_iep = false;
@@ -123,14 +130,43 @@ int cmd_count(const std::string& graph_spec, const std::string& pattern_spec,
         return 2;
       }
     }
+    if (arg == "--backend" && i + 1 < argc) {
+      const std::string backend = argv[++i];
+      if (backend == "serial") {
+        options.backend = Backend::kSerial;
+      } else if (backend == "parallel") {
+        options.backend = Backend::kParallel;
+      } else if (backend == "generated") {
+        options.backend = Backend::kGenerated;
+      } else {
+        std::cerr << "unknown backend: " << backend << "\n";
+        return 2;
+      }
+    }
+    if (arg == "--emit" && i + 1 < argc) emit_path = argv[++i];
   }
   const Graph g = parse_graph(graph_spec);
   const Pattern p = parse_pattern(pattern_spec);
   const GraphPi engine(g);
+  const Configuration config = engine.plan(p, options);
+  if (!emit_path.empty()) {
+    std::ofstream out(emit_path);
+    if (!out) {
+      std::cerr << "cannot write " << emit_path << "\n";
+      return 1;
+    }
+    const std::string source = codegen::generate_source(config);
+    out << source;
+    // Diagnostic on stderr: stdout stays parseable (first line = count).
+    std::cerr << "emitted " << source.size() << " bytes of generated kernel"
+              << " to " << emit_path << "\n";
+  }
   dist::ClusterStats stats;
   if (options.backend == Backend::kDistributed) options.cluster_stats = &stats;
+  if (options.backend == Backend::kGenerated && !jit::compiler_available())
+    std::cerr << "note: no system compiler found; running the interpreter\n";
   support::Timer t;
-  const Count n = engine.count(p, options);
+  const Count n = engine.count(config, options);
   std::cout << n << " embeddings in " << t.elapsed_seconds() << "s\n";
   if (options.backend == Backend::kDistributed)
     std::cout << "sharded run: " << options.nodes << " nodes ("
@@ -138,6 +174,13 @@ int cmd_count(const std::string& graph_spec, const std::string& pattern_spec,
               << stats.total_tasks << ", messages " << stats.messages << " ("
               << stats.bytes << " B), shipped candidate vertices "
               << stats.shipped_set_vertices << "\n";
+  if (options.backend == Backend::kGenerated) {
+    const auto cache = jit::KernelCache::instance().stats();
+    std::cout << "kernel cache: " << cache.compiles << " compiled, "
+              << cache.memory_hits << " memory hits, " << cache.disk_hits
+              << " disk hits (" << jit::KernelCache::instance().cache_dir()
+              << ", " << active_isa() << " kernels)\n";
+  }
   return 0;
 }
 
@@ -179,11 +222,14 @@ int cmd_plan(const std::string& graph_spec, const std::string& pattern_spec) {
   return 0;
 }
 
-int cmd_gen(const std::string& pattern_spec, const char* out_path) {
+int cmd_gen(const std::string& pattern_spec, const char* out_path,
+            bool use_iep) {
   const Pattern p = parse_pattern(pattern_spec);
   const Graph g = datasets::load("wiki_vote", 0.1);
   MatchOptions options;
-  options.use_iep = false;
+  // The plan-IR generator emits IEP leaves inline, so IEP plans are
+  // standalone-compilable too (the pre-IR generator could not).
+  options.use_iep = use_iep;
   const Configuration config = GraphPi(g).plan(p, options);
   const std::string source = codegen::generate_standalone(config);
   if (out_path == nullptr) {
@@ -233,8 +279,18 @@ int main(int argc, char** argv) {
       return cmd_list(argv[2], argv[3],
                       argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 20);
     if (cmd == "plan" && argc >= 4) return cmd_plan(argv[2], argv[3]);
-    if (cmd == "gen" && argc >= 3)
-      return cmd_gen(argv[2], argc > 3 ? argv[3] : nullptr);
+    if (cmd == "gen" && argc >= 3) {
+      bool use_iep = true;
+      const char* out = nullptr;
+      for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--no-iep") == 0) {
+          use_iep = false;
+        } else {
+          out = argv[i];
+        }
+      }
+      return cmd_gen(argv[2], out, use_iep);
+    }
     if (cmd == "make" && argc >= 7)
       return cmd_make(argv[2], static_cast<VertexId>(std::atoll(argv[3])),
                       std::strtoull(argv[4], nullptr, 10),
