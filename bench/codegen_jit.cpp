@@ -1,18 +1,23 @@
 // Generated-kernel vs interpreted counting on the R-MAT reference input
 // (the same graph micro_kernels and motif_batch use).
 //
-// The interpreted arm runs the compiled Plan through the in-process
-// Matcher; the generated arm runs the same plan through the
-// self-compiling kernel cache (emit -> system compiler -> dlopen,
-// engine/jit.h). Kernels are warmed before timing, so the records
-// compare steady-state execution; the one-time compile cost is reported
-// as its own `<pattern>/jit_compile` record (ns_per_op = wall time of
-// the cold KernelCache::get).
+// Four arms per pattern: the serial interpreter (Matcher), the serial
+// generated kernel (threads = 1), the interpreted OpenMP engine
+// (count_parallel), and the parallel generated kernel — the latter two
+// at the same worker count (>= 4), so `<p>/generated_parallel` vs
+// `<p>/interpreted_parallel` is the headline generated-vs-interpreted
+// comparison at full concurrency. Kernels are warmed before timing, so
+// the records compare steady-state execution; the one-time compile cost
+// is reported as its own `<pattern>/jit_compile` record (ns_per_op =
+// wall time of the cold KernelCache::get).
 //
 // `codegen_jit --json [path]` writes the micro_kernels record schema —
 // {name, ns_per_op, elements_per_s} — to `path` (default
-// BENCH_codegen.json) plus the active/detected ISA, so BENCH_* files
-// record which dispatch path ran.
+// BENCH_codegen.json) plus the active/detected ISA and worker count, so
+// BENCH_* files record which dispatch path ran.
+#include <omp.h>
+
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -60,13 +65,25 @@ Record time_run(const std::string& name, Run&& run) {
   return r;
 }
 
+/// Worker count for the parallel arms: every hardware thread, but at
+/// least the 4 the acceptance target names (oversubscription is fine for
+/// a correctness-identical comparison on small boxes).
+int parallel_threads() { return std::max(4, omp_get_max_threads()); }
+
 std::vector<Record> run_suite(bool verbose) {
   const Graph graph = bench_rmat();
   const GraphPi engine(graph);
   std::vector<Record> records;
+  const int threads = parallel_threads();
 
-  MatchOptions generated;
-  generated.backend = Backend::kGenerated;
+  MatchOptions generated_serial;
+  generated_serial.backend = Backend::kGenerated;
+  generated_serial.threads = 1;
+  MatchOptions generated_parallel = generated_serial;
+  generated_parallel.threads = threads;
+  MatchOptions interpreted_parallel;
+  interpreted_parallel.backend = Backend::kParallel;
+  interpreted_parallel.threads = threads;
 
   const std::pair<const char*, Pattern> cases[] = {
       {"house", patterns::house()},
@@ -80,7 +97,7 @@ std::vector<Record> run_suite(bool verbose) {
 
     // Cold compile cost (a disk-cached kernel makes this ~dlopen time).
     support::Timer compile_timer;
-    const Count warm = engine.count(config, generated);
+    const Count warm = engine.count(config, generated_serial);
     Record compile_rec;
     compile_rec.name = prefix + "/jit_compile";
     compile_rec.ns_per_op = compile_timer.elapsed_seconds() * 1e9;
@@ -90,17 +107,29 @@ std::vector<Record> run_suite(bool verbose) {
       return engine.count(config, MatchOptions{});
     }));
     records.push_back(time_run(prefix + "/generated", [&] {
-      return engine.count(config, generated);
+      return engine.count(config, generated_serial);
+    }));
+    records.push_back(time_run(prefix + "/interpreted_parallel", [&] {
+      return engine.count(config, interpreted_parallel);
+    }));
+    records.push_back(time_run(prefix + "/generated_parallel", [&] {
+      return engine.count(config, generated_parallel);
     }));
 
-    const Record& interp = records[records.size() - 2];
-    const Record& gen = records.back();
+    const Record& interp = records[records.size() - 4];
+    const Record& gen = records[records.size() - 3];
+    const Record& interp_par = records[records.size() - 2];
+    const Record& gen_par = records.back();
     if (verbose) {
-      std::printf("%-10s %12llu embeddings: interpreted %8.2f ms, "
-                  "generated %8.2f ms -> %.2fx\n",
-                  name, static_cast<unsigned long long>(warm),
-                  interp.ns_per_op / 1e6, gen.ns_per_op / 1e6,
-                  interp.ns_per_op / gen.ns_per_op);
+      std::printf(
+          "%-10s %12llu embeddings: interpreted %8.2f ms, generated "
+          "%8.2f ms -> %.2fx | %d threads: interpreted %8.2f ms, "
+          "generated %8.2f ms -> %.2fx\n",
+          name, static_cast<unsigned long long>(warm),
+          interp.ns_per_op / 1e6, gen.ns_per_op / 1e6,
+          interp.ns_per_op / gen.ns_per_op, threads,
+          interp_par.ns_per_op / 1e6, gen_par.ns_per_op / 1e6,
+          interp_par.ns_per_op / gen_par.ns_per_op);
     }
   }
   return records;
@@ -117,10 +146,11 @@ int write_json(const std::string& path) {
   std::fprintf(f,
                "{\n  \"input\": \"rmat(10, 14000, 17)\",\n"
                "  \"active_isa\": \"%s\",\n  \"detected_isa\": \"%s\",\n"
+               "  \"parallel_threads\": %d,\n"
                "  \"compiler_available\": %s,\n"
                "  \"kernels_compiled\": %llu,\n"
                "  \"results\": [\n",
-               active_isa(), detected_isa(),
+               active_isa(), detected_isa(), parallel_threads(),
                jit::compiler_available() ? "true" : "false",
                static_cast<unsigned long long>(stats.compiles));
   for (std::size_t i = 0; i < records.size(); ++i) {

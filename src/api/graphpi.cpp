@@ -64,7 +64,8 @@ Count GraphPi::count(const Configuration& config,
       // One-plan forest through the kernel cache; interpreter fallback
       // when no system compiler is available (or the build failed).
       const PlanForest forest({compile_plan(config)});
-      if (const auto counts = jit::run_generated(*graph_, forest))
+      if (const auto counts =
+              jit::run_generated(*graph_, forest, options.threads))
         return counts->front();
       return Matcher(*graph_, config).count();
     }
@@ -103,7 +104,8 @@ std::vector<Count> GraphPi::count_batch(const PlanForest& forest,
                                         const MatchOptions& options) const {
   const ScopedIsa isa(options.kernels);
   if (options.backend == Backend::kGenerated) {
-    if (auto counts = jit::run_generated(*graph_, forest)) return *counts;
+    if (auto counts = jit::run_generated(*graph_, forest, options.threads))
+      return *counts;
     return ForestExecutor(*graph_, forest).count();
   }
   if (options.backend == Backend::kDistributed) {

@@ -40,9 +40,11 @@ enum class Backend {
   kParallel,     ///< OpenMP engine (Section IV-E, intra-node)
   kDistributed,  ///< simulated multi-node cluster (Section IV-E)
   /// Generated C++ kernel: the plan IR is emitted, compiled by the system
-  /// compiler, dlopened and executed (engine/jit.h). Falls back to the
-  /// interpreter transparently when no compiler is available; listing
-  /// always uses the interpreter.
+  /// compiler, dlopened and executed (engine/jit.h). Kernels are built
+  /// with OpenMP when available and partition the root-vertex loop over
+  /// `MatchOptions::threads` workers. Falls back to the interpreter
+  /// transparently when no compiler is available; listing always uses
+  /// the interpreter.
   kGenerated,
 };
 
@@ -57,7 +59,9 @@ struct MatchOptions {
   /// after. The dispatch table is an unsynchronized process-wide global —
   /// don't mix per-call overrides with concurrent matching.
   KernelIsa kernels = KernelIsa::kAuto;
-  /// Backend knobs (parallel / distributed only).
+  /// Worker threads for the parallel and generated backends (0 = OpenMP
+  /// runtime default); `nodes` / `task_depth` apply to the distributed
+  /// (and task_depth also the parallel) backend.
   int threads = 0;
   int nodes = 2;
   int task_depth = 1;

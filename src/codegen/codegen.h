@@ -20,7 +20,13 @@
 //     bitmap rows when present, mirroring exec::intersect_adjacencies;
 //   * forests: one function per trie node, per-plan restriction branches
 //     narrowing a runtime active-plan bitmask, exactly the
-//     ForestExecutor model (minus its leaf memoization).
+//     ForestExecutor model (minus its leaf memoization);
+//   * parallelism: the root-vertex loop is emitted as an OpenMP
+//     `parallel for` over a per-root entry function with one traversal
+//     state per worker and a per-plan reduction — the
+//     count_batch_parallel model — guarded by `#ifdef _OPENMP` so the
+//     same source still builds (serially) without -fopenmp. The thread
+//     count arrives through the ABI's KernelRunOptions.
 //
 // Emitted sources are self-contained C++17 translation units. They take
 // the data graph and, optionally, the host's runtime-dispatched set
@@ -51,10 +57,11 @@ struct CodegenOptions {
 
 /// Emits a translation unit defining
 ///   extern "C" unsigned long long <name>(const void* graph,
-///                                        const void* ops);
+///                                        const void* ops,
+///                                        const void* run);
 /// counting the embeddings of the plan's pattern (final count: IEP plans
-/// divide by x internally). `graph` / `ops` follow kernel_abi.h. The plan
-/// must have >= 2 steps.
+/// divide by x internally). `graph` / `ops` / `run` follow kernel_abi.h
+/// (`run` may be null for defaults). The plan must have >= 2 steps.
 [[nodiscard]] std::string generate_source(const Plan& plan,
                                           const CodegenOptions& options = {});
 
@@ -66,6 +73,7 @@ struct CodegenOptions {
 
 /// Emits a batch kernel for a whole forest:
 ///   extern "C" void <name>(const void* graph, const void* ops,
+///                          const void* run,
 ///                          unsigned long long* counts);
 /// `counts` receives one finalized count per forest.plans() entry.
 [[nodiscard]] std::string generate_forest_source(

@@ -1,12 +1,14 @@
 // The C ABI between the host and generated kernels.
 //
 // Emitted kernels are self-contained translation units (no GraphPi
-// headers), so they mirror these two structs verbatim (as `GenGraph` /
-// `GenOps` in the emitted source) and take them through opaque `const
-// void*` parameters:
+// headers), so they mirror these structs verbatim (as `GenGraph` /
+// `GenOps` / `GenRun` in the emitted source) and take them through opaque
+// `const void*` parameters:
 //
-//   extern "C" unsigned long long <name>(const void* graph, const void* ops);
+//   extern "C" unsigned long long <name>(const void* graph, const void* ops,
+//                                        const void* run);
 //   extern "C" void <name>(const void* graph, const void* ops,
+//                          const void* run,
 //                          unsigned long long* counts);   // forest form
 //   extern "C" unsigned <name>_abi();                     // layout version
 //
@@ -19,10 +21,16 @@
 // select_kernel_isa() apply to generated code too. Kernels accept
 // `ops == nullptr` and fall back to portable inline implementations
 // (the standalone programs emitted by generate_standalone use this).
+// `run` carries per-invocation execution knobs (KernelRunOptions); null
+// means defaults. Kernels compiled with OpenMP partition the root-vertex
+// loop across threads (each worker owns its traversal state and calls the
+// stateless host ops concurrently — the ops table is safe to share);
+// without OpenMP the same kernel degrades to the serial loop.
 //
-// Any layout change here MUST bump kKernelAbiVersion; the KernelCache
-// (engine/jit.h) refuses to run a dlopened kernel whose <name>_abi()
-// disagrees.
+// Any layout or calling-convention change here MUST bump
+// kKernelAbiVersion; the KernelCache (engine/jit.h) refuses to run a
+// dlopened kernel whose <name>_abi() disagrees (version 1 kernels lacked
+// the `run` parameter).
 #pragma once
 
 #include <cstdint>
@@ -31,7 +39,7 @@
 
 namespace graphpi::codegen {
 
-inline constexpr unsigned kKernelAbiVersion = 1;
+inline constexpr unsigned kKernelAbiVersion = 2;
 
 /// CSR view + optional hub index handed to a generated kernel. Mirrored
 /// as `GenGraph` in emitted sources — field order and types are the ABI.
@@ -67,8 +75,17 @@ struct KernelOps {
                                                  std::uint32_t hi) = nullptr;
 };
 
+/// Per-invocation execution knobs. Mirrored as `GenRun` in emitted
+/// sources; kernels accept a null pointer as all-defaults.
+struct KernelRunOptions {
+  /// OpenMP worker count for the root-partitioned loop; <= 0 uses the
+  /// OpenMP runtime default. Ignored by kernels compiled without OpenMP.
+  std::int32_t threads = 0;
+};
+
 /// The ops table backed by the host's runtime-dispatched kernels
-/// (graph/vertex_set.h). One static instance; always valid.
+/// (graph/vertex_set.h). One static instance; always valid. All entries
+/// are stateless and safe to call from concurrent kernel workers.
 [[nodiscard]] const KernelOps& host_kernel_ops() noexcept;
 
 /// View over `g` for a kernel call. Includes the hub index iff built —

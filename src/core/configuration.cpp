@@ -51,13 +51,20 @@ Configuration plan_configuration(const Pattern& pattern,
   // Score every (schedule, restriction set) combination. When IEP is
   // requested we additionally require the combination to admit a valid
   // IEP plan — not every restriction set does (dropping its suffix
-  // restrictions can leave a non-constant overcount; see iep.h) — and
-  // pick the cheapest admissible one, falling back to plain enumeration
-  // only if no combination qualifies.
+  // restrictions can leave a non-constant overcount; see iep.h). IEP
+  // candidates are ranked by cost * divisor: dropping the suffix
+  // restrictions makes the outer loops enumerate every embedding
+  // `divisor` times, so a cheap-looking schedule with a large surviving-
+  // automorphism factor is really divisor-times the work (cycle(6)'s
+  // order-uniform plans are k=1 with divisors up to 6 — the weighting
+  // steers selection to the divisor-1 combos, which run at restricted-
+  // enumeration speed). Falls back to plain enumeration only if no
+  // combination qualifies.
   Configuration best;
   best.pattern = pattern;
   best.predicted_cost = std::numeric_limits<double>::infinity();
   Configuration best_iep = best;
+  double best_iep_score = std::numeric_limits<double>::infinity();
   std::size_t evaluated = 0;
   for (const auto& sched : schedules.efficient) {
     for (const auto& rs : restriction_sets) {
@@ -69,14 +76,24 @@ Configuration plan_configuration(const Pattern& pattern,
         best.schedule = sched;
         best.restrictions = rs;
       }
-      if (options.use_iep && cost < best_iep.predicted_cost) {
+      // divisor >= 1, so a combination whose raw cost already exceeds
+      // the best weighted score cannot improve — skip the (relatively
+      // expensive) plan construction + validation.
+      if (options.use_iep && cost < best_iep_score) {
         Configuration candidate;
         candidate.pattern = pattern;
         candidate.schedule = sched;
         candidate.restrictions = rs;
         candidate.predicted_cost = cost;
         attach_iep_plan(candidate);
-        if (candidate.iep.k > 0) best_iep = std::move(candidate);
+        if (candidate.iep.k > 0) {
+          const double score =
+              cost * static_cast<double>(candidate.iep.divisor);
+          if (score < best_iep_score) {
+            best_iep_score = score;
+            best_iep = std::move(candidate);
+          }
+        }
       }
     }
   }

@@ -141,6 +141,76 @@ IepPlan build_iep_plan(const Pattern& pattern, const Schedule& schedule,
   return plan;
 }
 
+namespace {
+
+/// Lehmer index of the rank array p[0..n) (a permutation of {0..n-1});
+/// bijective into [0, n!).
+std::size_t lehmer_index(const int* p, int n) {
+  std::size_t idx = 0;
+  for (int i = 0; i < n; ++i) {
+    int smaller = 0;
+    for (int j = i + 1; j < n; ++j)
+      if (p[j] < p[i]) ++smaller;
+    idx = idx * static_cast<std::size_t>(n - i) +
+          static_cast<std::size_t>(smaller);
+  }
+  return idx;
+}
+
+/// The per-embedding overcount of IEP enumeration is a function of how
+/// the data-graph ids of one concrete embedding rank against each other:
+/// with rank order π (π[v] = rank of the id matched to pattern vertex v),
+/// the embedding is found once per automorphism σ whose relabeling still
+/// satisfies the outer restrictions, i.e.
+///
+///   c(π) = |{σ ∈ Aut : ∀ (g, s) ∈ outer, π[σ(g)] > π[σ(s)]}|.
+///
+/// Dividing the aggregated sum by a constant x is only sound when
+/// c(π) == x for EVERY rank order — the K_n closed form only pins the
+/// average (Σ_π c(π) = LE(n, outer) · |Aut| = n! · x), which is how the
+/// cycle(6) plans slipped through: their c(π) oscillates around x = 3, so
+/// real graphs (whose embeddings realize a skewed mix of orders) produce
+/// sums not divisible by 3. c is constant on the left cosets π∘Aut, so
+/// one evaluation per coset suffices: total work n! · (|outer| + n),
+/// bounded by Pattern::kMaxVertices = 8 → at most 40320 orders (the
+/// `seen` bitmap tops out at ~40 KB).
+bool divisor_is_order_uniform(const Pattern& pattern, const IepPlan& plan) {
+  const int n = pattern.size();
+  static_assert(Pattern::kMaxVertices <= 8,
+                "the n! order sweep assumes small patterns");
+  const std::vector<Permutation> aut = automorphisms(pattern);
+  std::size_t factorial = 1;
+  for (int i = 2; i <= n; ++i) factorial *= static_cast<std::size_t>(i);
+  std::vector<bool> seen(factorial, false);
+  std::vector<int> rank(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) rank[static_cast<std::size_t>(i)] = i;
+  std::vector<int> composed(static_cast<std::size_t>(n));
+  do {
+    if (seen[lehmer_index(rank.data(), n)]) continue;
+    std::uint64_t compatible = 0;
+    for (const Permutation& sigma : aut) {
+      bool ok = true;
+      for (const auto& r : plan.outer_restrictions) {
+        if (rank[static_cast<std::size_t>(sigma(r.greater))] <=
+            rank[static_cast<std::size_t>(sigma(r.smaller))]) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) ++compatible;
+      // Mark the whole coset π∘Aut visited: c is constant on it.
+      for (int v = 0; v < n; ++v)
+        composed[static_cast<std::size_t>(v)] =
+            rank[static_cast<std::size_t>(sigma(v))];
+      seen[lehmer_index(composed.data(), n)] = true;
+    }
+    if (compatible != plan.divisor) return false;
+  } while (std::next_permutation(rank.begin(), rank.end()));
+  return true;
+}
+
+}  // namespace
+
 bool validate_iep_plan(const Pattern& pattern, const Schedule& schedule,
                        const IepPlan& plan) {
   const int n = pattern.size();
@@ -157,7 +227,11 @@ bool validate_iep_plan(const Pattern& pattern, const Schedule& schedule,
   const std::uint64_t aut = automorphism_count(pattern);
   if (factorial % aut != 0) return false;
   const std::uint64_t truth = factorial / aut;
-  return ans_iep == plan.divisor * truth;
+  if (ans_iep != plan.divisor * truth) return false;
+  // The K_n identity fixes only the AVERAGE per-embedding overcount; the
+  // division is sound only when the factor is the same for every
+  // realizable id ordering (the latent cycle(6) bug — see the helper).
+  return divisor_is_order_uniform(pattern, plan);
 }
 
 }  // namespace graphpi

@@ -76,12 +76,17 @@ struct IepPlan {
                                      const RestrictionSet& restrictions,
                                      int k, bool aggregate_partitions = true);
 
-/// Closed-form check of an IEP plan on the complete graph K_n: every
-/// injective outer assignment is an embedding and all suffix candidate
-/// sets equal the k unused vertices, so
+/// Validates an IEP plan in two stages. (1) Closed form on the complete
+/// graph K_n: every injective outer assignment is an embedding and all
+/// suffix candidate sets equal the k unused vertices, so
 ///   ansIEP = (#outer arrangements compatible with outer restrictions) * k!
-/// must equal divisor * n!/|Aut|. Returns true iff it does. Selection
-/// re-validates every IEP configuration with this before use.
+/// must equal divisor * n!/|Aut|. (2) Order uniformity: the K_n identity
+/// only pins the overcount AVERAGED over all id orderings; the division
+/// is sound only when every ordering is overcounted exactly `divisor`
+/// times, so the per-rank-order automorphism-survivor count is checked to
+/// be constant (this is what rejects the cycle(6) plans whose undivided
+/// sums were not divisible by x=3 on real graphs). Returns true iff both
+/// hold. Selection re-validates every IEP configuration before use.
 [[nodiscard]] bool validate_iep_plan(const Pattern& pattern,
                                      const Schedule& schedule,
                                      const IepPlan& plan);

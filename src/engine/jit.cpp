@@ -3,6 +3,7 @@
 #include <dlfcn.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -174,31 +175,56 @@ GeneratedBatchFn KernelCache::get(const PlanForest& forest) {
   }
 
   if (fn == nullptr) {
-    // Compile: write the source, build to a process-unique temp name,
-    // publish atomically (concurrent processes race benignly too).
+    // Compile: write source and object under attempt-unique temp names,
+    // publish both by atomic rename. Threads racing the same key (and
+    // concurrent processes) then never write one path from two writers —
+    // the losers just overwrite identical published bytes.
     compiled = true;
-    std::ofstream out(cpp);
+    static std::atomic<std::uint64_t> attempt_counter{0};
+    const std::string attempt =
+        ".tmp" + std::to_string(static_cast<long>(::getpid())) + "_" +
+        std::to_string(
+            attempt_counter.fetch_add(1, std::memory_order_relaxed));
+    const fs::path tmp_cpp =
+        fs::path(dir_) / (std::string(stem) + attempt + ".cpp");
+    const fs::path tmp_so =
+        fs::path(dir_) / (std::string(stem) + attempt + ".so");
+    const fs::path log = fs::path(dir_) / (std::string(stem) + attempt +
+                                           ".log");
+    std::ofstream out(tmp_cpp);
     out << source;
     out.close();
-    if (!out) return record_result(key, nullptr, disk_hit, compiled);
-    const fs::path tmp_so =
-        fs::path(dir_) /
-        (std::string(stem) + ".tmp" +
-         std::to_string(static_cast<long>(::getpid())) + ".so");
-    const fs::path log = fs::path(dir_) / (std::string(stem) + ".log");
-    const std::string cmd = probed_compiler() +
-                            " -O2 -std=c++17 -shared -fPIC -o " +
-                            quoted(tmp_so) + " " + quoted(cpp) + " 2> " +
-                            quoted(log);
-    if (std::system(cmd.c_str()) != 0) {
+    if (!out) {
+      fs::remove(tmp_cpp, ec);
+      return record_result(key, nullptr, disk_hit, compiled);
+    }
+    const std::string base = probed_compiler() +
+                             " -O2 -std=c++17 -shared -fPIC -o " +
+                             quoted(tmp_so) + " " + quoted(tmp_cpp);
+    // Prefer an OpenMP build (parallel root loop); the emitted source
+    // degrades to its serial loop under compilers without -fopenmp, so a
+    // failed first attempt falls back to a plain build.
+    if (std::system((base + " -fopenmp 2> " + quoted(log)).c_str()) != 0 &&
+        std::system((base + " 2> " + quoted(log)).c_str()) != 0) {
+      // Keep tmp_cpp and the log: the diagnostics reference that source,
+      // and the remembered in-memory failure means this pair is written
+      // at most once per key per process.
       fs::remove(tmp_so, ec);
       return record_result(key, nullptr, disk_hit, compiled);
     }
     fs::rename(tmp_so, so, ec);
     if (ec) {
+      fs::remove(tmp_cpp, ec);
       fs::remove(tmp_so, ec);
+      fs::remove(log, ec);
       return record_result(key, nullptr, disk_hit, compiled);
     }
+    // Keep the human-auditable source next to the published .so; the
+    // rename is cosmetic, so on failure just drop the temp copy.
+    std::error_code cpp_ec;
+    fs::rename(tmp_cpp, cpp, cpp_ec);
+    if (cpp_ec) fs::remove(tmp_cpp, ec);
+    fs::remove(log, ec);
     fn = load(/*fresh_build=*/true);
   }
   return record_result(key, fn, disk_hit, compiled);
@@ -222,7 +248,8 @@ KernelCache::Stats KernelCache::stats() const {
 }
 
 std::optional<std::vector<Count>> run_generated(const Graph& graph,
-                                                const PlanForest& forest) {
+                                                const PlanForest& forest,
+                                                int threads) {
   GeneratedBatchFn fn = KernelCache::instance().get(forest);
   if (fn == nullptr) return std::nullopt;
   // Mirror the interpreter: build the hub index when any plan hints it,
@@ -233,8 +260,10 @@ std::optional<std::vector<Count>> run_generated(const Graph& graph,
       break;
     }
   const codegen::KernelGraph view = codegen::make_kernel_graph(graph);
+  codegen::KernelRunOptions run;
+  run.threads = threads;
   std::vector<unsigned long long> counts(forest.plans().size(), 0);
-  fn(&view, &codegen::host_kernel_ops(), counts.data());
+  fn(&view, &codegen::host_kernel_ops(), &run, counts.data());
   return std::vector<Count>(counts.begin(), counts.end());
 }
 

@@ -36,7 +36,9 @@
 namespace graphpi::jit {
 
 /// Generated batch kernel: fills one finalized count per forest plan.
+/// `run` is a codegen::KernelRunOptions* (nullable — defaults).
 using GeneratedBatchFn = void (*)(const void* graph, const void* ops,
+                                  const void* run,
                                   unsigned long long* counts);
 
 /// True when a working C++ compiler was found (GRAPHPI_CXX, CXX, then
@@ -84,9 +86,11 @@ class KernelCache {
 
 /// Runs `forest` against `graph` through a generated kernel: ensures the
 /// hub index when a plan wants it, builds the ABI view, invokes the
-/// cached kernel. nullopt when the JIT is unavailable — callers fall back
-/// to the interpreter.
+/// cached kernel. Kernels are compiled with OpenMP when the system
+/// compiler supports -fopenmp, and partition the root loop over
+/// `threads` workers (<= 0: runtime default). nullopt when the JIT is
+/// unavailable — callers fall back to the interpreter.
 [[nodiscard]] std::optional<std::vector<Count>> run_generated(
-    const Graph& graph, const PlanForest& forest);
+    const Graph& graph, const PlanForest& forest, int threads = 0);
 
 }  // namespace graphpi::jit

@@ -1,6 +1,8 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
 
 #include "graph/triangle.h"
 #include "support/check.h"
@@ -21,9 +23,17 @@ bool Graph::has_edge(VertexId u, VertexId v) const noexcept {
   return std::binary_search(adj.begin(), adj.end(), v);
 }
 
+void Graph::ensure_hub_index() const {
+  if (has_hub_index()) return;  // lock-free acquire fast path
+  // Builds are rare (once per graph) — one process-wide lock is enough,
+  // and keeps Graph itself trivially copyable/movable.
+  static std::mutex build_mutex;
+  const std::lock_guard<std::mutex> lock(build_mutex);
+  if (!has_hub_index()) build_hub_index(0);
+}
+
 void Graph::build_hub_index(std::uint32_t min_degree) const {
   const VertexId n = vertex_count();
-  hub_index_built_ = true;
   hub_words_ = (static_cast<std::size_t>(n) + 63) / 64;
   hub_slot_.assign(n, kNotAHub);
   hub_bits_.clear();
@@ -35,7 +45,11 @@ void Graph::build_hub_index(std::uint32_t min_degree) const {
     min_degree = std::max<std::uint32_t>(128, n / 64);
   }
   hub_min_degree_ = min_degree;
-  if (n == 0) return;
+  if (n == 0) {
+    std::atomic_ref<bool>(hub_index_built_)
+        .store(true, std::memory_order_release);
+    return;
+  }
 
   std::vector<VertexId> hubs;
   for (VertexId v = 0; v < n; ++v)
@@ -66,6 +80,10 @@ void Graph::build_hub_index(std::uint32_t min_degree) const {
     for (VertexId w : neighbors(v)) row[w >> 6] |= std::uint64_t{1} << (w & 63);
   }
   hub_count_ = static_cast<std::uint32_t>(hubs.size());
+  // Publish last: a reader that observes the flag (acquire) must see the
+  // completed arrays.
+  std::atomic_ref<bool>(hub_index_built_)
+      .store(true, std::memory_order_release);
 }
 
 std::uint32_t Graph::max_degree() const noexcept {

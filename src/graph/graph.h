@@ -11,6 +11,7 @@
 //   * the graph is symmetric: (u,v) present implies (v,u) present.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -92,11 +93,13 @@ class Graph {
   // bytes each, so only vertices whose degree clears a threshold get one,
   // and the total row storage is capped at roughly the CSR size itself.
   //
-  // Building mutates lazily-initialized state and is NOT thread-safe; it
-  // must happen before the graph is shared across threads. The Matcher
-  // and ForestExecutor constructors call ensure_hub_index() whenever
-  // their compiled plans want it, which covers every normal flow (the
-  // parallel runtimes construct their executor before spawning workers).
+  // Building mutates lazily-initialized state. ensure_hub_index() is
+  // safe to call from concurrent threads (double-checked under a
+  // process-wide build lock with acquire/release publication) — racing
+  // first-compiles of generated kernels and concurrent Matcher /
+  // ForestExecutor constructions all funnel through it. build_hub_index()
+  // with an explicit threshold rebuilds unconditionally and must not run
+  // while other threads use the graph.
   // -------------------------------------------------------------------------
 
   /// Slot marker for "not a hub".
@@ -109,11 +112,15 @@ class Graph {
   void build_hub_index(std::uint32_t min_degree = 0) const;
 
   /// Builds the index with the automatic threshold unless already built.
-  void ensure_hub_index() const {
-    if (!hub_index_built_) build_hub_index(0);
-  }
+  /// Thread-safe (see the section comment above).
+  void ensure_hub_index() const;
 
-  [[nodiscard]] bool has_hub_index() const noexcept { return hub_index_built_; }
+  [[nodiscard]] bool has_hub_index() const noexcept {
+    // Pairs with the release publication at the end of build_hub_index():
+    // observing true guarantees the hub arrays are fully visible.
+    return std::atomic_ref<bool>(hub_index_built_)
+        .load(std::memory_order_acquire);
+  }
 
   /// Number of vertices that received a bitmap row.
   [[nodiscard]] std::uint32_t hub_count() const noexcept { return hub_count_; }

@@ -12,18 +12,17 @@
 //     tests compare every other variant against.
 //   * The un-suffixed entry points (`intersect`, `intersect_size`, ...)
 //     dispatch at RUNTIME through a cpuid-probed kernel table: the AVX2
-//     implementations are compiled unconditionally on x86 (per-function
-//     `target("avx2")` attributes, so the baseline build stays portable)
-//     and selected when the executing CPU supports them — one binary
-//     serves scalar and vector machines without recompiling. An AVX-512
-//     slot is probed (cpu_supports) but not yet populated; selecting it
-//     fails until the VBMI2 compress-store kernels land (ROADMAP).
+//     and AVX-512 (VBMI2 compress-store) implementations are compiled
+//     unconditionally on x86 (per-function `target(...)` attributes, so
+//     the baseline build stays portable) and the widest slot the
+//     executing CPU supports is selected at load time — one binary
+//     serves scalar, AVX2, and AVX-512 machines without recompiling.
 //     `select_kernel_isa()` / `force_scalar_kernels()` switch the table
 //     at runtime, and the GRAPHPI_KERNEL_ISA environment variable
-//     ("scalar" | "avx2" | "auto") pins the initial choice. Generated
-//     kernels (src/codegen/) call back into these same entry points, so
-//     the dispatch decision covers interpreted and compiled execution
-//     alike.
+//     ("scalar" | "avx2" | "avx512" | "auto") pins the initial choice.
+//     Generated kernels (src/codegen/) call back into these same entry
+//     points, so the dispatch decision covers interpreted and compiled
+//     execution alike.
 //   * `*_size*` variants compute |result| without materializing it; the
 //     matcher's innermost loop and single-block IEP terms go through
 //     these so counting runs allocate nothing at the leaves.
@@ -62,8 +61,12 @@ enum class KernelIsa {
   kAuto,
   kScalar,
   kAvx2,
-  /// Probed (cpu_supports) but intentionally unpopulated: selecting it
-  /// fails until the AVX-512 VBMI2 compress-store kernels land.
+  /// AVX2 match core + VBMI2-family compress-store retire
+  /// (`vpcompressd`) + VPOPCNTDQ bitmap popcount; requires
+  /// avx512f+bw+vl+vbmi2+vpopcntdq (Ice Lake+). Kept at the AVX2 match
+  /// width on purpose: all-pairs matching costs B^2 comparisons per >= B
+  /// elements consumed, so 16-lane blocks measure slower (see the tier
+  /// comment in vertex_set.cpp).
   kAvx512,
 };
 
@@ -77,7 +80,7 @@ enum class KernelIsa {
 /// Never returns kAuto.
 [[nodiscard]] KernelIsa active_kernel_isa() noexcept;
 
-/// Name of the active table ("avx2" or "scalar").
+/// Name of the active table ("avx512", "avx2" or "scalar").
 [[nodiscard]] const char* active_isa() noexcept;
 
 /// Name of the best table this CPU supports (what kAuto resolves to,
@@ -85,8 +88,7 @@ enum class KernelIsa {
 [[nodiscard]] const char* detected_isa() noexcept;
 
 /// Routes the dispatching kernels to `isa`. Returns false (and leaves the
-/// selection unchanged) when the slot is missing or the CPU lacks the
-/// feature — kAvx512 currently always fails (stub slot).
+/// selection unchanged) when the CPU lacks the feature.
 bool select_kernel_isa(KernelIsa isa) noexcept;
 
 /// Name of the active kernel backend. Kept for older call sites; equal to

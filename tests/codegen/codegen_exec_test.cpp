@@ -7,6 +7,7 @@
 #include <dlfcn.h>
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -29,8 +30,9 @@ namespace {
 
 namespace fs = std::filesystem;
 
-using SingleFn = unsigned long long (*)(const void* graph, const void* ops);
-using BatchFn = void (*)(const void* graph, const void* ops,
+using SingleFn = unsigned long long (*)(const void* graph, const void* ops,
+                                        const void* run);
+using BatchFn = void (*)(const void* graph, const void* ops, const void* run,
                          unsigned long long* counts);
 
 /// Compiles `source` into a shared object and returns the loaded symbol.
@@ -44,7 +46,7 @@ void* compile_and_load(const std::string& source, const std::string& tag,
     std::ofstream out(cpp);
     out << source;
   }
-  const std::string cmd = "g++ -O2 -shared -fPIC -std=c++17 -o " +
+  const std::string cmd = "g++ -O2 -shared -fPIC -std=c++17 -fopenmp -o " +
                           so.string() + " " + cpp.string() + " 2>/dev/null";
   if (std::system(cmd.c_str()) != 0) return nullptr;
   void* handle = dlopen(so.string().c_str(), RTLD_NOW);
@@ -67,15 +69,24 @@ void expect_kernel_matches(SingleFn kernel, const Graph& g, Count want,
   no_hubs.hub_words = 0;
   const codegen::KernelOps& ops = codegen::host_kernel_ops();
 
-  EXPECT_EQ(kernel(&with_hubs, &ops), want) << label << " hub+ops";
-  EXPECT_EQ(kernel(&no_hubs, &ops), want) << label << " nohub+ops";
-  EXPECT_EQ(kernel(&with_hubs, nullptr), want) << label << " hub+fallback";
+  EXPECT_EQ(kernel(&with_hubs, &ops, nullptr), want) << label << " hub+ops";
+  EXPECT_EQ(kernel(&no_hubs, &ops, nullptr), want) << label << " nohub+ops";
+  EXPECT_EQ(kernel(&with_hubs, nullptr, nullptr), want)
+      << label << " hub+fallback";
+
+  // Same kernel, explicit worker count: the OpenMP root partitioning must
+  // reproduce the serial sum exactly (u64 adds commute).
+  codegen::KernelRunOptions parallel;
+  parallel.threads = 3;
+  EXPECT_EQ(kernel(&with_hubs, &ops, &parallel), want)
+      << label << " hub+ops 3 threads";
 
   // Same kernel, scalar dispatch: the ops table routes through the
   // runtime-selected kernel table, so forcing scalar applies to the
   // already-compiled kernel too.
   force_scalar_kernels(true);
-  EXPECT_EQ(kernel(&with_hubs, &ops), want) << label << " hub+ops scalar";
+  EXPECT_EQ(kernel(&with_hubs, &ops, nullptr), want)
+      << label << " hub+ops scalar";
   force_scalar_kernels(false);
 }
 
@@ -140,15 +151,22 @@ TEST(CodegenForestExec, ThreePatternForestMatchesEngines) {
   const std::vector<Count> forest_counts = ForestExecutor(g, forest).count();
   g.ensure_hub_index();
   const codegen::KernelGraph view = codegen::make_kernel_graph(g);
+  codegen::KernelRunOptions parallel;
+  parallel.threads = 4;
   for (const bool scalar : {false, true}) {
     force_scalar_kernels(scalar);
-    unsigned long long counts[3] = {};
-    kernel(&view, &codegen::host_kernel_ops(), counts);
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      EXPECT_EQ(counts[i], forest_counts[i])
-          << "plan " << i << (scalar ? " scalar" : " simd");
-      EXPECT_EQ(counts[i], engine.count(batch[i]))
-          << "plan " << i << (scalar ? " scalar" : " simd");
+    const codegen::KernelRunOptions* runs[] = {nullptr, &parallel};
+    for (const codegen::KernelRunOptions* run : runs) {
+      unsigned long long counts[3] = {};
+      kernel(&view, &codegen::host_kernel_ops(), run, counts);
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        EXPECT_EQ(counts[i], forest_counts[i])
+            << "plan " << i << (scalar ? " scalar" : " simd")
+            << (run != nullptr ? " parallel" : "");
+        EXPECT_EQ(counts[i], engine.count(batch[i]))
+            << "plan " << i << (scalar ? " scalar" : " simd")
+            << (run != nullptr ? " parallel" : "");
+      }
     }
   }
   force_scalar_kernels(false);
@@ -162,15 +180,15 @@ TEST(CodegenForestExec, PatternLibrarySweepInOneKernel) {
   // the per-pattern Matcher.
   const Graph g = test_graph();
   const GraphStats stats = GraphStats::of(g);
-  // cycle(6) is absent: its IEP plan trips the interpreter's divisor
-  // check on this graph (latent planner issue, predates the plan-IR
-  // generator — see ROADMAP), so there is no reference count to pin.
+  // cycle(6) included: the planner's order-uniformity validation
+  // (core/iep.cpp) now rejects the IEP plans whose divisor only held on
+  // average, so every library pattern has a trustworthy reference count.
   std::vector<Pattern> library = {
       patterns::clique(3),  patterns::rectangle(), patterns::house(),
       patterns::pentagon(), patterns::hourglass(), patterns::cycle_6_tri(),
       patterns::clique(4),  patterns::clique(5),   patterns::cycle(5),
-      patterns::path(4),    patterns::path(5),     patterns::star(4),
-      patterns::star(5)};
+      patterns::cycle(6),   patterns::path(4),     patterns::path(5),
+      patterns::star(4),    patterns::star(5)};
   PlannerOptions planner;
   planner.use_iep = true;
   std::vector<Plan> plans;
@@ -193,9 +211,16 @@ TEST(CodegenForestExec, PatternLibrarySweepInOneKernel) {
   g.ensure_hub_index();
   const codegen::KernelGraph view = codegen::make_kernel_graph(g);
   std::vector<unsigned long long> counts(library.size(), 0);
-  kernel(&view, &codegen::host_kernel_ops(), counts.data());
+  kernel(&view, &codegen::host_kernel_ops(), nullptr, counts.data());
   for (std::size_t i = 0; i < library.size(); ++i)
     EXPECT_EQ(counts[i], want[i]) << "pattern " << i;
+  // Whole-library kernel again, root loop split across workers.
+  codegen::KernelRunOptions parallel;
+  parallel.threads = 4;
+  std::fill(counts.begin(), counts.end(), 0);
+  kernel(&view, &codegen::host_kernel_ops(), &parallel, counts.data());
+  for (std::size_t i = 0; i < library.size(); ++i)
+    EXPECT_EQ(counts[i], want[i]) << "pattern " << i << " parallel";
   dlclose(handle);
 }
 

@@ -67,6 +67,18 @@ TEST(Codegen, EmitsIepTermProducts) {
   EXPECT_NE(src.find("IEP surviving-automorphism factor"), std::string::npos);
 }
 
+TEST(Codegen, EmitsParallelRootLoop) {
+  const std::string src = codegen::generate_source(house_config());
+  // The root-vertex loop is partitioned across OpenMP workers with one
+  // traversal state each, and the whole construct is #ifdef-guarded so
+  // the same source still builds (serially) without -fopenmp.
+  EXPECT_NE(src.find("void root0("), std::string::npos);
+  EXPECT_NE(src.find("#pragma omp parallel"), std::string::npos);
+  EXPECT_NE(src.find("#pragma omp for schedule(dynamic"), std::string::npos);
+  EXPECT_NE(src.find("#if defined(_OPENMP)"), std::string::npos);
+  EXPECT_NE(src.find("struct GenRun"), std::string::npos);
+}
+
 TEST(Codegen, EmitsHubProbes) {
   const std::string src = codegen::generate_source(house_config());
   // Multi-way intersections go through the hub-aware helpers.
@@ -112,7 +124,10 @@ TEST(CodegenForest, OneNodeFunctionPerTrieNode) {
     plans.push_back(compile_plan(plan_configuration(p, stats, {})));
   const PlanForest forest(std::move(plans));
   const std::string src = codegen::generate_forest_source(forest);
-  for (std::size_t i = 0; i < forest.nodes().size(); ++i)
+  // The root (node 0) is emitted as the per-root-vertex entry root0 so
+  // run() can partition it; every other trie node keeps its function.
+  EXPECT_NE(src.find("void root0("), std::string::npos);
+  for (std::size_t i = 1; i < forest.nodes().size(); ++i)
     EXPECT_NE(src.find("void node" + std::to_string(i) + "("),
               std::string::npos)
         << "missing node function " << i;

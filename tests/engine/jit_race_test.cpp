@@ -1,0 +1,123 @@
+// Kernel-cache thread-safety: concurrent Backend::kGenerated counting
+// racing the FIRST compile of the same and of distinct forests.
+//
+// The cache directory is pointed at a private location and wiped before
+// KernelCache::instance() exists, so every kernel really goes through the
+// emit → compile → atomic-publish → dlopen path under contention (not a
+// disk hit). Duplicate compiles between racers are by-design benign: each
+// attempt builds under an attempt-unique temp name and publishes by
+// rename, and the first in-memory publisher wins. The racers also hit
+// Graph::ensure_hub_index() concurrently (double-checked lazy build).
+// The ASan CI job runs this suite like every other test binary.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "api/graphpi.h"
+#include "core/pattern_library.h"
+#include "engine/jit.h"
+#include "graph/generators.h"
+
+namespace graphpi {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Static initialization runs before main(), hence before the lazily
+// constructed process-wide KernelCache reads the environment.
+const bool kCacheDirReset = [] {
+  const fs::path dir = fs::temp_directory_path() / "graphpi-race-cache";
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  ::setenv("GRAPHPI_KERNEL_CACHE_DIR", dir.c_str(), 1);
+  return true;
+}();
+
+Graph test_graph() { return clustered_power_law(150, 650, 2.3, 0.4, 17); }
+
+MatchOptions generated_backend() {
+  MatchOptions options;
+  options.backend = Backend::kGenerated;
+  options.threads = 2;  // each racer's kernel also runs a (small) team
+  return options;
+}
+
+TEST(KernelCacheRace, SameForestFirstCompile) {
+  if (!jit::compiler_available()) GTEST_SKIP() << "no system compiler";
+  const Graph g = test_graph();
+  const GraphPi engine(g);
+  const Count want = engine.count(patterns::house());
+
+  constexpr int kThreads = 6;
+  std::vector<Count> got(kThreads, 0);
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+      workers.emplace_back([&engine, &got, t] {
+        got[static_cast<std::size_t>(t)] =
+            engine.count(patterns::house(), generated_backend());
+      });
+    for (auto& w : workers) w.join();
+  }
+  for (int t = 0; t < kThreads; ++t)
+    EXPECT_EQ(got[static_cast<std::size_t>(t)], want) << "racer " << t;
+}
+
+TEST(KernelCacheRace, DistinctForestsFirstCompile) {
+  if (!jit::compiler_available()) GTEST_SKIP() << "no system compiler";
+  const Graph g = test_graph();
+  const GraphPi engine(g);
+
+  // Two racers per forest: every distinct kernel is simultaneously a
+  // same-key race and a cross-key one (shared cache map + directory).
+  const std::vector<Pattern> singles = {patterns::pentagon(),
+                                        patterns::rectangle(),
+                                        patterns::clique(4)};
+  const std::vector<Pattern> batch = {patterns::clique(3),
+                                      patterns::rectangle(),
+                                      patterns::house()};
+  std::vector<Count> single_want;
+  for (const Pattern& p : singles) single_want.push_back(engine.count(p));
+  const std::vector<Count> batch_want = engine.count_batch(batch);
+
+  constexpr int kRacersPerForest = 2;
+  std::vector<std::vector<Count>> single_got(
+      singles.size() * kRacersPerForest);
+  std::vector<std::vector<Count>> batch_got(kRacersPerForest);
+  {
+    std::vector<std::thread> workers;
+    for (std::size_t i = 0; i < singles.size(); ++i)
+      for (int r = 0; r < kRacersPerForest; ++r)
+        workers.emplace_back([&engine, &singles, &single_got, i, r] {
+          single_got[i * kRacersPerForest + static_cast<std::size_t>(r)] = {
+              engine.count(singles[i], generated_backend())};
+        });
+    for (int r = 0; r < kRacersPerForest; ++r)
+      workers.emplace_back([&engine, &batch, &batch_got, r] {
+        batch_got[static_cast<std::size_t>(r)] =
+            engine.count_batch(batch, generated_backend());
+      });
+    for (auto& w : workers) w.join();
+  }
+  for (std::size_t i = 0; i < singles.size(); ++i)
+    for (int r = 0; r < kRacersPerForest; ++r)
+      EXPECT_EQ(
+          single_got[i * kRacersPerForest + static_cast<std::size_t>(r)],
+          std::vector<Count>{single_want[i]})
+          << "pattern " << i << " racer " << r;
+  for (int r = 0; r < kRacersPerForest; ++r)
+    EXPECT_EQ(batch_got[static_cast<std::size_t>(r)], batch_want)
+        << "batch racer " << r;
+
+  // Nothing in the contention above may have been recorded as a build
+  // failure (failures would silently demote future calls to the
+  // interpreter).
+  EXPECT_EQ(jit::KernelCache::instance().stats().failures, 0u);
+}
+
+}  // namespace
+}  // namespace graphpi

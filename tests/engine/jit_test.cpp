@@ -48,6 +48,23 @@ TEST(KernelCache, BatchGeneratedMatchesForestExecutor) {
             engine.count_batch(batch));
 }
 
+TEST(KernelCache, ParallelGeneratedMatchesSerial) {
+  if (!jit::compiler_available()) GTEST_SKIP() << "no system compiler";
+  // MatchOptions::threads reaches the kernel through the ABI's
+  // KernelRunOptions: the OpenMP root partitioning must reproduce the
+  // interpreter's counts exactly.
+  const Graph g = test_graph();
+  const GraphPi engine(g);
+  MatchOptions options = generated_backend();
+  options.threads = 4;
+  EXPECT_EQ(engine.count(patterns::pentagon(), options),
+            engine.count(patterns::pentagon()));
+  const std::vector<Pattern> batch = {patterns::clique(3),
+                                      patterns::rectangle(),
+                                      patterns::house()};
+  EXPECT_EQ(engine.count_batch(batch, options), engine.count_batch(batch));
+}
+
 TEST(KernelCache, SecondUseHitsTheCache) {
   if (!jit::compiler_available()) GTEST_SKIP() << "no system compiler";
   const Graph g = test_graph();

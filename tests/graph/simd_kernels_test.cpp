@@ -2,7 +2,9 @@
 // the scalar reference on adversarial inputs: empty sets, dense
 // duplicate-free runs, identical inputs, and size ratios straddling the
 // gallop cutoff. The same assertions run with the dispatch forced to the
-// scalar fallback, so an AVX2 build certifies both code paths.
+// scalar fallback and, in DispatchSwitchesKernelsAtRuntime, under every
+// selectable table (scalar / AVX2 / AVX-512), so one binary certifies
+// every populated slot the CPU can run.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -124,7 +126,8 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(SimdKernels, BackendIsConsistent) {
   const std::string backend = simd_backend();
-  EXPECT_TRUE(backend == "avx2" || backend == "scalar") << backend;
+  EXPECT_TRUE(backend == "avx512" || backend == "avx2" || backend == "scalar")
+      << backend;
   EXPECT_EQ(backend != "scalar", simd_enabled());
   EXPECT_EQ(backend, active_isa());
 }
@@ -138,13 +141,15 @@ TEST(RuntimeDispatch, SelectionRoundTrips) {
   // kAuto restores the probed/pinned default.
   EXPECT_TRUE(select_kernel_isa(KernelIsa::kAuto));
   EXPECT_EQ(active_kernel_isa(), initial);
-  // The AVX2 slot is selectable exactly when the CPU supports it.
+  // Every vector slot is selectable exactly when the CPU supports it.
   EXPECT_EQ(select_kernel_isa(KernelIsa::kAvx2),
             cpu_supports(KernelIsa::kAvx2));
   EXPECT_TRUE(select_kernel_isa(KernelIsa::kAuto));
-  // The AVX-512 slot is probe-only until the VBMI2 kernels land: the
-  // cpuid answer is whatever it is, but selection must fail.
-  EXPECT_FALSE(select_kernel_isa(KernelIsa::kAvx512));
+  EXPECT_EQ(select_kernel_isa(KernelIsa::kAvx512),
+            cpu_supports(KernelIsa::kAvx512));
+  if (cpu_supports(KernelIsa::kAvx512))
+    EXPECT_EQ(std::string(active_isa()), "avx512");
+  EXPECT_TRUE(select_kernel_isa(KernelIsa::kAuto));
   EXPECT_EQ(active_kernel_isa(), initial);
 }
 
@@ -162,7 +167,8 @@ TEST(RuntimeDispatch, DispatchSwitchesKernelsAtRuntime) {
   const auto a = random_sorted_set(500, 4000, 101);
   const auto b = random_sorted_set(700, 4000, 202);
   const auto expected = reference_intersection(a, b);
-  for (const KernelIsa isa : {KernelIsa::kScalar, KernelIsa::kAvx2}) {
+  for (const KernelIsa isa :
+       {KernelIsa::kScalar, KernelIsa::kAvx2, KernelIsa::kAvx512}) {
     if (!select_kernel_isa(isa)) continue;
     std::vector<VertexId> got;
     intersect(a, b, got);

@@ -36,7 +36,7 @@ int usage() {
       R"(usage: graphpi <command> [args]
   stats <graph>
   count <graph> <pattern> [--no-iep] [--parallel] [--nodes N]
-        [--partition hash|range] [--task-depth D]
+        [--partition hash|range] [--task-depth D] [--threads T]
         [--backend serial|parallel|generated] [--emit <file.cpp>]
   list  <graph> <pattern> [limit]
   plan  <graph> <pattern>
@@ -47,8 +47,10 @@ pattern: triangle|rectangle|house|pentagon|hourglass|cycle6tri|p1..p6|
          clique<K>|cycle<K>|path<K>|star<K>|N:ADJSTRING
 --backend generated runs the plan through the self-compiling kernel cache
 (emit -> system compiler -> dlopen; falls back to the interpreter when no
-compiler is found). --emit writes the generated C++ kernel for the
-planned configuration without requiring that backend.
+compiler is found). Generated kernels run their root loop in parallel;
+--threads caps the worker count for both the parallel and generated
+backends (default: all cores). --emit writes the generated C++ kernel for
+the planned configuration without requiring that backend.
 )";
   return 2;
 }
@@ -124,6 +126,8 @@ int cmd_count(const std::string& graph_spec, const std::string& pattern_spec,
     }
     if (arg == "--task-depth" && i + 1 < argc)
       options.task_depth = std::atoi(argv[++i]);
+    if (arg == "--threads" && i + 1 < argc)
+      options.threads = std::atoi(argv[++i]);
     if (arg == "--partition" && i + 1 < argc) {
       if (!dist::parse_partition(argv[++i], options.partition)) {
         std::cerr << "unknown partition strategy: " << argv[i] << "\n";
