@@ -11,6 +11,12 @@
 // is reported as its own `<pattern>/jit_compile` record (ns_per_op =
 // wall time of the cold KernelCache::get).
 //
+// A fifth arm per pattern, `<p>/generated_parallel_armed`, reruns the
+// parallel generated kernel with a far-future deadline armed: the stop
+// never fires, so the delta against `<p>/generated_parallel` is the cost
+// of the cooperative cancellation polling itself, reported per pattern
+// in the top-level `cancel_poll_overhead` JSON map (relative, 0.01 = 1%).
+//
 // `codegen_jit --json [path]` writes the micro_kernels record schema —
 // {name, ns_per_op, elements_per_s} — to `path` (default
 // BENCH_codegen.json) plus the active/detected ISA and worker count, so
@@ -65,15 +71,77 @@ Record time_run(const std::string& name, Run&& run) {
   return r;
 }
 
+/// Interleaved paired timing: alternates the two runs rep-by-rep so both
+/// sides sample the same cache/frequency conditions, keeping each side's
+/// fastest rep for the records. The headline `ratio` (B time / A time) is
+/// the MEDIAN of the per-pair ratios, not min-over-min: throughput on
+/// shared boxes drifts by several percent across a long bench, but the
+/// two runs inside one back-to-back pair see the same machine state, so
+/// their ratio cancels the drift a cross-pair min comparison keeps.
+struct Paired {
+  Record a;
+  Record b;
+  double ratio = 1.0;
+};
+
+template <typename RunA, typename RunB>
+Paired time_run_paired(const std::string& name_a, RunA&& run_a,
+                       const std::string& name_b, RunB&& run_b) {
+  double best_a = -1.0;
+  double best_b = -1.0;
+  Count embeddings = 0;
+  double total = 0.0;
+  std::vector<double> ratios;
+  for (int rep = 0; rep < 5 || total < 2.0; ++rep) {
+    support::Timer ta;
+    const Count count = run_a();
+    const double sa = ta.elapsed_seconds();
+    support::Timer tb;
+    (void)run_b();
+    const double sb = tb.elapsed_seconds();
+    total += sa + sb;
+    if (sa > 0) ratios.push_back(sb / sa);
+    if (best_a < 0 || sa < best_a) {
+      best_a = sa;
+      embeddings = count;
+    }
+    if (best_b < 0 || sb < best_b) best_b = sb;
+    if (rep >= 14) break;
+  }
+  Paired p;
+  p.a.name = name_a;
+  p.a.ns_per_op = best_a * 1e9;
+  p.a.elements_per_s =
+      best_a > 0 ? static_cast<double>(embeddings) / best_a : 0.0;
+  p.b.name = name_b;
+  p.b.ns_per_op = best_b * 1e9;
+  p.b.elements_per_s =
+      best_b > 0 ? static_cast<double>(embeddings) / best_b : 0.0;
+  if (!ratios.empty()) {
+    std::sort(ratios.begin(), ratios.end());
+    p.ratio = ratios[ratios.size() / 2];
+  }
+  return p;
+}
+
 /// Worker count for the parallel arms: every hardware thread, but at
 /// least the 4 the acceptance target names (oversubscription is fine for
 /// a correctness-identical comparison on small boxes).
 int parallel_threads() { return std::max(4, omp_get_max_threads()); }
 
-std::vector<Record> run_suite(bool verbose) {
+/// One suite run: the timing records plus the per-pattern relative cost
+/// of arming a (never-firing) deadline on the parallel generated kernel —
+/// the price of the cooperative-stop polling itself.
+struct Suite {
+  std::vector<Record> records;
+  std::vector<std::pair<std::string, double>> poll_overhead;
+};
+
+Suite run_suite(bool verbose) {
   const Graph graph = bench_rmat();
   const GraphPi engine(graph);
-  std::vector<Record> records;
+  Suite suite;
+  std::vector<Record>& records = suite.records;
   const int threads = parallel_threads();
 
   MatchOptions generated_serial;
@@ -84,6 +152,10 @@ std::vector<Record> run_suite(bool verbose) {
   MatchOptions interpreted_parallel;
   interpreted_parallel.backend = Backend::kParallel;
   interpreted_parallel.threads = threads;
+  // Far-future deadline: the stop never fires, but every worker runs the
+  // per-stride cancel poll and the host runs its watchdog thread.
+  MatchOptions generated_parallel_armed = generated_parallel;
+  generated_parallel_armed.timeout_ms = 1e12;
 
   const std::pair<const char*, Pattern> cases[] = {
       {"house", patterns::house()},
@@ -112,27 +184,33 @@ std::vector<Record> run_suite(bool verbose) {
     records.push_back(time_run(prefix + "/interpreted_parallel", [&] {
       return engine.count(config, interpreted_parallel);
     }));
-    records.push_back(time_run(prefix + "/generated_parallel", [&] {
-      return engine.count(config, generated_parallel);
-    }));
+    const Paired paired = time_run_paired(
+        prefix + "/generated_parallel",
+        [&] { return engine.count(config, generated_parallel); },
+        prefix + "/generated_parallel_armed",
+        [&] { return engine.count(config, generated_parallel_armed); });
+    records.push_back(paired.a);
+    records.push_back(paired.b);
 
-    const Record& interp = records[records.size() - 4];
-    const Record& gen = records[records.size() - 3];
-    const Record& interp_par = records[records.size() - 2];
-    const Record& gen_par = records.back();
+    const Record& interp = records[records.size() - 5];
+    const Record& gen = records[records.size() - 4];
+    const Record& interp_par = records[records.size() - 3];
+    const Record& gen_par = records[records.size() - 2];
+    const double overhead = paired.ratio - 1.0;
+    suite.poll_overhead.emplace_back(prefix, overhead);
     if (verbose) {
       std::printf(
           "%-10s %12llu embeddings: interpreted %8.2f ms, generated "
           "%8.2f ms -> %.2fx | %d threads: interpreted %8.2f ms, "
-          "generated %8.2f ms -> %.2fx\n",
+          "generated %8.2f ms -> %.2fx | poll overhead %+.2f%%\n",
           name, static_cast<unsigned long long>(warm),
           interp.ns_per_op / 1e6, gen.ns_per_op / 1e6,
           interp.ns_per_op / gen.ns_per_op, threads,
           interp_par.ns_per_op / 1e6, gen_par.ns_per_op / 1e6,
-          interp_par.ns_per_op / gen_par.ns_per_op);
+          interp_par.ns_per_op / gen_par.ns_per_op, overhead * 100.0);
     }
   }
-  return records;
+  return suite;
 }
 
 int write_json(const std::string& path) {
@@ -141,18 +219,24 @@ int write_json(const std::string& path) {
     std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
     return 1;
   }
-  const std::vector<Record> records = run_suite(/*verbose=*/false);
+  const Suite suite = run_suite(/*verbose=*/false);
+  const std::vector<Record>& records = suite.records;
   const auto stats = jit::KernelCache::instance().stats();
   std::fprintf(f,
                "{\n  \"input\": \"rmat(10, 14000, 17)\",\n"
                "  \"active_isa\": \"%s\",\n  \"detected_isa\": \"%s\",\n"
                "  \"parallel_threads\": %d,\n"
                "  \"compiler_available\": %s,\n"
-               "  \"kernels_compiled\": %llu,\n"
-               "  \"results\": [\n",
+               "  \"kernels_compiled\": %llu,\n",
                active_isa(), detected_isa(), parallel_threads(),
                jit::compiler_available() ? "true" : "false",
                static_cast<unsigned long long>(stats.compiles));
+  std::fprintf(f, "  \"cancel_poll_overhead\": {");
+  for (std::size_t i = 0; i < suite.poll_overhead.size(); ++i)
+    std::fprintf(f, "%s\"%s\": %.6f", i ? ", " : "",
+                 suite.poll_overhead[i].first.c_str(),
+                 suite.poll_overhead[i].second);
+  std::fprintf(f, "},\n  \"results\": [\n");
   for (std::size_t i = 0; i < records.size(); ++i) {
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"ns_per_op\": %.3f, "

@@ -30,6 +30,17 @@ class ScopedIsa {
   bool applied_;
 };
 
+/// Builds the call's ExecControl from the bounded-execution options. The
+/// deadline is armed here — i.e. when execution starts, after planning.
+support::ExecControl make_control(const MatchOptions& options) {
+  support::ExecControl control;
+  if (options.timeout_ms > 0.0) control.arm_deadline_ms(options.timeout_ms);
+  if (options.cancel != nullptr) control.set_cancel_flag(options.cancel);
+  if (options.work_budget != 0) control.set_root_budget(options.work_budget);
+  if (options.poll_stride != 0) control.set_poll_stride(options.poll_stride);
+  return control;
+}
+
 }  // namespace
 
 GraphPi::GraphPi(const Graph& graph)
@@ -49,39 +60,51 @@ Configuration GraphPi::plan(const Pattern& pattern,
   return config;
 }
 
-Count GraphPi::count(const Pattern& pattern,
-                     const MatchOptions& options) const {
-  return count(plan(pattern, options), options);
+Count GraphPi::count(const Pattern& pattern, const MatchOptions& options,
+                     support::RunReport* report) const {
+  return count(plan(pattern, options), options, report);
 }
 
-Count GraphPi::count(const Configuration& config,
-                     const MatchOptions& options) const {
+Count GraphPi::count(const Configuration& config, const MatchOptions& options,
+                     support::RunReport* report) const {
   const ScopedIsa isa(options.kernels);
+  const support::ExecControl control = make_control(options);
+  const support::ExecControl* ctl = control.armed() ? &control : nullptr;
+  if (report != nullptr) *report = support::RunReport{};
   switch (options.backend) {
-    case Backend::kSerial:
-      return Matcher(*graph_, config).count();
+    case Backend::kSerial: {
+      const Matcher matcher(*graph_, config);
+      if (ctl == nullptr && report == nullptr) return matcher.count();
+      Matcher::Workspace ws;
+      return matcher.count(ws, ctl, report);
+    }
     case Backend::kGenerated: {
       // One-plan forest through the kernel cache; interpreter fallback
       // when no system compiler is available (or the build failed).
       const PlanForest forest({compile_plan(config)});
       if (const auto counts =
-              jit::run_generated(*graph_, forest, options.threads))
+              jit::run_generated(*graph_, forest, options.threads, ctl, report))
         return counts->front();
-      return Matcher(*graph_, config).count();
+      const Matcher matcher(*graph_, config);
+      if (ctl == nullptr && report == nullptr) return matcher.count();
+      Matcher::Workspace ws;
+      return matcher.count(ws, ctl, report);
     }
     case Backend::kParallel: {
       ParallelOptions popt;
       popt.task_depth = options.task_depth;
       popt.num_threads = options.threads;
-      return count_parallel(*graph_, config, popt);
+      return count_parallel(*graph_, config, popt, nullptr, ctl, report);
     }
     case Backend::kDistributed: {
       dist::ClusterOptions copt;
       copt.nodes = options.nodes;
       copt.task_depth = options.task_depth;
       copt.partition = options.partition;
+      copt.faults = options.faults;
+      copt.control = ctl;
       return dist::distributed_count(*graph_, config, copt,
-                                     options.cluster_stats);
+                                     options.cluster_stats, report);
     }
   }
   GRAPHPI_CHECK_MSG(false, "unknown backend");
@@ -101,54 +124,87 @@ PlanForest GraphPi::plan_batch(std::span<const Pattern> patterns,
 }
 
 std::vector<Count> GraphPi::count_batch(const PlanForest& forest,
-                                        const MatchOptions& options) const {
+                                        const MatchOptions& options,
+                                        support::RunReport* report) const {
+  const support::ExecControl control = make_control(options);
+  return count_batch_impl(forest, options,
+                          control.armed() ? &control : nullptr, report);
+}
+
+std::vector<Count> GraphPi::count_batch_impl(
+    const PlanForest& forest, const MatchOptions& options,
+    const support::ExecControl* control, support::RunReport* report) const {
   const ScopedIsa isa(options.kernels);
+  const support::ExecControl* ctl =
+      control != nullptr && control->armed() ? control : nullptr;
+  if (report != nullptr) *report = support::RunReport{};
   if (options.backend == Backend::kGenerated) {
-    if (auto counts = jit::run_generated(*graph_, forest, options.threads))
+    if (auto counts =
+            jit::run_generated(*graph_, forest, options.threads, ctl, report))
       return *counts;
-    return ForestExecutor(*graph_, forest).count();
   }
   if (options.backend == Backend::kDistributed) {
     dist::ClusterOptions copt;
     copt.nodes = options.nodes;
     copt.task_depth = options.task_depth;
     copt.partition = options.partition;
+    copt.faults = options.faults;
+    copt.control = ctl;
     return dist::distributed_count_batch(*graph_, forest, copt,
-                                         options.cluster_stats);
+                                         options.cluster_stats, report);
   }
   if (options.backend == Backend::kParallel) {
     ParallelOptions popt;
     popt.num_threads = options.threads;
-    return count_batch_parallel(*graph_, forest, popt);
+    return count_batch_parallel(*graph_, forest, popt, nullptr, ctl, report);
   }
-  return ForestExecutor(*graph_, forest).count();
+  // Serial (and the generated backend's interpreter fallback).
+  const ForestExecutor executor(*graph_, forest);
+  if (ctl == nullptr && report == nullptr) return executor.count();
+  std::vector<VertexId> roots(
+      static_cast<std::size_t>(graph_->vertex_count()));
+  for (std::size_t i = 0; i < roots.size(); ++i)
+    roots[i] = static_cast<VertexId>(i);
+  ForestExecutor::Workspace ws;
+  return executor.count_roots(ws, roots, ctl, report);
 }
 
 std::vector<Count> GraphPi::count_batch(std::span<const Pattern> patterns,
-                                        const MatchOptions& options) const {
+                                        const MatchOptions& options,
+                                        support::RunReport* report) const {
+  if (report != nullptr) *report = support::RunReport{};
   if (patterns.empty()) return {};
   // One forest per kMaxPlans chunk (the active-plan mask is 64 bits wide).
   // Like every public entry point, a stats out-param describes THIS call
-  // only: it is reset here and the chunks accumulate into it.
+  // only: it is reset here and the chunks accumulate into it. Bounded
+  // execution likewise spans the call: ONE control is armed here and
+  // shared by every chunk, so timeout_ms bounds the whole batch.
   if (options.cluster_stats != nullptr)
     *options.cluster_stats = dist::ClusterStats{};
   MatchOptions chunk_options = options;
   dist::ClusterStats chunk_stats;
   if (options.cluster_stats != nullptr)
     chunk_options.cluster_stats = &chunk_stats;
+  const support::ExecControl control = make_control(options);
+  const support::ExecControl* ctl = control.armed() ? &control : nullptr;
   std::vector<Count> out;
   out.reserve(patterns.size());
   for (std::size_t offset = 0; offset < patterns.size();
        offset += PlanForest::kMaxPlans) {
     const std::size_t len =
         std::min(PlanForest::kMaxPlans, patterns.size() - offset);
-    const std::vector<Count> chunk =
-        count_batch(plan_batch(patterns.subspan(offset, len), chunk_options),
-                    chunk_options);
+    support::RunReport chunk_report;
+    const std::vector<Count> chunk = count_batch_impl(
+        plan_batch(patterns.subspan(offset, len), chunk_options),
+        chunk_options, ctl,
+        ctl != nullptr || report != nullptr ? &chunk_report : nullptr);
     out.insert(out.end(), chunk.begin(), chunk.end());
     if (options.cluster_stats != nullptr)
       options.cluster_stats->accumulate(chunk_stats);
+    if (report != nullptr) report->merge(chunk_report);
+    if (chunk_report.status != support::RunStatus::kOk) break;
   }
+  out.resize(patterns.size(), 0);  // chunks skipped after a stop report 0
   return out;
 }
 

@@ -13,6 +13,8 @@
 //
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <vector>
@@ -22,6 +24,7 @@
 #include "core/pattern_library.h"
 #include "core/plan.h"
 #include "core/plan_forest.h"
+#include "dist/comm.h"
 #include "dist/runtime.h"
 #include "engine/matcher.h"
 #include "engine/parallel.h"
@@ -31,6 +34,7 @@
 #include "graph/graph.h"
 #include "graph/io.h"
 #include "graph/vertex_set.h"
+#include "support/exec_control.h"
 
 namespace graphpi {
 
@@ -80,6 +84,36 @@ struct MatchOptions {
   bool empirical_validation = false;
   /// Cap on Algorithm 1's restriction-set generation.
   std::size_t max_restriction_sets = 64;
+
+  // --- Bounded execution (support/exec_control.h). All four backends
+  // poll cooperatively at root-vertex granularity; a stopped run returns
+  // best-effort partial counts and the RunReport out-param of the
+  // counting calls carries status + completed-root tally.
+
+  /// Wall-clock deadline for one counting call, in milliseconds measured
+  /// from the start of execution (planning is not included). 0 = none.
+  double timeout_ms = 0.0;
+  /// Caller-owned cooperative cancel flag; set it (from any thread) to
+  /// stop an in-flight counting call at the next poll. Null = none. The
+  /// flag must outlive the call.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Stop after ~this many completed root units (root vertices, or
+  /// depth-`task_depth` prefix tasks for the parallel per-pattern
+  /// engine). 0 = unlimited. Enforced at poll boundaries.
+  std::uint64_t work_budget = 0;
+  /// Root units between deadline/cancel/budget polls (rounded up to a
+  /// power of two; 0 = default 64). Smaller strides tighten stop latency
+  /// at the cost of more clock reads on the hot path.
+  std::uint32_t poll_stride = 0;
+
+  /// Deterministic fault injection for the distributed backend's
+  /// message channel (dist/comm.h): seeded per-kind drop / duplicate /
+  /// reorder / corrupt probabilities. The reliability layer (CRC frames,
+  /// retransmit, dedup) masks the injected faults, so counts stay
+  /// bit-identical; the injected/recovered event tallies surface through
+  /// `cluster_stats`. Inactive (all-zero rates) by default; ignored by
+  /// the other backends.
+  dist::FaultPlan faults{};
 };
 
 /// High-level handle binding a data graph; plans and runs pattern jobs.
@@ -94,12 +128,21 @@ class GraphPi {
                                    PlanningStats* diag = nullptr) const;
 
   /// Counts embeddings of `pattern` (deduplicated, each subgraph once).
+  ///
+  /// When `report` is non-null it receives the run's outcome: kOk with
+  /// the exact count, or — if `timeout_ms` / `cancel` / `work_budget`
+  /// stopped the run early — the stop status plus the completed root
+  /// tally, with the return value a best-effort partial count. With a
+  /// null report a stopped run still returns the partial count; pass a
+  /// report to distinguish it from an exact one.
   [[nodiscard]] Count count(const Pattern& pattern,
-                            const MatchOptions& options = {}) const;
+                            const MatchOptions& options = {},
+                            support::RunReport* report = nullptr) const;
 
   /// Runs a previously planned configuration.
   [[nodiscard]] Count count(const Configuration& config,
-                            const MatchOptions& options = {}) const;
+                            const MatchOptions& options = {},
+                            support::RunReport* report = nullptr) const;
 
   /// Counts every pattern of a batch in ONE traversal of the data graph:
   /// each pattern is planned independently, the plans are compiled into
@@ -111,9 +154,15 @@ class GraphPi {
   /// Patterns must have >= 2 vertices. Every backend runs batched: the
   /// distributed backend executes the forest as one sharded batch
   /// traversal (dist/runtime.h).
+  ///
+  /// Bounded execution spans the whole batch: one deadline covers every
+  /// 64-plan chunk (a work budget applies per chunk), `report` (optional)
+  /// aggregates across chunks (root tallies add, the first non-ok status
+  /// wins), and once a chunk stops the remaining chunks are skipped
+  /// (their counts return 0).
   [[nodiscard]] std::vector<Count> count_batch(
-      std::span<const Pattern> patterns,
-      const MatchOptions& options = {}) const;
+      std::span<const Pattern> patterns, const MatchOptions& options = {},
+      support::RunReport* report = nullptr) const;
 
   /// Plans `patterns` and merges the compiled plans into a forest — the
   /// planning half of count_batch, exposed so callers can reuse a forest
@@ -123,7 +172,8 @@ class GraphPi {
 
   /// Runs a previously built forest; results indexed like forest.plans().
   [[nodiscard]] std::vector<Count> count_batch(
-      const PlanForest& forest, const MatchOptions& options = {}) const;
+      const PlanForest& forest, const MatchOptions& options = {},
+      support::RunReport* report = nullptr) const;
 
   /// One entry of a motif census: a connected k-vertex pattern and its
   /// (deduplicated) embedding count.
@@ -152,6 +202,13 @@ class GraphPi {
   [[nodiscard]] const GraphStats& stats() const noexcept { return stats_; }
 
  private:
+  /// Runs one forest with an externally owned control so a chunked batch
+  /// shares a single deadline/budget across its chunks.
+  std::vector<Count> count_batch_impl(const PlanForest& forest,
+                                      const MatchOptions& options,
+                                      const support::ExecControl* control,
+                                      support::RunReport* report) const;
+
   const Graph* graph_;
   GraphStats stats_;
 };

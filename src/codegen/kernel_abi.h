@@ -30,7 +30,9 @@
 // Any layout or calling-convention change here MUST bump
 // kKernelAbiVersion; the KernelCache (engine/jit.h) refuses to run a
 // dlopened kernel whose <name>_abi() disagrees (version 1 kernels lacked
-// the `run` parameter).
+// the `run` parameter; version 2 lacked the cancellation/budget fields of
+// KernelRunOptions) and transparently recompiles or falls back to the
+// interpreter instead.
 #pragma once
 
 #include <cstdint>
@@ -39,7 +41,7 @@
 
 namespace graphpi::codegen {
 
-inline constexpr unsigned kKernelAbiVersion = 2;
+inline constexpr unsigned kKernelAbiVersion = 3;
 
 /// CSR view + optional hub index handed to a generated kernel. Mirrored
 /// as `GenGraph` in emitted sources — field order and types are the ABI.
@@ -76,11 +78,29 @@ struct KernelOps {
 };
 
 /// Per-invocation execution knobs. Mirrored as `GenRun` in emitted
-/// sources; kernels accept a null pointer as all-defaults.
+/// sources; kernels accept a null pointer as all-defaults (unbounded).
 struct KernelRunOptions {
   /// OpenMP worker count for the root-partitioned loop; <= 0 uses the
   /// OpenMP runtime default. Ignored by kernels compiled without OpenMP.
   std::int32_t threads = 0;
+  /// Root vertices between cooperative-stop checks per worker; 0 = the
+  /// kernel default (64). Rounded up to a power of two by the kernel.
+  std::uint32_t poll_stride = 0;
+  /// Cooperative cancel flag (host-owned; any thread may set it nonzero).
+  /// Workers poll it per `poll_stride` completed roots and stop early.
+  /// Null = never cancelled. The host arms deadlines by flipping this
+  /// flag from a watchdog thread — kernels never read clocks.
+  const volatile std::int32_t* cancel = nullptr;
+  /// Stop after ~this many completed roots across all workers (0 =
+  /// unlimited); enforced at poll boundaries like the cancel flag.
+  std::uint64_t root_budget = 0;
+  /// Out (optional): roots fully processed before the kernel returned.
+  std::uint64_t* completed_roots = nullptr;
+  /// Out (optional): why the kernel returned — 0 ran to completion,
+  /// 1 cancel flag observed, 2 root budget exhausted. On a nonzero stop
+  /// reason the produced counts are best-effort partials (IEP sums are
+  /// divided without a divisibility guarantee).
+  std::int32_t* stop_reason = nullptr;
 };
 
 /// The ops table backed by the host's runtime-dispatched kernels

@@ -1,12 +1,16 @@
 #include "dist/comm.h"
 
+#include <algorithm>
+#include <array>
 #include <cstring>
 
+#include "core/pattern.h"
 #include "support/check.h"
 
 namespace graphpi::dist {
 
-Channel::Channel(int nodes) {
+Channel::Channel(int nodes, FaultPlan faults)
+    : faults_(faults), faults_active_(faults.active()), rng_(faults.seed) {
   GRAPHPI_CHECK_MSG(nodes >= 1, "channel needs at least one node");
   inboxes_.resize(static_cast<std::size_t>(nodes));
   stats_.sent_messages_per_node.assign(static_cast<std::size_t>(nodes), 0);
@@ -24,9 +28,43 @@ void Channel::send(int from, int to, MessageKind kind,
   stats_.bytes_by_kind[k] += payload.size();
   ++stats_.sent_messages_per_node[static_cast<std::size_t>(from)];
   stats_.sent_bytes_per_node[static_cast<std::size_t>(from)] += payload.size();
-  inboxes_[static_cast<std::size_t>(to)].push_back(
-      Message{kind, from, to, std::move(payload)});
-  ++in_flight_;
+
+  auto& inbox = inboxes_[static_cast<std::size_t>(to)];
+  if (!faults_active_) {
+    inbox.push_back(Message{kind, from, to, std::move(payload)});
+    return;
+  }
+
+  // Fault rolls are drawn in a fixed order from the seeded engine, so a
+  // given send sequence always misbehaves the same way.
+  const FaultPlan::Rates& rates = faults_.kind[k];
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  if (coin(rng_) < rates.drop) {
+    ++stats_.injected_drops;
+    return;
+  }
+  Message msg{kind, from, to, std::move(payload)};
+  if (!msg.payload.empty() && coin(rng_) < rates.corrupt) {
+    ++stats_.injected_corruptions;
+    std::uniform_int_distribution<std::size_t> pos(0, msg.payload.size() - 1);
+    std::uniform_int_distribution<int> flips(1, 3);
+    std::uniform_int_distribution<int> bits(1, 255);  // nonzero XOR: real flip
+    const int n = flips(rng_);
+    for (int i = 0; i < n; ++i)
+      msg.payload[pos(rng_)] ^= static_cast<std::uint8_t>(bits(rng_));
+  }
+  const bool duplicate = coin(rng_) < rates.duplicate;
+  const bool reorder = coin(rng_) < rates.reorder;
+  if (duplicate) {
+    ++stats_.injected_duplicates;
+    inbox.push_back(msg);
+  }
+  if (reorder && !inbox.empty()) {
+    ++stats_.injected_reorders;
+    inbox.push_front(std::move(msg));
+  } else {
+    inbox.push_back(std::move(msg));
+  }
 }
 
 bool Channel::receive(int node, Message& out) {
@@ -34,7 +72,187 @@ bool Channel::receive(int node, Message& out) {
   if (inbox.empty()) return false;
   out = std::move(inbox.front());
   inbox.pop_front();
-  --in_flight_;
+  return true;
+}
+
+bool Channel::idle() const noexcept {
+  for (const auto& inbox : inboxes_)
+    if (!inbox.empty()) return false;
+  return true;
+}
+
+// --------------------------------------------------------------------------
+// CRC32 (IEEE 802.3, reflected 0xEDB88320).
+// --------------------------------------------------------------------------
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit)
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::uint8_t b : data) c = table[(c ^ b) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+// --------------------------------------------------------------------------
+// ReliableChannel.
+// --------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint8_t kFrameData = 0;
+constexpr std::uint8_t kFrameAck = 1;
+constexpr std::size_t kFrameHeader = 1 + 4;  // type + seq
+constexpr std::size_t kFrameTrailer = 4;     // crc
+
+void append_u32_le(std::vector<std::uint8_t>& buf, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t load_u32_le(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+/// Returns true and the seq if the frame is intact (CRC over everything
+/// before the trailer matches the trailer).
+bool frame_intact(const std::vector<std::uint8_t>& frame, std::uint8_t& type,
+                  std::uint32_t& seq) noexcept {
+  if (frame.size() < kFrameHeader + kFrameTrailer) return false;
+  const std::span<const std::uint8_t> body(frame.data(),
+                                           frame.size() - kFrameTrailer);
+  if (crc32(body) != load_u32_le(frame.data() + frame.size() - kFrameTrailer))
+    return false;
+  type = frame[0];
+  seq = load_u32_le(frame.data() + 1);
+  return type == kFrameData || type == kFrameAck;
+}
+
+}  // namespace
+
+ReliableChannel::ReliableChannel(int nodes, const FaultPlan& faults)
+    : channel_(nodes, faults),
+      next_seq_(static_cast<std::size_t>(nodes) *
+                    static_cast<std::size_t>(nodes),
+                0),
+      unacked_(static_cast<std::size_t>(nodes)),
+      seen_(static_cast<std::size_t>(nodes)) {}
+
+void ReliableChannel::send(int from, int to, MessageKind kind,
+                           std::vector<std::uint8_t> payload) {
+  const std::uint32_t seq = next_seq_[link(from, to)]++;
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kFrameHeader + payload.size() + kFrameTrailer);
+  frame.push_back(kFrameData);
+  append_u32_le(frame, seq);
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  append_u32_le(frame, crc32(frame));
+  ++rstats_.data_frames_sent;
+  unacked_[static_cast<std::size_t>(from)].push_back(Unacked{
+      to, seq, kind, frame, now_ + kRtoInitialTicks, kRtoInitialTicks, 0});
+  channel_.send(from, to, kind, std::move(frame));
+}
+
+void ReliableChannel::send_ack(int from, int to, std::uint32_t seq) {
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kFrameHeader + kFrameTrailer);
+  frame.push_back(kFrameAck);
+  append_u32_le(frame, seq);
+  append_u32_le(frame, crc32(frame));
+  ++rstats_.acks_sent;
+  // Fire-and-forget: a lost ack is recovered by the sender's retransmit,
+  // which the dedup set turns into a fresh ack.
+  channel_.send(from, to, MessageKind::kAck, std::move(frame));
+}
+
+bool ReliableChannel::receive(int node, Message& out) {
+  Message raw;
+  while (channel_.receive(node, raw)) {
+    std::uint8_t type = 0;
+    std::uint32_t seq = 0;
+    if (!frame_intact(raw.payload, type, seq)) {
+      ++rstats_.corrupt_frames_detected;  // sender's timer will resend
+      continue;
+    }
+    if (type == kFrameAck) {
+      auto& pending = unacked_[static_cast<std::size_t>(node)];
+      for (auto it = pending.begin(); it != pending.end(); ++it) {
+        if (it->to == raw.from && it->seq == seq) {
+          pending.erase(it);
+          break;
+        }
+      }
+      continue;
+    }
+    // Intact data frame: ack it even if it is a duplicate (the original
+    // ack may have been lost), then dedup before delivering.
+    send_ack(node, raw.from, seq);
+    const std::uint64_t key =
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(raw.from))
+            << 32 |
+        seq;
+    if (!seen_[static_cast<std::size_t>(node)].insert(key).second) {
+      ++rstats_.duplicates_suppressed;
+      continue;
+    }
+    out.kind = raw.kind;
+    out.from = raw.from;
+    out.to = node;
+    out.payload.assign(
+        raw.payload.begin() + static_cast<std::ptrdiff_t>(kFrameHeader),
+        raw.payload.end() - static_cast<std::ptrdiff_t>(kFrameTrailer));
+    return true;
+  }
+  return false;
+}
+
+bool ReliableChannel::service_retransmits(int node) {
+  // Queue-aware RTO: a frame is only presumed lost once its due time has
+  // passed AND neither endpoint has traffic in flight — the data frame
+  // could still be queued at `to`, or its ack queued back here, when a
+  // receiver drains more slowly than senders produce. (A real transport
+  // gets the same effect from an adaptive RTO; in this in-process
+  // simulation queue depth is the honest congestion signal, and it keeps
+  // a fault-free channel retransmit-free no matter the backlog.)
+  // Pending acks land in this node's own inbox, so while it is non-empty
+  // every frame would be skipped below — skip the whole scan.
+  if (!channel_.inbox_empty(node)) return false;
+  bool resent = false;
+  for (Unacked& u : unacked_[static_cast<std::size_t>(node)]) {
+    if (u.due > now_) continue;
+    if (!channel_.inbox_empty(u.to)) continue;
+    ++u.retries;
+    GRAPHPI_CHECK_MSG(u.retries < kMaxRetries,
+                      "reliable channel livelocked: frame never acked");
+    ++rstats_.retransmits;
+    u.rto = std::min(u.rto * 2, kRtoMaxTicks);
+    u.due = now_ + u.rto;
+    channel_.send(node, u.to, u.kind, u.frame);
+    resent = true;
+  }
+  return resent;
+}
+
+bool ReliableChannel::idle() const noexcept {
+  if (!channel_.idle()) return false;
+  for (const auto& pending : unacked_)
+    if (!pending.empty()) return false;
   return true;
 }
 
@@ -66,29 +284,34 @@ void WireWriter::count_span(std::span<const Count> cs) {
   for (Count c : cs) u64(c);
 }
 
-namespace {
-
 template <typename T>
-T read_le(const std::uint8_t*& p, const std::uint8_t* end) {
-  GRAPHPI_CHECK_MSG(static_cast<std::size_t>(end - p) >= sizeof(T),
-                    "wire payload truncated");
+T WireReader::read_le() noexcept {
+  if (failed_ || static_cast<std::size_t>(end_ - p_) < sizeof(T)) {
+    failed_ = true;
+    return T{};
+  }
   T v = 0;
   for (std::size_t i = 0; i < sizeof(T); ++i)
-    v |= static_cast<T>(static_cast<T>(p[i]) << (8 * i));
-  p += sizeof(T);
+    v |= static_cast<T>(static_cast<T>(p_[i]) << (8 * i));
+  p_ += sizeof(T);
   return v;
 }
 
-}  // namespace
-
-std::uint8_t WireReader::u8() { return read_le<std::uint8_t>(p_, end_); }
-std::uint16_t WireReader::u16() { return read_le<std::uint16_t>(p_, end_); }
-std::uint32_t WireReader::u32() { return read_le<std::uint32_t>(p_, end_); }
-std::uint64_t WireReader::u64() { return read_le<std::uint64_t>(p_, end_); }
+std::uint8_t WireReader::u8() { return read_le<std::uint8_t>(); }
+std::uint16_t WireReader::u16() { return read_le<std::uint16_t>(); }
+std::uint32_t WireReader::u32() { return read_le<std::uint32_t>(); }
+std::uint64_t WireReader::u64() { return read_le<std::uint64_t>(); }
 
 void WireReader::vertex_vec(std::vector<VertexId>& out) {
   const std::uint32_t n = u32();
   out.clear();
+  // Validate the length prefix against the bytes actually remaining
+  // BEFORE reserving — a corrupt prefix must not drive allocation.
+  if (failed_ ||
+      static_cast<std::size_t>(end_ - p_) < static_cast<std::size_t>(n) * 4) {
+    failed_ = true;
+    return;
+  }
   out.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) out.push_back(u32());
 }
@@ -96,6 +319,11 @@ void WireReader::vertex_vec(std::vector<VertexId>& out) {
 void WireReader::count_vec(std::vector<Count>& out) {
   const std::uint32_t n = u32();
   out.clear();
+  if (failed_ ||
+      static_cast<std::size_t>(end_ - p_) < static_cast<std::size_t>(n) * 8) {
+    failed_ = true;
+    return;
+  }
   out.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) out.push_back(u64());
 }
@@ -121,11 +349,12 @@ std::vector<std::uint8_t> ContinuationMsg::encode() const {
   return w.take();
 }
 
-ContinuationMsg ContinuationMsg::decode(std::span<const std::uint8_t> payload) {
+bool ContinuationMsg::try_decode(std::span<const std::uint8_t> payload,
+                                 ContinuationMsg& out) {
   WireReader r(payload);
   ContinuationMsg m;
   m.trie_node = r.u32();
-  m.target = static_cast<Target>(r.u8());
+  const std::uint8_t target_raw = r.u8();
   m.item = r.u16();
   m.depth_limit = r.u8();
   m.mask = r.u64();
@@ -134,9 +363,22 @@ ContinuationMsg ContinuationMsg::decode(std::span<const std::uint8_t> payload) {
   r.vertex_vec(m.mapped);
   r.vertex_vec(m.partial);
   const std::uint16_t sets = r.u16();
+  if (!r.ok()) return false;
   m.done_sets.resize(sets);
   for (auto& set : m.done_sets) r.vertex_vec(set);
-  GRAPHPI_CHECK_MSG(r.done(), "continuation payload has trailing bytes");
+  if (!r.done()) return false;
+  // Range checks beyond raw bounds: enum and structural invariants the
+  // executor would otherwise trip over.
+  if (target_raw > static_cast<std::uint8_t>(Target::kIepChain)) return false;
+  if (m.mapped.size() > Pattern::kMaxVertices) return false;
+  m.target = static_cast<Target>(target_raw);
+  out = std::move(m);
+  return true;
+}
+
+ContinuationMsg ContinuationMsg::decode(std::span<const std::uint8_t> payload) {
+  ContinuationMsg m;
+  GRAPHPI_CHECK_MSG(try_decode(payload, m), "malformed continuation payload");
   return m;
 }
 
@@ -153,13 +395,21 @@ std::vector<std::uint8_t> PartialCountsMsg::encode() const {
   return w.take();
 }
 
-PartialCountsMsg PartialCountsMsg::decode(
-    std::span<const std::uint8_t> payload) {
+bool PartialCountsMsg::try_decode(std::span<const std::uint8_t> payload,
+                                  PartialCountsMsg& out) {
   WireReader r(payload);
   PartialCountsMsg m;
   r.count_vec(m.sums);
   m.tasks = r.u64();
-  GRAPHPI_CHECK_MSG(r.done(), "partial-counts payload has trailing bytes");
+  if (!r.done()) return false;
+  out = std::move(m);
+  return true;
+}
+
+PartialCountsMsg PartialCountsMsg::decode(
+    std::span<const std::uint8_t> payload) {
+  PartialCountsMsg m;
+  GRAPHPI_CHECK_MSG(try_decode(payload, m), "malformed partial-counts payload");
   return m;
 }
 

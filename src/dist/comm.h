@@ -10,12 +10,21 @@
 // the comm-cost model in dist/simulator.h has real inputs.
 //
 // The channel is single-threaded by design (the runtime services logical
-// nodes round-robin); it is a measurement device, not a transport.
+// nodes round-robin); it is a measurement device, not a transport. It can
+// however MISBEHAVE like a transport: a seeded, deterministic FaultPlan
+// injects drops, duplicates, reorders, and byte corruption per message
+// kind, and the ReliableChannel layered on top restores exactly-once
+// delivery with CRC32-framed payloads, sequence numbers, send-side
+// retransmit with capped backoff, and receive-side dedup — the same
+// protocol shape a real MPI/socket backend will need.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <random>
 #include <span>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "graph/types.h"
@@ -28,8 +37,10 @@ enum class MessageKind : std::uint8_t {
   kContinuation = 0,
   /// A node's per-plan partial sums reported to the master.
   kPartialCounts = 1,
+  /// Reliability-layer acknowledgement of a received data frame.
+  kAck = 2,
 };
-inline constexpr std::size_t kMessageKindCount = 2;
+inline constexpr std::size_t kMessageKindCount = 3;
 
 struct Message {
   MessageKind kind = MessageKind::kContinuation;
@@ -38,7 +49,40 @@ struct Message {
   std::vector<std::uint8_t> payload;
 };
 
-/// Aggregate traffic counters, by kind and by sending node.
+/// Deterministic fault injection: per-kind probabilities, seeded RNG.
+/// The same plan + the same send sequence produces the same faults, so
+/// failing runs reproduce exactly.
+struct FaultPlan {
+  struct Rates {
+    double drop = 0.0;       ///< message silently lost
+    double duplicate = 0.0;  ///< message delivered twice
+    double reorder = 0.0;    ///< message jumps the queue at the receiver
+    double corrupt = 0.0;    ///< 1–3 payload bytes flipped
+  };
+
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+  Rates kind[kMessageKindCount] = {};
+
+  [[nodiscard]] bool active() const noexcept {
+    for (const Rates& r : kind)
+      if (r.drop > 0 || r.duplicate > 0 || r.reorder > 0 || r.corrupt > 0)
+        return true;
+    return false;
+  }
+
+  /// Same rates for every kind — acks misbehave too.
+  [[nodiscard]] static FaultPlan uniform(std::uint64_t seed, double drop,
+                                         double duplicate, double reorder,
+                                         double corrupt) {
+    FaultPlan plan;
+    plan.seed = seed;
+    for (Rates& r : plan.kind) r = Rates{drop, duplicate, reorder, corrupt};
+    return plan;
+  }
+};
+
+/// Aggregate traffic counters, by kind and by sending node. The
+/// injected_* counters record what the fault plan actually did.
 struct CommStats {
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;  ///< payload bytes (headers excluded)
@@ -46,12 +90,19 @@ struct CommStats {
   std::uint64_t bytes_by_kind[kMessageKindCount] = {};
   std::vector<std::uint64_t> sent_messages_per_node;
   std::vector<std::uint64_t> sent_bytes_per_node;
+  std::uint64_t injected_drops = 0;
+  std::uint64_t injected_duplicates = 0;
+  std::uint64_t injected_reorders = 0;
+  std::uint64_t injected_corruptions = 0;
 };
 
-/// All-to-all mailboxes between `nodes` logical nodes.
+/// All-to-all mailboxes between `nodes` logical nodes, with optional
+/// fault injection at the send side. Send/receive bookkeeping is derived
+/// from the inbox sizes themselves, so idle() stays consistent no matter
+/// how many copies of a message the fault plan delivers (or eats).
 class Channel {
  public:
-  explicit Channel(int nodes);
+  explicit Channel(int nodes, FaultPlan faults = {});
 
   void send(int from, int to, MessageKind kind,
             std::vector<std::uint8_t> payload);
@@ -61,14 +112,120 @@ class Channel {
   [[nodiscard]] bool receive(int node, Message& out);
 
   /// True when every inbox is empty.
-  [[nodiscard]] bool idle() const noexcept { return in_flight_ == 0; }
+  [[nodiscard]] bool idle() const noexcept;
 
+  /// True when `node`'s inbox is empty (the reliability layer's
+  /// congestion signal: frames queued there are in flight, not lost).
+  [[nodiscard]] bool inbox_empty(int node) const noexcept {
+    return inboxes_[static_cast<std::size_t>(node)].empty();
+  }
+
+  [[nodiscard]] int nodes() const noexcept {
+    return static_cast<int>(inboxes_.size());
+  }
   [[nodiscard]] const CommStats& stats() const noexcept { return stats_; }
 
  private:
   std::vector<std::deque<Message>> inboxes_;
-  std::size_t in_flight_ = 0;
+  FaultPlan faults_;
+  bool faults_active_ = false;
+  std::mt19937_64 rng_;
   CommStats stats_;
+};
+
+// ---------------------------------------------------------------------------
+// Reliability layer: CRC32 frames + sequence numbers + retransmit/dedup.
+// ---------------------------------------------------------------------------
+
+/// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `data`.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept;
+
+/// Protocol-level counters of the reliability layer.
+struct ReliabilityStats {
+  std::uint64_t data_frames_sent = 0;  ///< first transmissions only
+  std::uint64_t retransmits = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t corrupt_frames_detected = 0;  ///< CRC mismatches discarded
+  std::uint64_t duplicates_suppressed = 0;    ///< dedup hits (frame re-acked)
+};
+
+/// Exactly-once delivery over a lossy, duplicating, reordering,
+/// corrupting Channel. Frame layout:
+///
+///   data: [u8 frame=0][u32 seq][payload...][u32 crc]
+///   ack:  [u8 frame=1][u32 seq][u32 crc]
+///
+/// with the CRC covering every preceding byte. Sequence numbers are per
+/// directed (from → to) link. The receiver CRC-checks each frame,
+/// discards corrupt ones (the sender's retransmit timer recovers them),
+/// acks every intact data frame — including duplicates, whose payloads
+/// are then suppressed by a per-link seen-set — and delivers the inner
+/// payload exactly once. The sender keeps unacked frames and resends
+/// them on a tick-driven timer with exponential backoff capped at
+/// kRtoMaxTicks. Any fault probability < 1 converges; a retry cap guards
+/// against livelock if a plan eats every copy.
+class ReliableChannel {
+ public:
+  static constexpr std::uint32_t kRtoInitialTicks = 4;
+  static constexpr std::uint32_t kRtoMaxTicks = 64;
+  static constexpr std::uint32_t kMaxRetries = 4096;
+
+  explicit ReliableChannel(int nodes, const FaultPlan& faults = {});
+
+  void send(int from, int to, MessageKind kind,
+            std::vector<std::uint8_t> payload);
+
+  /// Delivers the next new intact payload addressed to `node`, consuming
+  /// (and acking / deduping / discarding) raw frames as needed. False
+  /// when nothing deliverable is queued right now — more may appear
+  /// after retransmits.
+  [[nodiscard]] bool receive(int node, Message& out);
+
+  /// Resends `node`'s due unacked frames — but only those whose
+  /// destination inbox AND own inbox are empty (queued frames are in
+  /// flight, not lost; a pending ack may be queued back here). True if
+  /// anything was resent.
+  bool service_retransmits(int node);
+
+  /// Advances the retransmit clock one round.
+  void tick() noexcept { ++now_; }
+
+  /// True when no raw frames are queued and every data frame is acked.
+  [[nodiscard]] bool idle() const noexcept;
+
+  [[nodiscard]] int nodes() const noexcept { return channel_.nodes(); }
+  [[nodiscard]] const CommStats& transport_stats() const noexcept {
+    return channel_.stats();
+  }
+  [[nodiscard]] const ReliabilityStats& reliability_stats() const noexcept {
+    return rstats_;
+  }
+
+ private:
+  struct Unacked {
+    int to = -1;
+    std::uint32_t seq = 0;
+    MessageKind kind = MessageKind::kContinuation;
+    std::vector<std::uint8_t> frame;  ///< full framed bytes, ready to resend
+    std::uint64_t due = 0;
+    std::uint32_t rto = kRtoInitialTicks;
+    std::uint32_t retries = 0;
+  };
+
+  void send_ack(int from, int to, std::uint32_t seq);
+  [[nodiscard]] std::size_t link(int from, int to) const noexcept {
+    return static_cast<std::size_t>(from) *
+               static_cast<std::size_t>(channel_.nodes()) +
+           static_cast<std::size_t>(to);
+  }
+
+  Channel channel_;
+  std::uint64_t now_ = 0;
+  std::vector<std::uint32_t> next_seq_;              ///< per directed link
+  std::vector<std::vector<Unacked>> unacked_;        ///< per sending node
+  std::vector<std::unordered_set<std::uint64_t>> seen_;  ///< per receiver:
+                                                         ///< (from<<32)|seq
+  ReliabilityStats rstats_;
 };
 
 // ---------------------------------------------------------------------------
@@ -91,6 +248,10 @@ class WireWriter {
   std::vector<std::uint8_t> buf_;
 };
 
+/// Bounds-checked reader: an underrun (or an over-long length prefix)
+/// latches `failed` and every subsequent read returns 0 — no read ever
+/// touches bytes past the buffer. Callers check ok()/done() once at the
+/// end instead of guarding every field.
 class WireReader {
  public:
   explicit WireReader(std::span<const std::uint8_t> data)
@@ -102,11 +263,19 @@ class WireReader {
   [[nodiscard]] std::uint64_t u64();
   void vertex_vec(std::vector<VertexId>& out);
   void count_vec(std::vector<Count>& out);
-  [[nodiscard]] bool done() const noexcept { return p_ == end_; }
+
+  /// No read ran past the buffer so far.
+  [[nodiscard]] bool ok() const noexcept { return !failed_; }
+  /// Fully and cleanly consumed: ok() and no trailing bytes.
+  [[nodiscard]] bool done() const noexcept { return !failed_ && p_ == end_; }
 
  private:
+  template <typename T>
+  [[nodiscard]] T read_le() noexcept;
+
   const std::uint8_t* p_;
   const std::uint8_t* end_;
+  bool failed_ = false;
 };
 
 // ---------------------------------------------------------------------------
@@ -142,6 +311,11 @@ struct ContinuationMsg {
   std::vector<std::vector<VertexId>> done_sets;  ///< kIepChain only
 
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  /// Bounds- and range-checked decode; false on any malformed payload
+  /// (never reads out of bounds, never throws).
+  [[nodiscard]] static bool try_decode(std::span<const std::uint8_t> payload,
+                                       ContinuationMsg& out);
+  /// Throwing wrapper for contexts where a decode failure is a logic bug.
   [[nodiscard]] static ContinuationMsg decode(
       std::span<const std::uint8_t> payload);
 
@@ -157,6 +331,8 @@ struct PartialCountsMsg {
   std::uint64_t tasks = 0;
 
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  [[nodiscard]] static bool try_decode(std::span<const std::uint8_t> payload,
+                                       PartialCountsMsg& out);
   [[nodiscard]] static PartialCountsMsg decode(
       std::span<const std::uint8_t> payload);
 };

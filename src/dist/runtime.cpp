@@ -67,7 +67,12 @@ class ShardedForestRun {
  public:
   ShardedForestRun(const ShardedGraph& sharded, const PlanForest& forest,
                    const ClusterOptions& options)
-      : sharded_(&sharded), forest_(&forest), channel_(sharded.nodes()) {
+      : sharded_(&sharded),
+        forest_(&forest),
+        channel_(sharded.nodes(), options.faults),
+        control_(options.control != nullptr && options.control->armed()
+                     ? options.control
+                     : nullptr) {
     int min_leaf = INT_MAX;
     bool wants_hub = false;
     for (const Plan& plan : forest.plans()) {
@@ -91,19 +96,47 @@ class ShardedForestRun {
     }
   }
 
-  std::vector<Count> run(ClusterStats* stats) {
+  std::vector<Count> run(ClusterStats* stats,
+                         support::RunReport* run_report = nullptr) {
     // Service nodes round-robin, one unit of work per turn, until no node
-    // has anything left: inbox message first, then a queued task, then
-    // the next owned root.
+    // has anything left AND the reliable channel has drained (frames may
+    // need retransmitting under a fault plan): inbox message first, then
+    // a queued task, then the next owned root. An armed ExecControl is
+    // checked once per round — root-grained, every `nodes` work units.
+    support::RunStatus status = support::RunStatus::kOk;
     bool any = true;
-    while (any) {
+    while (any || !channel_.idle()) {
+      if (control_ != nullptr) {
+        status = control_->check(roots_done_);
+        if (status != support::RunStatus::kOk) break;
+      }
+      channel_.tick();
       any = false;
+      for (std::size_t n = 0; n < nodes_.size(); ++n)
+        any |= channel_.service_retransmits(static_cast<int>(n));
       for (std::size_t n = 0; n < nodes_.size(); ++n)
         any |= service(static_cast<int>(n));
     }
 
+    if (run_report != nullptr) {
+      run_report->status = status;
+      run_report->completed_roots = roots_done_;
+    }
+    if (status != support::RunStatus::kOk) {
+      // Stopped early: skip the message exchange (in-flight continuations
+      // are abandoned) and aggregate whatever every node accumulated.
+      std::vector<Count> total = nodes_[0].sums;
+      for (std::size_t n = 1; n < nodes_.size(); ++n)
+        for (std::size_t i = 0; i < total.size(); ++i)
+          total[i] += nodes_[n].sums[i];
+      if (stats != nullptr) fill_stats(*stats);
+      return finalize_partial(std::move(total));
+    }
+
     // Every non-master node reports its undivided per-plan sums once —
-    // the "counts travel" half of the paper's message economy.
+    // the "counts travel" half of the paper's message economy. The drain
+    // keeps ticking the reliable channel so dropped/corrupted reports are
+    // retransmitted until the master has all of them.
     for (std::size_t n = 1; n < nodes_.size(); ++n) {
       PartialCountsMsg report;
       report.sums = nodes_[n].sums;
@@ -112,12 +145,31 @@ class ShardedForestRun {
                     report.encode());
     }
     std::vector<Count> total = nodes_[0].sums;
+    std::size_t reports = 0;
     Message msg;
-    while (channel_.receive(0, msg)) {
-      GRAPHPI_CHECK(msg.kind == MessageKind::kPartialCounts);
-      const PartialCountsMsg report = PartialCountsMsg::decode(msg.payload);
-      GRAPHPI_CHECK(report.sums.size() == total.size());
-      for (std::size_t i = 0; i < total.size(); ++i) total[i] += report.sums[i];
+    while (reports + 1 < nodes_.size() || !channel_.idle()) {
+      channel_.tick();
+      for (std::size_t n = 0; n < nodes_.size(); ++n)
+        channel_.service_retransmits(static_cast<int>(n));
+      // Non-master receives only consume acks; the master accumulates
+      // each report exactly once (the channel dedups duplicates).
+      for (std::size_t n = 0; n < nodes_.size(); ++n) {
+        while (channel_.receive(static_cast<int>(n), msg)) {
+          GRAPHPI_CHECK(n == 0);
+          GRAPHPI_CHECK(msg.kind == MessageKind::kPartialCounts);
+          PartialCountsMsg report;
+          if (!PartialCountsMsg::try_decode(msg.payload, report) ||
+              report.sums.size() != total.size()) {
+            // Unreachable with an intact CRC frame; counted, not UB.
+            ++decode_failures_;
+            ++reports;
+            continue;
+          }
+          for (std::size_t i = 0; i < total.size(); ++i)
+            total[i] += report.sums[i];
+          ++reports;
+        }
+      }
     }
 
     if (stats != nullptr) fill_stats(*stats);
@@ -133,7 +185,14 @@ class ShardedForestRun {
     if (channel_.receive(n, msg)) {
       support::Timer timer;
       GRAPHPI_CHECK(msg.kind == MessageKind::kContinuation);
-      ContinuationMsg m = ContinuationMsg::decode(msg.payload);
+      ContinuationMsg m;
+      if (!ContinuationMsg::try_decode(msg.payload, m)) {
+        // Structurally malformed despite an intact CRC — count it and drop
+        // it instead of reading past the buffer; the sender's retransmit
+        // timer re-requests delivery of anything still unacked.
+        ++decode_failures_;
+        return true;
+      }
       std::copy(m.mapped.begin(), m.mapped.end(), ns.mapped);
       advance_chain(n, ns, m);
       ns.seconds += timer.elapsed_seconds();
@@ -160,6 +219,7 @@ class ShardedForestRun {
         exec_node(n, ns, static_cast<std::uint32_t>(ext.child),
                   ext.mask & forest_->all_plans_mask(), cutoff_);
       ns.seconds += timer.elapsed_seconds();
+      ++roots_done_;
       return true;
     }
     return false;
@@ -485,9 +545,29 @@ class ShardedForestRun {
     return sums;
   }
 
+  /// Best-effort finalization of a stopped run: a partial IEP sum is
+  /// generally not divisible by x, so divide without the check.
+  std::vector<Count> finalize_partial(std::vector<Count> sums) const {
+    const auto& plans = forest_->plans();
+    for (std::size_t i = 0; i < plans.size(); ++i)
+      if (plans[i].iep_active()) sums[i] /= plans[i].iep.divisor;
+    return sums;
+  }
+
   void fill_stats(ClusterStats& out) const {
-    const CommStats& comm = channel_.stats();
+    const CommStats& comm = channel_.transport_stats();
+    const ReliabilityStats& rel = channel_.reliability_stats();
     out = ClusterStats{};
+    out.ack_messages =
+        comm.messages_by_kind[static_cast<std::size_t>(MessageKind::kAck)];
+    out.retransmits = rel.retransmits;
+    out.corrupt_frames_detected = rel.corrupt_frames_detected;
+    out.duplicates_suppressed = rel.duplicates_suppressed;
+    out.decode_failures = decode_failures_;
+    out.injected_drops = comm.injected_drops;
+    out.injected_duplicates = comm.injected_duplicates;
+    out.injected_reorders = comm.injected_reorders;
+    out.injected_corruptions = comm.injected_corruptions;
     out.messages = comm.messages;
     out.bytes = comm.bytes;
     out.continuation_messages =
@@ -517,23 +597,29 @@ class ShardedForestRun {
 
   const ShardedGraph* sharded_;
   const PlanForest* forest_;
-  Channel channel_;
+  ReliableChannel channel_;
+  const support::ExecControl* control_ = nullptr;
   std::vector<NodeState> nodes_;
   std::uint8_t cutoff_ = 1;
   std::uint64_t shipped_set_vertices_ = 0;
+  std::uint64_t roots_done_ = 0;
+  std::uint64_t decode_failures_ = 0;
 };
 
 /// Single-node run: the whole graph is one shard, so the plain batch
 /// executor over the full root domain is the honest (and fastest) path —
 /// no replication, no messages.
 std::vector<Count> single_node_run(const Graph& graph, const PlanForest& forest,
-                                   ClusterStats* stats) {
+                                   ClusterStats* stats,
+                                   const support::ExecControl* control,
+                                   support::RunReport* report) {
   const ForestExecutor executor(graph, forest);
   ForestExecutor::Workspace ws;
   std::vector<VertexId> roots(graph.vertex_count());
   std::iota(roots.begin(), roots.end(), VertexId{0});
   support::Timer timer;
-  const std::vector<Count> counts = executor.count_roots(ws, roots);
+  const std::vector<Count> counts =
+      executor.count_roots(ws, roots, control, report);
   if (stats != nullptr) {
     *stats = ClusterStats{};
     stats->total_tasks = roots.size();
@@ -564,6 +650,15 @@ void ClusterStats::accumulate(const ClusterStats& other) {
   shipped_set_vertices += other.shipped_set_vertices;
   count_messages += other.count_messages;
   count_bytes += other.count_bytes;
+  ack_messages += other.ack_messages;
+  retransmits += other.retransmits;
+  corrupt_frames_detected += other.corrupt_frames_detected;
+  duplicates_suppressed += other.duplicates_suppressed;
+  decode_failures += other.decode_failures;
+  injected_drops += other.injected_drops;
+  injected_duplicates += other.injected_duplicates;
+  injected_reorders += other.injected_reorders;
+  injected_corruptions += other.injected_corruptions;
   merge_u64(tasks_per_node, other.tasks_per_node);
   merge_u64(sent_messages_per_node, other.sent_messages_per_node);
   merge_u64(sent_bytes_per_node, other.sent_bytes_per_node);
@@ -578,31 +673,36 @@ void ClusterStats::accumulate(const ClusterStats& other) {
 }
 
 Count distributed_count(const Graph& graph, const Configuration& config,
-                        const ClusterOptions& options, ClusterStats* stats) {
+                        const ClusterOptions& options, ClusterStats* stats,
+                        support::RunReport* report) {
   std::vector<Plan> plans;
   plans.push_back(compile_plan(config));
   const PlanForest forest(std::move(plans));
-  return distributed_count_batch(graph, forest, options, stats).front();
+  return distributed_count_batch(graph, forest, options, stats, report)
+      .front();
 }
 
 std::vector<Count> distributed_count_batch(const Graph& graph,
                                            const PlanForest& forest,
                                            const ClusterOptions& options,
-                                           ClusterStats* stats) {
+                                           ClusterStats* stats,
+                                           support::RunReport* report) {
   GRAPHPI_CHECK_MSG(options.nodes >= 1, "cluster needs at least one node");
-  if (options.nodes == 1) return single_node_run(graph, forest, stats);
+  if (options.nodes == 1)
+    return single_node_run(graph, forest, stats, options.control, report);
   ShardOptions shard_options;
   shard_options.nodes = options.nodes;
   shard_options.strategy = options.partition;
   const ShardedGraph sharded(graph, shard_options);
-  return ShardedForestRun(sharded, forest, options).run(stats);
+  return ShardedForestRun(sharded, forest, options).run(stats, report);
 }
 
 std::vector<Count> distributed_count_batch(const ShardedGraph& sharded,
                                            const PlanForest& forest,
                                            const ClusterOptions& options,
-                                           ClusterStats* stats) {
-  return ShardedForestRun(sharded, forest, options).run(stats);
+                                           ClusterStats* stats,
+                                           support::RunReport* report) {
+  return ShardedForestRun(sharded, forest, options).run(stats, report);
 }
 
 }  // namespace graphpi::dist

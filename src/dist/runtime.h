@@ -27,9 +27,11 @@
 
 #include "core/configuration.h"
 #include "core/plan_forest.h"
+#include "dist/comm.h"
 #include "dist/shard.h"
 #include "graph/graph.h"
 #include "graph/types.h"
+#include "support/exec_control.h"
 
 namespace graphpi::dist {
 
@@ -44,6 +46,15 @@ struct ClusterOptions {
   /// boundary-crossing continuations do.
   int task_depth = 1;
   PartitionStrategy partition = PartitionStrategy::kHash;
+  /// Seeded fault injection applied to the transport; the reliability
+  /// layer (dist/comm.h) keeps counts bit-identical under any plan with
+  /// all probabilities < 1.
+  FaultPlan faults{};
+  /// Optional deadline/cancel/budget handle (not owned). Checked once per
+  /// round-robin service round — i.e. every `nodes` root-grained work
+  /// units. On a stop the run returns partial counts; pass a RunReport to
+  /// the counting entry points to observe the status.
+  const support::ExecControl* control = nullptr;
 };
 
 /// Observability counters for one distributed run. Byte counters measure
@@ -71,17 +82,34 @@ struct ClusterStats {
   std::vector<std::uint32_t> owned_per_node;
   std::vector<std::uint32_t> ghosts_per_node;
   double replication_factor = 0.0;
+  // Reliability-protocol counters (see dist/comm.h ReliableChannel).
+  std::uint64_t ack_messages = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t corrupt_frames_detected = 0;
+  std::uint64_t duplicates_suppressed = 0;
+  /// Intact frames whose payload still failed structural decode — counted
+  /// and skipped (the sender's retransmit timer re-requests) instead of UB.
+  std::uint64_t decode_failures = 0;
+  // What the fault plan actually injected at the transport.
+  std::uint64_t injected_drops = 0;
+  std::uint64_t injected_duplicates = 0;
+  std::uint64_t injected_reorders = 0;
+  std::uint64_t injected_corruptions = 0;
 
   /// Element-wise merge (chunked batches accumulate across forests).
   void accumulate(const ClusterStats& other);
 };
 
 /// Counts embeddings of `config` on `graph` with the sharded cluster.
-/// Exactly equal to Matcher::count() (asserted by tests).
+/// Exactly equal to Matcher::count() (asserted by tests). A non-null
+/// `report` receives the stop status and completed root count when
+/// `options.control` is armed (partial counts skip the IEP divisibility
+/// check — they are best-effort, not exact).
 [[nodiscard]] Count distributed_count(const Graph& graph,
                                       const Configuration& config,
                                       const ClusterOptions& options = {},
-                                      ClusterStats* stats = nullptr);
+                                      ClusterStats* stats = nullptr,
+                                      support::RunReport* report = nullptr);
 
 /// Counts every plan of a prefix-sharing forest in one sharded batch
 /// traversal — the distributed twin of ForestExecutor::count(), returning
@@ -89,13 +117,15 @@ struct ClusterStats {
 /// have >= 2 vertices.
 [[nodiscard]] std::vector<Count> distributed_count_batch(
     const Graph& graph, const PlanForest& forest,
-    const ClusterOptions& options = {}, ClusterStats* stats = nullptr);
+    const ClusterOptions& options = {}, ClusterStats* stats = nullptr,
+    support::RunReport* report = nullptr);
 
 /// Same, on a prebuilt sharding (`options.nodes`/`options.partition` are
 /// ignored in favor of the sharding's own). This is the entry point the
 /// shard-isolation tests use with poisoned non-resident rows.
 [[nodiscard]] std::vector<Count> distributed_count_batch(
     const ShardedGraph& sharded, const PlanForest& forest,
-    const ClusterOptions& options = {}, ClusterStats* stats = nullptr);
+    const ClusterOptions& options = {}, ClusterStats* stats = nullptr,
+    support::RunReport* report = nullptr);
 
 }  // namespace graphpi::dist

@@ -287,11 +287,31 @@ std::vector<Count> ForestExecutor::count(Workspace& ws) const {
   return finalize(ws.sums);
 }
 
+std::vector<Count> ForestExecutor::finalize_partial(
+    std::span<const Count> sums) const {
+  const auto& plans = forest_->plans();
+  GRAPHPI_CHECK(sums.size() == plans.size());
+  std::vector<Count> out(sums.begin(), sums.end());
+  for (std::size_t i = 0; i < plans.size(); ++i)
+    if (plans[i].iep_active()) out[i] /= plans[i].iep.divisor;
+  return out;
+}
+
 std::vector<Count> ForestExecutor::count_roots(
-    Workspace& ws, std::span<const VertexId> roots) const {
+    Workspace& ws, std::span<const VertexId> roots,
+    const support::ExecControl* control, support::RunReport* report) const {
   reset(ws);
-  for (VertexId v0 : roots) accumulate_root(ws, v0);
-  return finalize(ws.sums);
+  support::PollGate gate(control);
+  for (VertexId v0 : roots) {
+    accumulate_root(ws, v0);
+    if (gate.completed_unit() != support::RunStatus::kOk) break;
+  }
+  if (report != nullptr) {
+    report->status = gate.status();
+    report->completed_roots = gate.done();
+  }
+  return gate.status() == support::RunStatus::kOk ? finalize(ws.sums)
+                                                  : finalize_partial(ws.sums);
 }
 
 std::vector<Count> ForestExecutor::count() const {

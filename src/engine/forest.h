@@ -25,6 +25,7 @@
 #include "engine/plan_exec.h"
 #include "graph/graph.h"
 #include "graph/types.h"
+#include "support/exec_control.h"
 
 namespace graphpi {
 
@@ -129,8 +130,15 @@ class ForestExecutor {
   /// runtime: a node that owns a subset of the vertex space runs the
   /// whole forest over exactly its owned roots. Equals count() when
   /// `roots` is the full vertex range. Requires plans with >= 2 vertices.
+  ///
+  /// An armed `control` is polled stride-gated after each root; on a stop
+  /// the remaining roots are skipped and the partial sums are finalized
+  /// without the IEP divisibility check (best-effort counts). `report`
+  /// receives the status and completed-root tally.
   [[nodiscard]] std::vector<Count> count_roots(
-      Workspace& ws, std::span<const VertexId> roots) const;
+      Workspace& ws, std::span<const VertexId> roots,
+      const support::ExecControl* control = nullptr,
+      support::RunReport* report = nullptr) const;
 
   /// Zeroes ws.sums (sizing it to the plan count). Call once before a
   /// sequence of accumulate_root() calls.
@@ -145,6 +153,11 @@ class ForestExecutor {
   /// Converts aggregated undivided sums into final per-plan counts
   /// (divides IEP plans by their surviving-automorphism factor x).
   [[nodiscard]] std::vector<Count> finalize(std::span<const Count> sums) const;
+
+  /// Best-effort finalization of a stopped run: partial IEP sums are
+  /// generally not divisible by x, so this divides without the check.
+  [[nodiscard]] std::vector<Count> finalize_partial(
+      std::span<const Count> sums) const;
 
   [[nodiscard]] const PlanForest& forest() const noexcept { return *forest_; }
   [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }

@@ -4,12 +4,15 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <mutex>
 #include <sstream>
+#include <thread>
 #include <unordered_map>
 
 #include "codegen/codegen.h"
@@ -249,7 +252,9 @@ KernelCache::Stats KernelCache::stats() const {
 
 std::optional<std::vector<Count>> run_generated(const Graph& graph,
                                                 const PlanForest& forest,
-                                                int threads) {
+                                                int threads,
+                                                const support::ExecControl* control,
+                                                support::RunReport* report) {
   GeneratedBatchFn fn = KernelCache::instance().get(forest);
   if (fn == nullptr) return std::nullopt;
   // Mirror the interpreter: build the hub index when any plan hints it,
@@ -262,8 +267,79 @@ std::optional<std::vector<Count>> run_generated(const Graph& graph,
   const codegen::KernelGraph view = codegen::make_kernel_graph(graph);
   codegen::KernelRunOptions run;
   run.threads = threads;
+  std::uint64_t completed = 0;
+  std::int32_t reason = 0;
+  run.completed_roots = &completed;
+  run.stop_reason = &reason;
+
+  // Bounded execution over the v3 ABI: budget and stride pass straight
+  // through; deadlines and the caller's cancel flag become a host
+  // watchdog thread flipping the kernel's cancel cell, because generated
+  // code polls a memory cell per stride instead of reading clocks.
+  const support::ExecControl* ctl =
+      control != nullptr && control->armed() ? control : nullptr;
+  std::atomic<std::int32_t> cancel_cell{0};
+  std::thread watchdog;
+  std::mutex watchdog_mutex;
+  std::condition_variable watchdog_cv;
+  bool kernel_finished = false;
+  int fired = 0;  // 1 = deadline, 2 = caller's cancel flag
+  if (ctl != nullptr) {
+    run.poll_stride = ctl->poll_stride();
+    run.root_budget = ctl->root_budget();
+    if (ctl->has_deadline() || ctl->cancel_flag() != nullptr) {
+      run.cancel = reinterpret_cast<const volatile std::int32_t*>(&cancel_cell);
+      watchdog = std::thread([&] {
+        std::unique_lock<std::mutex> lock(watchdog_mutex);
+        for (;;) {
+          if (kernel_finished) return;
+          if (ctl->cancel_flag() != nullptr &&
+              ctl->cancel_flag()->load(std::memory_order_relaxed)) {
+            fired = 2;
+            break;
+          }
+          if (ctl->has_deadline() &&
+              support::ExecControl::Clock::now() >= ctl->deadline()) {
+            fired = 1;
+            break;
+          }
+          // Sleep exactly to the deadline when that is the only trigger;
+          // otherwise wake ~1ms to notice the caller's flag promptly.
+          auto wake =
+              support::ExecControl::Clock::now() + std::chrono::milliseconds(1);
+          if (ctl->has_deadline() && ctl->cancel_flag() == nullptr)
+            wake = ctl->deadline();
+          else if (ctl->has_deadline() && ctl->deadline() < wake)
+            wake = ctl->deadline();
+          watchdog_cv.wait_until(lock, wake);
+        }
+        cancel_cell.store(1, std::memory_order_relaxed);
+      });
+    }
+  }
+
   std::vector<unsigned long long> counts(forest.plans().size(), 0);
   fn(&view, &codegen::host_kernel_ops(), &run, counts.data());
+
+  if (watchdog.joinable()) {
+    {
+      const std::lock_guard<std::mutex> lock(watchdog_mutex);
+      kernel_finished = true;
+    }
+    watchdog_cv.notify_all();
+    watchdog.join();
+  }
+  if (report != nullptr) {
+    report->completed_roots = completed;
+    if (reason == 2) {
+      report->status = support::RunStatus::kBudget;
+    } else if (reason == 1) {
+      report->status = fired == 2 ? support::RunStatus::kCancelled
+                                  : support::RunStatus::kTimeout;
+    } else {
+      report->status = support::RunStatus::kOk;
+    }
+  }
   return std::vector<Count>(counts.begin(), counts.end());
 }
 

@@ -32,6 +32,7 @@
 #include "core/plan_forest.h"
 #include "graph/graph.h"
 #include "graph/types.h"
+#include "support/exec_control.h"
 
 namespace graphpi::jit {
 
@@ -90,7 +91,16 @@ class KernelCache {
 /// compiler supports -fopenmp, and partition the root loop over
 /// `threads` workers (<= 0: runtime default). nullopt when the JIT is
 /// unavailable — callers fall back to the interpreter.
+///
+/// An armed `control` maps onto the v3 kernel ABI: poll stride and root
+/// budget pass straight through, while deadlines and the caller's cancel
+/// flag are serviced by a host watchdog thread that flips the kernel's
+/// cancel cell (generated code never reads clocks). On a stop the kernel
+/// returns best-effort partial counts and `report` carries the status
+/// and completed-root tally.
 [[nodiscard]] std::optional<std::vector<Count>> run_generated(
-    const Graph& graph, const PlanForest& forest, int threads = 0);
+    const Graph& graph, const PlanForest& forest, int threads = 0,
+    const support::ExecControl* control = nullptr,
+    support::RunReport* report = nullptr);
 
 }  // namespace graphpi::jit

@@ -146,6 +146,52 @@ Count Matcher::count() const {
   return count(ws);
 }
 
+Count Matcher::count(Workspace& ws, const support::ExecControl* control,
+                     support::RunReport* report) const {
+  if (control == nullptr || !control->armed()) {
+    // Nothing to poll: the plain path, plus a trivially-complete report.
+    const Count total = count(ws);
+    if (report != nullptr)
+      *report = support::RunReport{support::RunStatus::kOk,
+                                   static_cast<std::uint64_t>(n_ >= 1)};
+    return total;
+  }
+  // Patterns whose entire evaluation is a single leaf (no depth-0 loop to
+  // poll) run unbounded — they are one root unit by definition.
+  if (n_ < 2 || (iep_active_ && outer_depth_ < 1)) {
+    const Count total = count(ws);
+    if (report != nullptr)
+      *report = support::RunReport{support::RunStatus::kOk, 1};
+    return total;
+  }
+
+  invalidate_prefix(ws);
+  support::PollGate gate(control);
+  Count total = 0;
+  // The depth-0 loop of recurse()/recurse_iep(), unrolled one level so
+  // the gate fires once per completed root vertex. No already_used check:
+  // the prefix is empty at depth 0.
+  const auto range = bounded_range(ws, 0, build_candidates(ws, 0));
+  for (VertexId v : range) {
+    ws.mapped[0] = v;
+    total += iep_active_ ? recurse_iep(ws, 1) : recurse(ws, 1, nullptr);
+    if (gate.completed_unit() != support::RunStatus::kOk) break;
+  }
+  if (report != nullptr) {
+    report->status = gate.status();
+    report->completed_roots = gate.done();
+  }
+  if (!iep_active_) return total;
+  if (gate.status() == support::RunStatus::kOk) {
+    GRAPHPI_CHECK_MSG(total % plan_.iep.divisor == 0,
+                      "IEP sum must be divisible by the surviving-"
+                      "automorphism factor x");
+    return total / plan_.iep.divisor;
+  }
+  // Partial IEP sums are generally not divisible by x: best-effort.
+  return total / plan_.iep.divisor;
+}
+
 Count Matcher::count_plain(Workspace& ws) const {
   invalidate_prefix(ws);
   return recurse(ws, 0, nullptr);

@@ -40,6 +40,7 @@
 #include "core/plan.h"
 #include "graph/graph.h"
 #include "graph/types.h"
+#include "support/exec_control.h"
 
 namespace graphpi {
 
@@ -91,6 +92,17 @@ class Matcher {
   /// otherwise plain enumeration. Single-threaded (see ParallelMatcher).
   [[nodiscard]] Count count() const;
   [[nodiscard]] Count count(Workspace& ws) const;
+
+  /// Bounded counting: runs the depth-0 root loop explicitly and polls an
+  /// armed `control` stride-gated after each root vertex. On a stop the
+  /// remaining roots are skipped and the accumulated sum is finalized
+  /// without the IEP divisibility check (best-effort partial count).
+  /// `report` (optional) receives the stop status and completed-root
+  /// tally. With a null/unarmed control and a null report this is exactly
+  /// count(ws).
+  [[nodiscard]] Count count(Workspace& ws,
+                            const support::ExecControl* control,
+                            support::RunReport* report) const;
 
   /// Counts by full enumeration, ignoring any IEP plan (the "without IEP"
   /// arm of Figure 10).

@@ -3,6 +3,7 @@
 #include <omp.h>
 
 #include <algorithm>
+#include <atomic>
 #include <mutex>
 #include <utility>
 #include <vector>
@@ -78,7 +79,9 @@ int clamp_task_depth(const Configuration& config, int requested) {
 }  // namespace
 
 Count count_parallel(const Graph& graph, const Configuration& config,
-                     const ParallelOptions& options, ParallelRunStats* stats) {
+                     const ParallelOptions& options, ParallelRunStats* stats,
+                     const support::ExecControl* control,
+                     support::RunReport* report) {
   const Matcher matcher(graph, config);
   const int depth = clamp_task_depth(config, options.task_depth);
   const TaskBuffer tasks = generate_tasks(matcher, depth);
@@ -91,10 +94,20 @@ Count count_parallel(const Graph& graph, const Configuration& config,
   std::vector<double> thread_seconds(static_cast<std::size_t>(max_threads),
                                      0.0);
 
+  // Cooperative stop: OpenMP worksharing loops cannot break, so workers
+  // skip remaining groups once `stop` is set. Each group is <= 64 tasks,
+  // so one group is the natural poll stride.
+  const support::ExecControl* ctl =
+      control != nullptr && control->armed() ? control : nullptr;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> done_units{0};
+  std::atomic<int> stop_status{static_cast<int>(support::RunStatus::kOk)};
+
   Count aggregated = 0;
 #pragma omp parallel default(none) \
-    shared(tasks, groups, matcher, thread_tasks, thread_seconds) \
-    reduction(+ : aggregated)
+    shared(tasks, groups, matcher, thread_tasks, thread_seconds, stop, \
+               done_units, stop_status) \
+    firstprivate(ctl) reduction(+ : aggregated)
   {
     const int tid = omp_get_thread_num();
     // One workspace per thread per run: every task executed by this thread
@@ -104,10 +117,22 @@ Count count_parallel(const Graph& graph, const Configuration& config,
     support::Timer timer;
 #pragma omp for schedule(dynamic, 1)
     for (std::size_t g = 0; g < groups.size(); ++g) {
+      if (ctl != nullptr && stop.load(std::memory_order_relaxed)) continue;
       for (std::size_t t = groups[g].first; t < groups[g].second; ++t)
         aggregated += matcher.count_from_prefix(ws, tasks.task(t));
-      thread_tasks[static_cast<std::size_t>(tid)] +=
-          groups[g].second - groups[g].first;
+      const std::uint64_t in_group = groups[g].second - groups[g].first;
+      thread_tasks[static_cast<std::size_t>(tid)] += in_group;
+      if (ctl != nullptr) {
+        const std::uint64_t total =
+            done_units.fetch_add(in_group, std::memory_order_relaxed) +
+            in_group;
+        const support::RunStatus s = ctl->check(total);
+        if (s != support::RunStatus::kOk) {
+          int expected = static_cast<int>(support::RunStatus::kOk);
+          stop_status.compare_exchange_strong(expected, static_cast<int>(s));
+          stop.store(true, std::memory_order_relaxed);
+        }
+      }
     }
     thread_seconds[static_cast<std::size_t>(tid)] = timer.elapsed_seconds();
   }
@@ -118,7 +143,16 @@ Count count_parallel(const Graph& graph, const Configuration& config,
     stats->per_thread_tasks = thread_tasks;
     stats->per_thread_seconds = thread_seconds;
   }
-  return matcher.finalize_partial_counts(aggregated);
+  const auto status = static_cast<support::RunStatus>(stop_status.load());
+  if (report != nullptr) {
+    report->status = status;
+    report->completed_roots = ctl != nullptr ? done_units.load() : tasks.count();
+  }
+  if (status == support::RunStatus::kOk)
+    return matcher.finalize_partial_counts(aggregated);
+  // Partial IEP sums are generally not divisible by x: best-effort.
+  const Plan& plan = matcher.plan();
+  return plan.iep_active() ? aggregated / plan.iep.divisor : aggregated;
 }
 
 void enumerate_parallel(const Graph& graph, const Configuration& config,
@@ -160,7 +194,9 @@ void enumerate_parallel(const Graph& graph, const Configuration& config,
 std::vector<Count> count_batch_parallel(const Graph& graph,
                                         const PlanForest& forest,
                                         const ParallelOptions& options,
-                                        ParallelRunStats* stats) {
+                                        ParallelRunStats* stats,
+                                        const support::ExecControl* control,
+                                        support::RunReport* report) {
   const ForestExecutor executor(graph, forest);
   GRAPHPI_CHECK_MSG(forest.root().count_leaves.empty(),
                     "count_batch_parallel requires plans with >= 2 vertices");
@@ -178,21 +214,50 @@ std::vector<Count> count_batch_parallel(const Graph& graph,
   std::vector<double> thread_seconds(static_cast<std::size_t>(max_threads),
                                      0.0);
 
+  // Cooperative stop (worksharing loops cannot break): workers count
+  // roots locally and flush to the shared tally only at stride
+  // boundaries, where they also run the clock/flag/budget check.
+  const support::ExecControl* ctl =
+      control != nullptr && control->armed() ? control : nullptr;
+  const std::uint64_t mask = ctl != nullptr ? ctl->poll_mask() : 0;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> done_roots{0};
+  std::atomic<int> stop_status{static_cast<int>(support::RunStatus::kOk)};
+
   std::vector<Count> aggregated(forest.plans().size(), 0);
 #pragma omp parallel default(none) \
-    shared(executor, aggregated, thread_tasks, thread_seconds) \
-    firstprivate(n)
+    shared(executor, aggregated, thread_tasks, thread_seconds, stop, \
+               done_roots, stop_status) \
+    firstprivate(n, ctl, mask)
   {
     const int tid = omp_get_thread_num();
     // One workspace per thread per run: steady state allocates nothing.
     ForestExecutor::Workspace ws;
     executor.reset(ws);
     support::Timer timer;
+    std::uint64_t local_done = 0;
 #pragma omp for schedule(dynamic, kChunk)
     for (std::int64_t v = 0; v < n; ++v) {
+      if (ctl != nullptr && stop.load(std::memory_order_relaxed)) continue;
       executor.accumulate_root(ws, static_cast<VertexId>(v));
       ++thread_tasks[static_cast<std::size_t>(tid)];
+      if (ctl != nullptr) {
+        ++local_done;
+        if ((local_done & mask) == 0) {
+          const std::uint64_t total =
+              done_roots.fetch_add(mask + 1, std::memory_order_relaxed) +
+              mask + 1;
+          const support::RunStatus s = ctl->check(total);
+          if (s != support::RunStatus::kOk) {
+            int expected = static_cast<int>(support::RunStatus::kOk);
+            stop_status.compare_exchange_strong(expected, static_cast<int>(s));
+            stop.store(true, std::memory_order_relaxed);
+          }
+        }
+      }
     }
+    if (ctl != nullptr)  // flush the sub-stride remainder
+      done_roots.fetch_add(local_done & mask, std::memory_order_relaxed);
     thread_seconds[static_cast<std::size_t>(tid)] = timer.elapsed_seconds();
 #pragma omp critical
     for (std::size_t i = 0; i < aggregated.size(); ++i)
@@ -206,7 +271,14 @@ std::vector<Count> count_batch_parallel(const Graph& graph,
     stats->per_thread_tasks = thread_tasks;
     stats->per_thread_seconds = thread_seconds;
   }
-  return executor.finalize(aggregated);
+  const auto status = static_cast<support::RunStatus>(stop_status.load());
+  if (report != nullptr) {
+    report->status = status;
+    report->completed_roots =
+        ctl != nullptr ? done_roots.load() : static_cast<std::uint64_t>(n);
+  }
+  return status == support::RunStatus::kOk ? executor.finalize(aggregated)
+                                           : executor.finalize_partial(aggregated);
 }
 
 }  // namespace graphpi

@@ -12,6 +12,7 @@
 #include "core/plan_forest.h"
 #include "engine/matcher.h"
 #include "graph/graph.h"
+#include "support/exec_control.h"
 
 namespace graphpi {
 
@@ -37,10 +38,19 @@ struct ParallelRunStats {
 
 /// Counts embeddings of `config` on `graph` using OpenMP. Exactly equal to
 /// Matcher::count() (asserted by tests).
+///
+/// An armed `control` is polled cooperatively by every worker once per
+/// claimed task group (groups are capped at 64 tasks, so the granularity
+/// matches the control's root-unit stride); on a stop the remaining
+/// groups are skipped and the partial sum is finalized without the IEP
+/// divisibility check. `report` receives the status and the number of
+/// completed task units.
 [[nodiscard]] Count count_parallel(const Graph& graph,
                                    const Configuration& config,
                                    const ParallelOptions& options = {},
-                                   ParallelRunStats* stats = nullptr);
+                                   ParallelRunStats* stats = nullptr,
+                                   const support::ExecControl* control = nullptr,
+                                   support::RunReport* report = nullptr);
 
 /// Lists embeddings in parallel; callback invocations are serialized with
 /// a critical section (listing throughput is bounded by the consumer
@@ -57,8 +67,15 @@ void enumerate_parallel(const Graph& graph, const Configuration& config,
 /// >= 2 vertices. Returns finalized per-plan counts, indexed like
 /// forest.plans(); exactly equal to running each plan's Matcher alone
 /// (asserted by tests).
+/// An armed `control` is polled per worker every poll-stride roots (a
+/// shared completed-root counter is flushed at stride boundaries, so the
+/// hot loop stays free of shared-cacheline traffic); on a stop workers
+/// skip their remaining iterations and the partial sums are finalized
+/// without the IEP divisibility check.
 [[nodiscard]] std::vector<Count> count_batch_parallel(
     const Graph& graph, const PlanForest& forest,
-    const ParallelOptions& options = {}, ParallelRunStats* stats = nullptr);
+    const ParallelOptions& options = {}, ParallelRunStats* stats = nullptr,
+    const support::ExecControl* control = nullptr,
+    support::RunReport* report = nullptr);
 
 }  // namespace graphpi

@@ -1,0 +1,19 @@
+#include "support/exec_control.h"
+
+namespace graphpi::support {
+
+const char* to_string(RunStatus status) noexcept {
+  switch (status) {
+    case RunStatus::kOk:
+      return "ok";
+    case RunStatus::kTimeout:
+      return "timeout";
+    case RunStatus::kCancelled:
+      return "cancelled";
+    case RunStatus::kBudget:
+      return "budget";
+  }
+  return "unknown";
+}
+
+}  // namespace graphpi::support

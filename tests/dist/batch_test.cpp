@@ -96,8 +96,14 @@ TEST(DistBatch, BoundaryCrossingPatternShipsCandidateBytes) {
     EXPECT_GT(stats.shipped_set_vertices, 0u) << dist::to_string(strategy);
     // Every node reports its partial counts to the master exactly once.
     EXPECT_EQ(stats.count_messages, 2u);
-    EXPECT_EQ(stats.messages,
+    // Transport traffic = data frames + their reliability-layer acks
+    // (one ack per intact data frame on a fault-free channel).
+    EXPECT_EQ(stats.messages, stats.continuation_messages +
+                                  stats.count_messages + stats.ack_messages);
+    EXPECT_EQ(stats.ack_messages,
               stats.continuation_messages + stats.count_messages);
+    EXPECT_EQ(stats.retransmits, 0u);
+    EXPECT_EQ(stats.corrupt_frames_detected, 0u);
     EXPECT_EQ(stats.tasks_per_node.size(), 3u);
     EXPECT_GT(stats.replication_factor, 1.0);
   }

@@ -1,0 +1,287 @@
+// Fault-injection and wire-hardening tests (dist/comm.h):
+//  * CRC32 known-answer + guaranteed detection of short burst errors,
+//  * seeded fuzz over the wire codec — mutated / truncated / garbage
+//    payloads never crash try_decode, they decode-fail (or parse as some
+//    other well-formed message, which the frame CRC screens out first),
+//  * Channel fault accounting and idle() consistency under drop/duplicate,
+//  * ReliableChannel exactly-once delivery under heavy injected faults,
+//  * the sharded runtime producing bit-identical counts under a nonzero
+//    FaultPlan, with the recovery counters surfaced through ClusterStats.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "api/graphpi.h"
+#include "dist/comm.h"
+#include "graph/generators.h"
+
+namespace graphpi::dist {
+namespace {
+
+TEST(Crc32, KnownAnswer) {
+  // The IEEE 802.3 check value: CRC32("123456789") = 0xCBF43926.
+  const std::string s = "123456789";
+  const std::vector<std::uint8_t> bytes(s.begin(), s.end());
+  EXPECT_EQ(crc32(bytes), 0xCBF43926u);
+  EXPECT_EQ(crc32({}), 0u);
+}
+
+TEST(Crc32, DetectsEveryShortBurstError) {
+  // CRC32 detects all burst errors up to 32 bits, so ANY 1–3 byte
+  // corruption of a framed payload (what FaultPlan injects) must change
+  // the checksum — the reliability layer's discard-and-retransmit path
+  // never sees a false intact frame from these faults.
+  std::mt19937_64 rng(7);
+  std::vector<std::uint8_t> frame(64);
+  for (auto& b : frame) b = static_cast<std::uint8_t>(rng());
+  const std::uint32_t good = crc32(frame);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<std::uint8_t> bad = frame;
+    const std::size_t pos = rng() % (bad.size() - 3);
+    const int burst = 1 + static_cast<int>(rng() % 3);
+    for (int i = 0; i < burst; ++i)
+      bad[pos + static_cast<std::size_t>(i)] ^=
+          static_cast<std::uint8_t>(1 + rng() % 255);
+    EXPECT_NE(crc32(bad), good) << "trial " << trial;
+  }
+}
+
+ContinuationMsg sample_continuation() {
+  ContinuationMsg msg;
+  msg.trie_node = 5;
+  msg.target = ContinuationMsg::Target::kIepChain;
+  msg.item = 2;
+  msg.depth_limit = 3;
+  msg.mask = 0xdeadbeefcafe;
+  msg.folded = 0b101;
+  msg.has_partial = true;
+  msg.mapped = {4, 9, 17};
+  msg.partial = {1, 2, 3, 5, 8, 13};
+  msg.done_sets = {{2, 4, 6}, {10, 20}};
+  return msg;
+}
+
+TEST(WireFuzz, MutatedContinuationsNeverCrash) {
+  const std::vector<std::uint8_t> valid = sample_continuation().encode();
+  {
+    ContinuationMsg out;
+    ASSERT_TRUE(ContinuationMsg::try_decode(valid, out));
+    EXPECT_EQ(out.mapped, sample_continuation().mapped);
+    EXPECT_EQ(out.done_sets, sample_continuation().done_sets);
+  }
+  std::mt19937_64 rng(0xF00D);
+  for (int trial = 0; trial < 20000; ++trial) {
+    std::vector<std::uint8_t> bytes = valid;
+    const int mutations = 1 + static_cast<int>(rng() % 8);
+    for (int i = 0; i < mutations; ++i)
+      bytes[rng() % bytes.size()] ^= static_cast<std::uint8_t>(1 + rng() % 255);
+    if (rng() % 4 == 0) bytes.resize(rng() % (bytes.size() + 1));  // truncate
+    ContinuationMsg out;
+    // Must return (true or false), never read out of bounds or throw.
+    (void)ContinuationMsg::try_decode(bytes, out);
+  }
+}
+
+TEST(WireFuzz, MutatedPartialCountsNeverCrash) {
+  PartialCountsMsg msg;
+  msg.sums = {10, 0, 123456789012345ull, 7};
+  msg.tasks = 42;
+  const std::vector<std::uint8_t> valid = msg.encode();
+  {
+    PartialCountsMsg out;
+    ASSERT_TRUE(PartialCountsMsg::try_decode(valid, out));
+    EXPECT_EQ(out.sums, msg.sums);
+    EXPECT_EQ(out.tasks, 42u);
+  }
+  std::mt19937_64 rng(0xBEEF);
+  for (int trial = 0; trial < 20000; ++trial) {
+    std::vector<std::uint8_t> bytes = valid;
+    const int mutations = 1 + static_cast<int>(rng() % 8);
+    for (int i = 0; i < mutations; ++i)
+      bytes[rng() % bytes.size()] ^= static_cast<std::uint8_t>(1 + rng() % 255);
+    if (rng() % 4 == 0) bytes.resize(rng() % (bytes.size() + 1));
+    PartialCountsMsg out;
+    (void)PartialCountsMsg::try_decode(bytes, out);
+  }
+}
+
+TEST(WireFuzz, GarbageBuffersNeverCrash) {
+  std::mt19937_64 rng(0xACE);
+  for (int trial = 0; trial < 20000; ++trial) {
+    std::vector<std::uint8_t> bytes(rng() % 96);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng());
+    ContinuationMsg c;
+    PartialCountsMsg p;
+    (void)ContinuationMsg::try_decode(bytes, c);
+    (void)PartialCountsMsg::try_decode(bytes, p);
+  }
+}
+
+TEST(WireReaderHardening, UnderrunLatchesInsteadOfOverreading) {
+  const std::vector<std::uint8_t> three = {1, 2, 3};
+  WireReader r(three);
+  EXPECT_EQ(r.u16(), 0x0201u);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.u32(), 0u);  // only 1 byte left: latches failed
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.u64(), 0u);  // stays failed, still no overread
+  EXPECT_FALSE(r.done());
+}
+
+TEST(WireReaderHardening, OversizedLengthPrefixFails) {
+  // A length prefix claiming more elements than bytes remain must fail
+  // cleanly instead of reserving gigabytes or reading past the end.
+  WireWriter w;
+  w.u32(0xffffffffu);  // "4 billion vertices follow"
+  const std::vector<std::uint8_t> bytes = w.take();
+  WireReader r(bytes);
+  std::vector<VertexId> out;
+  r.vertex_vec(out);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ChannelFaults, AccountingAndIdleStayConsistent) {
+  const FaultPlan plan = FaultPlan::uniform(/*seed=*/99, /*drop=*/0.3,
+                                            /*duplicate=*/0.3,
+                                            /*reorder=*/0.2, /*corrupt=*/0.3);
+  Channel channel(2, plan);
+  EXPECT_TRUE(channel.idle());
+  constexpr int kSends = 2000;
+  for (int i = 0; i < kSends; ++i)
+    channel.send(0, 1, MessageKind::kContinuation,
+                 {static_cast<std::uint8_t>(i), 1, 2, 3});
+  const CommStats& stats = channel.stats();
+  EXPECT_EQ(stats.messages, kSends);
+  EXPECT_GT(stats.injected_drops, 0u);
+  EXPECT_GT(stats.injected_duplicates, 0u);
+  EXPECT_GT(stats.injected_reorders, 0u);
+  EXPECT_GT(stats.injected_corruptions, 0u);
+
+  // Drain: delivered = sent - dropped + duplicated, and receive() must
+  // stay well-behaved past the nominal send count (no underflow, no
+  // phantom messages) no matter how many copies the plan queued.
+  EXPECT_FALSE(channel.idle());
+  std::uint64_t delivered = 0;
+  Message msg;
+  while (channel.receive(1, msg)) ++delivered;
+  EXPECT_EQ(delivered,
+            kSends - stats.injected_drops + stats.injected_duplicates);
+  EXPECT_TRUE(channel.idle());
+  EXPECT_FALSE(channel.receive(1, msg));
+  EXPECT_FALSE(channel.receive(0, msg));
+  EXPECT_TRUE(channel.idle());
+}
+
+TEST(ChannelFaults, DeterministicForAGivenSeed) {
+  auto run = [] {
+    Channel channel(2, FaultPlan::uniform(1234, 0.2, 0.2, 0.2, 0.2));
+    for (int i = 0; i < 500; ++i)
+      channel.send(0, 1, MessageKind::kContinuation,
+                   {static_cast<std::uint8_t>(i), 9, 9});
+    std::vector<std::vector<std::uint8_t>> got;
+    Message msg;
+    while (channel.receive(1, msg)) got.push_back(msg.payload);
+    return got;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(ReliableChannel, ExactlyOnceUnderHeavyFaults) {
+  const FaultPlan plan = FaultPlan::uniform(/*seed=*/4242, /*drop=*/0.25,
+                                            /*duplicate=*/0.25,
+                                            /*reorder=*/0.25,
+                                            /*corrupt=*/0.25);
+  ReliableChannel channel(2, plan);
+  constexpr std::uint32_t kMessages = 400;
+  std::map<std::uint32_t, int> received;
+  for (std::uint32_t i = 0; i < kMessages; ++i) {
+    WireWriter w;
+    w.u32(i);
+    const int from = static_cast<int>(i % 2);
+    channel.send(from, 1 - from, MessageKind::kContinuation, w.take());
+  }
+  Message msg;
+  for (int round = 0; round < 1000000 && !channel.idle(); ++round) {
+    channel.tick();
+    for (int node = 0; node < 2; ++node) {
+      (void)channel.service_retransmits(node);
+      while (channel.receive(node, msg)) {
+        WireReader r(msg.payload);
+        ++received[r.u32()];
+        EXPECT_TRUE(r.done());
+      }
+    }
+  }
+  EXPECT_TRUE(channel.idle());
+  ASSERT_EQ(received.size(), kMessages);  // every payload arrived...
+  for (const auto& [id, copies] : received)
+    EXPECT_EQ(copies, 1) << "payload " << id;  // ...exactly once
+
+  // With all four fault kinds at 25%, every recovery mechanism fired.
+  const ReliabilityStats& rel = channel.reliability_stats();
+  EXPECT_EQ(rel.data_frames_sent, kMessages);
+  EXPECT_GT(rel.retransmits, 0u);
+  EXPECT_GT(rel.corrupt_frames_detected, 0u);
+  EXPECT_GT(rel.duplicates_suppressed, 0u);
+  EXPECT_GT(rel.acks_sent, 0u);
+}
+
+TEST(ReliableChannel, FaultFreePassThrough) {
+  ReliableChannel channel(3);
+  WireWriter w;
+  w.u64(0x1122334455667788ull);
+  channel.send(2, 0, MessageKind::kPartialCounts, w.take());
+  Message msg;
+  ASSERT_TRUE(channel.receive(0, msg));
+  EXPECT_EQ(msg.kind, MessageKind::kPartialCounts);
+  EXPECT_EQ(msg.from, 2);
+  WireReader r(msg.payload);
+  EXPECT_EQ(r.u64(), 0x1122334455667788ull);
+  EXPECT_TRUE(r.done());
+  // The data frame is acked lazily by the next receive sweep on the
+  // sender's side; drain it so idle() holds.
+  while (channel.receive(2, msg)) {
+  }
+  EXPECT_TRUE(channel.idle());
+  EXPECT_EQ(channel.reliability_stats().retransmits, 0u);
+  EXPECT_EQ(channel.reliability_stats().corrupt_frames_detected, 0u);
+}
+
+TEST(DistributedFaults, CountsBitIdenticalUnderInjectedFaults) {
+  // The acceptance shape: a 3-node sharded run under a seeded fault plan
+  // with drop, duplicate, and corrupt all nonzero produces EXACTLY the
+  // serial counts, and the recovery counters prove faults really fired.
+  const Graph graph = rmat(7, 650, 101);
+  const GraphPi engine(graph);
+  const std::vector<Pattern> patterns = {patterns::house(),
+                                         patterns::pentagon(),
+                                         patterns::clique(4)};
+  const std::vector<Count> want = engine.count_batch(patterns);
+
+  MatchOptions options;
+  options.backend = Backend::kDistributed;
+  options.nodes = 3;
+  options.faults = FaultPlan::uniform(/*seed=*/7, /*drop=*/0.08,
+                                      /*duplicate=*/0.08, /*reorder=*/0.05,
+                                      /*corrupt=*/0.08);
+  ClusterStats stats;
+  options.cluster_stats = &stats;
+  const std::vector<Count> got = engine.count_batch(patterns, options);
+  EXPECT_EQ(got, want);
+  EXPECT_GT(stats.injected_drops, 0u);
+  EXPECT_GT(stats.injected_duplicates, 0u);
+  EXPECT_GT(stats.injected_corruptions, 0u);
+  EXPECT_GT(stats.retransmits, 0u);
+  EXPECT_GT(stats.corrupt_frames_detected, 0u);
+  EXPECT_GT(stats.duplicates_suppressed, 0u);
+  EXPECT_EQ(stats.decode_failures, 0u);  // CRC screens corruption first
+}
+
+}  // namespace
+}  // namespace graphpi::dist

@@ -1,0 +1,125 @@
+// Unit tests for the bounded-execution primitives (support/exec_control.h):
+// check() precedence, deadline/budget semantics, stride rounding, and the
+// PollGate stride-gating/stickiness the backends rely on.
+#include "support/exec_control.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace graphpi::support {
+namespace {
+
+TEST(ExecControl, DefaultIsUnarmed) {
+  const ExecControl control;
+  EXPECT_FALSE(control.armed());
+  EXPECT_FALSE(control.has_deadline());
+  EXPECT_EQ(control.check(~std::uint64_t{0}), RunStatus::kOk);
+  EXPECT_EQ(control.poll_stride(), ExecControl::kDefaultPollStride);
+}
+
+TEST(ExecControl, CancelFlagWins) {
+  std::atomic<bool> cancel{false};
+  ExecControl control;
+  control.set_cancel_flag(&cancel);
+  control.set_root_budget(1);
+  control.arm_deadline_ms(-1.0);  // already expired
+  EXPECT_TRUE(control.armed());
+  // Precedence: cancel > deadline > budget.
+  EXPECT_EQ(control.check(100), RunStatus::kTimeout);
+  cancel.store(true);
+  EXPECT_EQ(control.check(100), RunStatus::kCancelled);
+}
+
+TEST(ExecControl, DeadlineExpires) {
+  ExecControl control;
+  control.arm_deadline_ms(5.0);
+  EXPECT_TRUE(control.has_deadline());
+  EXPECT_EQ(control.check(0), RunStatus::kOk);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(control.check(0), RunStatus::kTimeout);
+}
+
+TEST(ExecControl, BudgetEnforcedAtThreshold) {
+  ExecControl control;
+  control.set_root_budget(128);
+  EXPECT_EQ(control.check(127), RunStatus::kOk);
+  EXPECT_EQ(control.check(128), RunStatus::kBudget);
+  EXPECT_EQ(control.check(129), RunStatus::kBudget);
+}
+
+TEST(ExecControl, StrideRoundsUpToPowerOfTwo) {
+  ExecControl control;
+  control.set_poll_stride(1);
+  EXPECT_EQ(control.poll_stride(), 1u);
+  EXPECT_EQ(control.poll_mask(), 0u);
+  control.set_poll_stride(3);
+  EXPECT_EQ(control.poll_stride(), 4u);
+  control.set_poll_stride(64);
+  EXPECT_EQ(control.poll_stride(), 64u);
+  control.set_poll_stride(65);
+  EXPECT_EQ(control.poll_stride(), 128u);
+  control.set_poll_stride(0);  // restores the default
+  EXPECT_EQ(control.poll_stride(), ExecControl::kDefaultPollStride);
+}
+
+TEST(PollGate, UnarmedControlNeverStops) {
+  const ExecControl control;  // default: unarmed
+  PollGate gate(&control);
+  for (int i = 0; i < 1000; ++i)
+    EXPECT_EQ(gate.completed_unit(), RunStatus::kOk);
+  EXPECT_EQ(gate.done(), 1000u);
+
+  PollGate null_gate(nullptr);
+  EXPECT_EQ(null_gate.completed_unit(), RunStatus::kOk);
+}
+
+TEST(PollGate, PollsOnlyAtStrideBoundaries) {
+  // A budget of 1 root trips at the FIRST poll; with stride 16 that poll
+  // happens at unit 16, so the overshoot is bounded by one stride.
+  ExecControl control;
+  control.set_root_budget(1);
+  control.set_poll_stride(16);
+  PollGate gate(&control);
+  for (int i = 1; i <= 15; ++i)
+    EXPECT_EQ(gate.completed_unit(), RunStatus::kOk) << "unit " << i;
+  EXPECT_EQ(gate.completed_unit(), RunStatus::kBudget);  // unit 16
+}
+
+TEST(PollGate, StatusIsSticky) {
+  std::atomic<bool> cancel{true};
+  ExecControl control;
+  control.set_cancel_flag(&cancel);
+  control.set_poll_stride(1);
+  PollGate gate(&control);
+  EXPECT_EQ(gate.completed_unit(), RunStatus::kCancelled);
+  cancel.store(false);  // un-setting the flag does not resurrect the run
+  EXPECT_EQ(gate.completed_unit(), RunStatus::kCancelled);
+  EXPECT_EQ(gate.status(), RunStatus::kCancelled);
+}
+
+TEST(RunReport, MergeAddsRootsFirstNonOkWins) {
+  RunReport a{RunStatus::kOk, 100};
+  a.merge(RunReport{RunStatus::kOk, 50});
+  EXPECT_EQ(a.status, RunStatus::kOk);
+  EXPECT_EQ(a.completed_roots, 150u);
+  EXPECT_TRUE(a.complete());
+  a.merge(RunReport{RunStatus::kTimeout, 7});
+  EXPECT_EQ(a.status, RunStatus::kTimeout);
+  EXPECT_EQ(a.completed_roots, 157u);
+  a.merge(RunReport{RunStatus::kBudget, 1});  // first non-ok sticks
+  EXPECT_EQ(a.status, RunStatus::kTimeout);
+  EXPECT_FALSE(a.complete());
+}
+
+TEST(RunStatus, ToString) {
+  EXPECT_STREQ(to_string(RunStatus::kOk), "ok");
+  EXPECT_STREQ(to_string(RunStatus::kTimeout), "timeout");
+  EXPECT_STREQ(to_string(RunStatus::kCancelled), "cancelled");
+  EXPECT_STREQ(to_string(RunStatus::kBudget), "budget");
+}
+
+}  // namespace
+}  // namespace graphpi::support

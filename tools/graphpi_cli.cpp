@@ -38,6 +38,9 @@ int usage() {
   count <graph> <pattern> [--no-iep] [--parallel] [--nodes N]
         [--partition hash|range] [--task-depth D] [--threads T]
         [--backend serial|parallel|generated] [--emit <file.cpp>]
+        [--timeout-ms X] [--budget N] [--poll-stride S]
+        [--fault-drop P] [--fault-duplicate P] [--fault-reorder P]
+        [--fault-corrupt P] [--fault-seed S]
   list  <graph> <pattern> [limit]
   plan  <graph> <pattern>
   gen   <pattern> [out.cpp] [--no-iep]
@@ -51,6 +54,12 @@ compiler is found). Generated kernels run their root loop in parallel;
 --threads caps the worker count for both the parallel and generated
 backends (default: all cores). --emit writes the generated C++ kernel for
 the planned configuration without requiring that backend.
+--timeout-ms / --budget bound the run (any backend): on expiry the count
+is a best-effort partial and a "status:" line reports why it stopped and
+how many root units completed. --fault-* inject seeded deterministic
+faults into the distributed backend's channel (probability per message);
+the reliability layer recovers them, so counts are unchanged while the
+stats line reports the injected/recovered event tallies.
 )";
   return 2;
 }
@@ -116,6 +125,8 @@ int cmd_count(const std::string& graph_spec, const std::string& pattern_spec,
               int argc, char** argv) {
   MatchOptions options;
   std::string emit_path;
+  dist::FaultPlan::Rates fault_rates;
+  std::uint64_t fault_seed = dist::FaultPlan{}.seed;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--no-iep") options.use_iep = false;
@@ -148,7 +159,28 @@ int cmd_count(const std::string& graph_spec, const std::string& pattern_spec,
       }
     }
     if (arg == "--emit" && i + 1 < argc) emit_path = argv[++i];
+    if (arg == "--timeout-ms" && i + 1 < argc)
+      options.timeout_ms = std::atof(argv[++i]);
+    if (arg == "--budget" && i + 1 < argc)
+      options.work_budget = std::strtoull(argv[++i], nullptr, 10);
+    if (arg == "--poll-stride" && i + 1 < argc)
+      options.poll_stride =
+          static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    if (arg == "--fault-drop" && i + 1 < argc)
+      fault_rates.drop = std::atof(argv[++i]);
+    if (arg == "--fault-duplicate" && i + 1 < argc)
+      fault_rates.duplicate = std::atof(argv[++i]);
+    if (arg == "--fault-reorder" && i + 1 < argc)
+      fault_rates.reorder = std::atof(argv[++i]);
+    if (arg == "--fault-corrupt" && i + 1 < argc)
+      fault_rates.corrupt = std::atof(argv[++i]);
+    if (arg == "--fault-seed" && i + 1 < argc)
+      fault_seed = std::strtoull(argv[++i], nullptr, 10);
   }
+  options.faults = dist::FaultPlan::uniform(fault_seed, fault_rates.drop,
+                                            fault_rates.duplicate,
+                                            fault_rates.reorder,
+                                            fault_rates.corrupt);
   const Graph g = parse_graph(graph_spec);
   const Pattern p = parse_pattern(pattern_spec);
   const GraphPi engine(g);
@@ -169,15 +201,29 @@ int cmd_count(const std::string& graph_spec, const std::string& pattern_spec,
   if (options.backend == Backend::kDistributed) options.cluster_stats = &stats;
   if (options.backend == Backend::kGenerated && !jit::compiler_available())
     std::cerr << "note: no system compiler found; running the interpreter\n";
+  const bool bounded = options.timeout_ms > 0.0 || options.work_budget != 0;
+  support::RunReport report;
   support::Timer t;
-  const Count n = engine.count(config, options);
+  const Count n = engine.count(config, options, bounded ? &report : nullptr);
   std::cout << n << " embeddings in " << t.elapsed_seconds() << "s\n";
-  if (options.backend == Backend::kDistributed)
+  if (bounded)
+    std::cout << "status: " << support::to_string(report.status)
+              << " (completed " << report.completed_roots << " roots)\n";
+  if (options.backend == Backend::kDistributed) {
     std::cout << "sharded run: " << options.nodes << " nodes ("
               << dist::to_string(options.partition) << "), tasks "
               << stats.total_tasks << ", messages " << stats.messages << " ("
               << stats.bytes << " B), shipped candidate vertices "
               << stats.shipped_set_vertices << "\n";
+    if (options.faults.active())
+      std::cout << "fault injection: dropped " << stats.injected_drops
+                << ", duplicated " << stats.injected_duplicates
+                << ", reordered " << stats.injected_reorders << ", corrupted "
+                << stats.injected_corruptions << "; recovered via "
+                << stats.retransmits << " retransmits, "
+                << stats.corrupt_frames_detected << " CRC rejects, "
+                << stats.duplicates_suppressed << " dedups\n";
+  }
   if (options.backend == Backend::kGenerated) {
     const auto cache = jit::KernelCache::instance().stats();
     std::cout << "kernel cache: " << cache.compiles << " compiled, "
