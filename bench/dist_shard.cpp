@@ -3,13 +3,20 @@
 // by the sharded cluster at increasing node counts, recording wall time,
 // the message/byte economy, and the comm-cost model's projected makespan.
 //
-// Two modes:
+// Two arms per node count:
+//   * lockstep — the deterministic round-robin reference executor;
+//   * async    — the worker-thread runtime with bounded mailboxes and
+//                coalesced continuation flushes, whose wall-clock win
+//                over lockstep (frames amortized, no global round scans)
+//                is the headline the per-PR trajectory tracks, alongside
+//                the flush/coalescing counters and mailbox high water.
+//
+// Modes:
 //   * default: human-readable table;
 //   * `dist_shard --json [path]`: machine-readable records in the
 //     motif_batch schema — {name, ns_per_op, elements_per_s} — extended
-//     with the run's messages, bytes and projected makespan, written to
-//     `path` (default BENCH_dist_shard.json) so per-PR trajectories can
-//     track how the candidate-shipping economy scales with node count.
+//     with the run's messages, bytes, async counters and projected
+//     makespan, written to `path` (default BENCH_dist_shard.json).
 #include <cstdio>
 #include <cstring>
 #include <numeric>
@@ -35,7 +42,75 @@ struct Record {
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
   double projected_makespan_ns = 0.0;
+  // Async-arm extras (zero in lockstep records).
+  std::uint64_t flushes = 0;
+  std::uint64_t coalesced_frames = 0;
+  std::uint64_t coalesced_payloads = 0;
+  std::uint64_t mailbox_stalls = 0;
+  std::uint64_t mailbox_high_water = 0;
 };
+
+Record run_arm(const Graph& graph, const PlanForest& forest, int nodes,
+               dist::ExecMode exec, bool verbose) {
+  dist::ClusterOptions options;
+  options.nodes = nodes;
+  options.task_depth = 2;
+  options.exec = exec;
+  dist::ClusterStats stats;
+  double best = -1.0;
+  Count embeddings = 0;
+  double total = 0.0;
+  for (int rep = 0; rep < 5; ++rep) {
+    dist::ClusterStats rep_stats;
+    support::Timer t;
+    const std::vector<Count> counts =
+        dist::distributed_count_batch(graph, forest, options, &rep_stats);
+    const double seconds = t.elapsed_seconds();
+    total += seconds;
+    if (best < 0 || seconds < best) {
+      best = seconds;
+      stats = rep_stats;
+      embeddings = std::accumulate(counts.begin(), counts.end(), Count{0});
+    }
+    if (total > 4.0) break;
+  }
+  const dist::ShardSimResult sim = dist::simulate_sharded_cluster(
+      stats.seconds_per_node, stats.sent_messages_per_node,
+      stats.sent_bytes_per_node);
+  Record r;
+  r.name = "census4/nodes" + std::to_string(nodes) + "/hash";
+  if (exec == dist::ExecMode::kAsync) r.name += "/async";
+  r.ns_per_op = best * 1e9;
+  r.elements_per_s = best > 0 ? static_cast<double>(embeddings) / best : 0.0;
+  r.messages = stats.messages;
+  r.bytes = stats.bytes;
+  r.projected_makespan_ns = sim.makespan_seconds * 1e9;
+  r.flushes = stats.flushes;
+  r.coalesced_frames = stats.coalesced_frames;
+  r.coalesced_payloads = stats.coalesced_payloads;
+  r.mailbox_stalls = stats.mailbox_stalls;
+  r.mailbox_high_water = stats.mailbox_high_water;
+  if (verbose) {
+    std::printf(
+        "%s: wall %.1f ms, %llu msgs (%llu B, %llu candidate vertices "
+        "shipped), replication %.2f, projected makespan %.2f ms\n",
+        r.name.c_str(), r.ns_per_op / 1e6,
+        static_cast<unsigned long long>(stats.messages),
+        static_cast<unsigned long long>(stats.bytes),
+        static_cast<unsigned long long>(stats.shipped_set_vertices),
+        stats.replication_factor, r.projected_makespan_ns / 1e6);
+    if (exec == dist::ExecMode::kAsync)
+      std::printf(
+        "  async: %llu continuations in %llu batch frames (%llu flushes), "
+        "%llu mailbox stalls, high water %llu\n",
+        static_cast<unsigned long long>(r.coalesced_payloads),
+        static_cast<unsigned long long>(r.coalesced_frames),
+        static_cast<unsigned long long>(r.flushes),
+        static_cast<unsigned long long>(r.mailbox_stalls),
+        static_cast<unsigned long long>(r.mailbox_high_water));
+  }
+  return r;
+}
 
 std::vector<Record> run_suite(bool verbose) {
   const Graph graph = bench_rmat();
@@ -45,48 +120,12 @@ std::vector<Record> run_suite(bool verbose) {
 
   std::vector<Record> records;
   for (const int nodes : {1, 2, 4, 8}) {
-    dist::ClusterOptions options;
-    options.nodes = nodes;
-    options.task_depth = 2;
-    dist::ClusterStats stats;
-    double best = -1.0;
-    Count embeddings = 0;
-    double total = 0.0;
-    for (int rep = 0; rep < 3; ++rep) {
-      dist::ClusterStats rep_stats;
-      support::Timer t;
-      const std::vector<Count> counts =
-          dist::distributed_count_batch(graph, forest, options, &rep_stats);
-      const double seconds = t.elapsed_seconds();
-      total += seconds;
-      if (best < 0 || seconds < best) {
-        best = seconds;
-        stats = rep_stats;
-        embeddings = std::accumulate(counts.begin(), counts.end(), Count{0});
-      }
-      if (total > 2.0) break;
-    }
-    const dist::ShardSimResult sim = dist::simulate_sharded_cluster(
-        stats.seconds_per_node, stats.sent_messages_per_node,
-        stats.sent_bytes_per_node);
-    Record r;
-    r.name = "census4/nodes" + std::to_string(nodes) + "/hash";
-    r.ns_per_op = best * 1e9;
-    r.elements_per_s =
-        best > 0 ? static_cast<double>(embeddings) / best : 0.0;
-    r.messages = stats.messages;
-    r.bytes = stats.bytes;
-    r.projected_makespan_ns = sim.makespan_seconds * 1e9;
-    records.push_back(r);
-    if (verbose)
-      std::printf(
-          "%s: wall %.1f ms, %llu msgs (%llu B, %llu candidate vertices "
-          "shipped), replication %.2f, projected makespan %.2f ms\n",
-          r.name.c_str(), r.ns_per_op / 1e6,
-          static_cast<unsigned long long>(stats.messages),
-          static_cast<unsigned long long>(stats.bytes),
-          static_cast<unsigned long long>(stats.shipped_set_vertices),
-          stats.replication_factor, r.projected_makespan_ns / 1e6);
+    records.push_back(
+        run_arm(graph, forest, nodes, dist::ExecMode::kLockstep, verbose));
+    // nodes == 1 short-circuits to the local batch engine in both modes.
+    if (nodes > 1)
+      records.push_back(
+          run_arm(graph, forest, nodes, dist::ExecMode::kAsync, verbose));
   }
   return records;
 }
@@ -104,12 +143,22 @@ int write_json(const std::string& path) {
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"ns_per_op\": %.3f, "
                  "\"elements_per_s\": %.3e, \"messages\": %llu, "
-                 "\"bytes\": %llu, \"projected_makespan_ns\": %.3f}%s\n",
+                 "\"bytes\": %llu, \"projected_makespan_ns\": %.3f, "
+                 "\"flushes\": %llu, \"coalesced_frames\": %llu, "
+                 "\"coalesced_payloads\": %llu, \"mailbox_stalls\": %llu, "
+                 "\"mailbox_high_water\": %llu}%s\n",
                  records[i].name.c_str(), records[i].ns_per_op,
                  records[i].elements_per_s,
                  static_cast<unsigned long long>(records[i].messages),
                  static_cast<unsigned long long>(records[i].bytes),
                  records[i].projected_makespan_ns,
+                 static_cast<unsigned long long>(records[i].flushes),
+                 static_cast<unsigned long long>(records[i].coalesced_frames),
+                 static_cast<unsigned long long>(
+                     records[i].coalesced_payloads),
+                 static_cast<unsigned long long>(records[i].mailbox_stalls),
+                 static_cast<unsigned long long>(
+                     records[i].mailbox_high_water),
                  i + 1 < records.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");

@@ -103,6 +103,9 @@ Count GraphPi::count(const Configuration& config, const MatchOptions& options,
       copt.partition = options.partition;
       copt.faults = options.faults;
       copt.control = ctl;
+      copt.exec = options.dist_exec;
+      copt.workers_per_node = options.dist_workers;
+      copt.mailbox_capacity = options.dist_mailbox_capacity;
       return dist::distributed_count(*graph_, config, copt,
                                      options.cluster_stats, report);
     }
@@ -150,6 +153,9 @@ std::vector<Count> GraphPi::count_batch_impl(
     copt.partition = options.partition;
     copt.faults = options.faults;
     copt.control = ctl;
+    copt.exec = options.dist_exec;
+    copt.workers_per_node = options.dist_workers;
+    copt.mailbox_capacity = options.dist_mailbox_capacity;
     return dist::distributed_count_batch(*graph_, forest, copt,
                                          options.cluster_stats, report);
   }

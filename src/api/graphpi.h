@@ -72,6 +72,17 @@ struct MatchOptions {
   /// How the distributed backend partitions the data graph into per-node
   /// CSR shards (dist/shard.h).
   dist::PartitionStrategy partition = dist::PartitionStrategy::kHash;
+  /// How the distributed backend drives its logical nodes
+  /// (dist/runtime.h): kLockstep is the deterministic single-threaded
+  /// round-robin reference; kAsync runs one worker pool per node with
+  /// bounded mailboxes and coalesced continuation flushes. Counts are
+  /// bit-identical either way.
+  dist::ExecMode dist_exec = dist::ExecMode::kLockstep;
+  /// Async distributed mode only: worker threads per logical node (>= 1).
+  int dist_workers = 1;
+  /// Async distributed mode only: mailbox frames before senders stall
+  /// (0 = unbounded; see dist::ClusterOptions::mailbox_capacity).
+  int dist_mailbox_capacity = 1024;
   /// Observability out-param: when non-null, the distributed backend
   /// writes the statistics of the call here — tasks, messages, serialized
   /// bytes, shipped candidate vertices, per-node load, and the shard

@@ -9,12 +9,13 @@
 
 namespace graphpi::dist {
 
-Channel::Channel(int nodes, FaultPlan faults)
-    : faults_(faults), faults_active_(faults.active()), rng_(faults.seed) {
+Channel::Channel(int nodes, FaultPlan faults, std::size_t mailbox_capacity)
+    : faults_(faults),
+      faults_active_(faults.active()),
+      rng_(faults.seed),
+      stats_(static_cast<std::size_t>(nodes)) {
   GRAPHPI_CHECK_MSG(nodes >= 1, "channel needs at least one node");
-  inboxes_.resize(static_cast<std::size_t>(nodes));
-  stats_.sent_messages_per_node.assign(static_cast<std::size_t>(nodes), 0);
-  stats_.sent_bytes_per_node.assign(static_cast<std::size_t>(nodes), 0);
+  for (int n = 0; n < nodes; ++n) inboxes_.emplace_back(mailbox_capacity);
 }
 
 void Channel::send(int from, int to, MessageKind kind,
@@ -22,63 +23,100 @@ void Channel::send(int from, int to, MessageKind kind,
   GRAPHPI_CHECK(from >= 0 && from < static_cast<int>(inboxes_.size()));
   GRAPHPI_CHECK(to >= 0 && to < static_cast<int>(inboxes_.size()));
   const auto k = static_cast<std::size_t>(kind);
-  ++stats_.messages;
-  ++stats_.messages_by_kind[k];
-  stats_.bytes += payload.size();
-  stats_.bytes_by_kind[k] += payload.size();
-  ++stats_.sent_messages_per_node[static_cast<std::size_t>(from)];
-  stats_.sent_bytes_per_node[static_cast<std::size_t>(from)] += payload.size();
+  const auto relaxed = std::memory_order_relaxed;
+  stats_.messages.fetch_add(1, relaxed);
+  stats_.messages_by_kind[k].fetch_add(1, relaxed);
+  stats_.bytes.fetch_add(payload.size(), relaxed);
+  stats_.bytes_by_kind[k].fetch_add(payload.size(), relaxed);
+  stats_.sent_messages_per_node[static_cast<std::size_t>(from)].fetch_add(
+      1, relaxed);
+  stats_.sent_bytes_per_node[static_cast<std::size_t>(from)].fetch_add(
+      payload.size(), relaxed);
 
   auto& inbox = inboxes_[static_cast<std::size_t>(to)];
   if (!faults_active_) {
-    inbox.push_back(Message{kind, from, to, std::move(payload)});
+    inbox.force_push(Message{kind, from, to, std::move(payload)});
     return;
   }
 
   // Fault rolls are drawn in a fixed order from the seeded engine, so a
-  // given send sequence always misbehaves the same way.
-  const FaultPlan::Rates& rates = faults_.kind[k];
-  std::uniform_real_distribution<double> coin(0.0, 1.0);
-  if (coin(rng_) < rates.drop) {
-    ++stats_.injected_drops;
-    return;
-  }
+  // given send sequence always misbehaves the same way (exactly
+  // reproducible in lockstep mode, where one thread does all sending).
   Message msg{kind, from, to, std::move(payload)};
-  if (!msg.payload.empty() && coin(rng_) < rates.corrupt) {
-    ++stats_.injected_corruptions;
-    std::uniform_int_distribution<std::size_t> pos(0, msg.payload.size() - 1);
-    std::uniform_int_distribution<int> flips(1, 3);
-    std::uniform_int_distribution<int> bits(1, 255);  // nonzero XOR: real flip
-    const int n = flips(rng_);
-    for (int i = 0; i < n; ++i)
-      msg.payload[pos(rng_)] ^= static_cast<std::uint8_t>(bits(rng_));
+  bool duplicate = false;
+  bool reorder = false;
+  {
+    std::lock_guard<std::mutex> rng_lock(rng_mu_);
+    const FaultPlan::Rates& rates = faults_.kind[k];
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+    if (coin(rng_) < rates.drop) {
+      stats_.injected_drops.fetch_add(1, relaxed);
+      return;
+    }
+    if (!msg.payload.empty() && coin(rng_) < rates.corrupt) {
+      stats_.injected_corruptions.fetch_add(1, relaxed);
+      std::uniform_int_distribution<std::size_t> pos(0, msg.payload.size() - 1);
+      std::uniform_int_distribution<int> flips(1, 3);
+      std::uniform_int_distribution<int> bits(1, 255);  // nonzero XOR: real flip
+      const int n = flips(rng_);
+      for (int i = 0; i < n; ++i)
+        msg.payload[pos(rng_)] ^= static_cast<std::uint8_t>(bits(rng_));
+    }
+    duplicate = coin(rng_) < rates.duplicate;
+    reorder = coin(rng_) < rates.reorder;
   }
-  const bool duplicate = coin(rng_) < rates.duplicate;
-  const bool reorder = coin(rng_) < rates.reorder;
   if (duplicate) {
-    ++stats_.injected_duplicates;
-    inbox.push_back(msg);
+    stats_.injected_duplicates.fetch_add(1, relaxed);
+    inbox.force_push(Message{msg});
   }
   if (reorder && !inbox.empty()) {
-    ++stats_.injected_reorders;
-    inbox.push_front(std::move(msg));
+    stats_.injected_reorders.fetch_add(1, relaxed);
+    inbox.force_push_front(std::move(msg));
   } else {
-    inbox.push_back(std::move(msg));
+    inbox.force_push(std::move(msg));
   }
 }
 
 bool Channel::receive(int node, Message& out) {
-  auto& inbox = inboxes_[static_cast<std::size_t>(node)];
-  if (inbox.empty()) return false;
-  out = std::move(inbox.front());
-  inbox.pop_front();
-  return true;
+  return inboxes_[static_cast<std::size_t>(node)].try_pop(out);
+}
+
+bool Channel::wait_for_traffic(int node, std::chrono::nanoseconds timeout,
+                               const support::ExecControl* control) {
+  return inboxes_[static_cast<std::size_t>(node)].wait_nonempty(timeout,
+                                                                control);
 }
 
 bool Channel::idle() const noexcept {
   for (const auto& inbox : inboxes_)
     if (!inbox.empty()) return false;
   return true;
+}
+
+void Channel::close_all() {
+  for (auto& inbox : inboxes_) inbox.close();
+}
+
+CommStats Channel::stats() const {
+  const auto relaxed = std::memory_order_relaxed;
+  CommStats out;
+  out.messages = stats_.messages.load(relaxed);
+  out.bytes = stats_.bytes.load(relaxed);
+  for (std::size_t k = 0; k < kMessageKindCount; ++k) {
+    out.messages_by_kind[k] = stats_.messages_by_kind[k].load(relaxed);
+    out.bytes_by_kind[k] = stats_.bytes_by_kind[k].load(relaxed);
+  }
+  out.sent_messages_per_node.reserve(stats_.sent_messages_per_node.size());
+  out.sent_bytes_per_node.reserve(stats_.sent_bytes_per_node.size());
+  for (const auto& c : stats_.sent_messages_per_node)
+    out.sent_messages_per_node.push_back(c.load(relaxed));
+  for (const auto& c : stats_.sent_bytes_per_node)
+    out.sent_bytes_per_node.push_back(c.load(relaxed));
+  out.injected_drops = stats_.injected_drops.load(relaxed);
+  out.injected_duplicates = stats_.injected_duplicates.load(relaxed);
+  out.injected_reorders = stats_.injected_reorders.load(relaxed);
+  out.injected_corruptions = stats_.injected_corruptions.load(relaxed);
+  return out;
 }
 
 // --------------------------------------------------------------------------
@@ -115,6 +153,7 @@ namespace {
 
 constexpr std::uint8_t kFrameData = 0;
 constexpr std::uint8_t kFrameAck = 1;
+constexpr std::uint8_t kFrameBatch = 2;
 constexpr std::size_t kFrameHeader = 1 + 4;  // type + seq
 constexpr std::size_t kFrameTrailer = 4;     // crc
 
@@ -141,21 +180,46 @@ bool frame_intact(const std::vector<std::uint8_t>& frame, std::uint8_t& type,
     return false;
   type = frame[0];
   seq = load_u32_le(frame.data() + 1);
-  return type == kFrameData || type == kFrameAck;
+  return type == kFrameData || type == kFrameAck || type == kFrameBatch;
+}
+
+/// Splits an intact batch frame's body into its payloads. False on a
+/// malformed container (CRC-passing corruption is ~2^-32; treated like a
+/// corrupt frame — unacked, so the retransmit timer redelivers).
+bool unpack_batch(const std::vector<std::uint8_t>& frame,
+                  std::vector<std::vector<std::uint8_t>>& out) {
+  const std::uint8_t* p = frame.data() + kFrameHeader;
+  const std::uint8_t* end = frame.data() + frame.size() - kFrameTrailer;
+  if (end - p < 4) return false;
+  const std::uint32_t count = load_u32_le(p);
+  p += 4;
+  out.clear();
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (end - p < 4) return false;
+    const std::uint32_t len = load_u32_le(p);
+    p += 4;
+    if (static_cast<std::size_t>(end - p) < len) return false;
+    out.emplace_back(p, p + len);
+    p += len;
+  }
+  return p == end;
 }
 
 }  // namespace
 
-ReliableChannel::ReliableChannel(int nodes, const FaultPlan& faults)
-    : channel_(nodes, faults),
+ReliableChannel::ReliableChannel(int nodes, const FaultPlan& faults,
+                                 std::size_t mailbox_capacity)
+    : channel_(nodes, faults, mailbox_capacity),
       next_seq_(static_cast<std::size_t>(nodes) *
                     static_cast<std::size_t>(nodes),
                 0),
-      unacked_(static_cast<std::size_t>(nodes)),
-      seen_(static_cast<std::size_t>(nodes)) {}
+      rt_(static_cast<std::size_t>(nodes)) {}
 
 void ReliableChannel::send(int from, int to, MessageKind kind,
                            std::vector<std::uint8_t> payload) {
+  NodeRt& rt = rt_[static_cast<std::size_t>(from)];
+  std::lock_guard<std::mutex> lock(rt.mu);
   const std::uint32_t seq = next_seq_[link(from, to)]++;
   std::vector<std::uint8_t> frame;
   frame.reserve(kFrameHeader + payload.size() + kFrameTrailer);
@@ -163,10 +227,47 @@ void ReliableChannel::send(int from, int to, MessageKind kind,
   append_u32_le(frame, seq);
   frame.insert(frame.end(), payload.begin(), payload.end());
   append_u32_le(frame, crc32(frame));
-  ++rstats_.data_frames_sent;
-  unacked_[static_cast<std::size_t>(from)].push_back(Unacked{
-      to, seq, kind, frame, now_ + kRtoInitialTicks, kRtoInitialTicks, 0});
+  rstats_.data_frames_sent.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t now = now_.load(std::memory_order_relaxed);
+  rt.unacked.push_back(Unacked{to, seq, kind, frame, now + kRtoInitialTicks,
+                               kRtoInitialTicks, 0});
   channel_.send(from, to, kind, std::move(frame));
+}
+
+void ReliableChannel::send_many(int from, int to, MessageKind kind,
+                                std::vector<std::vector<std::uint8_t>>& payloads) {
+  if (payloads.empty()) return;
+  if (payloads.size() == 1) {
+    // A batch of one gains nothing from the container: ship it as a plain
+    // data frame (4 header bytes cheaper, same ack economy).
+    send(from, to, kind, std::move(payloads.front()));
+    payloads.clear();
+    return;
+  }
+  NodeRt& rt = rt_[static_cast<std::size_t>(from)];
+  std::lock_guard<std::mutex> lock(rt.mu);
+  const std::uint32_t seq = next_seq_[link(from, to)]++;
+  std::size_t total = kFrameHeader + 4 + kFrameTrailer;
+  for (const auto& p : payloads) total += 4 + p.size();
+  std::vector<std::uint8_t> frame;
+  frame.reserve(total);
+  frame.push_back(kFrameBatch);
+  append_u32_le(frame, seq);
+  append_u32_le(frame, static_cast<std::uint32_t>(payloads.size()));
+  for (const auto& p : payloads) {
+    append_u32_le(frame, static_cast<std::uint32_t>(p.size()));
+    frame.insert(frame.end(), p.begin(), p.end());
+  }
+  append_u32_le(frame, crc32(frame));
+  const auto relaxed = std::memory_order_relaxed;
+  rstats_.data_frames_sent.fetch_add(1, relaxed);
+  rstats_.batch_frames_sent.fetch_add(1, relaxed);
+  rstats_.batch_payloads.fetch_add(payloads.size(), relaxed);
+  const std::uint64_t now = now_.load(relaxed);
+  rt.unacked.push_back(Unacked{to, seq, kind, frame, now + kRtoInitialTicks,
+                               kRtoInitialTicks, 0});
+  channel_.send(from, to, kind, std::move(frame));
+  payloads.clear();
 }
 
 void ReliableChannel::send_ack(int from, int to, std::uint32_t seq) {
@@ -175,40 +276,70 @@ void ReliableChannel::send_ack(int from, int to, std::uint32_t seq) {
   frame.push_back(kFrameAck);
   append_u32_le(frame, seq);
   append_u32_le(frame, crc32(frame));
-  ++rstats_.acks_sent;
+  rstats_.acks_sent.fetch_add(1, std::memory_order_relaxed);
   // Fire-and-forget: a lost ack is recovered by the sender's retransmit,
   // which the dedup set turns into a fresh ack.
   channel_.send(from, to, MessageKind::kAck, std::move(frame));
 }
 
 bool ReliableChannel::receive(int node, Message& out) {
+  NodeRt& rt = rt_[static_cast<std::size_t>(node)];
+  std::lock_guard<std::mutex> lock(rt.mu);
+  return receive_locked(node, rt, out);
+}
+
+bool ReliableChannel::receive_locked(int node, NodeRt& rt, Message& out) {
+  if (!rt.staged.empty()) {
+    out = std::move(rt.staged.front());
+    rt.staged.pop_front();
+    return true;
+  }
+  const auto relaxed = std::memory_order_relaxed;
   Message raw;
   while (channel_.receive(node, raw)) {
     std::uint8_t type = 0;
     std::uint32_t seq = 0;
     if (!frame_intact(raw.payload, type, seq)) {
-      ++rstats_.corrupt_frames_detected;  // sender's timer will resend
-      continue;
+      rstats_.corrupt_frames_detected.fetch_add(1, relaxed);
+      continue;  // sender's timer will resend
     }
     if (type == kFrameAck) {
-      auto& pending = unacked_[static_cast<std::size_t>(node)];
-      for (auto it = pending.begin(); it != pending.end(); ++it) {
+      for (auto it = rt.unacked.begin(); it != rt.unacked.end(); ++it) {
         if (it->to == raw.from && it->seq == seq) {
-          pending.erase(it);
+          rt.unacked.erase(it);
           break;
         }
       }
       continue;
     }
-    // Intact data frame: ack it even if it is a duplicate (the original
-    // ack may have been lost), then dedup before delivering.
-    send_ack(node, raw.from, seq);
     const std::uint64_t key =
         static_cast<std::uint64_t>(static_cast<std::uint32_t>(raw.from))
             << 32 |
         seq;
-    if (!seen_[static_cast<std::size_t>(node)].insert(key).second) {
-      ++rstats_.duplicates_suppressed;
+    if (type == kFrameBatch) {
+      std::vector<std::vector<std::uint8_t>> payloads;
+      if (!unpack_batch(raw.payload, payloads)) {
+        // Malformed container despite an intact CRC: treat as corrupt and
+        // do NOT ack, so the sender redelivers the whole batch.
+        rstats_.corrupt_frames_detected.fetch_add(1, relaxed);
+        continue;
+      }
+      send_ack(node, raw.from, seq);
+      if (!rt.seen.insert(key).second) {
+        rstats_.duplicates_suppressed.fetch_add(1, relaxed);
+        continue;
+      }
+      for (auto& p : payloads)
+        rt.staged.push_back(Message{raw.kind, raw.from, node, std::move(p)});
+      out = std::move(rt.staged.front());
+      rt.staged.pop_front();
+      return true;
+    }
+    // Intact data frame: ack it even if it is a duplicate (the original
+    // ack may have been lost), then dedup before delivering.
+    send_ack(node, raw.from, seq);
+    if (!rt.seen.insert(key).second) {
+      rstats_.duplicates_suppressed.fetch_add(1, relaxed);
       continue;
     }
     out.kind = raw.kind;
@@ -222,6 +353,19 @@ bool ReliableChannel::receive(int node, Message& out) {
   return false;
 }
 
+bool ReliableChannel::receive_wait(int node, Message& out,
+                                   std::chrono::nanoseconds timeout,
+                                   const support::ExecControl* control) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    if (receive(node, out)) return true;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return false;
+    if (!channel_.wait_for_traffic(node, deadline - now, control))
+      return false;
+  }
+}
+
 bool ReliableChannel::service_retransmits(int node) {
   // Queue-aware RTO: a frame is only presumed lost once its due time has
   // passed AND neither endpoint has traffic in flight — the data frame
@@ -231,18 +375,24 @@ bool ReliableChannel::service_retransmits(int node) {
   // simulation queue depth is the honest congestion signal, and it keeps
   // a fault-free channel retransmit-free no matter the backlog.)
   // Pending acks land in this node's own inbox, so while it is non-empty
-  // every frame would be skipped below — skip the whole scan.
+  // every frame would be skipped below — skip the whole scan. The inbox
+  // reads are racy in async mode, which is benign: a stale "non-empty"
+  // delays the resend one idle loop, a stale "empty" resends a frame the
+  // receiver dedups.
   if (!channel_.inbox_empty(node)) return false;
+  NodeRt& rt = rt_[static_cast<std::size_t>(node)];
+  std::lock_guard<std::mutex> lock(rt.mu);
+  const std::uint64_t now = now_.load(std::memory_order_relaxed);
   bool resent = false;
-  for (Unacked& u : unacked_[static_cast<std::size_t>(node)]) {
-    if (u.due > now_) continue;
+  for (Unacked& u : rt.unacked) {
+    if (u.due > now) continue;
     if (!channel_.inbox_empty(u.to)) continue;
     ++u.retries;
     GRAPHPI_CHECK_MSG(u.retries < kMaxRetries,
                       "reliable channel livelocked: frame never acked");
-    ++rstats_.retransmits;
+    rstats_.retransmits.fetch_add(1, std::memory_order_relaxed);
     u.rto = std::min(u.rto * 2, kRtoMaxTicks);
-    u.due = now_ + u.rto;
+    u.due = now + u.rto;
     channel_.send(node, u.to, u.kind, u.frame);
     resent = true;
   }
@@ -251,8 +401,10 @@ bool ReliableChannel::service_retransmits(int node) {
 
 bool ReliableChannel::idle() const noexcept {
   if (!channel_.idle()) return false;
-  for (const auto& pending : unacked_)
-    if (!pending.empty()) return false;
+  for (const NodeRt& rt : rt_) {
+    std::lock_guard<std::mutex> lock(rt.mu);
+    if (!rt.unacked.empty() || !rt.staged.empty()) return false;
+  }
   return true;
 }
 

@@ -9,25 +9,33 @@
 // embeddings never do" economy becomes a number instead of a slogan, and
 // the comm-cost model in dist/simulator.h has real inputs.
 //
-// The channel is single-threaded by design (the runtime services logical
-// nodes round-robin); it is a measurement device, not a transport. It can
-// however MISBEHAVE like a transport: a seeded, deterministic FaultPlan
-// injects drops, duplicates, reorders, and byte corruption per message
-// kind, and the ReliableChannel layered on top restores exactly-once
-// delivery with CRC32-framed payloads, sequence numbers, send-side
-// retransmit with capped backoff, and receive-side dedup — the same
-// protocol shape a real MPI/socket backend will need.
+// The channel is thread-safe: the lockstep executor drives all logical
+// nodes from one thread (deterministic round-robin), while the async
+// executor runs one worker pool per node with the channel as the only
+// shared medium — inboxes are bounded MPMC queues, traffic counters are
+// atomic, and the reliability bookkeeping (sequence numbers, unacked
+// frames, dedup sets) is guarded per node. It can also MISBEHAVE like a
+// transport: a seeded, deterministic FaultPlan injects drops, duplicates,
+// reorders, and byte corruption per message kind, and the ReliableChannel
+// layered on top restores exactly-once delivery with CRC32-framed
+// payloads, sequence numbers, send-side retransmit with capped backoff,
+// and receive-side dedup — the same protocol shape a real MPI/socket
+// backend will need. Batch frames amortize one header + CRC + ack over
+// many coalesced continuation payloads (see send_many).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
+#include <memory>
+#include <mutex>
 #include <random>
 #include <span>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "graph/types.h"
+#include "support/mpmc_queue.h"
 
 namespace graphpi::dist {
 
@@ -51,7 +59,10 @@ struct Message {
 
 /// Deterministic fault injection: per-kind probabilities, seeded RNG.
 /// The same plan + the same send sequence produces the same faults, so
-/// failing runs reproduce exactly.
+/// failing runs reproduce exactly (in lockstep mode; async mode shares
+/// the engine across sender threads, so which send draws which roll
+/// depends on scheduling — the reliability layer keeps counts
+/// bit-identical either way).
 struct FaultPlan {
   struct Rates {
     double drop = 0.0;       ///< message silently lost
@@ -82,7 +93,10 @@ struct FaultPlan {
 };
 
 /// Aggregate traffic counters, by kind and by sending node. The
-/// injected_* counters record what the fault plan actually did.
+/// injected_* counters record what the fault plan actually did. Snapshot
+/// struct — Channel::stats() materializes it from atomic counters, so a
+/// copy taken mid-run is internally consistent enough for monitoring and
+/// exact once the channel has quiesced.
 struct CommStats {
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;  ///< payload bytes (headers excluded)
@@ -97,12 +111,17 @@ struct CommStats {
 };
 
 /// All-to-all mailboxes between `nodes` logical nodes, with optional
-/// fault injection at the send side. Send/receive bookkeeping is derived
-/// from the inbox sizes themselves, so idle() stays consistent no matter
-/// how many copies of a message the fault plan delivers (or eats).
+/// fault injection at the send side. Inboxes are bounded MPMC queues
+/// (`mailbox_capacity` frames each; 0 = unbounded). The channel itself
+/// never refuses a send — protocol traffic (acks, retransmits) must
+/// always land — so the bound is enforced cooperatively: senders of NEW
+/// data consult inbox_size() and stall while a peer is at capacity (see
+/// the async runtime's flush loop), and inbox_high_water() records how
+/// deep mailboxes actually got.
 class Channel {
  public:
-  explicit Channel(int nodes, FaultPlan faults = {});
+  explicit Channel(int nodes, FaultPlan faults = {},
+                   std::size_t mailbox_capacity = 0);
 
   void send(int from, int to, MessageKind kind,
             std::vector<std::uint8_t> payload);
@@ -110,6 +129,11 @@ class Channel {
   /// Pops the oldest message addressed to `node`; false when its inbox is
   /// empty.
   [[nodiscard]] bool receive(int node, Message& out);
+
+  /// Blocks up to `timeout` for traffic addressed to `node` (without
+  /// consuming it). False on timeout, close, or a fired `control`.
+  [[nodiscard]] bool wait_for_traffic(int node, std::chrono::nanoseconds timeout,
+                                      const support::ExecControl* control);
 
   /// True when every inbox is empty.
   [[nodiscard]] bool idle() const noexcept;
@@ -119,18 +143,50 @@ class Channel {
   [[nodiscard]] bool inbox_empty(int node) const noexcept {
     return inboxes_[static_cast<std::size_t>(node)].empty();
   }
+  [[nodiscard]] std::size_t inbox_size(int node) const noexcept {
+    return inboxes_[static_cast<std::size_t>(node)].size();
+  }
+  [[nodiscard]] std::size_t inbox_high_water(int node) const noexcept {
+    return inboxes_[static_cast<std::size_t>(node)].high_water();
+  }
+  [[nodiscard]] std::size_t mailbox_capacity() const noexcept {
+    return inboxes_.empty() ? 0 : inboxes_[0].capacity();
+  }
+
+  /// Wakes every blocked receiver and drops subsequent sends — called
+  /// once the async run has terminated so straggling protocol traffic
+  /// cannot wedge an exiting worker.
+  void close_all();
 
   [[nodiscard]] int nodes() const noexcept {
     return static_cast<int>(inboxes_.size());
   }
-  [[nodiscard]] const CommStats& stats() const noexcept { return stats_; }
+
+  /// Snapshot of the atomic traffic counters.
+  [[nodiscard]] CommStats stats() const;
 
  private:
-  std::vector<std::deque<Message>> inboxes_;
+  struct AtomicStats {
+    explicit AtomicStats(std::size_t nodes)
+        : sent_messages_per_node(nodes), sent_bytes_per_node(nodes) {}
+    std::atomic<std::uint64_t> messages{0};
+    std::atomic<std::uint64_t> bytes{0};
+    std::atomic<std::uint64_t> messages_by_kind[kMessageKindCount]{};
+    std::atomic<std::uint64_t> bytes_by_kind[kMessageKindCount]{};
+    std::vector<std::atomic<std::uint64_t>> sent_messages_per_node;
+    std::vector<std::atomic<std::uint64_t>> sent_bytes_per_node;
+    std::atomic<std::uint64_t> injected_drops{0};
+    std::atomic<std::uint64_t> injected_duplicates{0};
+    std::atomic<std::uint64_t> injected_reorders{0};
+    std::atomic<std::uint64_t> injected_corruptions{0};
+  };
+
+  std::deque<support::BoundedMpmcQueue<Message>> inboxes_;
   FaultPlan faults_;
   bool faults_active_ = false;
+  std::mutex rng_mu_;  ///< guards rng_ (shared across sender threads)
   std::mt19937_64 rng_;
-  CommStats stats_;
+  AtomicStats stats_;
 };
 
 // ---------------------------------------------------------------------------
@@ -140,46 +196,74 @@ class Channel {
 /// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `data`.
 [[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept;
 
-/// Protocol-level counters of the reliability layer.
+/// Protocol-level counters of the reliability layer. Snapshot struct
+/// (see CommStats).
 struct ReliabilityStats {
   std::uint64_t data_frames_sent = 0;  ///< first transmissions only
   std::uint64_t retransmits = 0;
   std::uint64_t acks_sent = 0;
   std::uint64_t corrupt_frames_detected = 0;  ///< CRC mismatches discarded
   std::uint64_t duplicates_suppressed = 0;    ///< dedup hits (frame re-acked)
+  /// Coalesced batch frames (one header + CRC + ack amortized over many
+  /// payloads) and the payloads they carried.
+  std::uint64_t batch_frames_sent = 0;
+  std::uint64_t batch_payloads = 0;
 };
 
 /// Exactly-once delivery over a lossy, duplicating, reordering,
 /// corrupting Channel. Frame layout:
 ///
-///   data: [u8 frame=0][u32 seq][payload...][u32 crc]
-///   ack:  [u8 frame=1][u32 seq][u32 crc]
+///   data:  [u8 frame=0][u32 seq][payload...][u32 crc]
+///   ack:   [u8 frame=1][u32 seq][u32 crc]
+///   batch: [u8 frame=2][u32 seq][u32 count]{[u32 len][bytes]}*count[u32 crc]
 ///
 /// with the CRC covering every preceding byte. Sequence numbers are per
-/// directed (from → to) link. The receiver CRC-checks each frame,
-/// discards corrupt ones (the sender's retransmit timer recovers them),
-/// acks every intact data frame — including duplicates, whose payloads
-/// are then suppressed by a per-link seen-set — and delivers the inner
-/// payload exactly once. The sender keeps unacked frames and resends
+/// directed (from → to) link and shared across data and batch frames.
+/// The receiver CRC-checks each frame, discards corrupt ones (the
+/// sender's retransmit timer recovers them), acks every intact data or
+/// batch frame — including duplicates, whose payloads are then
+/// suppressed by a per-link seen-set — and delivers the inner payloads
+/// exactly once (a batch frame's payloads are staged and handed out one
+/// receive() at a time). The sender keeps unacked frames and resends
 /// them on a tick-driven timer with exponential backoff capped at
 /// kRtoMaxTicks. Any fault probability < 1 converges; a retry cap guards
 /// against livelock if a plan eats every copy.
+///
+/// Thread safety: every per-node structure (sequence rows, unacked
+/// frames, dedup set, staged batch payloads) is guarded by that node's
+/// mutex; a node's operations take only its own lock plus (inside
+/// Channel) the destination inbox lock, so lock order is always
+/// node → inbox and cross-node sends never deadlock.
 class ReliableChannel {
  public:
   static constexpr std::uint32_t kRtoInitialTicks = 4;
   static constexpr std::uint32_t kRtoMaxTicks = 64;
   static constexpr std::uint32_t kMaxRetries = 4096;
 
-  explicit ReliableChannel(int nodes, const FaultPlan& faults = {});
+  explicit ReliableChannel(int nodes, const FaultPlan& faults = {},
+                           std::size_t mailbox_capacity = 0);
 
   void send(int from, int to, MessageKind kind,
             std::vector<std::uint8_t> payload);
+
+  /// Coalesced flush: ships every payload in one batch frame — one
+  /// header, one CRC, one sequence number, one ack for the lot. The
+  /// receiver delivers them as individual kContinuation messages.
+  void send_many(int from, int to, MessageKind kind,
+                 std::vector<std::vector<std::uint8_t>>& payloads);
 
   /// Delivers the next new intact payload addressed to `node`, consuming
   /// (and acking / deduping / discarding) raw frames as needed. False
   /// when nothing deliverable is queued right now — more may appear
   /// after retransmits.
   [[nodiscard]] bool receive(int node, Message& out);
+
+  /// Blocking receive for async workers: waits up to `timeout` for a
+  /// deliverable payload. False on timeout, channel close, or a fired
+  /// `control`.
+  [[nodiscard]] bool receive_wait(int node, Message& out,
+                                  std::chrono::nanoseconds timeout,
+                                  const support::ExecControl* control);
 
   /// Resends `node`'s due unacked frames — but only those whose
   /// destination inbox AND own inbox are empty (queued frames are in
@@ -188,17 +272,36 @@ class ReliableChannel {
   bool service_retransmits(int node);
 
   /// Advances the retransmit clock one round.
-  void tick() noexcept { ++now_; }
+  void tick() noexcept { now_.fetch_add(1, std::memory_order_relaxed); }
 
-  /// True when no raw frames are queued and every data frame is acked.
+  /// True when no raw frames are queued, no batch payloads are staged,
+  /// and every data frame is acked.
   [[nodiscard]] bool idle() const noexcept;
 
-  [[nodiscard]] int nodes() const noexcept { return channel_.nodes(); }
-  [[nodiscard]] const CommStats& transport_stats() const noexcept {
-    return channel_.stats();
+  /// See Channel: the cooperative backpressure signal and close.
+  [[nodiscard]] std::size_t inbox_size(int node) const noexcept {
+    return channel_.inbox_size(node);
   }
-  [[nodiscard]] const ReliabilityStats& reliability_stats() const noexcept {
-    return rstats_;
+  [[nodiscard]] std::size_t inbox_high_water(int node) const noexcept {
+    return channel_.inbox_high_water(node);
+  }
+  [[nodiscard]] std::size_t mailbox_capacity() const noexcept {
+    return channel_.mailbox_capacity();
+  }
+  void close_all() { channel_.close_all(); }
+
+  [[nodiscard]] int nodes() const noexcept { return channel_.nodes(); }
+  [[nodiscard]] CommStats transport_stats() const { return channel_.stats(); }
+  [[nodiscard]] ReliabilityStats reliability_stats() const {
+    ReliabilityStats s;
+    s.data_frames_sent = rstats_.data_frames_sent.load();
+    s.retransmits = rstats_.retransmits.load();
+    s.acks_sent = rstats_.acks_sent.load();
+    s.corrupt_frames_detected = rstats_.corrupt_frames_detected.load();
+    s.duplicates_suppressed = rstats_.duplicates_suppressed.load();
+    s.batch_frames_sent = rstats_.batch_frames_sent.load();
+    s.batch_payloads = rstats_.batch_payloads.load();
+    return s;
   }
 
  private:
@@ -212,7 +315,27 @@ class ReliableChannel {
     std::uint32_t retries = 0;
   };
 
+  /// Everything one node mutates concurrently, under one lock.
+  struct NodeRt {
+    mutable std::mutex mu;  ///< mutable: idle() is a const observer
+    std::vector<Unacked> unacked;            ///< frames this node sent
+    std::unordered_set<std::uint64_t> seen;  ///< (from<<32)|seq delivered here
+    std::deque<Message> staged;  ///< unpacked batch payloads awaiting receive
+  };
+
+  struct AtomicReliabilityStats {
+    std::atomic<std::uint64_t> data_frames_sent{0};
+    std::atomic<std::uint64_t> retransmits{0};
+    std::atomic<std::uint64_t> acks_sent{0};
+    std::atomic<std::uint64_t> corrupt_frames_detected{0};
+    std::atomic<std::uint64_t> duplicates_suppressed{0};
+    std::atomic<std::uint64_t> batch_frames_sent{0};
+    std::atomic<std::uint64_t> batch_payloads{0};
+  };
+
   void send_ack(int from, int to, std::uint32_t seq);
+  /// Receive body with `node`'s lock already held.
+  [[nodiscard]] bool receive_locked(int node, NodeRt& rt, Message& out);
   [[nodiscard]] std::size_t link(int from, int to) const noexcept {
     return static_cast<std::size_t>(from) *
                static_cast<std::size_t>(channel_.nodes()) +
@@ -220,12 +343,11 @@ class ReliableChannel {
   }
 
   Channel channel_;
-  std::uint64_t now_ = 0;
-  std::vector<std::uint32_t> next_seq_;              ///< per directed link
-  std::vector<std::vector<Unacked>> unacked_;        ///< per sending node
-  std::vector<std::unordered_set<std::uint64_t>> seen_;  ///< per receiver:
-                                                         ///< (from<<32)|seq
-  ReliabilityStats rstats_;
+  std::atomic<std::uint64_t> now_{0};
+  std::vector<std::uint32_t> next_seq_;  ///< per directed link; row `from`
+                                         ///< guarded by rt_[from].mu
+  std::deque<NodeRt> rt_;                ///< per node (deque: mutex not movable)
+  AtomicReliabilityStats rstats_;
 };
 
 // ---------------------------------------------------------------------------

@@ -14,6 +14,22 @@
 // embeddings never travel. Message and byte counters make that economy
 // measurable, and feed the comm-cost model in dist/simulator.h.
 //
+// Two executors share one trie-walk implementation:
+//
+//   * ExecMode::kLockstep — the original single-threaded round-robin
+//     service loop: one unit of work per node per turn, compute strictly
+//     alternating with channel drains. Fully deterministic (fault
+//     injection replays exactly), the reference for the scheduling
+//     simulator and the differential tests.
+//   * ExecMode::kAsync — real compute/comm overlap: each node runs a
+//     small pool of worker threads (workers_per_node) draining a bounded
+//     MPMC mailbox; continuations are coalesced per destination and
+//     flushed as batch frames (one header + CRC + ack per batch), with
+//     cooperative backpressure when a peer's mailbox is full. Counts are
+//     bit-identical to lockstep/serial — integer partial sums are
+//     order-independent — while wall clock drops because nothing round-
+//     robins: workers walk roots while frames move.
+//
 // A single pattern is executed as a one-plan forest, so the same sharded
 // executor serves Matcher-equivalent counting (distributed_count) and
 // whole-batch motif censuses (distributed_count_batch) — results are
@@ -23,6 +39,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "core/configuration.h"
@@ -34,6 +51,18 @@
 #include "support/exec_control.h"
 
 namespace graphpi::dist {
+
+/// How the logical nodes are driven (see file header).
+enum class ExecMode : std::uint8_t {
+  kLockstep = 0,  ///< deterministic single-threaded round-robin service
+  kAsync = 1,     ///< one worker pool per node, mailboxes + coalesced flushes
+};
+
+[[nodiscard]] const char* to_string(ExecMode mode) noexcept;
+
+/// Parses "lockstep" / "async" (CLI flag form). False on anything else.
+[[nodiscard]] bool parse_exec_mode(std::string_view name,
+                                   ExecMode& out) noexcept;
 
 struct ClusterOptions {
   /// Number of logical nodes (>= 1). 1 runs the whole forest locally
@@ -48,13 +77,30 @@ struct ClusterOptions {
   PartitionStrategy partition = PartitionStrategy::kHash;
   /// Seeded fault injection applied to the transport; the reliability
   /// layer (dist/comm.h) keeps counts bit-identical under any plan with
-  /// all probabilities < 1.
+  /// all probabilities < 1 in both exec modes.
   FaultPlan faults{};
-  /// Optional deadline/cancel/budget handle (not owned). Checked once per
-  /// round-robin service round — i.e. every `nodes` root-grained work
-  /// units. On a stop the run returns partial counts; pass a RunReport to
-  /// the counting entry points to observe the status.
+  /// Optional deadline/cancel/budget handle (not owned). Lockstep checks
+  /// it once per round-robin service round; async workers poll it at
+  /// their own root stride and the master merges the per-worker
+  /// RunReports. On a stop the run returns partial counts; pass a
+  /// RunReport to the counting entry points to observe the status.
   const support::ExecControl* control = nullptr;
+
+  ExecMode exec = ExecMode::kLockstep;
+  /// Async only: worker threads per logical node (>= 1). The pool shares
+  /// the node's mailbox and claims owned roots from a shared cursor, so
+  /// intra-node parallelism composes with the inter-node kind.
+  int workers_per_node = 1;
+  /// Async only: frames a node's mailbox holds before senders of new
+  /// data stall (cooperative backpressure; protocol traffic — acks,
+  /// retransmits — is never refused). 0 = unbounded.
+  int mailbox_capacity = 1024;
+  /// Async only: continuation payloads buffered per destination before a
+  /// coalesced batch-frame flush (1 disables coalescing).
+  int flush_payloads = 32;
+  /// Async only: buffered payload bytes per destination that force a
+  /// flush even below flush_payloads.
+  int flush_bytes = 1 << 16;
 };
 
 /// Observability counters for one distributed run. Byte counters measure
@@ -65,9 +111,14 @@ struct ClusterStats {
   std::uint64_t total_tasks = 0;
   std::uint64_t messages = 0;  ///< all channel messages
   std::uint64_t bytes = 0;     ///< all channel payload bytes
-  /// Shipped walk continuations (the candidate economy).
+  /// Continuation-kind channel messages (lockstep: one per shipped
+  /// continuation; async: one per FRAME, many continuations per batch
+  /// frame — see coalesced_payloads).
   std::uint64_t continuation_messages = 0;
   std::uint64_t continuation_bytes = 0;
+  /// Walk continuations shipped (payloads, not frames — mode-independent:
+  /// identical across lockstep and async for the same run).
+  std::uint64_t shipped_continuations = 0;
   /// Candidate-set vertices carried inside continuations (in-flight
   /// intersections + completed IEP suffix sets).
   std::uint64_t shipped_set_vertices = 0;
@@ -95,6 +146,12 @@ struct ClusterStats {
   std::uint64_t injected_duplicates = 0;
   std::uint64_t injected_reorders = 0;
   std::uint64_t injected_corruptions = 0;
+  // Async-executor counters (zero in lockstep mode).
+  std::uint64_t flushes = 0;            ///< coalescer flush operations
+  std::uint64_t coalesced_frames = 0;   ///< batch frames on the wire
+  std::uint64_t coalesced_payloads = 0; ///< continuations inside batch frames
+  std::uint64_t mailbox_stalls = 0;     ///< flushes that found a full peer
+  std::uint64_t mailbox_high_water = 0; ///< deepest any mailbox got (frames)
 
   /// Element-wise merge (chunked batches accumulate across forests).
   void accumulate(const ClusterStats& other);

@@ -146,9 +146,20 @@ class ShardedGraph {
   }
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
+  /// Sum of owned() sizes across all shards — always the parent's vertex
+  /// count (ownership is a partition). The async runtime seeds its
+  /// termination counter with this: one in-flight unit per owned root.
+  [[nodiscard]] std::uint64_t total_owned() const noexcept {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) total += s.owned().size();
+    return total;
+  }
+
   /// Builds every shard view's hub bitmap index (auto threshold) unless
   /// already built — call before sharing across threads, mirroring
-  /// Graph::ensure_hub_index.
+  /// Graph::ensure_hub_index. After construction (plus this call, when
+  /// hub indexes are wanted) a ShardedGraph is immutable, so concurrent
+  /// reads from many worker threads are safe without locks.
   void ensure_hub_indexes() const;
 
  private:

@@ -1,0 +1,178 @@
+// Bounded multi-producer/multi-consumer mailbox for the async runtime.
+//
+// A deliberately simple mutex + condvar queue: the distributed runtime's
+// mailboxes carry at most a few thousand serialized frames per second per
+// node, so contention on one lock is negligible next to the walk itself,
+// and a simple queue is easy to reason about under ThreadSanitizer. What
+// the runtime actually needs from it is specific:
+//
+//   * try_push that FAILS when the mailbox is at capacity — the sender
+//     applies backpressure (stalls, drains its own inbox) instead of
+//     blocking inside the channel, which would deadlock a cycle of full
+//     mailboxes;
+//   * force_push / force_push_front that ignore capacity — protocol
+//     traffic (acks, retransmits) and fault-injected reorders must never
+//     be refused, or the reliability layer could not drain a full inbox;
+//   * a timed, abortable pop_wait so idle workers block instead of
+//     spinning, yet still observe an armed ExecControl (deadline/cancel)
+//     and a close() within one wait slice;
+//   * a high-water mark, because "how full did mailboxes actually get"
+//     is the observability half of backpressure (ClusterStats).
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "support/exec_control.h"
+
+namespace graphpi::support {
+
+template <typename T>
+class BoundedMpmcQueue {
+ public:
+  /// `capacity` 0 means unbounded (try_push never refuses).
+  explicit BoundedMpmcQueue(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  BoundedMpmcQueue(const BoundedMpmcQueue&) = delete;
+  BoundedMpmcQueue& operator=(const BoundedMpmcQueue&) = delete;
+
+  /// False when the queue is at capacity or closed; the item is untouched
+  /// on failure (the caller keeps ownership and applies backpressure).
+  [[nodiscard]] bool try_push(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return false;
+      if (capacity_ != 0 && q_.size() >= capacity_) return false;
+      q_.push_back(std::move(item));
+      if (q_.size() > high_water_) high_water_ = q_.size();
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Capacity-ignoring push for traffic that must never be refused
+  /// (acks, retransmits). Still refused after close().
+  void force_push(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return;
+      q_.push_back(std::move(item));
+      if (q_.size() > high_water_) high_water_ = q_.size();
+    }
+    cv_.notify_one();
+  }
+
+  /// Queue-jumping variant (fault-injected reorder delivers "early").
+  void force_push_front(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return;
+      q_.push_front(std::move(item));
+      if (q_.size() > high_water_) high_water_ = q_.size();
+    }
+    cv_.notify_one();
+  }
+
+  [[nodiscard]] bool try_pop(T& out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (q_.empty()) return false;
+    out = std::move(q_.front());
+    q_.pop_front();
+    return true;
+  }
+
+  /// Blocks up to `timeout` for an item. Returns false on timeout, on
+  /// close with an empty queue, or when `control` (optional) has fired —
+  /// the wait is sliced so an armed deadline/cancel is observed within
+  /// ~1ms even against a long timeout.
+  [[nodiscard]] bool pop_wait(T& out, std::chrono::nanoseconds timeout,
+                              const ExecControl* control = nullptr) {
+    constexpr auto kSlice = std::chrono::milliseconds(1);
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    std::unique_lock<std::mutex> lock(mu_);
+    while (q_.empty()) {
+      if (closed_) return false;
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) return false;
+      if (control != nullptr && control->check(0) != RunStatus::kOk)
+        return false;
+      const auto slice = control != nullptr
+                             ? std::min<std::chrono::steady_clock::duration>(
+                                   kSlice, deadline - now)
+                             : deadline - now;
+      cv_.wait_for(lock, slice);
+    }
+    out = std::move(q_.front());
+    q_.pop_front();
+    return true;
+  }
+
+  /// Blocks up to `timeout` until the queue is non-empty WITHOUT popping
+  /// (the caller owns the subsequent pop; with several consumers the item
+  /// may be gone by then — callers loop). Same return contract as
+  /// pop_wait.
+  [[nodiscard]] bool wait_nonempty(std::chrono::nanoseconds timeout,
+                                   const ExecControl* control = nullptr) {
+    constexpr auto kSlice = std::chrono::milliseconds(1);
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    std::unique_lock<std::mutex> lock(mu_);
+    while (q_.empty()) {
+      if (closed_) return false;
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) return false;
+      if (control != nullptr && control->check(0) != RunStatus::kOk)
+        return false;
+      const auto slice = control != nullptr
+                             ? std::min<std::chrono::steady_clock::duration>(
+                                   kSlice, deadline - now)
+                             : deadline - now;
+      cv_.wait_for(lock, slice);
+    }
+    return true;
+  }
+
+  /// Wakes every waiter; subsequent pushes are dropped and pops drain
+  /// what remains. Used at global termination so blocked workers exit.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return q_.size();
+  }
+
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  /// Deepest the queue has ever been (backpressure observability).
+  [[nodiscard]] std::size_t high_water() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return high_water_;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> q_;
+  std::size_t high_water_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace graphpi::support

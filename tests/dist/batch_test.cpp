@@ -12,6 +12,7 @@
 #include "dist/runtime.h"
 #include "dist/shard.h"
 #include "dist/simulator.h"
+#include "engine/forest.h"
 #include "graph/vertex_set.h"
 #include "test_util.h"
 
@@ -238,6 +239,35 @@ TEST(DistBatch, WorkspacePerNodeIsReusedAcrossTasks) {
   options.nodes = 4;
   (void)dist::distributed_count(g, config, options);
   EXPECT_EQ(Matcher::workspace_constructions(), before);
+}
+
+TEST(DistBatch, AsyncBatchForestMatchesLockstepAndSerial) {
+  // The whole prefix-sharing forest through the async executor: per-plan
+  // counts bit-identical to both the serial batch engine and the
+  // lockstep executor, across strategies, node counts and pool sizes.
+  const Graph g = clustered_power_law(70, 280, 2.2, 0.5, 23);
+  const GraphPi engine(g);
+  const std::vector<Pattern> ps = boundary_patterns();
+  const PlanForest forest = engine.plan_batch(ps);
+  const std::vector<Count> expected = ForestExecutor(g, forest).count();
+  for (const auto strategy :
+       {PartitionStrategy::kHash, PartitionStrategy::kRange}) {
+    for (int nodes : {2, 4, 7}) {
+      ClusterOptions lockstep;
+      lockstep.nodes = nodes;
+      lockstep.partition = strategy;
+      EXPECT_EQ(dist::distributed_count_batch(g, forest, lockstep), expected)
+          << "lockstep nodes=" << nodes;
+      for (int workers : {1, 4}) {
+        ClusterOptions async = lockstep;
+        async.exec = dist::ExecMode::kAsync;
+        async.workers_per_node = workers;
+        EXPECT_EQ(dist::distributed_count_batch(g, forest, async), expected)
+            << "async nodes=" << nodes << " workers=" << workers
+            << " strategy=" << dist::to_string(strategy);
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -10,10 +10,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <map>
 #include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/graphpi.h"
@@ -281,6 +283,142 @@ TEST(DistributedFaults, CountsBitIdenticalUnderInjectedFaults) {
   EXPECT_GT(stats.corrupt_frames_detected, 0u);
   EXPECT_GT(stats.duplicates_suppressed, 0u);
   EXPECT_EQ(stats.decode_failures, 0u);  // CRC screens corruption first
+}
+
+TEST(ChannelThreading, ConcurrentSendersKeepAccountingConsistent) {
+  // Channel::send from many threads at once (the async runtime's shape):
+  // the atomic counters must add up exactly and per-sender attribution
+  // must not bleed across threads.
+  constexpr int kNodes = 4;
+  constexpr int kSendsPerThread = 3000;
+  Channel channel(kNodes);
+  std::vector<std::thread> senders;
+  for (int from = 0; from < kNodes; ++from)
+    senders.emplace_back([&channel, from] {
+      for (int i = 0; i < kSendsPerThread; ++i)
+        channel.send(from, (from + 1 + i) % kNodes,
+                     MessageKind::kContinuation,
+                     {static_cast<std::uint8_t>(i), 0xab});
+    });
+  for (auto& t : senders) t.join();
+  const CommStats stats = channel.stats();
+  EXPECT_EQ(stats.messages, kNodes * kSendsPerThread);
+  EXPECT_EQ(stats.bytes, kNodes * kSendsPerThread * 2u);
+  ASSERT_EQ(stats.sent_messages_per_node.size(), kNodes);
+  for (int n = 0; n < kNodes; ++n)
+    EXPECT_EQ(stats.sent_messages_per_node[static_cast<std::size_t>(n)],
+              kSendsPerThread)
+        << "sender " << n;
+  std::uint64_t drained = 0;
+  Message msg;
+  for (int n = 0; n < kNodes; ++n)
+    while (channel.receive(n, msg)) ++drained;
+  EXPECT_EQ(drained, kNodes * kSendsPerThread);
+  EXPECT_TRUE(channel.idle());
+}
+
+TEST(ChannelThreading, ConcurrentFaultySendersConserveMessages) {
+  // With the fault RNG shared across threads the exact fault SEQUENCE is
+  // schedule-dependent, but conservation must still hold: delivered ==
+  // sent - dropped + duplicated, and idle() agrees after the drain.
+  constexpr int kThreads = 4;
+  constexpr int kSendsPerThread = 2000;
+  Channel channel(2, FaultPlan::uniform(/*seed=*/55, /*drop=*/0.2,
+                                        /*duplicate=*/0.2, /*reorder=*/0.1,
+                                        /*corrupt=*/0.2));
+  std::vector<std::thread> senders;
+  for (int t = 0; t < kThreads; ++t)
+    senders.emplace_back([&channel] {
+      for (int i = 0; i < kSendsPerThread; ++i)
+        channel.send(0, 1, MessageKind::kContinuation,
+                     {static_cast<std::uint8_t>(i), 1, 2, 3});
+    });
+  for (auto& t : senders) t.join();
+  const CommStats stats = channel.stats();
+  EXPECT_EQ(stats.messages, kThreads * kSendsPerThread);
+  std::uint64_t delivered = 0;
+  Message msg;
+  while (channel.receive(1, msg)) ++delivered;
+  EXPECT_EQ(delivered, kThreads * kSendsPerThread - stats.injected_drops +
+                           stats.injected_duplicates);
+  EXPECT_TRUE(channel.idle());
+}
+
+TEST(ReliableChannelThreading, ExactlyOnceWithConcurrentEndpoints) {
+  // Two threads drive the two endpoints of a faulty reliable link
+  // simultaneously — sends, receives, and retransmit service all
+  // interleave. Every payload must still arrive exactly once per side.
+  const FaultPlan plan = FaultPlan::uniform(/*seed=*/808, /*drop=*/0.15,
+                                            /*duplicate=*/0.15,
+                                            /*reorder=*/0.15,
+                                            /*corrupt=*/0.15);
+  ReliableChannel channel(2, plan);
+  constexpr std::uint32_t kPerSide = 300;
+  std::array<std::map<std::uint32_t, int>, 2> received;
+  std::array<std::thread, 2> endpoints;
+  for (int node = 0; node < 2; ++node)
+    endpoints[static_cast<std::size_t>(node)] = std::thread([&, node] {
+      for (std::uint32_t i = 0; i < kPerSide; ++i) {
+        WireWriter w;
+        w.u32(i);
+        channel.send(node, 1 - node, MessageKind::kContinuation, w.take());
+      }
+      Message msg;
+      auto& got = received[static_cast<std::size_t>(node)];
+      // Keep servicing until this side holds every payload and the link
+      // has globally drained (the peer may still need our acks).
+      while (got.size() < kPerSide || !channel.idle()) {
+        channel.tick();
+        (void)channel.service_retransmits(node);
+        while (channel.receive(node, msg)) {
+          WireReader r(msg.payload);
+          ++got[r.u32()];
+          EXPECT_TRUE(r.done());
+        }
+        std::this_thread::yield();
+      }
+    });
+  for (auto& t : endpoints) t.join();
+  for (int node = 0; node < 2; ++node) {
+    ASSERT_EQ(received[static_cast<std::size_t>(node)].size(), kPerSide)
+        << "node " << node;
+    for (const auto& [id, copies] : received[static_cast<std::size_t>(node)])
+      EXPECT_EQ(copies, 1) << "node " << node << " payload " << id;
+  }
+  EXPECT_TRUE(channel.idle());
+}
+
+TEST(DistributedFaults, AsyncCountsBitIdenticalUnderInjectedFaults) {
+  // The async executor shares the fault RNG across worker threads, so
+  // WHICH frames misbehave is schedule-dependent — but the reliability
+  // layer masks all of it: counts stay exactly the serial answer across
+  // node counts and pool sizes.
+  const Graph graph = rmat(7, 650, 103);
+  const GraphPi engine(graph);
+  const std::vector<Pattern> patterns = {patterns::house(),
+                                         patterns::pentagon()};
+  const std::vector<Count> want = engine.count_batch(patterns);
+
+  for (int nodes : {2, 4}) {
+    for (int workers : {1, 2}) {
+      MatchOptions options;
+      options.backend = Backend::kDistributed;
+      options.nodes = nodes;
+      options.dist_exec = ExecMode::kAsync;
+      options.dist_workers = workers;
+      options.faults = FaultPlan::uniform(/*seed=*/11, /*drop=*/0.05,
+                                          /*duplicate=*/0.05,
+                                          /*reorder=*/0.03, /*corrupt=*/0.05);
+      ClusterStats stats;
+      options.cluster_stats = &stats;
+      EXPECT_EQ(engine.count_batch(patterns, options), want)
+          << "nodes=" << nodes << " workers=" << workers;
+      EXPECT_GT(stats.injected_drops + stats.injected_duplicates +
+                    stats.injected_corruptions,
+                0u)
+          << "nodes=" << nodes << " workers=" << workers;
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,139 @@
+// BoundedMpmcQueue: the mailbox contract the async distributed runtime
+// leans on — capacity refusal vs force pushes, close semantics, the
+// abortable timed waits, the high-water mark, and multi-threaded
+// conservation of items.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "support/exec_control.h"
+#include "support/mpmc_queue.h"
+
+namespace graphpi::support {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(MpmcQueue, CapacityRefusesTryPushButNeverForcePush) {
+  BoundedMpmcQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // at capacity
+  q.force_push(4);              // protocol traffic is never refused
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.high_water(), 3u);
+  int out = 0;
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_EQ(out, 1);
+  q.force_push_front(0);  // reorder delivery jumps the queue
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_EQ(out, 0);
+}
+
+TEST(MpmcQueue, UnboundedNeverRefuses) {
+  BoundedMpmcQueue<int> q(0);
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(q.try_push(int{i}));
+  EXPECT_EQ(q.size(), 1000u);
+  EXPECT_EQ(q.high_water(), 1000u);
+}
+
+TEST(MpmcQueue, CloseWakesWaitersDropsPushesDrainsPops) {
+  BoundedMpmcQueue<int> q(0);
+  q.force_push(7);
+  std::thread closer([&q] {
+    std::this_thread::sleep_for(5ms);
+    q.close();
+  });
+  int out = 0;
+  // The queued item is still poppable...
+  ASSERT_TRUE(q.pop_wait(out, 1s));
+  EXPECT_EQ(out, 7);
+  // ...then the close wakes the empty wait with false, promptly.
+  EXPECT_FALSE(q.pop_wait(out, 10s));
+  closer.join();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.try_push(1));
+  q.force_push(2);  // dropped
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(MpmcQueue, PopWaitTimesOut) {
+  BoundedMpmcQueue<int> q(0);
+  int out = 0;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.pop_wait(out, 20ms));
+  EXPECT_GE(std::chrono::steady_clock::now() - start, 20ms);
+}
+
+TEST(MpmcQueue, ArmedControlAbortsWaitWithinSlices) {
+  std::atomic<bool> cancel{false};
+  ExecControl control;
+  control.set_cancel_flag(&cancel);
+  BoundedMpmcQueue<int> q(0);
+  std::thread canceller([&cancel] {
+    std::this_thread::sleep_for(5ms);
+    cancel.store(true);
+  });
+  int out = 0;
+  const auto start = std::chrono::steady_clock::now();
+  // Without the sliced control checks this would block the full 10s.
+  EXPECT_FALSE(q.pop_wait(out, 10s, &control));
+  EXPECT_LT(std::chrono::steady_clock::now() - start, 5s);
+  canceller.join();
+}
+
+TEST(MpmcQueue, WaitNonemptyDoesNotPop) {
+  BoundedMpmcQueue<int> q(0);
+  std::thread producer([&q] {
+    std::this_thread::sleep_for(5ms);
+    q.force_push(42);
+  });
+  ASSERT_TRUE(q.wait_nonempty(5s));
+  EXPECT_EQ(q.size(), 1u);
+  int out = 0;
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_EQ(out, 42);
+  producer.join();
+}
+
+TEST(MpmcQueue, ManyProducersManyConsumersConserveItems) {
+  // 4 producers push 4 disjoint ranges; 4 consumers drain with pop_wait.
+  // Every item must arrive exactly once (sum + count check).
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 2000;
+  BoundedMpmcQueue<int> q(64);  // small bound: producers must retry
+  std::atomic<long long> sum{0};
+  std::atomic<int> popped{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kConsumers; ++c)
+    threads.emplace_back([&] {
+      int v = 0;
+      while (q.pop_wait(v, 1s)) {
+        sum.fetch_add(v);
+        popped.fetch_add(1);
+      }
+    });
+  for (int p = 0; p < kProducers; ++p)
+    threads.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        int item = p * kPerProducer + i;
+        while (!q.try_push(int{item})) std::this_thread::yield();
+      }
+    });
+  for (std::size_t t = kConsumers; t < threads.size(); ++t) threads[t].join();
+  while (!q.empty()) std::this_thread::yield();
+  q.close();
+  for (int c = 0; c < kConsumers; ++c) threads[static_cast<std::size_t>(c)].join();
+  const long long n = kProducers * kPerProducer;
+  EXPECT_EQ(popped.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+  EXPECT_LE(q.high_water(), 64u + kProducers);  // force paths unused here
+}
+
+}  // namespace
+}  // namespace graphpi::support

@@ -36,7 +36,8 @@ int usage() {
       R"(usage: graphpi <command> [args]
   stats <graph>
   count <graph> <pattern> [--no-iep] [--parallel] [--nodes N]
-        [--partition hash|range] [--task-depth D] [--threads T]
+        [--partition hash|range] [--exec lockstep|async] [--dist-workers W]
+        [--mailbox CAP] [--task-depth D] [--threads T]
         [--backend serial|parallel|generated] [--emit <file.cpp>]
         [--timeout-ms X] [--budget N] [--poll-stride S]
         [--fault-drop P] [--fault-duplicate P] [--fault-reorder P]
@@ -145,6 +146,16 @@ int cmd_count(const std::string& graph_spec, const std::string& pattern_spec,
         return 2;
       }
     }
+    if (arg == "--exec" && i + 1 < argc) {
+      if (!dist::parse_exec_mode(argv[++i], options.dist_exec)) {
+        std::cerr << "unknown exec mode: " << argv[i] << "\n";
+        return 2;
+      }
+    }
+    if (arg == "--dist-workers" && i + 1 < argc)
+      options.dist_workers = std::atoi(argv[++i]);
+    if (arg == "--mailbox" && i + 1 < argc)
+      options.dist_mailbox_capacity = std::atoi(argv[++i]);
     if (arg == "--backend" && i + 1 < argc) {
       const std::string backend = argv[++i];
       if (backend == "serial") {
@@ -211,10 +222,18 @@ int cmd_count(const std::string& graph_spec, const std::string& pattern_spec,
               << " (completed " << report.completed_roots << " roots)\n";
   if (options.backend == Backend::kDistributed) {
     std::cout << "sharded run: " << options.nodes << " nodes ("
-              << dist::to_string(options.partition) << "), tasks "
+              << dist::to_string(options.partition) << ", "
+              << dist::to_string(options.dist_exec) << "), tasks "
               << stats.total_tasks << ", messages " << stats.messages << " ("
               << stats.bytes << " B), shipped candidate vertices "
               << stats.shipped_set_vertices << "\n";
+    if (options.dist_exec == dist::ExecMode::kAsync)
+      std::cout << "async runtime: " << options.dist_workers
+                << " workers/node, " << stats.flushes << " flushes, "
+                << stats.coalesced_payloads << " continuations in "
+                << stats.coalesced_frames << " batch frames, "
+                << stats.mailbox_stalls << " mailbox stalls (high water "
+                << stats.mailbox_high_water << ")\n";
     if (options.faults.active())
       std::cout << "fault injection: dropped " << stats.injected_drops
                 << ", duplicated " << stats.injected_duplicates
