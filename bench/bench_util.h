@@ -18,6 +18,7 @@
 #include "engine/matcher.h"
 #include "graph/datasets.h"
 #include "graph/graph.h"
+#include "support/metrics.h"
 #include "support/timer.h"
 
 namespace graphpi::bench {
@@ -107,6 +108,13 @@ inline std::string fmt_speedup(std::optional<double> x) {
 /// Prints the standard bench banner.
 inline void banner(const std::string& experiment, const std::string& what) {
   std::cout << "==== " << experiment << " — " << what << " ====\n";
+}
+
+/// JSON snapshot of the process-wide metrics registry, for embedding in
+/// BENCH_* files so a bench run records what the engine actually did
+/// (memo hit rates, JIT compiles, message volume) next to its timings.
+inline std::string metrics_snapshot_json() {
+  return support::metrics::Registry::instance().snapshot().to_json();
 }
 
 }  // namespace graphpi::bench

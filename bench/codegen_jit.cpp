@@ -17,10 +17,16 @@
 // of the cooperative cancellation polling itself, reported per pattern
 // in the top-level `cancel_poll_overhead` JSON map (relative, 0.01 = 1%).
 //
+// Two more arms per pattern, `<p>/generated_parallel_metrics_{on,off}`,
+// pair the same kernel with the metrics layer (support/metrics.h) enabled
+// vs disabled; the relative cost lands in the top-level
+// `metrics_overhead` JSON map — the CI guard asserts it stays under 2%.
+//
 // `codegen_jit --json [path]` writes the micro_kernels record schema —
 // {name, ns_per_op, elements_per_s} — to `path` (default
 // BENCH_codegen.json) plus the active/detected ISA and worker count, so
-// BENCH_* files record which dispatch path ran.
+// BENCH_* files record which dispatch path ran, and a `metrics` object
+// embedding the end-of-run registry snapshot.
 #include <omp.h>
 
 #include <algorithm>
@@ -30,8 +36,10 @@
 #include <vector>
 
 #include "api/graphpi.h"
+#include "bench_util.h"
 #include "engine/jit.h"
 #include "graph/generators.h"
+#include "support/metrics.h"
 #include "support/timer.h"
 
 namespace {
@@ -74,10 +82,12 @@ Record time_run(const std::string& name, Run&& run) {
 /// Interleaved paired timing: alternates the two runs rep-by-rep so both
 /// sides sample the same cache/frequency conditions, keeping each side's
 /// fastest rep for the records. The headline `ratio` (B time / A time) is
-/// the MEDIAN of the per-pair ratios, not min-over-min: throughput on
-/// shared boxes drifts by several percent across a long bench, but the
-/// two runs inside one back-to-back pair see the same machine state, so
-/// their ratio cancels the drift a cross-pair min comparison keeps.
+/// the POOLED ratio — total B time over total A time across every
+/// interleaved pair. Interleaving cancels slow machine drift (both arms
+/// see the same conditions within a pair), and pooling averages scheduler
+/// jitter over the whole measurement instead of sampling it: a median of
+/// a handful of per-pair ratios cannot resolve a sub-2% effect when each
+/// rep of a long oversubscribed run carries multi-percent noise.
 struct Paired {
   Record a;
   Record b;
@@ -91,8 +101,9 @@ Paired time_run_paired(const std::string& name_a, RunA&& run_a,
   double best_b = -1.0;
   Count embeddings = 0;
   double total = 0.0;
-  std::vector<double> ratios;
-  for (int rep = 0; rep < 5 || total < 2.0; ++rep) {
+  double total_a = 0.0;
+  double total_b = 0.0;
+  for (int rep = 0; rep < 7 || total < 4.0; ++rep) {
     support::Timer ta;
     const Count count = run_a();
     const double sa = ta.elapsed_seconds();
@@ -100,13 +111,14 @@ Paired time_run_paired(const std::string& name_a, RunA&& run_a,
     (void)run_b();
     const double sb = tb.elapsed_seconds();
     total += sa + sb;
-    if (sa > 0) ratios.push_back(sb / sa);
+    total_a += sa;
+    total_b += sb;
     if (best_a < 0 || sa < best_a) {
       best_a = sa;
       embeddings = count;
     }
     if (best_b < 0 || sb < best_b) best_b = sb;
-    if (rep >= 14) break;
+    if (rep >= 19) break;
   }
   Paired p;
   p.a.name = name_a;
@@ -117,10 +129,7 @@ Paired time_run_paired(const std::string& name_a, RunA&& run_a,
   p.b.ns_per_op = best_b * 1e9;
   p.b.elements_per_s =
       best_b > 0 ? static_cast<double>(embeddings) / best_b : 0.0;
-  if (!ratios.empty()) {
-    std::sort(ratios.begin(), ratios.end());
-    p.ratio = ratios[ratios.size() / 2];
-  }
+  if (total_a > 0) p.ratio = total_b / total_a;
   return p;
 }
 
@@ -135,6 +144,10 @@ int parallel_threads() { return std::max(4, omp_get_max_threads()); }
 struct Suite {
   std::vector<Record> records;
   std::vector<std::pair<std::string, double>> poll_overhead;
+  /// Per-pattern relative cost of running with the metrics layer enabled
+  /// vs disabled (support/metrics.h) on the parallel generated kernel —
+  /// the price of the observability instrumentation itself.
+  std::vector<std::pair<std::string, double>> metrics_overhead;
 };
 
 Suite run_suite(bool verbose) {
@@ -192,22 +205,49 @@ Suite run_suite(bool verbose) {
     records.push_back(paired.a);
     records.push_back(paired.b);
 
-    const Record& interp = records[records.size() - 5];
-    const Record& gen = records[records.size() - 4];
-    const Record& interp_par = records[records.size() - 3];
-    const Record& gen_par = records[records.size() - 2];
     const double overhead = paired.ratio - 1.0;
     suite.poll_overhead.emplace_back(prefix, overhead);
+
+    // Metrics-layer cost: the same kernel with the observability layer
+    // enabled (histograms + trace spans live) vs disabled (counters only,
+    // one relaxed increment per flush). ratio = disabled/enabled, so the
+    // enabled-over-disabled overhead is 1/ratio - 1.
+    const bool metrics_were_enabled = support::metrics::enabled();
+    const Paired metrics_paired = time_run_paired(
+        prefix + "/generated_parallel_metrics_on",
+        [&] {
+          support::metrics::set_enabled(true);
+          return engine.count(config, generated_parallel);
+        },
+        prefix + "/generated_parallel_metrics_off",
+        [&] {
+          support::metrics::set_enabled(false);
+          return engine.count(config, generated_parallel);
+        });
+    support::metrics::set_enabled(metrics_were_enabled);
+    records.push_back(metrics_paired.a);
+    records.push_back(metrics_paired.b);
+    const double metrics_cost =
+        metrics_paired.ratio > 0 ? 1.0 / metrics_paired.ratio - 1.0 : 0.0;
+    suite.metrics_overhead.emplace_back(prefix, metrics_cost);
+
+    // Bound after the last push_back: push_back may reallocate.
+    const Record& interp = records[records.size() - 7];
+    const Record& gen = records[records.size() - 6];
+    const Record& interp_par = records[records.size() - 5];
+    const Record& gen_par = records[records.size() - 4];
     if (verbose) {
       std::printf(
           "%-10s %12llu embeddings: interpreted %8.2f ms, generated "
           "%8.2f ms -> %.2fx | %d threads: interpreted %8.2f ms, "
-          "generated %8.2f ms -> %.2fx | poll overhead %+.2f%%\n",
+          "generated %8.2f ms -> %.2fx | poll overhead %+.2f%% | "
+          "metrics overhead %+.2f%%\n",
           name, static_cast<unsigned long long>(warm),
           interp.ns_per_op / 1e6, gen.ns_per_op / 1e6,
           interp.ns_per_op / gen.ns_per_op, threads,
           interp_par.ns_per_op / 1e6, gen_par.ns_per_op / 1e6,
-          interp_par.ns_per_op / gen_par.ns_per_op, overhead * 100.0);
+          interp_par.ns_per_op / gen_par.ns_per_op, overhead * 100.0,
+          metrics_cost * 100.0);
     }
   }
   return suite;
@@ -236,7 +276,13 @@ int write_json(const std::string& path) {
     std::fprintf(f, "%s\"%s\": %.6f", i ? ", " : "",
                  suite.poll_overhead[i].first.c_str(),
                  suite.poll_overhead[i].second);
-  std::fprintf(f, "},\n  \"results\": [\n");
+  std::fprintf(f, "},\n  \"metrics_overhead\": {");
+  for (std::size_t i = 0; i < suite.metrics_overhead.size(); ++i)
+    std::fprintf(f, "%s\"%s\": %.6f", i ? ", " : "",
+                 suite.metrics_overhead[i].first.c_str(),
+                 suite.metrics_overhead[i].second);
+  std::fprintf(f, "},\n  \"metrics\": %s,\n  \"results\": [\n",
+               bench::metrics_snapshot_json().c_str());
   for (std::size_t i = 0; i < records.size(); ++i) {
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"ns_per_op\": %.3f, "

@@ -16,7 +16,9 @@
 //   * `dist_shard --json [path]`: machine-readable records in the
 //     motif_batch schema — {name, ns_per_op, elements_per_s} — extended
 //     with the run's messages, bytes, async counters and projected
-//     makespan, written to `path` (default BENCH_dist_shard.json).
+//     makespan, written to `path` (default BENCH_dist_shard.json),
+//     plus a `metrics` object embedding the end-of-run registry
+//     snapshot (support/metrics.h).
 #include <cstdio>
 #include <cstring>
 #include <numeric>
@@ -24,6 +26,7 @@
 #include <vector>
 
 #include "api/graphpi.h"
+#include "bench_util.h"
 #include "dist/runtime.h"
 #include "dist/simulator.h"
 #include "graph/generators.h"
@@ -137,8 +140,11 @@ int write_json(const std::string& path) {
     return 1;
   }
   const std::vector<Record> records = run_suite(/*verbose=*/false);
-  std::fprintf(f, "{\n  \"input\": \"rmat(10, 14000, 17)\",\n"
-                  "  \"results\": [\n");
+  std::fprintf(f,
+               "{\n  \"input\": \"rmat(10, 14000, 17)\",\n"
+               "  \"metrics\": %s,\n"
+               "  \"results\": [\n",
+               bench::metrics_snapshot_json().c_str());
   for (std::size_t i = 0; i < records.size(); ++i) {
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"ns_per_op\": %.3f, "

@@ -6,10 +6,38 @@
 #include "engine/forest.h"
 #include "engine/jit.h"
 #include "support/check.h"
+#include "support/timer.h"
 
 namespace graphpi {
 
 namespace {
+
+/// Span name for one public counting call on a given backend.
+const char* backend_span_name(Backend backend) noexcept {
+  switch (backend) {
+    case Backend::kSerial: return "count.serial";
+    case Backend::kParallel: return "count.parallel";
+    case Backend::kGenerated: return "count.generated";
+    case Backend::kDistributed: return "count.distributed";
+  }
+  return "count";
+}
+
+/// Records one public counting call's wall time in api.count_ms.
+class CountTimer {
+ public:
+  CountTimer() = default;
+  ~CountTimer() {
+    if (support::metrics::enabled())
+      support::metrics::metric_histogram("api.count_ms")
+          .observe(timer_.elapsed_millis());
+  }
+  CountTimer(const CountTimer&) = delete;
+  CountTimer& operator=(const CountTimer&) = delete;
+
+ private:
+  support::Timer timer_;
+};
 
 /// Applies MatchOptions::kernels for the duration of one public call and
 /// restores the previous dispatch selection after (no-op for kAuto).
@@ -65,8 +93,15 @@ Count GraphPi::count(const Pattern& pattern, const MatchOptions& options,
   return count(plan(pattern, options), options, report);
 }
 
+support::metrics::Snapshot GraphPi::metrics_snapshot() {
+  return support::metrics::Registry::instance().snapshot();
+}
+
 Count GraphPi::count(const Configuration& config, const MatchOptions& options,
                      support::RunReport* report) const {
+  const support::trace::ScopedSink sink(options.trace_sink);
+  const support::trace::Span span(backend_span_name(options.backend));
+  const CountTimer count_timer;
   const ScopedIsa isa(options.kernels);
   const support::ExecControl control = make_control(options);
   const support::ExecControl* ctl = control.armed() ? &control : nullptr;
@@ -137,6 +172,9 @@ std::vector<Count> GraphPi::count_batch(const PlanForest& forest,
 std::vector<Count> GraphPi::count_batch_impl(
     const PlanForest& forest, const MatchOptions& options,
     const support::ExecControl* control, support::RunReport* report) const {
+  const support::trace::ScopedSink sink(options.trace_sink);
+  const support::trace::Span span(backend_span_name(options.backend));
+  const CountTimer count_timer;
   const ScopedIsa isa(options.kernels);
   const support::ExecControl* ctl =
       control != nullptr && control->armed() ? control : nullptr;
@@ -227,6 +265,8 @@ std::vector<GraphPi::MotifCount> GraphPi::motif_census(
 
 void GraphPi::find_all(const Pattern& pattern, const EmbeddingCallback& cb,
                        const MatchOptions& options) const {
+  const support::trace::ScopedSink sink(options.trace_sink);
+  const support::trace::Span span("find_all");
   const ScopedIsa isa(options.kernels);
   MatchOptions listing = options;
   listing.use_iep = false;  // IEP cannot list embeddings

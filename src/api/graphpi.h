@@ -35,6 +35,8 @@
 #include "graph/io.h"
 #include "graph/vertex_set.h"
 #include "support/exec_control.h"
+#include "support/metrics.h"
+#include "support/trace.h"
 
 namespace graphpi {
 
@@ -116,6 +118,15 @@ struct MatchOptions {
   /// power of two; 0 = default 64). Smaller strides tighten stop latency
   /// at the cost of more clock reads on the hot path.
   std::uint32_t poll_stride = 0;
+
+  /// Observability: when non-null, trace spans emitted during this call
+  /// (per-backend run phases, JIT compiles, shard partitioning, ...) are
+  /// recorded into this caller-owned ring buffer (support/trace.h) for
+  /// the duration of the call; export with TraceBuffer::to_chrome_json().
+  /// Spans are run/phase granular — never per-root — so the overhead is
+  /// negligible. Null leaves the process-wide sink (if any) in place.
+  /// Requires metrics to be enabled (default; see support/metrics.h).
+  support::trace::TraceBuffer* trace_sink = nullptr;
 
   /// Deterministic fault injection for the distributed backend's
   /// message channel (dist/comm.h): seeded per-kind drop / duplicate /
@@ -211,6 +222,14 @@ class GraphPi {
 
   [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
   [[nodiscard]] const GraphStats& stats() const noexcept { return stats_; }
+
+  /// Snapshot of the process-wide metrics registry (support/metrics.h):
+  /// every engine/JIT/distributed counter, gauge, and latency histogram
+  /// accumulated since process start. Diff two snapshots to isolate one
+  /// call: `auto before = GraphPi::metrics_snapshot(); ...;
+  /// auto delta = GraphPi::metrics_snapshot().diff(before);`. Export with
+  /// Snapshot::to_json() / to_prometheus().
+  [[nodiscard]] static support::metrics::Snapshot metrics_snapshot();
 
  private:
   /// Runs one forest with an externally owned control so a chunked batch

@@ -23,15 +23,13 @@ void Channel::send(int from, int to, MessageKind kind,
   GRAPHPI_CHECK(from >= 0 && from < static_cast<int>(inboxes_.size()));
   GRAPHPI_CHECK(to >= 0 && to < static_cast<int>(inboxes_.size()));
   const auto k = static_cast<std::size_t>(kind);
-  const auto relaxed = std::memory_order_relaxed;
-  stats_.messages.fetch_add(1, relaxed);
-  stats_.messages_by_kind[k].fetch_add(1, relaxed);
-  stats_.bytes.fetch_add(payload.size(), relaxed);
-  stats_.bytes_by_kind[k].fetch_add(payload.size(), relaxed);
-  stats_.sent_messages_per_node[static_cast<std::size_t>(from)].fetch_add(
-      1, relaxed);
-  stats_.sent_bytes_per_node[static_cast<std::size_t>(from)].fetch_add(
-      payload.size(), relaxed);
+  stats_.messages.inc();
+  stats_.messages_by_kind[k].inc();
+  stats_.bytes.inc(payload.size());
+  stats_.bytes_by_kind[k].inc(payload.size());
+  stats_.sent_messages_per_node[static_cast<std::size_t>(from)].inc();
+  stats_.sent_bytes_per_node[static_cast<std::size_t>(from)].inc(
+      payload.size());
 
   auto& inbox = inboxes_[static_cast<std::size_t>(to)];
   if (!faults_active_) {
@@ -50,11 +48,11 @@ void Channel::send(int from, int to, MessageKind kind,
     const FaultPlan::Rates& rates = faults_.kind[k];
     std::uniform_real_distribution<double> coin(0.0, 1.0);
     if (coin(rng_) < rates.drop) {
-      stats_.injected_drops.fetch_add(1, relaxed);
+      stats_.injected_drops.inc();
       return;
     }
     if (!msg.payload.empty() && coin(rng_) < rates.corrupt) {
-      stats_.injected_corruptions.fetch_add(1, relaxed);
+      stats_.injected_corruptions.inc();
       std::uniform_int_distribution<std::size_t> pos(0, msg.payload.size() - 1);
       std::uniform_int_distribution<int> flips(1, 3);
       std::uniform_int_distribution<int> bits(1, 255);  // nonzero XOR: real flip
@@ -66,11 +64,11 @@ void Channel::send(int from, int to, MessageKind kind,
     reorder = coin(rng_) < rates.reorder;
   }
   if (duplicate) {
-    stats_.injected_duplicates.fetch_add(1, relaxed);
+    stats_.injected_duplicates.inc();
     inbox.force_push(Message{msg});
   }
   if (reorder && !inbox.empty()) {
-    stats_.injected_reorders.fetch_add(1, relaxed);
+    stats_.injected_reorders.inc();
     inbox.force_push_front(std::move(msg));
   } else {
     inbox.force_push(std::move(msg));
@@ -98,24 +96,23 @@ void Channel::close_all() {
 }
 
 CommStats Channel::stats() const {
-  const auto relaxed = std::memory_order_relaxed;
   CommStats out;
-  out.messages = stats_.messages.load(relaxed);
-  out.bytes = stats_.bytes.load(relaxed);
+  out.messages = stats_.messages.value();
+  out.bytes = stats_.bytes.value();
   for (std::size_t k = 0; k < kMessageKindCount; ++k) {
-    out.messages_by_kind[k] = stats_.messages_by_kind[k].load(relaxed);
-    out.bytes_by_kind[k] = stats_.bytes_by_kind[k].load(relaxed);
+    out.messages_by_kind[k] = stats_.messages_by_kind[k].value();
+    out.bytes_by_kind[k] = stats_.bytes_by_kind[k].value();
   }
   out.sent_messages_per_node.reserve(stats_.sent_messages_per_node.size());
   out.sent_bytes_per_node.reserve(stats_.sent_bytes_per_node.size());
   for (const auto& c : stats_.sent_messages_per_node)
-    out.sent_messages_per_node.push_back(c.load(relaxed));
+    out.sent_messages_per_node.push_back(c.value());
   for (const auto& c : stats_.sent_bytes_per_node)
-    out.sent_bytes_per_node.push_back(c.load(relaxed));
-  out.injected_drops = stats_.injected_drops.load(relaxed);
-  out.injected_duplicates = stats_.injected_duplicates.load(relaxed);
-  out.injected_reorders = stats_.injected_reorders.load(relaxed);
-  out.injected_corruptions = stats_.injected_corruptions.load(relaxed);
+    out.sent_bytes_per_node.push_back(c.value());
+  out.injected_drops = stats_.injected_drops.value();
+  out.injected_duplicates = stats_.injected_duplicates.value();
+  out.injected_reorders = stats_.injected_reorders.value();
+  out.injected_corruptions = stats_.injected_corruptions.value();
   return out;
 }
 
@@ -227,7 +224,7 @@ void ReliableChannel::send(int from, int to, MessageKind kind,
   append_u32_le(frame, seq);
   frame.insert(frame.end(), payload.begin(), payload.end());
   append_u32_le(frame, crc32(frame));
-  rstats_.data_frames_sent.fetch_add(1, std::memory_order_relaxed);
+  rstats_.data_frames_sent.inc();
   const std::uint64_t now = now_.load(std::memory_order_relaxed);
   rt.unacked.push_back(Unacked{to, seq, kind, frame, now + kRtoInitialTicks,
                                kRtoInitialTicks, 0});
@@ -260,9 +257,9 @@ void ReliableChannel::send_many(int from, int to, MessageKind kind,
   }
   append_u32_le(frame, crc32(frame));
   const auto relaxed = std::memory_order_relaxed;
-  rstats_.data_frames_sent.fetch_add(1, relaxed);
-  rstats_.batch_frames_sent.fetch_add(1, relaxed);
-  rstats_.batch_payloads.fetch_add(payloads.size(), relaxed);
+  rstats_.data_frames_sent.inc();
+  rstats_.batch_frames_sent.inc();
+  rstats_.batch_payloads.inc(payloads.size());
   const std::uint64_t now = now_.load(relaxed);
   rt.unacked.push_back(Unacked{to, seq, kind, frame, now + kRtoInitialTicks,
                                kRtoInitialTicks, 0});
@@ -276,7 +273,7 @@ void ReliableChannel::send_ack(int from, int to, std::uint32_t seq) {
   frame.push_back(kFrameAck);
   append_u32_le(frame, seq);
   append_u32_le(frame, crc32(frame));
-  rstats_.acks_sent.fetch_add(1, std::memory_order_relaxed);
+  rstats_.acks_sent.inc();
   // Fire-and-forget: a lost ack is recovered by the sender's retransmit,
   // which the dedup set turns into a fresh ack.
   channel_.send(from, to, MessageKind::kAck, std::move(frame));
@@ -300,7 +297,7 @@ bool ReliableChannel::receive_locked(int node, NodeRt& rt, Message& out) {
     std::uint8_t type = 0;
     std::uint32_t seq = 0;
     if (!frame_intact(raw.payload, type, seq)) {
-      rstats_.corrupt_frames_detected.fetch_add(1, relaxed);
+      rstats_.corrupt_frames_detected.inc();
       continue;  // sender's timer will resend
     }
     if (type == kFrameAck) {
@@ -321,12 +318,12 @@ bool ReliableChannel::receive_locked(int node, NodeRt& rt, Message& out) {
       if (!unpack_batch(raw.payload, payloads)) {
         // Malformed container despite an intact CRC: treat as corrupt and
         // do NOT ack, so the sender redelivers the whole batch.
-        rstats_.corrupt_frames_detected.fetch_add(1, relaxed);
+        rstats_.corrupt_frames_detected.inc();
         continue;
       }
       send_ack(node, raw.from, seq);
       if (!rt.seen.insert(key).second) {
-        rstats_.duplicates_suppressed.fetch_add(1, relaxed);
+        rstats_.duplicates_suppressed.inc();
         continue;
       }
       for (auto& p : payloads)
@@ -339,7 +336,7 @@ bool ReliableChannel::receive_locked(int node, NodeRt& rt, Message& out) {
     // ack may have been lost), then dedup before delivering.
     send_ack(node, raw.from, seq);
     if (!rt.seen.insert(key).second) {
-      rstats_.duplicates_suppressed.fetch_add(1, relaxed);
+      rstats_.duplicates_suppressed.inc();
       continue;
     }
     out.kind = raw.kind;
@@ -390,7 +387,7 @@ bool ReliableChannel::service_retransmits(int node) {
     ++u.retries;
     GRAPHPI_CHECK_MSG(u.retries < kMaxRetries,
                       "reliable channel livelocked: frame never acked");
-    rstats_.retransmits.fetch_add(1, std::memory_order_relaxed);
+    rstats_.retransmits.inc();
     u.rto = std::min(u.rto * 2, kRtoMaxTicks);
     u.due = now + u.rto;
     channel_.send(node, u.to, u.kind, u.frame);

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "graph/types.h"
+#include "support/metrics.h"
 #include "support/mpmc_queue.h"
 
 namespace graphpi::dist {
@@ -166,19 +167,23 @@ class Channel {
   [[nodiscard]] CommStats stats() const;
 
  private:
+  /// Traffic counters as metrics::Counter value types — the same
+  /// relaxed-increment primitive the process registry stores, embedded
+  /// per channel (vectors are sized at construction and never resized;
+  /// Counter, like std::atomic, cannot move).
   struct AtomicStats {
     explicit AtomicStats(std::size_t nodes)
         : sent_messages_per_node(nodes), sent_bytes_per_node(nodes) {}
-    std::atomic<std::uint64_t> messages{0};
-    std::atomic<std::uint64_t> bytes{0};
-    std::atomic<std::uint64_t> messages_by_kind[kMessageKindCount]{};
-    std::atomic<std::uint64_t> bytes_by_kind[kMessageKindCount]{};
-    std::vector<std::atomic<std::uint64_t>> sent_messages_per_node;
-    std::vector<std::atomic<std::uint64_t>> sent_bytes_per_node;
-    std::atomic<std::uint64_t> injected_drops{0};
-    std::atomic<std::uint64_t> injected_duplicates{0};
-    std::atomic<std::uint64_t> injected_reorders{0};
-    std::atomic<std::uint64_t> injected_corruptions{0};
+    support::metrics::Counter messages;
+    support::metrics::Counter bytes;
+    support::metrics::Counter messages_by_kind[kMessageKindCount];
+    support::metrics::Counter bytes_by_kind[kMessageKindCount];
+    std::vector<support::metrics::Counter> sent_messages_per_node;
+    std::vector<support::metrics::Counter> sent_bytes_per_node;
+    support::metrics::Counter injected_drops;
+    support::metrics::Counter injected_duplicates;
+    support::metrics::Counter injected_reorders;
+    support::metrics::Counter injected_corruptions;
   };
 
   std::deque<support::BoundedMpmcQueue<Message>> inboxes_;
@@ -294,13 +299,13 @@ class ReliableChannel {
   [[nodiscard]] CommStats transport_stats() const { return channel_.stats(); }
   [[nodiscard]] ReliabilityStats reliability_stats() const {
     ReliabilityStats s;
-    s.data_frames_sent = rstats_.data_frames_sent.load();
-    s.retransmits = rstats_.retransmits.load();
-    s.acks_sent = rstats_.acks_sent.load();
-    s.corrupt_frames_detected = rstats_.corrupt_frames_detected.load();
-    s.duplicates_suppressed = rstats_.duplicates_suppressed.load();
-    s.batch_frames_sent = rstats_.batch_frames_sent.load();
-    s.batch_payloads = rstats_.batch_payloads.load();
+    s.data_frames_sent = rstats_.data_frames_sent.value();
+    s.retransmits = rstats_.retransmits.value();
+    s.acks_sent = rstats_.acks_sent.value();
+    s.corrupt_frames_detected = rstats_.corrupt_frames_detected.value();
+    s.duplicates_suppressed = rstats_.duplicates_suppressed.value();
+    s.batch_frames_sent = rstats_.batch_frames_sent.value();
+    s.batch_payloads = rstats_.batch_payloads.value();
     return s;
   }
 
@@ -323,14 +328,16 @@ class ReliableChannel {
     std::deque<Message> staged;  ///< unpacked batch payloads awaiting receive
   };
 
+  /// Protocol counters on the same metrics::Counter primitive (see
+  /// Channel::AtomicStats).
   struct AtomicReliabilityStats {
-    std::atomic<std::uint64_t> data_frames_sent{0};
-    std::atomic<std::uint64_t> retransmits{0};
-    std::atomic<std::uint64_t> acks_sent{0};
-    std::atomic<std::uint64_t> corrupt_frames_detected{0};
-    std::atomic<std::uint64_t> duplicates_suppressed{0};
-    std::atomic<std::uint64_t> batch_frames_sent{0};
-    std::atomic<std::uint64_t> batch_payloads{0};
+    support::metrics::Counter data_frames_sent;
+    support::metrics::Counter retransmits;
+    support::metrics::Counter acks_sent;
+    support::metrics::Counter corrupt_frames_detected;
+    support::metrics::Counter duplicates_suppressed;
+    support::metrics::Counter batch_frames_sent;
+    support::metrics::Counter batch_payloads;
   };
 
   void send_ack(int from, int to, std::uint32_t seq);

@@ -9,6 +9,7 @@
 #include <memory>
 #include <mutex>
 #include <numeric>
+#include <optional>
 #include <thread>
 
 #include "core/plan.h"
@@ -17,7 +18,9 @@
 #include "engine/plan_exec.h"
 #include "graph/vertex_set.h"
 #include "support/check.h"
+#include "support/metrics.h"
 #include "support/timer.h"
+#include "support/trace.h"
 
 namespace graphpi::dist {
 
@@ -1059,6 +1062,57 @@ class AsyncForestRun {
   std::uint64_t decode_failures_ = 0;
 };
 
+/// Bridges a finished run's ClusterStats into the process metrics
+/// registry, so one snapshot covers the distributed backend alongside
+/// every other layer. Fires once per distributed run — also when the
+/// caller passed no stats sink (the run fills a local copy).
+void bridge_stats_to_registry(const ClusterStats& s) {
+  using support::metrics::Counter;
+  using support::metrics::metric_counter;
+  using support::metrics::metric_gauge;
+  static Counter& c_runs = metric_counter("dist.runs");
+  static Counter& c_tasks = metric_counter("dist.tasks");
+  static Counter& c_messages = metric_counter("dist.messages");
+  static Counter& c_bytes = metric_counter("dist.bytes");
+  static Counter& c_continuations =
+      metric_counter("dist.continuations_shipped");
+  static Counter& c_set_vertices = metric_counter("dist.shipped_set_vertices");
+  static Counter& c_acks = metric_counter("dist.acks");
+  static Counter& c_retransmits = metric_counter("dist.retransmits");
+  static Counter& c_corrupt = metric_counter("dist.corrupt_frames_detected");
+  static Counter& c_dups = metric_counter("dist.duplicates_suppressed");
+  static Counter& c_decode = metric_counter("dist.decode_failures");
+  static Counter& c_inj_drop = metric_counter("dist.injected_drops");
+  static Counter& c_inj_dup = metric_counter("dist.injected_duplicates");
+  static Counter& c_inj_reord = metric_counter("dist.injected_reorders");
+  static Counter& c_inj_corr = metric_counter("dist.injected_corruptions");
+  static Counter& c_flushes = metric_counter("dist.flushes");
+  static Counter& c_co_frames = metric_counter("dist.coalesced_frames");
+  static Counter& c_co_payloads = metric_counter("dist.coalesced_payloads");
+  static Counter& c_stalls = metric_counter("dist.mailbox_stalls");
+  c_runs.inc();
+  c_tasks.inc(s.total_tasks);
+  c_messages.inc(s.messages);
+  c_bytes.inc(s.bytes);
+  c_continuations.inc(s.shipped_continuations);
+  c_set_vertices.inc(s.shipped_set_vertices);
+  c_acks.inc(s.ack_messages);
+  c_retransmits.inc(s.retransmits);
+  c_corrupt.inc(s.corrupt_frames_detected);
+  c_dups.inc(s.duplicates_suppressed);
+  c_decode.inc(s.decode_failures);
+  c_inj_drop.inc(s.injected_drops);
+  c_inj_dup.inc(s.injected_duplicates);
+  c_inj_reord.inc(s.injected_reorders);
+  c_inj_corr.inc(s.injected_corruptions);
+  c_flushes.inc(s.flushes);
+  c_co_frames.inc(s.coalesced_frames);
+  c_co_payloads.inc(s.coalesced_payloads);
+  c_stalls.inc(s.mailbox_stalls);
+  metric_gauge("dist.mailbox_high_water")
+      .record_max(static_cast<std::int64_t>(s.mailbox_high_water));
+}
+
 /// Single-node run: the whole graph is one shard, so the plain batch
 /// executor over the full root domain is the honest (and fastest) path —
 /// no replication, no messages.
@@ -1066,6 +1120,7 @@ std::vector<Count> single_node_run(const Graph& graph, const PlanForest& forest,
                                    ClusterStats* stats,
                                    const support::ExecControl* control,
                                    support::RunReport* report) {
+  const support::trace::Span span("dist.single_node");
   const ForestExecutor executor(graph, forest);
   ForestExecutor::Workspace ws;
   std::vector<VertexId> roots(graph.vertex_count());
@@ -1073,17 +1128,18 @@ std::vector<Count> single_node_run(const Graph& graph, const PlanForest& forest,
   support::Timer timer;
   const std::vector<Count> counts =
       executor.count_roots(ws, roots, control, report);
-  if (stats != nullptr) {
-    *stats = ClusterStats{};
-    stats->total_tasks = roots.size();
-    stats->tasks_per_node = {roots.size()};
-    stats->seconds_per_node = {timer.elapsed_seconds()};
-    stats->sent_messages_per_node = {0};
-    stats->sent_bytes_per_node = {0};
-    stats->owned_per_node = {graph.vertex_count()};
-    stats->ghosts_per_node = {0};
-    stats->replication_factor = 1.0;
-  }
+  ClusterStats local;
+  ClusterStats* s = stats != nullptr ? stats : &local;
+  *s = ClusterStats{};
+  s->total_tasks = roots.size();
+  s->tasks_per_node = {roots.size()};
+  s->seconds_per_node = {timer.elapsed_seconds()};
+  s->sent_messages_per_node = {0};
+  s->sent_bytes_per_node = {0};
+  s->owned_per_node = {graph.vertex_count()};
+  s->ghosts_per_node = {0};
+  s->replication_factor = 1.0;
+  bridge_stats_to_registry(*s);
   return counts;
 }
 
@@ -1092,9 +1148,22 @@ std::vector<Count> run_sharded(const ShardedGraph& sharded,
                                const ClusterOptions& options,
                                ClusterStats* stats,
                                support::RunReport* report) {
-  if (options.exec == ExecMode::kAsync)
-    return AsyncForestRun(sharded, forest, options).run(stats, report);
-  return LockstepForestRun(sharded, forest, options).run(stats, report);
+  const support::trace::Span span(options.exec == ExecMode::kAsync
+                                      ? "dist.run_async"
+                                      : "dist.run_lockstep");
+  // Always materialize stats and a report: the registry bridge and the
+  // exec-stop counters fire whether or not the caller asked for either.
+  ClusterStats local_stats;
+  ClusterStats* s = stats != nullptr ? stats : &local_stats;
+  support::RunReport local_report;
+  support::RunReport* r = report != nullptr ? report : &local_report;
+  std::vector<Count> counts =
+      options.exec == ExecMode::kAsync
+          ? AsyncForestRun(sharded, forest, options).run(s, r)
+          : LockstepForestRun(sharded, forest, options).run(s, r);
+  support::observe_run_status(r->status);
+  bridge_stats_to_registry(*s);
+  return counts;
 }
 
 }  // namespace
@@ -1162,8 +1231,12 @@ std::vector<Count> distributed_count_batch(const Graph& graph,
   ShardOptions shard_options;
   shard_options.nodes = options.nodes;
   shard_options.strategy = options.partition;
-  const ShardedGraph sharded(graph, shard_options);
-  return run_sharded(sharded, forest, options, stats, report);
+  std::optional<ShardedGraph> sharded;
+  {
+    const support::trace::Span span("dist.partition");
+    sharded.emplace(graph, shard_options);
+  }
+  return run_sharded(*sharded, forest, options, stats, report);
 }
 
 std::vector<Count> distributed_count_batch(const ShardedGraph& sharded,

@@ -8,6 +8,7 @@
 #include "engine/plan_exec.h"
 #include "graph/vertex_set.h"
 #include "support/check.h"
+#include "support/metrics.h"
 
 namespace graphpi {
 
@@ -168,12 +169,14 @@ void ForestExecutor::eval_leaves(Workspace& ws, const PlanForest::Node& node,
       ws.sums[static_cast<std::size_t>(leaf.plan)] +=
           raw - exec::count_used_in_intersection(*graph_, def, mapped, 0,
                                                  kNoVertexBound);
+      ++ws.iep_terms;  // the memoized k == 1 plan has exactly one term
       continue;
     }
     const Plan& plan = forest_->plans()[static_cast<std::size_t>(leaf.plan)];
     ws.sums[static_cast<std::size_t>(leaf.plan)] +=
         exec::evaluate_iep_terms(plan.iep.terms, ws.suffix_sets, leaf.set_ids,
                                  ws.scratch_a, ws.scratch_b);
+    ws.iep_terms += plan.iep.terms.size();
   }
 }
 
@@ -283,8 +286,45 @@ std::vector<Count> ForestExecutor::finalize(
 
 std::vector<Count> ForestExecutor::count(Workspace& ws) const {
   reset(ws);
+  support::metrics::metric_counter("engine.forest.runs").inc();
   exec_node(ws, forest_->root(), forest_->all_plans_mask());
+  // The depth-0 candidate loop scans every vertex exactly once.
+  flush_metrics(ws, graph_->vertex_count());
   return finalize(ws.sums);
+}
+
+ForestExecutor::MemoStats ForestExecutor::memo_stats(
+    const Workspace& ws) noexcept {
+  MemoStats stats;
+  for (const Workspace::MemoTable& table : ws.memo) {
+    stats.lookups += table.probes;
+    stats.hits += table.hits;
+    if (table.disabled) ++stats.shutoffs;
+  }
+  return stats;
+}
+
+void ForestExecutor::flush_metrics(Workspace& ws, std::uint64_t roots) const {
+  using support::metrics::Counter;
+  using support::metrics::metric_counter;
+  static Counter& c_roots = metric_counter("engine.forest.roots_completed");
+  static Counter& c_lookups = metric_counter("engine.memo.lookups");
+  static Counter& c_hits = metric_counter("engine.memo.hits");
+  static Counter& c_shutoffs = metric_counter("engine.memo.shutoffs");
+  static Counter& c_iep = metric_counter("engine.iep.terms_evaluated");
+  if (roots != 0) c_roots.inc(roots);
+  // Deltas against the workspace's last flush; a cleared memo (executor
+  // rebind) makes `now < mark`, in which case the totals restart.
+  const auto delta = [](std::uint64_t now, std::uint64_t& mark) {
+    const std::uint64_t d = now >= mark ? now - mark : now;
+    mark = now;
+    return d;
+  };
+  const MemoStats now = memo_stats(ws);
+  c_lookups.inc(delta(now.lookups, ws.metrics_mark.lookups));
+  c_hits.inc(delta(now.hits, ws.metrics_mark.hits));
+  c_shutoffs.inc(delta(now.shutoffs, ws.metrics_mark.shutoffs));
+  c_iep.inc(delta(ws.iep_terms, ws.metrics_mark.iep_terms));
 }
 
 std::vector<Count> ForestExecutor::finalize_partial(
@@ -301,6 +341,7 @@ std::vector<Count> ForestExecutor::count_roots(
     Workspace& ws, std::span<const VertexId> roots,
     const support::ExecControl* control, support::RunReport* report) const {
   reset(ws);
+  support::metrics::metric_counter("engine.forest.runs").inc();
   support::PollGate gate(control);
   for (VertexId v0 : roots) {
     accumulate_root(ws, v0);
@@ -310,6 +351,8 @@ std::vector<Count> ForestExecutor::count_roots(
     report->status = gate.status();
     report->completed_roots = gate.done();
   }
+  support::observe_run_status(gate.status());
+  flush_metrics(ws, gate.done());
   return gate.status() == support::RunStatus::kOk ? finalize(ws.sums)
                                                   : finalize_partial(ws.sums);
 }

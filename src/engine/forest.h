@@ -96,6 +96,18 @@ class ForestExecutor {
     /// ForestExecutor lifetime, like Matcher workspaces); reset() drops
     /// the tables when the workspace is handed to a different executor.
     std::uint64_t bound_executor = 0;
+    /// IEP terms evaluated by this workspace (run-local tally; see
+    /// flush_metrics()).
+    std::uint64_t iep_terms = 0;
+    /// Values already flushed into the metrics registry, so repeated
+    /// flushes publish deltas (memo counters persist across runs).
+    struct MetricsMark {
+      std::uint64_t lookups = 0;
+      std::uint64_t hits = 0;
+      std::uint64_t shutoffs = 0;
+      std::uint64_t iep_terms = 0;
+    };
+    MetricsMark metrics_mark;
     /// Per-plan accumulators; *undivided* inclusion–exclusion sums for
     /// IEP plans (see finalize()).
     std::vector<Count> sums;
@@ -161,6 +173,25 @@ class ForestExecutor {
 
   [[nodiscard]] const PlanForest& forest() const noexcept { return *forest_; }
   [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
+
+  /// Aggregate of the self-tuning memo counters across a workspace's
+  /// tables (probes/hits accumulate across runs; shutoffs counts tables
+  /// that reviewed themselves off).
+  struct MemoStats {
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t shutoffs = 0;
+  };
+  [[nodiscard]] static MemoStats memo_stats(const Workspace& ws) noexcept;
+
+  /// Publishes this workspace's observability tallies — memo lookups /
+  /// hits / window shutoffs, IEP terms evaluated, plus `roots` completed
+  /// root units — into the process metrics registry
+  /// (engine.memo.*, engine.iep.*, engine.forest.*) as deltas since the
+  /// workspace's last flush. The counting entry points call this once
+  /// per run; callers that drive accumulate_root() directly (the
+  /// parallel and distributed runtimes) call it per worker.
+  void flush_metrics(Workspace& ws, std::uint64_t roots) const;
 
  private:
   void exec_node(Workspace& ws, const PlanForest::Node& node,

@@ -18,6 +18,9 @@
 #include "codegen/codegen.h"
 #include "core/pattern_canon.h"
 #include "support/check.h"
+#include "support/metrics.h"
+#include "support/timer.h"
+#include "support/trace.h"
 
 namespace graphpi::jit {
 
@@ -122,6 +125,7 @@ KernelCache::KernelCache() : impl_(new Impl) {
 
 GeneratedBatchFn KernelCache::get(const PlanForest& forest) {
   if (!compiler_available()) return nullptr;
+  const support::trace::Span span("jit.cache.get");
 
   codegen::CodegenOptions opt;
   opt.function_name = kEntrySymbol;
@@ -132,7 +136,10 @@ GeneratedBatchFn KernelCache::get(const PlanForest& forest) {
     std::lock_guard<std::mutex> lock(impl_->mutex);
     if (const auto it = impl_->entries.find(key);
         it != impl_->entries.end()) {
-      if (it->second.fn != nullptr) ++impl_->stats.memory_hits;
+      if (it->second.fn != nullptr) {
+        ++impl_->stats.memory_hits;
+        support::metrics::metric_counter("jit.cache.memory_hits").inc();
+      }
       return it->second.fn;
     }
   }
@@ -207,8 +214,15 @@ GeneratedBatchFn KernelCache::get(const PlanForest& forest) {
     // Prefer an OpenMP build (parallel root loop); the emitted source
     // degrades to its serial loop under compilers without -fopenmp, so a
     // failed first attempt falls back to a plain build.
-    if (std::system((base + " -fopenmp 2> " + quoted(log)).c_str()) != 0 &&
-        std::system((base + " 2> " + quoted(log)).c_str()) != 0) {
+    const support::trace::Span compile_span("jit.compile");
+    const support::Timer compile_timer;
+    const bool compile_failed =
+        std::system((base + " -fopenmp 2> " + quoted(log)).c_str()) != 0 &&
+        std::system((base + " 2> " + quoted(log)).c_str()) != 0;
+    if (support::metrics::enabled())
+      support::metrics::metric_histogram("jit.compile_ms")
+          .observe(compile_timer.elapsed_millis());
+    if (compile_failed) {
       // Keep tmp_cpp and the log: the diagnostics reference that source,
       // and the remembered in-memory failure means this pair is written
       // at most once per key per process.
@@ -236,10 +250,20 @@ GeneratedBatchFn KernelCache::get(const PlanForest& forest) {
 GeneratedBatchFn KernelCache::record_result(std::uint64_t key,
                                             GeneratedBatchFn fn,
                                             bool disk_hit, bool compiled) {
+  using support::metrics::metric_counter;
   std::lock_guard<std::mutex> lock(impl_->mutex);
-  if (disk_hit) ++impl_->stats.disk_hits;
-  if (compiled) ++impl_->stats.compiles;
-  if (fn == nullptr && compiled) ++impl_->stats.failures;
+  if (disk_hit) {
+    ++impl_->stats.disk_hits;
+    metric_counter("jit.cache.disk_hits").inc();
+  }
+  if (compiled) {
+    ++impl_->stats.compiles;
+    metric_counter("jit.cache.compiles").inc();
+  }
+  if (fn == nullptr && compiled) {
+    ++impl_->stats.failures;
+    metric_counter("jit.cache.failures").inc();
+  }
   const auto [it, inserted] = impl_->entries.emplace(key, Entry{fn});
   if (!inserted && it->second.fn == nullptr) it->second.fn = fn;
   return it->second.fn;  // first successful publisher wins
@@ -257,6 +281,7 @@ std::optional<std::vector<Count>> run_generated(const Graph& graph,
                                                 support::RunReport* report) {
   GeneratedBatchFn fn = KernelCache::instance().get(forest);
   if (fn == nullptr) return std::nullopt;
+  const support::trace::Span span("generated.run");
   // Mirror the interpreter: build the hub index when any plan hints it,
   // so the kernel's hub-probing branches engage.
   for (const Plan& plan : forest.plans())
@@ -329,16 +354,25 @@ std::optional<std::vector<Count>> run_generated(const Graph& graph,
     watchdog_cv.notify_all();
     watchdog.join();
   }
+  support::RunStatus status = support::RunStatus::kOk;
+  if (reason == 2) {
+    status = support::RunStatus::kBudget;
+  } else if (reason == 1) {
+    status = fired == 2 ? support::RunStatus::kCancelled
+                        : support::RunStatus::kTimeout;
+  }
   if (report != nullptr) {
     report->completed_roots = completed;
-    if (reason == 2) {
-      report->status = support::RunStatus::kBudget;
-    } else if (reason == 1) {
-      report->status = fired == 2 ? support::RunStatus::kCancelled
-                                  : support::RunStatus::kTimeout;
-    } else {
-      report->status = support::RunStatus::kOk;
-    }
+    report->status = status;
+  }
+  support::observe_run_status(status);
+  {
+    using support::metrics::Counter;
+    using support::metrics::metric_counter;
+    static Counter& c_runs = metric_counter("generated.runs");
+    static Counter& c_roots = metric_counter("generated.roots_completed");
+    c_runs.inc();
+    c_roots.inc(completed);
   }
   return std::vector<Count>(counts.begin(), counts.end());
 }

@@ -7,6 +7,7 @@
 #include "engine/plan_exec.h"
 #include "graph/vertex_set.h"
 #include "support/check.h"
+#include "support/metrics.h"
 
 namespace graphpi {
 
@@ -113,9 +114,22 @@ Count Matcher::evaluate_iep_leaf(Workspace& ws) const {
                            ws.scratch_a);
   }
 
+  ws.iep_terms += plan_.iep.terms.size();
   return exec::evaluate_iep_terms(plan_.iep.terms, ws.suffix_sets,
                                   identity_set_ids_, ws.scratch_a,
                                   ws.scratch_b);
+}
+
+void Matcher::flush_metrics(Workspace& ws, std::uint64_t roots) const {
+  using support::metrics::Counter;
+  using support::metrics::metric_counter;
+  static Counter& c_roots = metric_counter("engine.matcher.roots_completed");
+  static Counter& c_iep = metric_counter("engine.iep.terms_evaluated");
+  if (roots != 0) c_roots.inc(roots);
+  if (ws.iep_terms > ws.iep_terms_flushed) {
+    c_iep.inc(ws.iep_terms - ws.iep_terms_flushed);
+    ws.iep_terms_flushed = ws.iep_terms;
+  }
 }
 
 Count Matcher::recurse_iep(Workspace& ws, int depth) const {
@@ -133,8 +147,18 @@ Count Matcher::recurse_iep(Workspace& ws, int depth) const {
 
 Count Matcher::count(Workspace& ws) const {
   invalidate_prefix(ws);
-  if (!iep_active_) return recurse(ws, 0, nullptr);
+  support::metrics::metric_counter("engine.matcher.runs").inc();
+  // Depth 0 has no predecessors or bounds, so when a root loop exists at
+  // all it scans every vertex exactly once.
+  const std::uint64_t roots =
+      (iep_active_ ? outer_depth_ : n_) >= 1 ? graph_->vertex_count() : 0;
+  if (!iep_active_) {
+    const Count total = recurse(ws, 0, nullptr);
+    flush_metrics(ws, roots);
+    return total;
+  }
   const Count undivided = recurse_iep(ws, 0);
+  flush_metrics(ws, roots);
   GRAPHPI_CHECK_MSG(undivided % plan_.iep.divisor == 0,
                     "IEP sum must be divisible by the surviving-"
                     "automorphism factor x");
@@ -166,6 +190,7 @@ Count Matcher::count(Workspace& ws, const support::ExecControl* control,
   }
 
   invalidate_prefix(ws);
+  support::metrics::metric_counter("engine.matcher.runs").inc();
   support::PollGate gate(control);
   Count total = 0;
   // The depth-0 loop of recurse()/recurse_iep(), unrolled one level so
@@ -181,6 +206,8 @@ Count Matcher::count(Workspace& ws, const support::ExecControl* control,
     report->status = gate.status();
     report->completed_roots = gate.done();
   }
+  support::observe_run_status(gate.status());
+  flush_metrics(ws, gate.done());
   if (!iep_active_) return total;
   if (gate.status() == support::RunStatus::kOk) {
     GRAPHPI_CHECK_MSG(total % plan_.iep.divisor == 0,
@@ -194,7 +221,10 @@ Count Matcher::count(Workspace& ws, const support::ExecControl* control,
 
 Count Matcher::count_plain(Workspace& ws) const {
   invalidate_prefix(ws);
-  return recurse(ws, 0, nullptr);
+  support::metrics::metric_counter("engine.matcher.runs").inc();
+  const Count total = recurse(ws, 0, nullptr);
+  flush_metrics(ws, n_ >= 1 ? graph_->vertex_count() : 0);
+  return total;
 }
 
 Count Matcher::count_plain() const {

@@ -76,6 +76,10 @@ class Matcher {
     // destroyed one's address). 0 = bound to nothing.
     std::uint64_t bound_matcher = 0;
     int applied_depth = 0;
+    // Run-local observability tally (flushed as a delta into the
+    // metrics registry; see flush_metrics).
+    std::uint64_t iep_terms = 0;
+    std::uint64_t iep_terms_flushed = 0;
   };
 
   /// Total Workspace constructions process-wide — observability hook used
@@ -155,6 +159,14 @@ class Matcher {
   void enumerate_prefixes(
       Workspace& ws, int depth,
       const std::function<void(std::span<const VertexId>)>& cb) const;
+
+  /// Publishes the workspace's observability tallies (IEP terms
+  /// evaluated) plus `roots` completed root vertices into the process
+  /// metrics registry (engine.matcher.roots_completed,
+  /// engine.iep.terms_evaluated). The counting entry points call this
+  /// once per run; the parallel runtime calls it once per worker after
+  /// a count_from_prefix task loop.
+  void flush_metrics(Workspace& ws, std::uint64_t roots) const;
 
   [[nodiscard]] const Configuration& configuration() const noexcept {
     return config_;

@@ -5,16 +5,47 @@
 #include <algorithm>
 #include <atomic>
 #include <mutex>
+#include <span>
 #include <utility>
 #include <vector>
 
 #include "engine/forest.h"
 #include "support/check.h"
+#include "support/metrics.h"
 #include "support/timer.h"
+#include "support/trace.h"
 
 namespace graphpi {
 
 namespace {
+
+/// Publishes one parallel run's scheduling stats into the metrics
+/// registry: task/chunk totals, the number of workers that claimed any
+/// work, and (when metrics are enabled) a per-worker busy-time
+/// histogram whose spread exposes load imbalance.
+void flush_parallel_metrics(std::uint64_t tasks, std::uint64_t chunks,
+                            std::span<const std::uint64_t> thread_tasks,
+                            std::span<const double> thread_seconds) {
+  using support::metrics::Counter;
+  using support::metrics::metric_counter;
+  using support::metrics::metric_histogram;
+  static Counter& c_runs = metric_counter("engine.parallel.runs");
+  static Counter& c_tasks = metric_counter("engine.parallel.tasks");
+  static Counter& c_chunks = metric_counter("engine.parallel.chunks_claimed");
+  static Counter& c_workers = metric_counter("engine.parallel.workers");
+  c_runs.inc();
+  c_tasks.inc(tasks);
+  c_chunks.inc(chunks);
+  std::uint64_t busy_workers = 0;
+  auto& h_busy = metric_histogram("engine.parallel.worker_busy_ms");
+  const bool observe = support::metrics::enabled();
+  for (std::size_t i = 0; i < thread_tasks.size(); ++i) {
+    if (thread_tasks[i] == 0) continue;
+    ++busy_workers;
+    if (observe) h_busy.observe(thread_seconds[i] * 1e3);
+  }
+  c_workers.inc(busy_workers);
+}
 
 /// The task list: every valid prefix of `depth` schedule positions, stored
 /// flat (one contiguous array, `depth` slots per task) so generating a few
@@ -82,6 +113,7 @@ Count count_parallel(const Graph& graph, const Configuration& config,
                      const ParallelOptions& options, ParallelRunStats* stats,
                      const support::ExecControl* control,
                      support::RunReport* report) {
+  const support::trace::Span span("parallel.count");
   const Matcher matcher(graph, config);
   const int depth = clamp_task_depth(config, options.task_depth);
   const TaskBuffer tasks = generate_tasks(matcher, depth);
@@ -135,6 +167,7 @@ Count count_parallel(const Graph& graph, const Configuration& config,
       }
     }
     thread_seconds[static_cast<std::size_t>(tid)] = timer.elapsed_seconds();
+    matcher.flush_metrics(ws, 0);  // IEP-term tally; tasks counted below
   }
 
   if (stats != nullptr) {
@@ -143,7 +176,10 @@ Count count_parallel(const Graph& graph, const Configuration& config,
     stats->per_thread_tasks = thread_tasks;
     stats->per_thread_seconds = thread_seconds;
   }
+  flush_parallel_metrics(tasks.count(), groups.size(), thread_tasks,
+                         thread_seconds);
   const auto status = static_cast<support::RunStatus>(stop_status.load());
+  support::observe_run_status(status);
   if (report != nullptr) {
     report->status = status;
     report->completed_roots = ctl != nullptr ? done_units.load() : tasks.count();
@@ -197,6 +233,7 @@ std::vector<Count> count_batch_parallel(const Graph& graph,
                                         ParallelRunStats* stats,
                                         const support::ExecControl* control,
                                         support::RunReport* report) {
+  const support::trace::Span span("parallel.count_batch");
   const ForestExecutor executor(graph, forest);
   GRAPHPI_CHECK_MSG(forest.root().count_leaves.empty(),
                     "count_batch_parallel requires plans with >= 2 vertices");
@@ -259,6 +296,8 @@ std::vector<Count> count_batch_parallel(const Graph& graph,
     if (ctl != nullptr)  // flush the sub-stride remainder
       done_roots.fetch_add(local_done & mask, std::memory_order_relaxed);
     thread_seconds[static_cast<std::size_t>(tid)] = timer.elapsed_seconds();
+    // Memo/IEP tallies plus this worker's completed roots.
+    executor.flush_metrics(ws, thread_tasks[static_cast<std::size_t>(tid)]);
 #pragma omp critical
     for (std::size_t i = 0; i < aggregated.size(); ++i)
       aggregated[i] += ws.sums[i];
@@ -271,7 +310,11 @@ std::vector<Count> count_batch_parallel(const Graph& graph,
     stats->per_thread_tasks = thread_tasks;
     stats->per_thread_seconds = thread_seconds;
   }
+  flush_parallel_metrics(static_cast<std::uint64_t>(n),
+                         static_cast<std::uint64_t>((n + kChunk - 1) / kChunk),
+                         thread_tasks, thread_seconds);
   const auto status = static_cast<support::RunStatus>(stop_status.load());
+  support::observe_run_status(status);
   if (report != nullptr) {
     report->status = status;
     report->completed_roots =

@@ -6,6 +6,13 @@
 // so the model can be validated head-on (tests/engine/profile_test.cpp
 // checks prediction-vs-measurement correlation; bench/ablation_model_inputs
 // quantifies how much each statistic contributes).
+//
+// This profiler is the *model-validation* instrument: exhaustive
+// per-loop counts from a dedicated instrumented run. For lightweight
+// always-on production telemetry — per-run counters, latency
+// histograms, trace spans across every backend — use the metrics
+// registry (support/metrics.h) and trace layer (support/trace.h)
+// instead; they cost nothing on the hot path and export JSON/Prometheus.
 #pragma once
 
 #include <cstdint>

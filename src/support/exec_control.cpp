@@ -1,6 +1,31 @@
 #include "support/exec_control.h"
 
+#include "support/metrics.h"
+
 namespace graphpi::support {
+
+void observe_run_status(RunStatus status) noexcept {
+  using metrics::metric_counter;
+  switch (status) {
+    case RunStatus::kOk:
+      return;
+    case RunStatus::kTimeout: {
+      static metrics::Counter& c = metric_counter("exec.timeouts");
+      c.inc();
+      return;
+    }
+    case RunStatus::kCancelled: {
+      static metrics::Counter& c = metric_counter("exec.cancellations");
+      c.inc();
+      return;
+    }
+    case RunStatus::kBudget: {
+      static metrics::Counter& c = metric_counter("exec.budget_exhausted");
+      c.inc();
+      return;
+    }
+  }
+}
 
 const char* to_string(RunStatus status) noexcept {
   switch (status) {

@@ -35,6 +35,11 @@ enum class RunStatus : std::uint8_t {
 
 [[nodiscard]] const char* to_string(RunStatus status) noexcept;
 
+/// Bumps the matching `exec.{timeouts,cancellations,budget_exhausted}`
+/// metrics-registry counter; kOk is a no-op. Each backend calls this
+/// exactly once when it finalizes a bounded run's status.
+void observe_run_status(RunStatus status) noexcept;
+
 /// Outcome of one bounded counting call.
 struct RunReport {
   RunStatus status = RunStatus::kOk;

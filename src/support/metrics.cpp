@@ -1,0 +1,341 @@
+#include "support/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <mutex>
+
+namespace graphpi::support::metrics {
+
+// ---------------------------------------------------------------------------
+// Enable switch.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool enabled_from_env() {
+  const char* env = std::getenv("GRAPHPI_METRICS");
+  if (env == nullptr) return true;
+  return !(std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+           std::strcmp(env, "OFF") == 0 || std::strcmp(env, "false") == 0);
+}
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{enabled_from_env()};
+  return flag;
+}
+
+}  // namespace
+
+bool enabled() noexcept {
+  return enabled_flag().load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool on) noexcept {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Gauge.
+// ---------------------------------------------------------------------------
+
+void Gauge::record_max(std::int64_t v) noexcept {
+  std::int64_t cur = value_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram.
+// ---------------------------------------------------------------------------
+
+double Histogram::bucket_bound(int i) noexcept {
+  return kBase * std::ldexp(1.0, i);  // kBase * 2^i
+}
+
+void Histogram::observe(double value) noexcept {
+  if (!(value >= 0.0)) value = 0.0;  // clamps NaN too
+  int idx = 0;
+  while (idx < kBucketCount - 1 && value > bucket_bound(idx)) ++idx;
+  buckets_[static_cast<std::size_t>(idx)].fetch_add(1,
+                                                    std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_nano_.fetch_add(static_cast<std::uint64_t>(value * 1e6 + 0.5),
+                      std::memory_order_relaxed);
+}
+
+double Histogram::sum() const noexcept {
+  return static_cast<double>(sum_nano_.load(std::memory_order_relaxed)) * 1e-6;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_nano_.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// HistogramSnapshot.
+// ---------------------------------------------------------------------------
+
+double HistogramSnapshot::percentile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 100.0);
+  // Rank of the target observation, 1-based.
+  const double rank = std::max(1.0, q / 100.0 * static_cast<double>(count));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const std::uint64_t next = seen + buckets[i];
+    if (static_cast<double>(next) >= rank) {
+      const double lo =
+          (i == 0) ? 0.0 : Histogram::bucket_bound(static_cast<int>(i) - 1);
+      double hi = Histogram::bucket_bound(static_cast<int>(i));
+      if (i + 1 == buckets.size()) hi = lo;  // unbounded tail: report bound
+      const double frac = (rank - static_cast<double>(seen)) /
+                          static_cast<double>(buckets[i]);
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    seen = next;
+  }
+  return Histogram::bucket_bound(Histogram::kBucketCount - 1);
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------------
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  // deques: stable addresses under growth, no per-node allocation churn.
+  std::deque<Counter> counters;
+  std::deque<Gauge> gauges;
+  std::deque<Histogram> histograms;
+  std::map<std::string, Counter*> counter_by_name;
+  std::map<std::string, Gauge*> gauge_by_name;
+  std::map<std::string, Histogram*> histogram_by_name;
+};
+
+Registry& Registry::instance() {
+  static Registry reg;
+  return reg;
+}
+
+Registry::Impl& Registry::impl() const {
+  static Impl impl;
+  return impl;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  Impl& im = impl();
+  const std::lock_guard<std::mutex> lock(im.mu);
+  auto it = im.counter_by_name.find(std::string(name));
+  if (it != im.counter_by_name.end()) return *it->second;
+  im.counters.emplace_back();
+  Counter* c = &im.counters.back();
+  im.counter_by_name.emplace(std::string(name), c);
+  return *c;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  Impl& im = impl();
+  const std::lock_guard<std::mutex> lock(im.mu);
+  auto it = im.gauge_by_name.find(std::string(name));
+  if (it != im.gauge_by_name.end()) return *it->second;
+  im.gauges.emplace_back();
+  Gauge* g = &im.gauges.back();
+  im.gauge_by_name.emplace(std::string(name), g);
+  return *g;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  Impl& im = impl();
+  const std::lock_guard<std::mutex> lock(im.mu);
+  auto it = im.histogram_by_name.find(std::string(name));
+  if (it != im.histogram_by_name.end()) return *it->second;
+  im.histograms.emplace_back();
+  Histogram* h = &im.histograms.back();
+  im.histogram_by_name.emplace(std::string(name), h);
+  return *h;
+}
+
+Snapshot Registry::snapshot() const {
+  Impl& im = impl();
+  const std::lock_guard<std::mutex> lock(im.mu);
+  Snapshot snap;
+  for (const auto& [name, c] : im.counter_by_name)
+    snap.counters.emplace(name, c->value());
+  for (const auto& [name, g] : im.gauge_by_name)
+    snap.gauges.emplace(name, g->value());
+  for (const auto& [name, h] : im.histogram_by_name) {
+    HistogramSnapshot hs;
+    hs.buckets.resize(Histogram::kBucketCount);
+    for (int i = 0; i < Histogram::kBucketCount; ++i)
+      hs.buckets[static_cast<std::size_t>(i)] = h->bucket(i);
+    hs.count = h->count();
+    hs.sum = h->sum();
+    snap.histograms.emplace(name, std::move(hs));
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  Impl& im = impl();
+  const std::lock_guard<std::mutex> lock(im.mu);
+  for (auto& c : im.counters) c.reset();
+  for (auto& g : im.gauges) g.reset();
+  for (auto& h : im.histograms) h.reset();
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot arithmetic + export.
+// ---------------------------------------------------------------------------
+
+Snapshot Snapshot::diff(const Snapshot& baseline) const {
+  Snapshot out;
+  for (const auto& [name, v] : counters) {
+    auto it = baseline.counters.find(name);
+    const std::uint64_t base = it == baseline.counters.end() ? 0 : it->second;
+    out.counters.emplace(name, v >= base ? v - base : 0);
+  }
+  out.gauges = gauges;
+  for (const auto& [name, h] : histograms) {
+    HistogramSnapshot hs = h;
+    auto it = baseline.histograms.find(name);
+    if (it != baseline.histograms.end()) {
+      const HistogramSnapshot& base = it->second;
+      for (std::size_t i = 0;
+           i < hs.buckets.size() && i < base.buckets.size(); ++i) {
+        hs.buckets[i] =
+            hs.buckets[i] >= base.buckets[i] ? hs.buckets[i] - base.buckets[i]
+                                             : 0;
+      }
+      hs.count = hs.count >= base.count ? hs.count - base.count : 0;
+      hs.sum = hs.sum >= base.sum ? hs.sum - base.sum : 0.0;
+    }
+    out.histograms.emplace(name, std::move(hs));
+  }
+  return out;
+}
+
+std::uint64_t Snapshot::counter_or(std::string_view name,
+                                   std::uint64_t fallback) const {
+  auto it = counters.find(std::string(name));
+  return it == counters.end() ? fallback : it->second;
+}
+
+namespace {
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+
+std::string prom_name(const std::string& name) {
+  std::string out = "graphpi_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9');
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Snapshot::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":";
+    out += std::to_string(v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":";
+    out += std::to_string(v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":{\"count\":";
+    out += std::to_string(h.count);
+    out += ",\"sum\":";
+    append_double(out, h.sum);
+    out += ",\"p50\":";
+    append_double(out, h.p50());
+    out += ",\"p90\":";
+    append_double(out, h.p90());
+    out += ",\"p99\":";
+    append_double(out, h.p99());
+    out += ",\"buckets\":[";
+    bool bfirst = true;
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (h.buckets[i] == 0) continue;
+      if (!bfirst) out += ',';
+      bfirst = false;
+      out += '[';
+      append_double(out, Histogram::bucket_bound(static_cast<int>(i)));
+      out += ',';
+      out += std::to_string(h.buckets[i]);
+      out += ']';
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string Snapshot::to_prometheus() const {
+  std::string out;
+  for (const auto& [name, v] : counters) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " counter\n";
+    out += p + " " + std::to_string(v) + "\n";
+  }
+  for (const auto& [name, v] : gauges) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " gauge\n";
+    out += p + " " + std::to_string(v) + "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " histogram\n";
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      cum += h.buckets[i];
+      if (h.buckets[i] == 0 && i + 1 != h.buckets.size()) continue;
+      out += p + "_bucket{le=\"";
+      if (i + 1 == h.buckets.size()) {
+        out += "+Inf";
+      } else {
+        append_double(out, Histogram::bucket_bound(static_cast<int>(i)));
+      }
+      out += "\"} " + std::to_string(cum) + "\n";
+    }
+    out += p + "_sum ";
+    append_double(out, h.sum);
+    out += "\n" + p + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+}  // namespace graphpi::support::metrics

@@ -1,0 +1,210 @@
+// Process-wide observability registry: named atomic counters, gauges,
+// and fixed-bucket latency histograms, shared by every backend (serial
+// matcher, forest executor, OpenMP engine, JIT'd kernels, distributed
+// runtime) so one snapshot describes a whole process.
+//
+// Design constraints, in order:
+//   1. Hot paths never pay for this. Engines accumulate into their
+//      existing per-workspace tallies and FLUSH deltas into registry
+//      counters once per run (or per worker), so the steady-state cost
+//      of an enabled registry is a handful of relaxed fetch_adds per
+//      query — and the *disabled* path is a single relaxed load.
+//   2. Handles are stable. `Registry::counter("x")` returns a reference
+//      that lives for the process; call sites cache it in a static or a
+//      member and increment lock-free forever after.
+//   3. Snapshots are values. `Registry::snapshot()` copies everything
+//      under the registration mutex; `Snapshot::diff()` subtracts a
+//      baseline so tests and services can meter one query.
+//
+// Export formats: `Snapshot::to_json()` (nested object, embedded by the
+// benches and `graphpi_cli --metrics-json`) and
+// `Snapshot::to_prometheus()` (text exposition format, for the
+// forthcoming service's /metrics endpoint).
+//
+// `Counter` is deliberately a standalone value type, not a registry
+// node: `dist::Channel` embeds arrays of them for its per-kind traffic
+// accounting instead of hand-rolling `std::atomic` + fetch_add
+// plumbing, and the registry stores the same type behind names.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace graphpi::support::metrics {
+
+// ---------------------------------------------------------------------------
+// Global enable switch.
+//
+// Counters are so cheap (one relaxed fetch_add at flush granularity)
+// that they are always on; the switch gates the *timed* instruments —
+// histogram observations and trace spans — whose cost includes a clock
+// read. Initialized from GRAPHPI_METRICS ("0"/"off" disables) on first
+// query.
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+// ---------------------------------------------------------------------------
+// Instruments.
+// ---------------------------------------------------------------------------
+
+/// Monotonic event count. Relaxed increments: totals are exact, but a
+/// concurrent reader may observe counters mid-update relative to each
+/// other (fine for stats).
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written (or high-water) signed level.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t v) noexcept {
+    value_.fetch_add(v, std::memory_order_relaxed);
+  }
+  /// Raise to `v` if `v` is larger (lock-free CAS loop).
+  void record_max(std::int64_t v) noexcept;
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram with geometric bucket bounds. Bucket `i`
+/// spans (bound(i-1), bound(i)] where bound(i) = kBase * 2^i, so the
+/// same shape covers microsecond poll latencies and hour-long runs with
+/// bounded relative error; percentile estimates interpolate linearly
+/// within the winning bucket. Units are whatever the caller observes —
+/// the engine's convention is milliseconds (suffix the metric name
+/// `_ms`).
+class Histogram {
+ public:
+  static constexpr int kBucketCount = 44;
+  static constexpr double kBase = 1e-3;  // first bound: 0.001 (1 us in ms)
+
+  /// Upper bound of bucket `i`; the last bucket is unbounded.
+  [[nodiscard]] static double bucket_bound(int i) noexcept;
+
+  void observe(double value) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept;
+  [[nodiscard]] std::uint64_t bucket(int i) const noexcept {
+    return buckets_[static_cast<std::size_t>(i)].load(
+        std::memory_order_relaxed);
+  }
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBucketCount]{};
+  std::atomic<std::uint64_t> count_{0};
+  // Sum in nano-units (value * 1e6 for ms -> ns) so it can be a plain
+  // integer fetch_add; reconstructed as double on read.
+  std::atomic<std::uint64_t> sum_nano_{0};
+};
+
+// ---------------------------------------------------------------------------
+// Snapshots.
+// ---------------------------------------------------------------------------
+
+struct HistogramSnapshot {
+  std::vector<std::uint64_t> buckets;  // kBucketCount entries
+  std::uint64_t count = 0;
+  double sum = 0.0;
+
+  /// Percentile estimate, q in [0, 100]. Finds the bucket holding the
+  /// rank-q observation and interpolates linearly inside it; returns 0
+  /// for an empty histogram.
+  [[nodiscard]] double percentile(double q) const noexcept;
+  [[nodiscard]] double p50() const noexcept { return percentile(50.0); }
+  [[nodiscard]] double p90() const noexcept { return percentile(90.0); }
+  [[nodiscard]] double p99() const noexcept { return percentile(99.0); }
+};
+
+/// A point-in-time copy of every registered instrument.
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// This snapshot minus `baseline`: counters and histogram buckets
+  /// subtract (clamped at zero, and names absent from the baseline keep
+  /// their full value); gauges keep this snapshot's level.
+  [[nodiscard]] Snapshot diff(const Snapshot& baseline) const;
+
+  [[nodiscard]] std::uint64_t counter_or(std::string_view name,
+                                         std::uint64_t fallback = 0) const;
+
+  /// {"counters":{...},"gauges":{...},"histograms":{"name":{"count":..,
+  /// "sum":..,"p50":..,"p90":..,"p99":..,"buckets":[[bound,count],..]}}}
+  /// — buckets with zero count are omitted.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Prometheus text exposition format. Metric names are sanitized
+  /// (non-alphanumerics -> '_') and prefixed `graphpi_`; histograms
+  /// emit cumulative `_bucket{le=...}`, `_sum`, `_count` series.
+  [[nodiscard]] std::string to_prometheus() const;
+};
+
+// ---------------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------------
+
+/// Process-wide name -> instrument table. Lookups take a mutex; the
+/// returned references are stable for the process lifetime, so every
+/// hot call site looks up once and caches.
+class Registry {
+ public:
+  [[nodiscard]] static Registry& instance();
+
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] Histogram& histogram(std::string_view name);
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Zeroes every registered instrument (handles stay valid). For
+  /// tests and bench arms that meter a single phase.
+  void reset();
+
+ private:
+  Registry() = default;
+  struct Impl;
+  [[nodiscard]] Impl& impl() const;
+};
+
+/// Shorthand: `metric_counter("engine.memo.hits").inc(n)`.
+[[nodiscard]] inline Counter& metric_counter(std::string_view name) {
+  return Registry::instance().counter(name);
+}
+[[nodiscard]] inline Gauge& metric_gauge(std::string_view name) {
+  return Registry::instance().gauge(name);
+}
+[[nodiscard]] inline Histogram& metric_histogram(std::string_view name) {
+  return Registry::instance().histogram(name);
+}
+
+}  // namespace graphpi::support::metrics

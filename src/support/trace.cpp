@@ -1,0 +1,173 @@
+#include "support/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+#include "support/metrics.h"
+
+namespace graphpi::support::trace {
+
+// ---------------------------------------------------------------------------
+// Clock + thread ids.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point trace_epoch() noexcept {
+  static const Clock::time_point epoch = Clock::now();
+  return epoch;
+}
+
+std::atomic<std::uint32_t> next_thread_id{0};
+
+thread_local std::uint32_t t_thread_id = 0xffffffffu;
+thread_local std::uint32_t t_depth = 0;
+
+std::atomic<TraceBuffer*> g_sink{nullptr};
+
+}  // namespace
+
+std::uint64_t monotonic_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           trace_epoch())
+          .count());
+}
+
+std::uint32_t thread_id() noexcept {
+  if (t_thread_id == 0xffffffffu)
+    t_thread_id = next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return t_thread_id;
+}
+
+// ---------------------------------------------------------------------------
+// TraceBuffer.
+// ---------------------------------------------------------------------------
+
+struct TraceBuffer::Impl {
+  mutable std::mutex mu;
+  std::vector<Event> ring;
+  std::uint64_t total = 0;  // events ever recorded; ring slot = total % cap
+};
+
+TraceBuffer::TraceBuffer(std::size_t capacity)
+    : impl_(new Impl), capacity_(capacity == 0 ? 1 : capacity) {
+  impl_->ring.resize(capacity_);
+}
+
+TraceBuffer::~TraceBuffer() {
+  // Never destroy a buffer that is still the active sink; guard anyway
+  // so a misordered teardown drops spans instead of dereferencing us.
+  TraceBuffer* expected = this;
+  g_sink.compare_exchange_strong(expected, nullptr,
+                                 std::memory_order_acq_rel);
+  delete impl_;
+}
+
+void TraceBuffer::record(const Event& event) noexcept {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->ring[impl_->total % capacity_] = event;
+  ++impl_->total;
+}
+
+std::vector<Event> TraceBuffer::events() const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  std::vector<Event> out;
+  const std::uint64_t total = impl_->total;
+  const std::uint64_t kept = total < capacity_ ? total : capacity_;
+  out.reserve(kept);
+  for (std::uint64_t i = total - kept; i < total; ++i)
+    out.push_back(impl_->ring[i % capacity_]);
+  return out;
+}
+
+std::uint64_t TraceBuffer::total_recorded() const noexcept {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->total;
+}
+
+std::uint64_t TraceBuffer::dropped() const noexcept {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->total < capacity_ ? 0 : impl_->total - capacity_;
+}
+
+void TraceBuffer::clear() noexcept {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->total = 0;
+}
+
+std::string TraceBuffer::to_chrome_json() const {
+  const std::vector<Event> evs = events();
+  std::string out = "{\"traceEvents\":[";
+  char buf[256];
+  bool first = true;
+  for (const Event& e : evs) {
+    if (!first) out += ',';
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"cat\":\"graphpi\",\"ph\":\"X\","
+                  "\"pid\":1,\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f,"
+                  "\"args\":{\"depth\":%u}}",
+                  e.name == nullptr ? "?" : e.name, e.tid,
+                  static_cast<double>(e.start_ns) / 1e3,
+                  static_cast<double>(e.dur_ns) / 1e3, e.depth);
+    out += buf;
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Sink management.
+// ---------------------------------------------------------------------------
+
+TraceBuffer* active_sink() noexcept {
+  return g_sink.load(std::memory_order_acquire);
+}
+
+void set_active_sink(TraceBuffer* sink) noexcept {
+  g_sink.store(sink, std::memory_order_release);
+}
+
+ScopedSink::ScopedSink(TraceBuffer* sink) noexcept
+    : prev_(nullptr), installed_(sink != nullptr) {
+  if (installed_) {
+    prev_ = g_sink.exchange(sink, std::memory_order_acq_rel);
+  }
+}
+
+ScopedSink::~ScopedSink() {
+  if (installed_) g_sink.store(prev_, std::memory_order_release);
+}
+
+// ---------------------------------------------------------------------------
+// Span.
+// ---------------------------------------------------------------------------
+
+Span::Span(const char* name) noexcept
+    : sink_(metrics::enabled() ? active_sink() : nullptr),
+      name_(name),
+      start_ns_(0),
+      depth_(0) {
+  if (sink_ == nullptr) return;
+  depth_ = t_depth++;
+  start_ns_ = monotonic_ns();
+}
+
+Span::~Span() {
+  if (sink_ == nullptr) return;
+  const std::uint64_t end = monotonic_ns();
+  if (t_depth > 0) --t_depth;
+  Event e;
+  e.name = name_;
+  e.start_ns = start_ns_;
+  e.dur_ns = end >= start_ns_ ? end - start_ns_ : 0;
+  e.tid = thread_id();
+  e.depth = depth_;
+  sink_->record(e);
+}
+
+}  // namespace graphpi::support::trace

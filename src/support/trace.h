@@ -1,0 +1,111 @@
+// Ring-buffered query trace spans, exported as Chrome trace-event JSON
+// (load the file in chrome://tracing or https://ui.perfetto.dev).
+//
+// A `Span` is an RAII region: it stamps the monotonic clock on entry,
+// and on exit records {name, thread, depth, start, duration} into the
+// process's active `TraceBuffer` sink. Spans nest — a thread-local
+// depth counter tracks the stack — and are safe from any thread; the
+// buffer is a fixed-capacity ring, so a long run keeps the most recent
+// `capacity()` spans and reports how many were dropped.
+//
+// With no active sink (or metrics disabled — support/metrics.h's switch
+// gates spans too) a Span is two relaxed atomic loads and dead stores;
+// the engine leaves its spans compiled in unconditionally.
+// Sinks are installed either per-query (`MatchOptions::trace_sink`,
+// scoped to the call by `ScopedSink`) or process-wide by the CLI's
+// `--trace-json`.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace graphpi::support::trace {
+
+/// One completed span. `name` must be a string literal (or otherwise
+/// outlive the buffer) — spans never allocate.
+struct Event {
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;  ///< monotonic, since process trace epoch
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;   ///< small sequential id, stable per thread
+  std::uint32_t depth = 0; ///< nesting level on its thread, 0 = outermost
+};
+
+/// Nanoseconds on the steady clock since the process's first use of the
+/// trace layer (small numbers keep the JSON readable).
+[[nodiscard]] std::uint64_t monotonic_ns() noexcept;
+
+/// Sequential id of the calling thread (first caller gets 0).
+[[nodiscard]] std::uint32_t thread_id() noexcept;
+
+/// Fixed-capacity span ring. Recording takes a mutex — spans are run-
+/// and phase-granular (per query, per compile, per dist phase), never
+/// per-root, so contention is nil; in exchange drains are exact and the
+/// type is trivially TSan-clean.
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::size_t capacity = 4096);
+  ~TraceBuffer();
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  void record(const Event& event) noexcept;
+
+  /// The retained events, oldest first. When the ring wrapped, these
+  /// are the most recent `capacity()` of `total_recorded()`.
+  [[nodiscard]] std::vector<Event> events() const;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t total_recorded() const noexcept;
+  [[nodiscard]] std::uint64_t dropped() const noexcept;
+
+  void clear() noexcept;
+
+  /// {"traceEvents":[{"name":..,"cat":"graphpi","ph":"X","pid":..,
+  /// "tid":..,"ts":<us>,"dur":<us>,"args":{"depth":..}},...]}
+  [[nodiscard]] std::string to_chrome_json() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  std::size_t capacity_;
+};
+
+/// The process-wide active sink (nullptr = tracing off).
+[[nodiscard]] TraceBuffer* active_sink() noexcept;
+void set_active_sink(TraceBuffer* sink) noexcept;
+
+/// Installs `sink` for a scope and restores the previous sink on exit.
+/// A null `sink` leaves the current sink in place (so per-query opt-in
+/// composes with a process-wide CLI sink).
+class ScopedSink {
+ public:
+  explicit ScopedSink(TraceBuffer* sink) noexcept;
+  ~ScopedSink();
+  ScopedSink(const ScopedSink&) = delete;
+  ScopedSink& operator=(const ScopedSink&) = delete;
+
+ private:
+  TraceBuffer* prev_;
+  bool installed_;
+};
+
+/// RAII span; see file comment.
+class Span {
+ public:
+  explicit Span(const char* name) noexcept;
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  TraceBuffer* sink_;
+  const char* name_;
+  std::uint64_t start_ns_;
+  std::uint32_t depth_;
+};
+
+}  // namespace graphpi::support::trace

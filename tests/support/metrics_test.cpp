@@ -1,0 +1,166 @@
+// Metrics registry: counters, gauges, histogram percentiles, snapshots,
+// diffs, and the JSON / Prometheus exports (support/metrics.h).
+#include "support/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace graphpi::support::metrics {
+namespace {
+
+TEST(MetricsCounter, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+// Concurrent increments must conserve the total — the whole point of the
+// relaxed fetch_add. Runs under the TSan job (support\. filter).
+TEST(MetricsCounter, ConcurrentIncrementsConserveTotal) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.inc();
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsGauge, SetAddRecordMax) {
+  Gauge g;
+  g.set(5);
+  EXPECT_EQ(g.value(), 5);
+  g.add(-2);
+  EXPECT_EQ(g.value(), 3);
+  g.record_max(10);
+  EXPECT_EQ(g.value(), 10);
+  g.record_max(7);  // smaller: no change
+  EXPECT_EQ(g.value(), 10);
+}
+
+TEST(MetricsHistogram, BucketBoundsAreGeometric) {
+  EXPECT_DOUBLE_EQ(Histogram::bucket_bound(0), 1e-3);
+  for (int i = 1; i < Histogram::kBucketCount; ++i)
+    EXPECT_DOUBLE_EQ(Histogram::bucket_bound(i),
+                     2.0 * Histogram::bucket_bound(i - 1));
+}
+
+TEST(MetricsHistogram, CountAndSum) {
+  Histogram h;
+  h.observe(1.0);
+  h.observe(2.0);
+  h.observe(4.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_NEAR(h.sum(), 7.0, 1e-6);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+// A known distribution: 100 observations at 1..100 ms. Geometric buckets
+// cap the relative error of a percentile estimate at the bucket width
+// (a factor of 2), so assert the estimates land within [p/2, 2p].
+TEST(MetricsHistogram, PercentilesTrackKnownDistribution) {
+  Registry::instance().reset();
+  Histogram& h = metric_histogram("test.percentiles_ms");
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i));
+  const Snapshot snap = Registry::instance().snapshot();
+  const HistogramSnapshot& hs = snap.histograms.at("test.percentiles_ms");
+  EXPECT_EQ(hs.count, 100u);
+  EXPECT_NEAR(hs.sum, 5050.0, 1.0);
+  const double p50 = hs.p50();
+  const double p90 = hs.p90();
+  const double p99 = hs.p99();
+  EXPECT_GE(p50, 25.0);
+  EXPECT_LE(p50, 100.0);
+  EXPECT_GE(p90, 45.0);
+  EXPECT_LE(p90, 180.0);
+  EXPECT_GE(p99, 49.5);
+  EXPECT_LE(p99, 198.0);
+  // Percentiles are monotone in q.
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+}
+
+TEST(MetricsHistogram, PercentileOfEmptyIsZero) {
+  HistogramSnapshot hs;
+  hs.buckets.assign(Histogram::kBucketCount, 0);
+  EXPECT_DOUBLE_EQ(hs.percentile(50.0), 0.0);
+}
+
+TEST(MetricsRegistry, HandlesAreStableAndNamed) {
+  Counter& a = metric_counter("test.stable");
+  Counter& b = metric_counter("test.stable");
+  EXPECT_EQ(&a, &b);
+  a.inc(3);
+  EXPECT_EQ(Registry::instance().snapshot().counter_or("test.stable"), 3u);
+}
+
+TEST(MetricsSnapshot, DiffIsolatesOneInterval) {
+  Counter& c = metric_counter("test.diff");
+  c.inc(10);
+  const Snapshot before = Registry::instance().snapshot();
+  c.inc(7);
+  const Snapshot delta = Registry::instance().snapshot().diff(before);
+  EXPECT_EQ(delta.counter_or("test.diff"), 7u);
+  // Names absent from the baseline keep their full value.
+  Counter& fresh = metric_counter("test.diff_fresh");
+  fresh.inc(5);
+  EXPECT_EQ(Registry::instance().snapshot().diff(before).counter_or(
+                "test.diff_fresh"),
+            5u);
+}
+
+TEST(MetricsSnapshot, JsonExportContainsInstruments) {
+  Registry::instance().reset();
+  metric_counter("test.json_counter").inc(2);
+  metric_gauge("test.json_gauge").set(-4);
+  metric_histogram("test.json_histo_ms").observe(1.5);
+  const std::string json = Registry::instance().snapshot().to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_counter\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_gauge\":-4"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_histo_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+}
+
+TEST(MetricsSnapshot, PrometheusExportSanitizesNames) {
+  Registry::instance().reset();
+  metric_counter("test.prom.counter").inc(9);
+  metric_histogram("test.prom_ms").observe(3.0);
+  const std::string text = Registry::instance().snapshot().to_prometheus();
+  EXPECT_NE(text.find("graphpi_test_prom_counter 9"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE graphpi_test_prom_counter counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("graphpi_test_prom_ms_count 1"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+}
+
+TEST(MetricsEnabled, SwitchGatesNothingButTimedInstruments) {
+  const bool was = enabled();
+  set_enabled(false);
+  EXPECT_FALSE(enabled());
+  // Counters stay live regardless of the switch.
+  Counter& c = metric_counter("test.always_on");
+  const std::uint64_t before = c.value();
+  c.inc();
+  EXPECT_EQ(c.value(), before + 1);
+  set_enabled(true);
+  EXPECT_TRUE(enabled());
+  set_enabled(was);
+}
+
+}  // namespace
+}  // namespace graphpi::support::metrics

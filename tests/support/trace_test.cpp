@@ -1,0 +1,129 @@
+// Trace spans: RAII recording, nesting depths, ring wraparound, and the
+// Chrome trace-event export (support/trace.h).
+#include "support/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "support/metrics.h"
+
+namespace graphpi::support::trace {
+namespace {
+
+/// Spans only record when the metrics layer is enabled; force it on for
+/// the duration of each test and restore after.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = metrics::enabled();
+    metrics::set_enabled(true);
+  }
+  void TearDown() override {
+    set_active_sink(nullptr);
+    metrics::set_enabled(was_enabled_);
+  }
+
+ private:
+  bool was_enabled_ = false;
+};
+
+TEST_F(TraceTest, SpanRecordsIntoActiveSink) {
+  TraceBuffer buf;
+  const ScopedSink sink(&buf);
+  { const Span span("unit.outer"); }
+  const auto events = buf.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "unit.outer");
+  EXPECT_EQ(events[0].depth, 0u);
+}
+
+TEST_F(TraceTest, NestedSpansTrackDepthAndCloseInnerFirst) {
+  TraceBuffer buf;
+  const ScopedSink sink(&buf);
+  {
+    const Span outer("unit.outer");
+    {
+      const Span mid("unit.mid");
+      const Span inner("unit.inner");
+    }
+  }
+  const auto events = buf.events();
+  ASSERT_EQ(events.size(), 3u);
+  // Spans record on close: innermost first.
+  EXPECT_STREQ(events[0].name, "unit.inner");
+  EXPECT_EQ(events[0].depth, 2u);
+  EXPECT_STREQ(events[1].name, "unit.mid");
+  EXPECT_EQ(events[1].depth, 1u);
+  EXPECT_STREQ(events[2].name, "unit.outer");
+  EXPECT_EQ(events[2].depth, 0u);
+  // The outer span encloses the inner one.
+  EXPECT_LE(events[2].start_ns, events[0].start_ns);
+  EXPECT_GE(events[2].start_ns + events[2].dur_ns,
+            events[0].start_ns + events[0].dur_ns);
+}
+
+TEST_F(TraceTest, RingWrapsKeepingMostRecent) {
+  TraceBuffer buf(4);
+  const ScopedSink sink(&buf);
+  for (int i = 0; i < 10; ++i) {
+    const Span span(i < 6 ? "unit.old" : "unit.new");
+  }
+  EXPECT_EQ(buf.total_recorded(), 10u);
+  EXPECT_EQ(buf.dropped(), 6u);
+  const auto events = buf.events();
+  ASSERT_EQ(events.size(), 4u);
+  for (const Event& e : events) EXPECT_STREQ(e.name, "unit.new");
+}
+
+TEST_F(TraceTest, NullScopedSinkLeavesCurrentSinkInPlace) {
+  TraceBuffer buf;
+  const ScopedSink outer(&buf);
+  {
+    const ScopedSink inner(nullptr);
+    EXPECT_EQ(active_sink(), &buf);
+    const Span span("unit.through_null");
+  }
+  EXPECT_EQ(buf.events().size(), 1u);
+}
+
+TEST_F(TraceTest, NoSinkMeansNoRecording) {
+  set_active_sink(nullptr);
+  const Span span("unit.unsunk");  // must not crash
+  SUCCEED();
+}
+
+TEST_F(TraceTest, ChromeJsonShape) {
+  TraceBuffer buf;
+  const ScopedSink sink(&buf);
+  {
+    const Span outer("unit.json");
+    const Span inner("unit.json_inner");
+  }
+  const std::string json = buf.to_chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"unit.json\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"graphpi\""), std::string::npos);
+  EXPECT_NE(json.find("\"depth\":1"), std::string::npos);
+}
+
+TEST_F(TraceTest, ClearResetsRetainedEvents) {
+  TraceBuffer buf;
+  const ScopedSink sink(&buf);
+  { const Span span("unit.cleared"); }
+  buf.clear();
+  EXPECT_TRUE(buf.events().empty());
+}
+
+TEST_F(TraceTest, DisabledMetricsSuppressSpans) {
+  TraceBuffer buf;
+  const ScopedSink sink(&buf);
+  metrics::set_enabled(false);
+  { const Span span("unit.disabled"); }
+  metrics::set_enabled(true);
+  EXPECT_TRUE(buf.events().empty());
+}
+
+}  // namespace
+}  // namespace graphpi::support::trace

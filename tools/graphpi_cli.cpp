@@ -40,6 +40,7 @@ int usage() {
         [--mailbox CAP] [--task-depth D] [--threads T]
         [--backend serial|parallel|generated] [--emit <file.cpp>]
         [--timeout-ms X] [--budget N] [--poll-stride S]
+        [--metrics-json <file>] [--trace-json <file>]
         [--fault-drop P] [--fault-duplicate P] [--fault-reorder P]
         [--fault-corrupt P] [--fault-seed S]
   list  <graph> <pattern> [limit]
@@ -61,6 +62,10 @@ how many root units completed. --fault-* inject seeded deterministic
 faults into the distributed backend's channel (probability per message);
 the reliability layer recovers them, so counts are unchanged while the
 stats line reports the injected/recovered event tallies.
+--metrics-json writes the delta of the engine metrics registry across the
+run (counters, gauges, latency histograms) as JSON; --trace-json writes
+the run's trace spans in Chrome trace-event format (open in
+chrome://tracing or Perfetto).
 )";
   return 2;
 }
@@ -126,6 +131,8 @@ int cmd_count(const std::string& graph_spec, const std::string& pattern_spec,
               int argc, char** argv) {
   MatchOptions options;
   std::string emit_path;
+  std::string metrics_path;
+  std::string trace_path;
   dist::FaultPlan::Rates fault_rates;
   std::uint64_t fault_seed = dist::FaultPlan{}.seed;
   for (int i = 0; i < argc; ++i) {
@@ -170,6 +177,8 @@ int cmd_count(const std::string& graph_spec, const std::string& pattern_spec,
       }
     }
     if (arg == "--emit" && i + 1 < argc) emit_path = argv[++i];
+    if (arg == "--metrics-json" && i + 1 < argc) metrics_path = argv[++i];
+    if (arg == "--trace-json" && i + 1 < argc) trace_path = argv[++i];
     if (arg == "--timeout-ms" && i + 1 < argc)
       options.timeout_ms = std::atof(argv[++i]);
     if (arg == "--budget" && i + 1 < argc)
@@ -213,10 +222,34 @@ int cmd_count(const std::string& graph_spec, const std::string& pattern_spec,
   if (options.backend == Backend::kGenerated && !jit::compiler_available())
     std::cerr << "note: no system compiler found; running the interpreter\n";
   const bool bounded = options.timeout_ms > 0.0 || options.work_budget != 0;
+  support::trace::TraceBuffer trace_buf;
+  if (!trace_path.empty()) options.trace_sink = &trace_buf;
+  const support::metrics::Snapshot metrics_before =
+      metrics_path.empty() ? support::metrics::Snapshot{}
+                           : GraphPi::metrics_snapshot();
   support::RunReport report;
   support::Timer t;
   const Count n = engine.count(config, options, bounded ? &report : nullptr);
   std::cout << n << " embeddings in " << t.elapsed_seconds() << "s\n";
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) {
+      std::cerr << "cannot write " << metrics_path << "\n";
+      return 1;
+    }
+    out << GraphPi::metrics_snapshot().diff(metrics_before).to_json() << "\n";
+    std::cerr << "wrote metrics delta to " << metrics_path << "\n";
+  }
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::cerr << "cannot write " << trace_path << "\n";
+      return 1;
+    }
+    out << trace_buf.to_chrome_json() << "\n";
+    std::cerr << "wrote " << trace_buf.events().size() << " trace spans to "
+              << trace_path << "\n";
+  }
   if (bounded)
     std::cout << "status: " << support::to_string(report.status)
               << " (completed " << report.completed_roots << " roots)\n";

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace-event JSON file (graphpi_cli --trace-json).
+
+Checks the subset of the trace-event format the engine emits: complete
+("ph": "X") events with microsecond timestamps, so the file loads in
+chrome://tracing and Perfetto. Exits nonzero with a diagnostic on the
+first violation.
+
+Usage: validate_trace.py <trace.json> [--require-span NAME]...
+"""
+import json
+import sys
+
+
+def fail(msg):
+    sys.exit(f"validate_trace: {msg}")
+
+
+def main(argv):
+    if len(argv) < 2:
+        fail("usage: validate_trace.py <trace.json> [--require-span NAME]...")
+    path = argv[1]
+    required = set()
+    i = 2
+    while i < len(argv):
+        if argv[i] == "--require-span" and i + 1 < len(argv):
+            required.add(argv[i + 1])
+            i += 2
+        else:
+            fail(f"unknown argument: {argv[i]}")
+
+    with open(path) as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(f"{path} is not valid JSON: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("top level must be an object with a 'traceEvents' array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail("'traceEvents' must be an array")
+    if not events:
+        fail("trace contains no events")
+
+    names = set()
+    for idx, e in enumerate(events):
+        where = f"traceEvents[{idx}]"
+        for key, typ in (("name", str), ("cat", str), ("ph", str),
+                         ("pid", int), ("tid", int),
+                         ("ts", (int, float)), ("dur", (int, float))):
+            if key not in e:
+                fail(f"{where}: missing '{key}'")
+            if not isinstance(e[key], typ):
+                fail(f"{where}: '{key}' has wrong type {type(e[key]).__name__}")
+        if e["ph"] != "X":
+            fail(f"{where}: expected complete event ph='X', got {e['ph']!r}")
+        if e["ts"] < 0 or e["dur"] < 0:
+            fail(f"{where}: negative timestamp or duration")
+        if not isinstance(e.get("args"), dict) or "depth" not in e["args"]:
+            fail(f"{where}: missing args.depth")
+        names.add(e["name"])
+
+    missing = required - names
+    if missing:
+        fail(f"required spans absent: {sorted(missing)} (got {sorted(names)})")
+
+    print(f"validate_trace: OK — {len(events)} events, "
+          f"{len(names)} distinct spans: {', '.join(sorted(names))}")
+
+
+if __name__ == "__main__":
+    main(sys.argv)
