@@ -34,6 +34,8 @@
 #include "graph/graph.h"
 #include "graph/io.h"
 #include "graph/vertex_set.h"
+#include "io/shard_snapshot.h"
+#include "io/snapshot.h"
 #include "support/exec_control.h"
 #include "support/metrics.h"
 #include "support/trace.h"

@@ -414,7 +414,9 @@ class ShardWalk {
       if (def.empty()) {
         // Disconnected suffix vertex: every vertex minus the mapped ones.
         auto& set = m.done_sets[m.item];
-        set.resize(sharded_->parent().vertex_count());
+        // vertex_count(), not parent(): snapshot-reassembled shardings
+        // never materialize the whole graph.
+        set.resize(sharded_->vertex_count());
         std::iota(set.begin(), set.end(), VertexId{0});
         remove_all(set, mapped);
         ++m.item;

@@ -72,6 +72,82 @@ std::span<const VertexId> Shard::neighbors(VertexId v) const {
   return view_.neighbors(v);
 }
 
+Shard Shard::from_parts(int node, Graph view, std::vector<VertexId> owned,
+                        std::vector<VertexId> residents) {
+  const VertexId n = view.vertex_count();
+  GRAPHPI_CHECK_MSG(std::is_sorted(owned.begin(), owned.end()),
+                    "shard owned list must be sorted");
+  GRAPHPI_CHECK_MSG(std::is_sorted(residents.begin(), residents.end()),
+                    "shard resident list must be sorted");
+  GRAPHPI_CHECK_MSG(owned.size() <= residents.size(),
+                    "shard cannot own more vertices than it stores");
+
+  Shard shard;
+  shard.node_ = node;
+  shard.local_of_.assign(n, kNotResident);
+  shard.owned_mask_.assign(residents.size(), false);
+  std::size_t owned_i = 0;
+  for (std::size_t local = 0; local < residents.size(); ++local) {
+    const VertexId v = residents[local];
+    GRAPHPI_CHECK_MSG(v < n, "shard resident id out of range");
+    shard.local_of_[v] = static_cast<std::uint32_t>(local);
+    if (owned_i < owned.size() && owned[owned_i] == v) {
+      shard.owned_mask_[local] = true;
+      ++owned_i;
+    }
+    shard.resident_slots_ += view.degree(v);
+  }
+  GRAPHPI_CHECK_MSG(owned_i == owned.size(),
+                    "shard owned list is not a subset of its residents");
+  GRAPHPI_CHECK_MSG(shard.resident_slots_ == view.directed_edge_count(),
+                    "shard view stores rows outside its resident set");
+  shard.view_ = std::move(view);
+  shard.owned_ = std::move(owned);
+  shard.residents_ = std::move(residents);
+  return shard;
+}
+
+ShardedGraph ShardedGraph::from_parts(const ShardOptions& options,
+                                      std::vector<int> owner,
+                                      std::vector<Shard> shards) {
+  GRAPHPI_CHECK_MSG(!shards.empty(), "sharding needs at least one shard");
+  GRAPHPI_CHECK_MSG(shards.size() == static_cast<std::size_t>(options.nodes),
+                    "shard count disagrees with options.nodes");
+
+  ShardedGraph sharded;
+  sharded.options_ = options;
+  sharded.stats_.owned_per_node.assign(shards.size(), 0);
+  sharded.stats_.ghosts_per_node.assign(shards.size(), 0);
+  std::uint64_t stored_slots = 0;
+  std::uint64_t owned_slots = 0;  // each row counted once, at its owner
+  std::uint64_t owned_total = 0;
+  for (std::size_t node = 0; node < shards.size(); ++node) {
+    const Shard& shard = shards[node];
+    GRAPHPI_CHECK_MSG(shard.node() == static_cast<int>(node),
+                      "shards must arrive in node order");
+    GRAPHPI_CHECK_MSG(shard.view().vertex_count() == owner.size(),
+                      "shard view size disagrees with the owner map");
+    for (VertexId v : shard.owned()) {
+      GRAPHPI_CHECK_MSG(owner[v] == static_cast<int>(node),
+                        "owner map disagrees with a shard's owned list");
+      owned_slots += shard.view().degree(v);
+    }
+    sharded.stats_.owned_per_node[node] = shard.owned_count();
+    sharded.stats_.ghosts_per_node[node] = shard.ghost_count();
+    stored_slots += shard.resident_slots();
+    owned_total += shard.owned_count();
+  }
+  GRAPHPI_CHECK_MSG(owned_total == owner.size(),
+                    "shard owned sets do not partition the vertex space");
+  sharded.stats_.replication_factor =
+      owned_slots > 0 ? static_cast<double>(stored_slots) /
+                            static_cast<double>(owned_slots)
+                      : 1.0;
+  sharded.owner_ = std::move(owner);
+  sharded.shards_ = std::move(shards);
+  return sharded;
+}
+
 ShardedGraph::ShardedGraph(const Graph& graph, const ShardOptions& options)
     : parent_(&graph), options_(options) {
   GRAPHPI_CHECK_MSG(options.nodes >= 1, "sharding needs at least one node");

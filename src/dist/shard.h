@@ -107,6 +107,15 @@ class Shard {
   /// row is actually resident before returning it.
   [[nodiscard]] std::span<const VertexId> neighbors(VertexId v) const;
 
+  /// Rebuilds a shard from its serialized parts (io/shard_snapshot.h):
+  /// the resident-row view in global id space plus the sorted owned and
+  /// resident id lists. Derives the local-id map, owned mask, and slot
+  /// tally; GRAPHPI_CHECKs the lists are sorted, owned ⊆ residents, and
+  /// non-residents have empty rows in `view`.
+  [[nodiscard]] static Shard from_parts(int node, Graph view,
+                                        std::vector<VertexId> owned,
+                                        std::vector<VertexId> residents);
+
  private:
   friend class ShardedGraph;
 
@@ -133,6 +142,15 @@ class ShardedGraph {
   /// Partitions `graph` (which must outlive the sharding). O(nodes * m).
   explicit ShardedGraph(const Graph& graph, const ShardOptions& options = {});
 
+  /// Reassembles a sharding from per-node parts (the shard-snapshot
+  /// loader's path: each node's shard was mmap-ed from its own file, so
+  /// no parent Graph ever exists in memory). `owner[v]` must be a total
+  /// ownership map consistent with the shards' owned sets; stats are
+  /// recomputed. The result has_parent() == false.
+  [[nodiscard]] static ShardedGraph from_parts(const ShardOptions& options,
+                                               std::vector<int> owner,
+                                               std::vector<Shard> shards);
+
   [[nodiscard]] int nodes() const noexcept {
     return static_cast<int>(shards_.size());
   }
@@ -140,6 +158,16 @@ class ShardedGraph {
   [[nodiscard]] const Shard& shard(int node) const {
     return shards_[static_cast<std::size_t>(node)];
   }
+
+  /// Vertices in the (possibly never-materialized) whole graph.
+  [[nodiscard]] VertexId vertex_count() const noexcept {
+    return static_cast<VertexId>(owner_.size());
+  }
+
+  /// Whether a parent Graph is attached. Snapshot-reassembled shardings
+  /// have none — every consumer that can should go through
+  /// vertex_count()/shard() instead of parent().
+  [[nodiscard]] bool has_parent() const noexcept { return parent_ != nullptr; }
   [[nodiscard]] const Graph& parent() const noexcept { return *parent_; }
   [[nodiscard]] const ShardOptions& options() const noexcept {
     return options_;
@@ -163,7 +191,9 @@ class ShardedGraph {
   void ensure_hub_indexes() const;
 
  private:
-  const Graph* parent_;
+  ShardedGraph() = default;  // from_parts fills the members directly
+
+  const Graph* parent_ = nullptr;
   ShardOptions options_;
   std::vector<int> owner_;
   std::vector<Shard> shards_;

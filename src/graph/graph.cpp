@@ -16,6 +16,33 @@ Graph::Graph(std::vector<EdgeIndex> offsets, std::vector<VertexId> neighbors)
                     "CSR offsets must end at the neighbor array size");
 }
 
+Graph Graph::reorder_by_degree(std::vector<VertexId>* old_to_new) const {
+  const VertexId n = vertex_count();
+  std::vector<VertexId> order(n);
+  for (VertexId v = 0; v < n; ++v) order[v] = v;
+  std::stable_sort(order.begin(), order.end(), [this](VertexId a, VertexId b) {
+    return degree(a) > degree(b);
+  });
+  std::vector<VertexId> rank(n);
+  for (VertexId new_id = 0; new_id < n; ++new_id) rank[order[new_id]] = new_id;
+
+  std::vector<EdgeIndex> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (VertexId new_id = 0; new_id < n; ++new_id)
+    offsets[new_id + 1] = offsets[new_id] + degree(order[new_id]);
+  std::vector<VertexId> adj(neighbors_.size());
+  for (VertexId new_id = 0; new_id < n; ++new_id) {
+    VertexId* row = adj.data() + offsets[new_id];
+    std::size_t k = 0;
+    for (VertexId w : neighbors(order[new_id])) row[k++] = rank[w];
+    std::sort(row, row + k);  // the rank map scrambles the sorted order
+  }
+
+  Graph out(std::move(offsets), std::move(adj));
+  if (triangles_valid_) out.set_triangle_count(cached_triangles_);
+  if (old_to_new != nullptr) *old_to_new = std::move(rank);
+  return out;
+}
+
 bool Graph::has_edge(VertexId u, VertexId v) const noexcept {
   if (const std::uint64_t* bits = hub_bits(u); bits != nullptr)
     return ((bits[v >> 6] >> (v & 63)) & 1u) != 0;

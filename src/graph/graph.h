@@ -14,6 +14,7 @@
 #include <atomic>
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "graph/types.h"
@@ -70,6 +71,12 @@ class Graph {
     triangles_valid_ = true;
   }
 
+  /// Whether triangle_count() would return a cached value without
+  /// computing (snapshot saving persists the count only when cached).
+  [[nodiscard]] bool has_cached_triangle_count() const noexcept {
+    return triangles_valid_;
+  }
+
   /// Raw CSR access for kernels that want the arrays directly.
   [[nodiscard]] const std::vector<EdgeIndex>& raw_offsets() const noexcept {
     return offsets_;
@@ -81,6 +88,31 @@ class Graph {
   /// Structural sanity check of all CSR invariants (sortedness, symmetry,
   /// no loops). O(m log d); used by tests and loaders.
   [[nodiscard]] bool validate() const;
+
+  /// Isomorphic copy with vertices relabeled in descending degree order
+  /// (ties by old id, so the relabeling is deterministic). Embedding
+  /// counts of every pattern are invariant — a relabeling is a graph
+  /// isomorphism, and the engines count label-independent embeddings —
+  /// while set-kernel locality and snapshot delta compression improve:
+  /// hubs cluster at small ids, so adjacency deltas shrink and candidate
+  /// sets concentrate in the hot cache lines. When `old_to_new` is
+  /// non-null it receives the permutation (new id = (*old_to_new)[old]).
+  /// The cached triangle count carries over (it is relabel-invariant).
+  [[nodiscard]] Graph reorder_by_degree(
+      std::vector<VertexId>* old_to_new = nullptr) const;
+
+  /// Writes this graph as a compressed, mmap-able snapshot — seekable
+  /// blocks of delta-varint adjacency with per-block CRC framing
+  /// (io/snapshot.h; format spec in docs/FORMAT.md). The labeling is
+  /// saved as-is: pair with reorder_by_degree() for the best compression.
+  /// Implemented in src/io/snapshot.cpp.
+  void save_snapshot(const std::string& path) const;
+
+  /// Loads a snapshot written by save_snapshot: the file is mmap-ed and
+  /// every block is CRC-checked and decoded through the runtime-dispatched
+  /// SIMD varint kernels (graph/vertex_set.h). Throws io::SnapshotError
+  /// on truncated, corrupted, or version-mismatched input.
+  [[nodiscard]] static Graph load_snapshot(const std::string& path);
 
   // -------------------------------------------------------------------------
   // Hub bitmap index.

@@ -57,6 +57,28 @@ std::size_t intersect_size_scalar(std::span<const VertexId> a,
   return n;
 }
 
+std::size_t varint_decode_u32_scalar(std::span<const std::uint8_t> in,
+                                     std::size_t count, std::uint32_t* out) {
+  const std::uint8_t* p = in.data();
+  const std::uint8_t* const end = p + in.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint32_t v = 0;
+    int shift = 0;
+    while (true) {
+      if (p == end) return kVarintMalformed;  // truncated mid-value
+      const std::uint8_t b = *p++;
+      // The 5th byte (shift 28) may only carry the top 4 bits of a u32,
+      // and must terminate the value.
+      if (shift == 28 && (b & 0xf0) != 0) return kVarintMalformed;
+      v |= static_cast<std::uint32_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) break;
+      shift += 7;
+    }
+    out[i] = v;
+  }
+  return static_cast<std::size_t>(p - in.data());
+}
+
 namespace {
 
 std::size_t intersect_into_scalar(std::span<const VertexId> a,
@@ -241,6 +263,142 @@ GRAPHPI_AVX2_FN std::size_t bitmap_and_popcount_avx2(const std::uint64_t* a,
   return n;
 }
 
+/// Widens 8 single-byte varints to 8 u32 lanes.
+GRAPHPI_AVX2_FN inline void widen_singles_avx2(const std::uint8_t* p,
+                                               std::uint32_t* out) {
+  const __m128i b8 = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out),
+                      _mm256_cvtepu8_epi32(b8));
+}
+
+/// Decodes one multi-byte varint the scalar way; the vector loops call
+/// this exactly at bytes whose continuation bit the movemask flagged.
+/// Returns false on truncation/overflow; advances `p` past the value.
+inline bool decode_one_varint(const std::uint8_t*& p, const std::uint8_t* end,
+                              std::uint32_t& v) {
+  v = 0;
+  int shift = 0;
+  while (true) {
+    if (p == end) return false;
+    const std::uint8_t b = *p++;
+    if (shift == 28 && (b & 0xf0) != 0) return false;
+    v |= static_cast<std::uint32_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return true;
+    shift += 7;
+  }
+}
+
+// Masked-VByte-style branchless decode for mixed windows. The 8-bit
+// continuation mask of an 8-byte group indexes a precomputed pshufb
+// control that expands its leading run of complete 1- and 2-byte
+// varints into eight u16 lanes in one shuffle; a (b & 0x7F) | ((b >> 1)
+// & 0x3F80) pair then strips the continuation bits. Values of >= 3
+// bytes (vanishingly rare in the delta streams this decodes: a
+// degree-ordered gap >= 16384) drop to the scalar one-value path. The
+// table parse is greedy and stops early at byte 7 when a pair would
+// straddle the group edge, so a shuffle never references a source byte
+// past index 7 (offset +8 keeps every reference inside a 16-byte load).
+struct VarintStepEntry {
+  std::array<std::uint8_t, 16> shuf;  // pshufb control; 0x80 zeroes a lane
+  std::uint8_t consumed;              // source bytes covered by the shuffle
+  std::uint8_t produced;              // values expanded into u16 lanes
+  std::uint8_t long_varint;           // a >= 3-byte value cut the parse short
+};
+
+consteval std::array<VarintStepEntry, 256> make_varint_step_table() {
+  std::array<VarintStepEntry, 256> table{};
+  for (unsigned m = 0; m < 256; ++m) {
+    VarintStepEntry& e = table[m];
+    e.shuf.fill(0x80);
+    unsigned pos = 0;
+    unsigned n = 0;
+    while (pos < 8) {
+      if ((m >> pos & 1u) == 0) {  // terminator first: a 1-byte value
+        e.shuf[2 * n] = static_cast<std::uint8_t>(pos);
+        pos += 1;
+        ++n;
+      } else if (pos == 7) {
+        break;  // pair would straddle the group edge; next step resumes
+      } else if ((m >> (pos + 1) & 1u) == 0) {  // continuation+terminator
+        e.shuf[2 * n] = static_cast<std::uint8_t>(pos);
+        e.shuf[2 * n + 1] = static_cast<std::uint8_t>(pos + 1);
+        pos += 2;
+        ++n;
+      } else {  // two continuation bytes: a >= 3-byte value starts here
+        e.long_varint = 1;
+        break;
+      }
+    }
+    e.consumed = static_cast<std::uint8_t>(pos);
+    e.produced = static_cast<std::uint8_t>(n);
+  }
+  return table;
+}
+
+alignas(64) constexpr std::array<VarintStepEntry, 256> kVarintStepTable =
+    make_varint_step_table();
+
+/// One table-driven step: expand the masked group at `p + offset` of the
+/// 16 bytes in `raw` and store up to 8 u32 values at `dst`. Lanes past
+/// `produced` store zero and are overwritten by the caller's next step.
+GRAPHPI_AVX2_FN inline const VarintStepEntry& varint_lut_step(
+    __m128i raw, unsigned mask8, unsigned offset, std::uint32_t* dst) {
+  const VarintStepEntry& e = kVarintStepTable[mask8];
+  const __m128i ctrl = _mm_add_epi8(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(e.shuf.data())),
+      _mm_set1_epi8(static_cast<char>(offset)));
+  const __m128i packed = _mm_shuffle_epi8(raw, ctrl);
+  const __m128i v16 = _mm_or_si128(
+      _mm_and_si128(packed, _mm_set1_epi16(0x007F)),
+      _mm_srli_epi16(_mm_and_si128(packed, _mm_set1_epi16(0x7F00)), 1));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst),
+                      _mm256_cvtepu16_epi32(v16));
+  return e;
+}
+
+GRAPHPI_AVX2_FN std::size_t varint_decode_u32_avx2(
+    std::span<const std::uint8_t> in, std::size_t count, std::uint32_t* out) {
+  const std::uint8_t* p = in.data();
+  const std::uint8_t* const end = p + in.size();
+  std::size_t i = 0;
+  while (i + 16 <= count && end - p >= 16) {
+    const __m128i raw = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+    const auto mask =
+        static_cast<std::uint32_t>(_mm_movemask_epi8(raw)) & 0xFFFFu;
+    if (mask == 0) {
+      // 16 continuation-free bytes = 16 complete values: widen and store.
+      widen_singles_avx2(p, out + i);
+      widen_singles_avx2(p + 8, out + i + 8);
+      p += 16;
+      i += 16;
+      continue;
+    }
+    // Two 8-byte LUT groups per load. Both steps together produce at
+    // most 16 values (a long-varint stop caps its group at 7 + 1), so
+    // the loop bound keeps every 8-lane store inside `out[0, count)`.
+    unsigned off = 0;
+    for (int step = 0; step < 2; ++step) {
+      const VarintStepEntry& e =
+          varint_lut_step(raw, (mask >> off) & 0xFFu, off, out + i);
+      i += e.produced;
+      off += e.consumed;
+      if (e.long_varint) {
+        const std::uint8_t* q = p + off;
+        std::uint32_t v = 0;
+        if (!decode_one_varint(q, end, v)) return kVarintMalformed;
+        out[i++] = v;
+        off = static_cast<unsigned>(q - p);
+        break;  // the scalar value may run past the loaded window
+      }
+    }
+    p += off;
+  }
+  const std::size_t tail = varint_decode_u32_scalar(
+      {p, static_cast<std::size_t>(end - p)}, count - i, out + i);
+  if (tail == kVarintMalformed) return kVarintMalformed;
+  return static_cast<std::size_t>(p - in.data()) + tail;
+}
+
 // ---------------------------------------------------------------------------
 // AVX-512 kernels (VBMI2 + VPOPCNTDQ tier).
 //
@@ -337,6 +495,39 @@ GRAPHPI_AVX512_FN std::size_t bitmap_and_popcount_avx512(
   return n;
 }
 
+GRAPHPI_AVX512_FN std::size_t varint_decode_u32_avx512(
+    std::span<const std::uint8_t> in, std::size_t count, std::uint32_t* out) {
+  // 64-byte continuation probe (one movepi8_mask), 16-lane widening
+  // stores while the stream stays single-byte; the first continuation
+  // byte hands off to the AVX2 kernel's masked-LUT mixed loop.
+  const std::uint8_t* p = in.data();
+  const std::uint8_t* const end = p + in.size();
+  std::size_t i = 0;
+  while (i + 64 <= count && end - p >= 64) {
+    const __m512i bytes = _mm512_loadu_si512(p);
+    const __mmask64 cont = _mm512_movepi8_mask(bytes);
+    if (cont == 0) {
+      for (int k = 0; k < 64; k += 16) {
+        const __m128i b16 =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + k));
+        _mm512_storeu_si512(out + i + k, _mm512_cvtepu8_epi32(b16));
+      }
+      p += 64;
+      i += 64;
+      continue;
+    }
+    // First continuation byte seen: hand the rest of the stream to the
+    // AVX2 kernel's masked-LUT loop below, which is the measured best
+    // scheme for mixed 1-/2-byte varint data (the 512-bit win here is
+    // the all-singles sweep, 64 values per mask probe).
+    break;
+  }
+  const std::size_t tail = varint_decode_u32_avx2(
+      {p, static_cast<std::size_t>(end - p)}, count - i, out + i);
+  if (tail == kVarintMalformed) return kVarintMalformed;
+  return static_cast<std::size_t>(p - in.data()) + tail;
+}
+
 #if defined(__GNUC__) && !defined(__clang__)
 #pragma GCC diagnostic pop
 #endif
@@ -356,21 +547,26 @@ struct KernelTable {
                                 std::span<const VertexId>, VertexId*);
   std::size_t (*bitmap_and_popcount)(const std::uint64_t*,
                                      const std::uint64_t*, std::size_t);
+  std::size_t (*varint_decode)(std::span<const std::uint8_t>, std::size_t,
+                               std::uint32_t*);
 };
 
 constexpr KernelTable kScalarTable{"scalar", KernelIsa::kScalar,
                                    &intersect_size_scalar,
                                    &intersect_into_scalar,
-                                   &bitmap_and_popcount_scalar};
+                                   &bitmap_and_popcount_scalar,
+                                   &varint_decode_u32_scalar};
 
 #if GRAPHPI_DISPATCH_X86
 constexpr KernelTable kAvx2Table{"avx2", KernelIsa::kAvx2,
                                  &intersect_size_avx2, &intersect_into_avx2,
-                                 &bitmap_and_popcount_avx2};
+                                 &bitmap_and_popcount_avx2,
+                                 &varint_decode_u32_avx2};
 constexpr KernelTable kAvx512Table{"avx512", KernelIsa::kAvx512,
                                    &intersect_size_avx2,
                                    &intersect_into_avx512,
-                                   &bitmap_and_popcount_avx512};
+                                   &bitmap_and_popcount_avx512,
+                                   &varint_decode_u32_avx512};
 #endif
 
 bool probe_cpu(KernelIsa isa) noexcept {
@@ -536,6 +732,11 @@ void intersect(std::span<const VertexId> a, std::span<const VertexId> b,
 std::size_t bitmap_and_popcount(const std::uint64_t* a, const std::uint64_t* b,
                                 std::size_t words) {
   return table().bitmap_and_popcount(a, b, words);
+}
+
+std::size_t varint_decode_u32(std::span<const std::uint8_t> in,
+                              std::size_t count, std::uint32_t* out) {
+  return table().varint_decode(in, count, out);
 }
 
 // ---------------------------------------------------------------------------

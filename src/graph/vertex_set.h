@@ -218,6 +218,35 @@ void intersect_bitmap(std::span<const VertexId> a, const std::uint64_t* bits,
                                                       VertexId hi_exclusive);
 
 // ---------------------------------------------------------------------------
+// Varint decode kernels (the snapshot block codec, io/snapshot.h).
+//
+// Graph snapshots store delta-encoded adjacency as LEB128 varints; with
+// degree-ordered relabeling most deltas fit one byte, so the vector
+// slots sweep runs of continuation-free bytes 16 (AVX2) or 64 (AVX-512)
+// at a time — probe the high bits with one movemask, widen with cvtepu8
+// — and expand mixed 1-/2-byte groups branchlessly through a
+// masked-VByte-style pshufb lookup table, peeling to scalar only for
+// the rare >= 3-byte value.
+// ---------------------------------------------------------------------------
+
+/// Error sentinel for the varint decoders' byte-consumed return value.
+inline constexpr std::size_t kVarintMalformed =
+    std::numeric_limits<std::size_t>::max();
+
+/// Decodes exactly `count` LEB128 varints from `in` into `out` (which
+/// must have room for `count` values). Returns the number of input bytes
+/// consumed, or kVarintMalformed when the stream is truncated or a value
+/// does not fit 32 bits (at most 5 bytes; the 5th may only carry 4 bits).
+/// Dispatching entry point (runtime-selected table).
+[[nodiscard]] std::size_t varint_decode_u32(std::span<const std::uint8_t> in,
+                                            std::size_t count,
+                                            std::uint32_t* out);
+
+/// Portable reference decoder (ground truth for the property tests).
+[[nodiscard]] std::size_t varint_decode_u32_scalar(
+    std::span<const std::uint8_t> in, std::size_t count, std::uint32_t* out);
+
+// ---------------------------------------------------------------------------
 // Small-set helpers.
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,211 @@
+#include "io/shard_snapshot.h"
+
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "graph/vertex_set.h"
+#include "support/metrics.h"
+
+namespace graphpi::io {
+namespace {
+
+namespace metrics = support::metrics;
+
+// Aux section layout (after the snapshot's own framing; LE):
+//   "SHRD" | u32 aux_version | u32 node | u32 nodes | u32 strategy
+//   | u32 owned_count | u32 resident_count
+//   | delta-varint owned list | delta-varint resident list
+// Lists store the first id absolutely, then gaps (>= 1).
+constexpr char kShardMagic[4] = {'S', 'H', 'R', 'D'};
+constexpr std::uint32_t kShardAuxVersion = 1;
+constexpr std::size_t kShardAuxHeaderBytes = 4 + 6 * 4;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  const auto off = out.size();
+  out.resize(off + 4);
+  std::memcpy(out.data() + off, &v, 4);
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) noexcept {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+[[noreturn]] void fail(const std::string& what) { throw SnapshotError(what); }
+
+void append_id_list(std::vector<std::uint8_t>& out,
+                    std::span<const VertexId> ids) {
+  for (std::size_t i = 0; i < ids.size(); ++i)
+    append_varint(out, i == 0 ? ids[0] : ids[i] - ids[i - 1]);
+}
+
+/// Decodes a delta-varint id list of `count` entries; returns bytes
+/// consumed. Entries must ascend strictly and stay below `n`.
+std::size_t decode_id_list(std::span<const std::uint8_t> in, std::size_t count,
+                           std::uint64_t n, std::vector<VertexId>& out) {
+  out.resize(count);
+  std::vector<std::uint32_t> gaps(count);
+  const std::size_t used = varint_decode_u32(in, count, gaps.data());
+  if (used == kVarintMalformed)
+    fail("shard snapshot: malformed varint in an id list");
+  std::uint64_t cur = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i == 0) {
+      cur = gaps[0];
+    } else {
+      if (gaps[i] == 0) fail("shard snapshot: id list not strictly ascending");
+      cur += gaps[i];
+    }
+    if (cur >= n) fail("shard snapshot: id list entry out of range");
+    out[i] = static_cast<VertexId>(cur);
+  }
+  return used;
+}
+
+struct ShardAux {
+  int node = 0;
+  int nodes = 0;
+  dist::PartitionStrategy strategy = dist::PartitionStrategy::kHash;
+  std::vector<VertexId> owned;
+  std::vector<VertexId> residents;
+};
+
+std::vector<std::uint8_t> encode_aux(const dist::Shard& shard,
+                                     const dist::ShardOptions& options) {
+  std::vector<std::uint8_t> aux(4);
+  std::memcpy(aux.data(), kShardMagic, 4);
+  put_u32(aux, kShardAuxVersion);
+  put_u32(aux, static_cast<std::uint32_t>(shard.node()));
+  put_u32(aux, static_cast<std::uint32_t>(options.nodes));
+  put_u32(aux, static_cast<std::uint32_t>(options.strategy));
+  put_u32(aux, shard.owned_count());
+  put_u32(aux, shard.resident_count());
+  append_id_list(aux, shard.owned());
+  std::vector<VertexId> residents(shard.resident_count());
+  for (std::uint32_t local = 0; local < shard.resident_count(); ++local)
+    residents[local] = shard.global_id(local);
+  append_id_list(aux, residents);
+  return aux;
+}
+
+ShardAux decode_aux(std::span<const std::uint8_t> aux, std::uint64_t n) {
+  if (aux.size() < kShardAuxHeaderBytes ||
+      std::memcmp(aux.data(), kShardMagic, 4) != 0)
+    fail("shard snapshot: missing SHRD aux section "
+         "(plain snapshot passed to the shard loader?)");
+  if (get_u32(aux.data() + 4) != kShardAuxVersion)
+    fail("shard snapshot: unsupported aux version");
+  ShardAux out;
+  out.node = static_cast<int>(get_u32(aux.data() + 8));
+  out.nodes = static_cast<int>(get_u32(aux.data() + 12));
+  const std::uint32_t strategy = get_u32(aux.data() + 16);
+  if (strategy > static_cast<std::uint32_t>(dist::PartitionStrategy::kRange))
+    fail("shard snapshot: unknown partition strategy");
+  out.strategy = static_cast<dist::PartitionStrategy>(strategy);
+  const std::uint32_t owned_count = get_u32(aux.data() + 20);
+  const std::uint32_t resident_count = get_u32(aux.data() + 24);
+  if (out.nodes <= 0 || out.node < 0 || out.node >= out.nodes)
+    fail("shard snapshot: node id outside the node count");
+  if (owned_count > resident_count || resident_count > n)
+    fail("shard snapshot: impossible owned/resident counts");
+
+  auto lists = aux.subspan(kShardAuxHeaderBytes);
+  const std::size_t owned_bytes =
+      decode_id_list(lists, owned_count, n, out.owned);
+  const std::size_t resident_bytes = decode_id_list(
+      lists.subspan(owned_bytes), resident_count, n, out.residents);
+  if (owned_bytes + resident_bytes != lists.size())
+    fail("shard snapshot: trailing bytes after the aux id lists");
+  return out;
+}
+
+}  // namespace
+
+std::string shard_snapshot_path(const std::string& prefix, int node,
+                                int nodes) {
+  return prefix + ".shard" + std::to_string(node) + "-of-" +
+         std::to_string(nodes) + ".gps";
+}
+
+std::vector<std::string> save_shard_snapshots(
+    const dist::ShardedGraph& sharded, const std::string& prefix,
+    const SnapshotOptions& options) {
+  std::vector<std::string> paths;
+  paths.reserve(static_cast<std::size_t>(sharded.nodes()));
+  for (int node = 0; node < sharded.nodes(); ++node) {
+    const dist::Shard& shard = sharded.shard(node);
+    const std::vector<std::uint8_t> aux = encode_aux(shard, sharded.options());
+    std::string path = shard_snapshot_path(prefix, node, sharded.nodes());
+    save_snapshot_with_aux(shard.view(), path, options, aux);
+    paths.push_back(std::move(path));
+  }
+  metrics::metric_counter("io.snapshot.shard_saves").inc();
+  return paths;
+}
+
+dist::ShardedGraph load_shard_snapshots(const std::string& prefix) {
+  namespace fs = std::filesystem;
+
+  // Discover the node count from the file names: the set must be exactly
+  // "<prefix>.shard<k>-of-<n>.gps" for k in [0, n).
+  const fs::path first_probe(shard_snapshot_path(prefix, 0, 1));
+  int nodes = -1;
+  {
+    const fs::path dir = first_probe.parent_path().empty()
+                             ? fs::path(".")
+                             : first_probe.parent_path();
+    const std::string stem = fs::path(prefix).filename().string() + ".shard0-of-";
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.size() <= stem.size() + 4 || name.rfind(stem, 0) != 0 ||
+          name.substr(name.size() - 4) != ".gps")
+        continue;
+      const std::string count = name.substr(
+          stem.size(), name.size() - 4 - stem.size());
+      if (count.empty() ||
+          count.find_first_not_of("0123456789") != std::string::npos)
+        continue;
+      nodes = std::stoi(count);
+      break;
+    }
+    if (ec) fail("shard snapshot: cannot list " + dir.string());
+  }
+  if (nodes <= 0)
+    fail("shard snapshot: no " + prefix + ".shard0-of-<n>.gps file found");
+
+  dist::ShardOptions options;
+  options.nodes = nodes;
+  std::vector<dist::Shard> shards;
+  shards.reserve(static_cast<std::size_t>(nodes));
+  std::vector<int> owner;
+  for (int node = 0; node < nodes; ++node) {
+    const MappedSnapshot snap(shard_snapshot_path(prefix, node, nodes));
+    Graph view = snap.decode_graph();
+    ShardAux aux = decode_aux(snap.aux(), snap.info().vertex_count);
+    if (aux.node != node || aux.nodes != nodes)
+      fail("shard snapshot: file name and aux node ids disagree");
+    if (node == 0) {
+      options.strategy = aux.strategy;
+      owner.assign(view.vertex_count(), -1);
+    } else if (aux.strategy != options.strategy ||
+               view.vertex_count() != owner.size()) {
+      fail("shard snapshot: shards disagree on strategy or vertex count");
+    }
+    for (VertexId v : aux.owned) {
+      if (owner[v] != -1) fail("shard snapshot: vertex owned by two shards");
+      owner[v] = node;
+    }
+    shards.push_back(dist::Shard::from_parts(node, std::move(view),
+                                             std::move(aux.owned),
+                                             std::move(aux.residents)));
+  }
+  metrics::metric_counter("io.snapshot.shard_loads").inc();
+  // from_parts re-checks that the owned sets partition the vertex space.
+  return dist::ShardedGraph::from_parts(options, std::move(owner),
+                                        std::move(shards));
+}
+
+}  // namespace graphpi::io

@@ -1,0 +1,42 @@
+// Per-shard snapshot files for the distributed runtime.
+//
+// A ShardedGraph's whole point is that no node holds the entire graph —
+// so its snapshot form must not either. save_shard_snapshots writes one
+// GPS1 file per node ("<prefix>.shard<k>-of-<n>.gps"), each containing
+// only that shard's resident rows (owned + ghost halo, in global id
+// space) plus an aux section with the shard metadata: node/nodes,
+// partition strategy, and the delta-varint owned and resident id lists.
+// A node therefore mmaps only its own partition + halo at startup.
+//
+// load_shard_snapshots reassembles the full ShardedGraph (owner map,
+// stats, checked Shard parts) from the per-node files without ever
+// materializing the parent Graph; the result is drop-in for
+// distributed_count / DistRuntime, and counts are bit-identical to a
+// sharding built in memory from the same graph.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dist/shard.h"
+#include "io/snapshot.h"
+
+namespace graphpi::io {
+
+/// File name of one shard's snapshot: "<prefix>.shard<k>-of-<n>.gps".
+[[nodiscard]] std::string shard_snapshot_path(const std::string& prefix,
+                                              int node, int nodes);
+
+/// Writes one snapshot file per shard (see shard_snapshot_path) and
+/// returns the paths in node order. Throws SnapshotError on failure.
+std::vector<std::string> save_shard_snapshots(
+    const dist::ShardedGraph& sharded, const std::string& prefix,
+    const SnapshotOptions& options = {});
+
+/// Locates "<prefix>.shard<k>-of-<n>.gps" files, validates the set is
+/// complete and consistent, and reassembles the ShardedGraph. The
+/// result has_parent() == false — consumers must use vertex_count().
+[[nodiscard]] dist::ShardedGraph load_shard_snapshots(
+    const std::string& prefix);
+
+}  // namespace graphpi::io

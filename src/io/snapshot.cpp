@@ -1,0 +1,547 @@
+#include "io/snapshot.h"
+
+#include <chrono>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <mutex>
+#include <utility>
+
+#include "dist/comm.h"  // crc32
+#include "graph/vertex_set.h"
+#include "support/metrics.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define GRAPHPI_SNAPSHOT_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define GRAPHPI_SNAPSHOT_HAS_MMAP 0
+#endif
+
+namespace graphpi::io {
+namespace {
+
+namespace metrics = support::metrics;
+
+// ---------------------------------------------------------------------------
+// Format constants (spec: docs/FORMAT.md). All integers little-endian.
+// ---------------------------------------------------------------------------
+
+constexpr char kMagic[4] = {'G', 'P', 'S', '1'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint64_t kHeaderBytes = 56;  // incl. trailing header CRC
+constexpr std::uint64_t kIndexEntryBytes = 24;
+constexpr std::uint32_t kFlagDegreeOrdered = 1u << 0;
+constexpr std::uint32_t kFlagHasTriangles = 1u << 1;
+constexpr std::uint32_t kFlagHasAux = 1u << 2;
+constexpr std::uint32_t kKnownFlags =
+    kFlagDegreeOrdered | kFlagHasTriangles | kFlagHasAux;
+constexpr std::uint64_t kBlockSubHeaderBytes = 12;
+
+// The engine targets little-endian hosts (as the raw GPI1 loader in
+// graph/io.cpp already does); fixed-width memcpy keeps the accesses
+// alignment-safe.
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  const auto off = out.size();
+  out.resize(off + 4);
+  std::memcpy(out.data() + off, &v, 4);
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  const auto off = out.size();
+  out.resize(off + 8);
+  std::memcpy(out.data() + off, &v, 8);
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) noexcept {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) noexcept {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+[[noreturn]] void fail(const std::string& what) { throw SnapshotError(what); }
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::uint32_t block_count_for(VertexId n, std::uint32_t block_vertices) {
+  return static_cast<std::uint32_t>(
+      (static_cast<std::uint64_t>(n) + block_vertices - 1) / block_vertices);
+}
+
+/// Decodes `count` varints from `in`, requiring the stream to be
+/// exactly consumed; throws with `stream` in the message otherwise.
+void decode_exact(std::span<const std::uint8_t> in, std::size_t count,
+                  std::uint32_t* out, const char* stream) {
+  const std::size_t used = varint_decode_u32(in, count, out);
+  if (used == kVarintMalformed)
+    fail(std::string("snapshot: malformed varint in ") + stream + " stream");
+  if (used != in.size())
+    fail(std::string("snapshot: trailing bytes in ") + stream + " stream");
+}
+
+}  // namespace
+
+void append_varint(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+// ---------------------------------------------------------------------------
+// Writer.
+// ---------------------------------------------------------------------------
+
+void save_snapshot_with_aux(const Graph& graph, const std::string& path,
+                            const SnapshotOptions& options,
+                            std::span<const std::uint8_t> aux) {
+  if (options.block_vertices == 0)
+    fail("snapshot: block_vertices must be positive");
+  const VertexId n = graph.vertex_count();
+  const std::uint64_t slots = graph.directed_edge_count();
+  const std::uint32_t bv = options.block_vertices;
+  const std::uint32_t nblocks = block_count_for(n, bv);
+
+  // Encode every block payload; record the index as we go.
+  std::vector<std::uint8_t> payloads;
+  std::vector<std::uint8_t> index;
+  payloads.reserve(slots + n);  // 1-byte varints are the common case
+  std::vector<std::uint8_t> block;
+  std::vector<std::uint8_t> degrees, heads, deltas;
+  std::uint64_t first_slot = 0;
+  const std::uint64_t payload_base =
+      kHeaderBytes + static_cast<std::uint64_t>(nblocks) * kIndexEntryBytes + 4;
+  for (std::uint32_t b = 0; b < nblocks; ++b) {
+    const VertexId v0 = static_cast<VertexId>(std::uint64_t{b} * bv);
+    const VertexId v1 = static_cast<VertexId>(
+        std::min<std::uint64_t>(n, std::uint64_t{v0} + bv));
+    degrees.clear();
+    heads.clear();
+    deltas.clear();
+    std::uint64_t block_slots = 0;
+    for (VertexId v = v0; v < v1; ++v) {
+      const auto adj = graph.neighbors(v);
+      append_varint(degrees, static_cast<std::uint32_t>(adj.size()));
+      block_slots += adj.size();
+      if (adj.empty()) continue;
+      append_varint(heads, adj[0]);
+      for (std::size_t i = 1; i < adj.size(); ++i)
+        append_varint(deltas, adj[i] - adj[i - 1]);
+    }
+    block.clear();
+    put_u32(block, static_cast<std::uint32_t>(degrees.size()));
+    put_u32(block, static_cast<std::uint32_t>(heads.size()));
+    put_u32(block, static_cast<std::uint32_t>(deltas.size()));
+    block.insert(block.end(), degrees.begin(), degrees.end());
+    block.insert(block.end(), heads.begin(), heads.end());
+    block.insert(block.end(), deltas.begin(), deltas.end());
+
+    put_u64(index, payload_base + payloads.size());
+    put_u64(index, first_slot);
+    put_u32(index, static_cast<std::uint32_t>(block.size()));
+    put_u32(index, dist::crc32(block));
+    payloads.insert(payloads.end(), block.begin(), block.end());
+    first_slot += block_slots;
+  }
+  put_u32(index, dist::crc32(index));  // index CRC covers all entries
+
+  const std::uint64_t aux_offset =
+      aux.empty() ? 0 : payload_base + payloads.size();
+
+  std::uint32_t flags = 0;
+  if (options.degree_ordered) flags |= kFlagDegreeOrdered;
+  std::uint64_t triangles = 0;
+  if (graph.has_cached_triangle_count()) {
+    flags |= kFlagHasTriangles;
+    triangles = graph.triangle_count();
+  }
+  if (!aux.empty()) flags |= kFlagHasAux;
+
+  std::vector<std::uint8_t> header(4);
+  header.reserve(kHeaderBytes);
+  std::memcpy(header.data(), kMagic, 4);
+  put_u32(header, kVersion);
+  put_u32(header, flags);
+  put_u32(header, n);
+  put_u64(header, slots);
+  put_u32(header, bv);
+  put_u32(header, nblocks);
+  put_u64(header, triangles);
+  put_u64(header, aux_offset);
+  put_u32(header, static_cast<std::uint32_t>(aux.size()));
+  put_u32(header, dist::crc32(header));  // covers bytes [0, 52)
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) fail("snapshot: cannot open for writing: " + path);
+  auto write_all = [&out](std::span<const std::uint8_t> bytes) {
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  };
+  write_all(header);
+  write_all(index);
+  write_all(payloads);
+  std::uint64_t total = header.size() + index.size() + payloads.size();
+  if (!aux.empty()) {
+    write_all(aux);
+    std::vector<std::uint8_t> aux_crc;
+    put_u32(aux_crc, dist::crc32(aux));
+    write_all(aux_crc);
+    total += aux.size() + 4;
+  }
+  out.flush();
+  if (!out) fail("snapshot: write failed: " + path);
+
+  metrics::metric_counter("io.snapshot.saves").inc();
+  metrics::metric_counter("io.snapshot.bytes_written").inc(total);
+}
+
+void save_snapshot(const Graph& graph, const std::string& path,
+                   const SnapshotOptions& options) {
+  save_snapshot_with_aux(graph, path, options, {});
+}
+
+// ---------------------------------------------------------------------------
+// Mapped reader.
+// ---------------------------------------------------------------------------
+
+MappedSnapshot::MappedSnapshot(const std::string& path) : path_(path) {
+  open_and_validate(path);
+}
+
+MappedSnapshot::~MappedSnapshot() { unmap(); }
+
+MappedSnapshot::MappedSnapshot(MappedSnapshot&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      mmapped_(std::exchange(other.mmapped_, false)),
+      fallback_(std::move(other.fallback_)),
+      info_(other.info_),
+      index_(std::move(other.index_)),
+      aux_(std::exchange(other.aux_, {})),
+      path_(std::move(other.path_)) {}
+
+MappedSnapshot& MappedSnapshot::operator=(MappedSnapshot&& other) noexcept {
+  if (this != &other) {
+    unmap();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    mmapped_ = std::exchange(other.mmapped_, false);
+    fallback_ = std::move(other.fallback_);
+    info_ = other.info_;
+    index_ = std::move(other.index_);
+    aux_ = std::exchange(other.aux_, {});
+    path_ = std::move(other.path_);
+  }
+  return *this;
+}
+
+void MappedSnapshot::unmap() noexcept {
+#if GRAPHPI_SNAPSHOT_HAS_MMAP
+  if (mmapped_ && data_ != nullptr)
+    ::munmap(const_cast<std::uint8_t*>(data_), size_);
+#endif
+  data_ = nullptr;
+  size_ = 0;
+  mmapped_ = false;
+}
+
+void MappedSnapshot::open_and_validate(const std::string& path) {
+#if GRAPHPI_SNAPSHOT_HAS_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) fail("snapshot: cannot open: " + path);
+  struct ::stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    fail("snapshot: cannot stat: " + path);
+  }
+  size_ = static_cast<std::uint64_t>(st.st_size);
+  if (size_ > 0) {
+    void* map = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (map == MAP_FAILED) {
+      ::close(fd);
+      fail("snapshot: mmap failed: " + path);
+    }
+    data_ = static_cast<const std::uint8_t*>(map);
+    mmapped_ = true;
+  }
+  ::close(fd);
+#else
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) fail("snapshot: cannot open: " + path);
+  const std::streamsize len = in.tellg();
+  in.seekg(0);
+  fallback_.resize(static_cast<std::size_t>(len));
+  in.read(reinterpret_cast<char*>(fallback_.data()), len);
+  if (!in) fail("snapshot: short read: " + path);
+  data_ = fallback_.data();
+  size_ = fallback_.size();
+#endif
+
+  metrics::metric_counter("io.snapshot.opens").inc();
+  metrics::metric_counter("io.snapshot.bytes_mapped").inc(size_);
+
+  // --- Header ---------------------------------------------------------------
+  if (size_ < kHeaderBytes) fail("snapshot: file shorter than header");
+  if (std::memcmp(data_, kMagic, 4) != 0)
+    fail("snapshot: bad magic (not a GPS1 snapshot)");
+  if (get_u32(data_ + 52) != dist::crc32({data_, 52})) {
+    metrics::metric_counter("io.snapshot.crc_rejects").inc();
+    fail("snapshot: header CRC mismatch");
+  }
+  const std::uint32_t version = get_u32(data_ + 4);
+  if (version != kVersion)
+    fail("snapshot: unsupported version " + std::to_string(version));
+  const std::uint32_t flags = get_u32(data_ + 8);
+  if ((flags & ~kKnownFlags) != 0) fail("snapshot: unknown flag bits set");
+  info_.version = version;
+  info_.vertex_count = get_u32(data_ + 12);
+  info_.slot_count = get_u64(data_ + 16);
+  info_.block_vertices = get_u32(data_ + 24);
+  info_.block_count = get_u32(data_ + 28);
+  info_.degree_ordered = (flags & kFlagDegreeOrdered) != 0;
+  info_.has_triangles = (flags & kFlagHasTriangles) != 0;
+  info_.triangle_count = get_u64(data_ + 32);
+  const std::uint64_t aux_offset = get_u64(data_ + 40);
+  const std::uint32_t aux_bytes = get_u32(data_ + 48);
+  info_.file_bytes = size_;
+
+  if (info_.block_vertices == 0) fail("snapshot: zero block_vertices");
+  if (info_.block_count !=
+      block_count_for(info_.vertex_count, info_.block_vertices))
+    fail("snapshot: block count disagrees with vertex count");
+
+  // --- Block index ----------------------------------------------------------
+  const std::uint64_t index_bytes =
+      std::uint64_t{info_.block_count} * kIndexEntryBytes;
+  const std::uint64_t payload_base = kHeaderBytes + index_bytes + 4;
+  if (size_ < payload_base) fail("snapshot: truncated block index");
+  const std::uint8_t* idx = data_ + kHeaderBytes;
+  if (get_u32(idx + index_bytes) != dist::crc32({idx, index_bytes})) {
+    metrics::metric_counter("io.snapshot.crc_rejects").inc();
+    fail("snapshot: block index CRC mismatch");
+  }
+  index_.resize(info_.block_count);
+  std::uint64_t expected_slot = 0;
+  std::uint64_t payload_total = 0;
+  for (std::uint32_t b = 0; b < info_.block_count; ++b) {
+    const std::uint8_t* e = idx + std::uint64_t{b} * kIndexEntryBytes;
+    BlockEntry& entry = index_[b];
+    entry.offset = get_u64(e);
+    entry.first_slot = get_u64(e + 8);
+    entry.bytes = get_u32(e + 16);
+    entry.crc = get_u32(e + 20);
+    if (entry.offset < payload_base || entry.bytes < kBlockSubHeaderBytes ||
+        entry.offset + entry.bytes > size_ ||
+        entry.offset + entry.bytes < entry.offset)
+      fail("snapshot: block " + std::to_string(b) + " outside the file");
+    if (entry.first_slot != expected_slot)
+      fail("snapshot: block " + std::to_string(b) + " slot offset mismatch");
+    // The per-block slot total is only known after decoding, so advance
+    // by the next block's first_slot; the final block is checked against
+    // the header's slot_count below and decode re-verifies per block.
+    if (b + 1 < info_.block_count) {
+      expected_slot = get_u64(idx + std::uint64_t{b + 1} * kIndexEntryBytes + 8);
+      if (expected_slot < entry.first_slot)
+        fail("snapshot: block index slots not monotonic");
+    }
+    payload_total += entry.bytes;
+  }
+  info_.payload_bytes = payload_total;
+  if (info_.block_count == 0 && info_.slot_count != 0)
+    fail("snapshot: nonzero slots with no blocks");
+
+  // --- Aux section ----------------------------------------------------------
+  if ((flags & kFlagHasAux) != 0) {
+    if (aux_offset < payload_base || aux_bytes == 0 ||
+        aux_offset + aux_bytes + 4 > size_ ||
+        aux_offset + aux_bytes < aux_offset)
+      fail("snapshot: aux section outside the file");
+    aux_ = {data_ + aux_offset, aux_bytes};
+    if (get_u32(data_ + aux_offset + aux_bytes) != dist::crc32(aux_)) {
+      metrics::metric_counter("io.snapshot.crc_rejects").inc();
+      fail("snapshot: aux section CRC mismatch");
+    }
+  } else if (aux_offset != 0 || aux_bytes != 0) {
+    fail("snapshot: aux fields set without the aux flag");
+  }
+}
+
+VertexId MappedSnapshot::block_vertex_count(std::uint32_t b) const noexcept {
+  const std::uint64_t v0 = std::uint64_t{b} * info_.block_vertices;
+  const std::uint64_t v1 =
+      std::min<std::uint64_t>(info_.vertex_count, v0 + info_.block_vertices);
+  return static_cast<VertexId>(v1 - v0);
+}
+
+std::uint64_t MappedSnapshot::block_first_slot(std::uint32_t b) const noexcept {
+  return index_[b].first_slot;
+}
+
+std::uint64_t MappedSnapshot::block_slots(std::uint32_t b) const noexcept {
+  const std::uint64_t next = (b + 1 < info_.block_count)
+                                 ? index_[b + 1].first_slot
+                                 : info_.slot_count;
+  return next - index_[b].first_slot;
+}
+
+std::span<const std::uint8_t> MappedSnapshot::payload(
+    const BlockEntry& e) const noexcept {
+  return {data_ + e.offset, e.bytes};
+}
+
+void MappedSnapshot::decode_block_into(
+    std::uint32_t b, std::uint32_t* degrees_out, VertexId* neighbors_out,
+    std::vector<std::uint32_t>& scratch) const {
+  if (b >= info_.block_count) fail("snapshot: block id out of range");
+  const BlockEntry& entry = index_[b];
+  const auto bytes = payload(entry);
+  if (dist::crc32(bytes) != entry.crc) {
+    metrics::metric_counter("io.snapshot.crc_rejects").inc();
+    fail("snapshot: block " + std::to_string(b) + " payload CRC mismatch");
+  }
+
+  const std::uint64_t degrees_bytes = get_u32(bytes.data());
+  const std::uint64_t heads_bytes = get_u32(bytes.data() + 4);
+  const std::uint64_t deltas_bytes = get_u32(bytes.data() + 8);
+  if (kBlockSubHeaderBytes + degrees_bytes + heads_bytes + deltas_bytes !=
+      bytes.size())
+    fail("snapshot: block " + std::to_string(b) + " stream sizes disagree");
+  const std::uint8_t* p = bytes.data() + kBlockSubHeaderBytes;
+
+  const VertexId nv = block_vertex_count(b);
+  const std::uint64_t slots = block_slots(b);
+  decode_exact({p, degrees_bytes}, nv, degrees_out, "degree");
+  p += degrees_bytes;
+
+  std::uint64_t degree_sum = 0;
+  std::size_t nonempty = 0;
+  for (VertexId i = 0; i < nv; ++i) {
+    degree_sum += degrees_out[i];
+    nonempty += degrees_out[i] != 0;
+  }
+  if (degree_sum != slots)
+    fail("snapshot: block " + std::to_string(b) +
+         " degree sum disagrees with the index");
+  if (slots < nonempty)  // each non-empty row stores >= 1 neighbor
+    fail("snapshot: block " + std::to_string(b) + " impossible row shape");
+
+  scratch.resize(nonempty + (slots - nonempty));
+  std::uint32_t* heads = scratch.data();
+  std::uint32_t* deltas = scratch.data() + nonempty;
+  decode_exact({p, heads_bytes}, nonempty, heads, "head");
+  p += heads_bytes;
+  decode_exact({p, deltas_bytes}, slots - nonempty, deltas, "delta");
+
+  // Reconstruct rows; every id must stay < n and strictly ascend.
+  const std::uint64_t n = info_.vertex_count;
+  std::size_t head_i = 0;
+  std::size_t delta_i = 0;
+  VertexId* out = neighbors_out;
+  for (VertexId i = 0; i < nv; ++i) {
+    const std::uint32_t deg = degrees_out[i];
+    if (deg == 0) continue;
+    std::uint64_t cur = heads[head_i++];
+    if (cur >= n)
+      fail("snapshot: block " + std::to_string(b) + " neighbor out of range");
+    *out++ = static_cast<VertexId>(cur);
+    for (std::uint32_t k = 1; k < deg; ++k) {
+      const std::uint32_t d = deltas[delta_i++];
+      if (d == 0)
+        fail("snapshot: block " + std::to_string(b) + " zero delta");
+      cur += d;  // u64 accumulate: cannot wrap for u32 inputs
+      if (cur >= n)
+        fail("snapshot: block " + std::to_string(b) +
+             " neighbor out of range");
+      *out++ = static_cast<VertexId>(cur);
+    }
+  }
+  metrics::metric_counter("io.snapshot.blocks_decoded").inc();
+}
+
+void MappedSnapshot::decode_block(std::uint32_t b, DecodedBlock& out) const {
+  if (b >= info_.block_count) fail("snapshot: block id out of range");
+  out.first_vertex = block_first_vertex(b);
+  out.degrees.resize(block_vertex_count(b));
+  out.neighbors.resize(block_slots(b));
+  decode_block_into(b, out.degrees.data(), out.neighbors.data(), out.scratch);
+}
+
+Graph MappedSnapshot::decode_graph() const {
+  const double t0 = now_ms();
+  const VertexId n = info_.vertex_count;
+  std::vector<std::uint32_t> degrees(n);
+  std::vector<VertexId> neighbors(info_.slot_count);
+
+  // Blocks are independent (the index carries each block's first slot),
+  // so the decode fans out; exceptions cannot cross the parallel region,
+  // so the first one is captured and rethrown after the join.
+  std::exception_ptr error = nullptr;
+  std::mutex error_mu;
+  const auto nblocks = static_cast<std::int64_t>(info_.block_count);
+#pragma omp parallel
+  {
+    std::vector<std::uint32_t> scratch;
+#pragma omp for schedule(dynamic, 1)
+    for (std::int64_t b = 0; b < nblocks; ++b) {
+      try {
+        const auto bb = static_cast<std::uint32_t>(b);
+        decode_block_into(bb, degrees.data() + block_first_vertex(bb),
+                          neighbors.data() + index_[bb].first_slot, scratch);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (!error) error = std::current_exception();
+      }
+    }
+  }
+  if (error) std::rethrow_exception(error);
+
+  std::vector<EdgeIndex> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (VertexId v = 0; v < n; ++v) offsets[v + 1] = offsets[v] + degrees[v];
+  if (offsets.back() != info_.slot_count)
+    fail("snapshot: decoded slots disagree with the header");
+
+  Graph graph(std::move(offsets), std::move(neighbors));
+  if (info_.has_triangles) graph.set_triangle_count(info_.triangle_count);
+
+  metrics::metric_counter("io.snapshot.loads").inc();
+  if (metrics::enabled())
+    metrics::metric_histogram("io.snapshot.decode_ms").observe(now_ms() - t0);
+  return graph;
+}
+
+Graph load_snapshot(const std::string& path) {
+  const double t0 = now_ms();
+  const MappedSnapshot snap(path);
+  Graph graph = snap.decode_graph();
+  if (metrics::enabled())
+    metrics::metric_histogram("io.snapshot.load_ms").observe(now_ms() - t0);
+  return graph;
+}
+
+}  // namespace graphpi::io
+
+namespace graphpi {
+
+void Graph::save_snapshot(const std::string& path) const {
+  io::save_snapshot(*this, path);
+}
+
+Graph Graph::load_snapshot(const std::string& path) {
+  return io::load_snapshot(path);
+}
+
+}  // namespace graphpi

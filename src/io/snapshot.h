@@ -1,0 +1,171 @@
+// Compressed, mmap-able graph snapshots ("GPS1"; spec in docs/FORMAT.md).
+//
+// The on-disk story for the engine: write-once / read-many, asymmetric by
+// design. A snapshot stores a CSR graph as fixed-size seekable blocks of
+// delta-encoded LEB128-varint adjacency — pair with
+// Graph::reorder_by_degree() so hubs get small ids and most deltas fit a
+// single byte — framed by a CRC-checked header, a per-block index
+// (offset, first slot, byte length, CRC32), and an optional aux section
+// (the per-shard metadata of io/shard_snapshot.h). Loading mmaps the
+// file and decodes blocks lazily: each block is CRC-verified and decoded
+// through the runtime-dispatched SIMD varint kernels
+// (graph/vertex_set.h) straight into caller-provided buffers, so a full
+// load is one allocation for the CSR arrays plus decode bandwidth — a
+// decode problem, not a rebuild problem.
+//
+// Every read is bounds- and CRC-checked the way the distributed
+// WireReader is: truncated, corrupted, or version-mismatched input
+// throws SnapshotError, never UB (fuzzed in tests/io/).
+//
+// Metrics (support/metrics.h): io.snapshot.saves / bytes_written /
+// opens / bytes_mapped / loads / blocks_decoded / crc_rejects counters
+// and the io.snapshot.decode_ms / load_ms histograms.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace graphpi::io {
+
+/// Malformed-input failure (bad magic, wrong version, CRC mismatch,
+/// truncation, inconsistent geometry, invalid adjacency). Also the
+/// failure type for plain filesystem errors on the snapshot paths.
+class SnapshotError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct SnapshotOptions {
+  /// Vertices per seekable block. Smaller blocks seek finer and
+  /// parallelize better; larger blocks amortize index + CRC overhead.
+  std::uint32_t block_vertices = 4096;
+  /// Stamp the header's degree-ordered flag (purely informational —
+  /// set by callers that saved a reorder_by_degree() graph).
+  bool degree_ordered = false;
+};
+
+/// Decoded header + geometry of an open snapshot.
+struct SnapshotInfo {
+  std::uint32_t version = 0;
+  VertexId vertex_count = 0;
+  std::uint64_t slot_count = 0;  ///< directed adjacency slots
+  std::uint32_t block_vertices = 0;
+  std::uint32_t block_count = 0;
+  bool degree_ordered = false;
+  bool has_triangles = false;
+  std::uint64_t triangle_count = 0;
+  std::uint64_t file_bytes = 0;
+  std::uint64_t payload_bytes = 0;  ///< encoded block payloads only
+};
+
+/// Appends one LEB128 varint (1–5 bytes). The writer-side half of the
+/// codec; the decode half is the dispatched varint_decode_u32.
+void append_varint(std::vector<std::uint8_t>& out, std::uint32_t v);
+
+/// Writes `graph` as a snapshot file. Overwrites; throws SnapshotError
+/// on filesystem failure.
+void save_snapshot(const Graph& graph, const std::string& path,
+                   const SnapshotOptions& options = {});
+
+/// save_snapshot plus an opaque aux section (io/shard_snapshot.h stores
+/// shard metadata there; readers that don't understand aux ignore it).
+void save_snapshot_with_aux(const Graph& graph, const std::string& path,
+                            const SnapshotOptions& options,
+                            std::span<const std::uint8_t> aux);
+
+/// Reusable per-block decode buffers + results (zero allocation in
+/// steady state — capacity survives across decode_block calls).
+struct DecodedBlock {
+  VertexId first_vertex = 0;
+  std::vector<std::uint32_t> degrees;   ///< one per vertex of the block
+  std::vector<VertexId> neighbors;      ///< concatenated sorted rows
+  std::vector<std::uint32_t> scratch;   ///< internal (delta stream)
+};
+
+/// An open, validated, memory-mapped snapshot. Construction maps the
+/// file and verifies header, index, and aux CRCs plus all geometry
+/// (every block's offset/length against the file size, slot monotonic
+/// ordering); block payload CRCs are verified lazily by decode_block, so
+/// opening a beyond-RAM snapshot touches only the header and index
+/// pages. Move-only; the mapping lives until destruction.
+class MappedSnapshot {
+ public:
+  explicit MappedSnapshot(const std::string& path);
+  ~MappedSnapshot();
+  MappedSnapshot(MappedSnapshot&& other) noexcept;
+  MappedSnapshot& operator=(MappedSnapshot&& other) noexcept;
+  MappedSnapshot(const MappedSnapshot&) = delete;
+  MappedSnapshot& operator=(const MappedSnapshot&) = delete;
+
+  [[nodiscard]] const SnapshotInfo& info() const noexcept { return info_; }
+  [[nodiscard]] std::uint32_t block_count() const noexcept {
+    return info_.block_count;
+  }
+
+  /// First vertex id covered by block `b`.
+  [[nodiscard]] VertexId block_first_vertex(std::uint32_t b) const noexcept {
+    return static_cast<VertexId>(static_cast<std::uint64_t>(b) *
+                                 info_.block_vertices);
+  }
+  /// Vertices covered by block `b` (the last block may be short).
+  [[nodiscard]] VertexId block_vertex_count(std::uint32_t b) const noexcept;
+  /// Index of the adjacency slot where block `b`'s rows start.
+  [[nodiscard]] std::uint64_t block_first_slot(std::uint32_t b) const noexcept;
+  /// Total adjacency slots stored in block `b`.
+  [[nodiscard]] std::uint64_t block_slots(std::uint32_t b) const noexcept;
+
+  /// CRC-verifies and decodes block `b` into caller-owned arrays:
+  /// `degrees_out` receives block_vertex_count(b) entries and
+  /// `neighbors_out` block_slots(b) sorted global ids (`scratch` is
+  /// reused working space). Throws SnapshotError on a corrupt block.
+  void decode_block_into(std::uint32_t b, std::uint32_t* degrees_out,
+                         VertexId* neighbors_out,
+                         std::vector<std::uint32_t>& scratch) const;
+
+  /// Convenience wrapper decoding into (reused) DecodedBlock buffers.
+  void decode_block(std::uint32_t b, DecodedBlock& out) const;
+
+  /// Decodes every block into a Graph (blocks are independent, so the
+  /// decode is OpenMP-parallel). The cached triangle count is restored
+  /// when the snapshot carries one.
+  [[nodiscard]] Graph decode_graph() const;
+
+  /// Aux section bytes (empty when the snapshot has none).
+  [[nodiscard]] std::span<const std::uint8_t> aux() const noexcept {
+    return aux_;
+  }
+
+ private:
+  struct BlockEntry {
+    std::uint64_t offset = 0;      ///< absolute file offset of the payload
+    std::uint64_t first_slot = 0;  ///< adjacency slots before this block
+    std::uint32_t bytes = 0;
+    std::uint32_t crc = 0;
+  };
+
+  void open_and_validate(const std::string& path);
+  void unmap() noexcept;
+  [[nodiscard]] std::span<const std::uint8_t> payload(
+      const BlockEntry& e) const noexcept;
+
+  const std::uint8_t* data_ = nullptr;
+  std::uint64_t size_ = 0;
+  bool mmapped_ = false;
+  std::vector<std::uint8_t> fallback_;  ///< used when mmap is unavailable
+  SnapshotInfo info_;
+  std::vector<BlockEntry> index_;
+  std::span<const std::uint8_t> aux_;
+  std::string path_;
+};
+
+/// One-shot load: open + decode_graph. (Also exposed as the
+/// Graph::load_snapshot static member.)
+[[nodiscard]] Graph load_snapshot(const std::string& path);
+
+}  // namespace graphpi::io

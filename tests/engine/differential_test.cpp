@@ -19,6 +19,7 @@
 // across backends.
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <string>
 #include <utility>
 #include <vector>
@@ -155,6 +156,37 @@ TEST(Differential, DistributedSweepBitIdenticalUnderInjectedFaults) {
   EXPECT_GT(stats.retransmits, 0u);
   EXPECT_GT(stats.duplicates_suppressed, 0u);
   EXPECT_GT(stats.corrupt_frames_detected, 0u);
+}
+
+TEST(Differential, SnapshotRoundTripBitIdenticalOnEveryBackend) {
+  // The snapshot arm: degree-reorder + save + mmap-load (io/snapshot.h)
+  // must be invisible to counting. Reference = the library counted on
+  // the graph as built; comparand = the same library on the
+  // reordered-saved-loaded graph, across all four backends under default
+  // dispatch (the ISA × decode cross-product lives in tests/io/).
+  const auto library = full_library();
+  std::vector<Pattern> patterns;
+  patterns.reserve(library.size());
+  for (const auto& [name, p] : library) patterns.push_back(p);
+
+  const Graph graph = rmat(6, 250, 202);
+  const std::vector<Count> want = GraphPi(graph).count_batch(patterns);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "graphpi_differential.gps")
+          .string();
+  graph.reorder_by_degree().save_snapshot(path);
+  const Graph loaded = Graph::load_snapshot(path);
+  std::filesystem::remove(path);
+
+  const GraphPi engine(loaded);
+  for (const BackendArm& arm : backend_arms()) {
+    const std::vector<Count> got = engine.count_batch(patterns, arm.options);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < library.size(); ++i)
+      EXPECT_EQ(got[i], want[i])
+          << "snapshot / " << library[i].first << " / " << arm.name;
+  }
 }
 
 TEST(Differential, CycleSixIepRegression) {

@@ -7,12 +7,16 @@
 //   plan  <graph> <pattern>           show the selected configuration
 //   gen   <pattern> [out.cpp]         emit the generated C++ kernel
 //   make  <kind> <n> <m> <seed> <out> write a synthetic graph
+//   save  <graph> <out.gps> [opts]    write a compressed snapshot (io/)
+//   load  <snapshot> [--verify]       map + decode a snapshot, print stats
 //
-// <graph> is an edge-list path, or "dataset:NAME[:SCALE]" for the
-// synthetic stand-ins (e.g. dataset:wiki_vote:0.2).
+// <graph> is an edge-list path, a GPS1 snapshot (sniffed by magic), or
+// "dataset:NAME[:SCALE]" for the synthetic stand-ins
+// (e.g. dataset:wiki_vote:0.2).
 // <pattern> is a named pattern (triangle, rectangle, house, pentagon,
 // hourglass, cycle6tri, p1..p6, cliqueK, cycleK, pathK, starK) or
 // "N:ADJSTRING" (e.g. 5:0111010011100011100001100).
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -47,7 +51,9 @@ int usage() {
   plan  <graph> <pattern>
   gen   <pattern> [out.cpp] [--no-iep]
   make  <er|powerlaw|clustered> <n> <m> <seed> <out>
-graph:   path to an edge list, or dataset:NAME[:SCALE]
+  save  <graph> <out.gps> [--block-vertices N] [--no-reorder]
+  load  <snapshot.gps> [--verify]
+graph:   path to an edge list or GPS1 snapshot, or dataset:NAME[:SCALE]
 pattern: triangle|rectangle|house|pentagon|hourglass|cycle6tri|p1..p6|
          clique<K>|cycle<K>|path<K>|star<K>|N:ADJSTRING
 --backend generated runs the plan through the self-compiling kernel cache
@@ -66,6 +72,11 @@ stats line reports the injected/recovered event tallies.
 run (counters, gauges, latency histograms) as JSON; --trace-json writes
 the run's trace spans in Chrome trace-event format (open in
 chrome://tracing or Perfetto).
+save writes a compressed, mmap-able snapshot (docs/FORMAT.md): vertices
+are relabeled in descending degree order first (counts are unchanged;
+--no-reorder keeps the input labeling) and adjacency is stored as
+delta-varint blocks that load back through the SIMD decode kernels.
+Any <graph> argument accepts a snapshot path directly.
 )";
   return 2;
 }
@@ -80,6 +91,13 @@ Graph parse_graph(const std::string& spec) {
       rest = rest.substr(0, colon);
     }
     return datasets::load(rest, scale);
+  }
+  // Sniff the snapshot magic so every <graph> argument accepts either
+  // format (count/stats/list work straight off a .gps file).
+  if (std::ifstream probe(spec, std::ios::binary); probe) {
+    char magic[4] = {};
+    if (probe.read(magic, 4) && std::memcmp(magic, "GPS1", 4) == 0)
+      return Graph::load_snapshot(spec);
   }
   return load_edge_list(spec);
 }
@@ -201,6 +219,11 @@ int cmd_count(const std::string& graph_spec, const std::string& pattern_spec,
                                             fault_rates.duplicate,
                                             fault_rates.reorder,
                                             fault_rates.corrupt);
+  // Baseline before graph loading so the delta covers io.snapshot.*
+  // counters when <graph> is a snapshot file.
+  const support::metrics::Snapshot metrics_before =
+      metrics_path.empty() ? support::metrics::Snapshot{}
+                           : GraphPi::metrics_snapshot();
   const Graph g = parse_graph(graph_spec);
   const Pattern p = parse_pattern(pattern_spec);
   const GraphPi engine(g);
@@ -224,9 +247,6 @@ int cmd_count(const std::string& graph_spec, const std::string& pattern_spec,
   const bool bounded = options.timeout_ms > 0.0 || options.work_budget != 0;
   support::trace::TraceBuffer trace_buf;
   if (!trace_path.empty()) options.trace_sink = &trace_buf;
-  const support::metrics::Snapshot metrics_before =
-      metrics_path.empty() ? support::metrics::Snapshot{}
-                           : GraphPi::metrics_snapshot();
   support::RunReport report;
   support::Timer t;
   const Count n = engine.count(config, options, bounded ? &report : nullptr);
@@ -349,6 +369,73 @@ int cmd_gen(const std::string& pattern_spec, const char* out_path,
   return 0;
 }
 
+int cmd_save(const std::string& graph_spec, const std::string& out_path,
+             int argc, char** argv) {
+  io::SnapshotOptions snapshot_options;
+  bool reorder = true;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--block-vertices" && i + 1 < argc)
+      snapshot_options.block_vertices =
+          static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    if (arg == "--no-reorder") reorder = false;
+  }
+  Graph g = parse_graph(graph_spec);
+  if (reorder) g = g.reorder_by_degree();
+  snapshot_options.degree_ordered = reorder;
+  support::Timer t;
+  io::save_snapshot(g, out_path, snapshot_options);
+  const double seconds = t.elapsed_seconds();
+  // Reopen through the validated reader so the numbers we print are the
+  // file's own (and a broken write fails loudly right here).
+  const io::MappedSnapshot snap(out_path);
+  const io::SnapshotInfo& info = snap.info();
+  const double bits_per_slot =
+      info.slot_count > 0 ? 8.0 * static_cast<double>(info.payload_bytes) /
+                                static_cast<double>(info.slot_count)
+                          : 0.0;
+  std::cout << "wrote " << info.file_bytes << " bytes (" << g.vertex_count()
+            << " vertices, " << g.edge_count() << " edges, "
+            << info.block_count << " blocks, " << bits_per_slot
+            << " bits/slot" << (reorder ? ", degree-ordered" : "") << ") to "
+            << out_path << " in " << seconds << "s\n";
+  return 0;
+}
+
+int cmd_load(const std::string& path, bool verify) {
+  support::Timer t_open;
+  const io::MappedSnapshot snap(path);
+  const double open_seconds = t_open.elapsed_seconds();
+  support::Timer t_decode;
+  const Graph g = snap.decode_graph();
+  const double decode_seconds = t_decode.elapsed_seconds();
+  const io::SnapshotInfo& info = snap.info();
+  support::Table table({"metric", "value"});
+  table.add("vertices", info.vertex_count);
+  table.add("edges", g.edge_count());
+  table.add("blocks", info.block_count);
+  table.add("block vertices", info.block_vertices);
+  table.add("degree ordered", info.degree_ordered ? "yes" : "no");
+  table.add("file bytes", info.file_bytes);
+  table.add("payload bytes", info.payload_bytes);
+  if (info.has_triangles) table.add("triangles (cached)", info.triangle_count);
+  table.add("map seconds", open_seconds);
+  table.add("decode seconds", decode_seconds);
+  if (decode_seconds > 0.0)
+    table.add("decode GB/s", static_cast<double>(info.payload_bytes) /
+                                 decode_seconds / 1e9);
+  table.print();
+  std::cout << "kernels: " << active_isa() << "\n";
+  if (verify) {
+    if (!g.validate()) {
+      std::cerr << "snapshot FAILED full CSR validation\n";
+      return 1;
+    }
+    std::cout << "validate: ok (sorted, symmetric, loop-free)\n";
+  }
+  return 0;
+}
+
 int cmd_make(const std::string& kind, VertexId n, std::uint64_t m,
              std::uint64_t seed, const std::string& out) {
   Graph g;
@@ -371,6 +458,12 @@ int cmd_make(const std::string& kind, VertexId n, std::uint64_t m,
 }  // namespace
 
 int main(int argc, char** argv) {
+#ifdef SIGPIPE
+  // Piping into `head` must truncate the output, not kill the process:
+  // with SIGPIPE ignored the write fails with EPIPE, ostream badbit set,
+  // and we exit normally.
+  std::signal(SIGPIPE, SIG_IGN);
+#endif
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {
@@ -393,6 +486,11 @@ int main(int argc, char** argv) {
       }
       return cmd_gen(argv[2], out, use_iep);
     }
+    if (cmd == "save" && argc >= 4)
+      return cmd_save(argv[2], argv[3], argc - 4, argv + 4);
+    if (cmd == "load" && argc >= 3)
+      return cmd_load(argv[2],
+                      argc > 3 && std::strcmp(argv[3], "--verify") == 0);
     if (cmd == "make" && argc >= 7)
       return cmd_make(argv[2], static_cast<VertexId>(std::atoll(argv[3])),
                       std::strtoull(argv[4], nullptr, 10),
