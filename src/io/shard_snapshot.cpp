@@ -1,5 +1,7 @@
 #include "io/shard_snapshot.h"
 
+#include <algorithm>
+#include <charconv>
 #include <cstring>
 #include <filesystem>
 #include <utility>
@@ -158,6 +160,7 @@ dist::ShardedGraph load_shard_snapshots(const std::string& prefix) {
                              : first_probe.parent_path();
     const std::string stem = fs::path(prefix).filename().string() + ".shard0-of-";
     std::error_code ec;
+    std::vector<int> candidates;
     for (const auto& entry : fs::directory_iterator(dir, ec)) {
       const std::string name = entry.path().filename().string();
       if (name.size() <= stem.size() + 4 || name.rfind(stem, 0) != 0 ||
@@ -165,13 +168,29 @@ dist::ShardedGraph load_shard_snapshots(const std::string& prefix) {
         continue;
       const std::string count = name.substr(
           stem.size(), name.size() - 4 - stem.size());
-      if (count.empty() ||
-          count.find_first_not_of("0123456789") != std::string::npos)
+      int parsed = 0;
+      const auto [end, err] =
+          std::from_chars(count.data(), count.data() + count.size(), parsed);
+      if (err == std::errc::result_out_of_range)
+        fail("shard snapshot: node count overflows in " + name);
+      if (err != std::errc{} || end != count.data() + count.size() ||
+          parsed <= 0)
         continue;
-      nodes = std::stoi(count);
-      break;
+      candidates.push_back(parsed);
     }
     if (ec) fail("shard snapshot: cannot list " + dir.string());
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    if (candidates.size() > 1) {
+      std::string counts;
+      for (const int c : candidates)
+        counts += (counts.empty() ? "" : ", ") + std::to_string(c);
+      fail("shard snapshot: ambiguous prefix " + prefix +
+           " matches shard sets of " + counts +
+           " nodes; remove the stale set");
+    }
+    if (!candidates.empty()) nodes = candidates.front();
   }
   if (nodes <= 0)
     fail("shard snapshot: no " + prefix + ".shard0-of-<n>.gps file found");

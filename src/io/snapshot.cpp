@@ -4,6 +4,7 @@
 #include <cstring>
 #include <exception>
 #include <fstream>
+#include <limits>
 #include <mutex>
 #include <utility>
 
@@ -142,6 +143,14 @@ void save_snapshot_with_aux(const Graph& graph, const std::string& path,
       for (std::size_t i = 1; i < adj.size(); ++i)
         append_varint(deltas, adj[i] - adj[i - 1]);
     }
+    // The index and sub-header store u32 byte counts; a block whose
+    // encoded payload exceeds that must fail loudly rather than truncate
+    // into a file that can never load.
+    const std::uint64_t block_bytes = kBlockSubHeaderBytes + degrees.size() +
+                                      heads.size() + deltas.size();
+    if (block_bytes > std::numeric_limits<std::uint32_t>::max())
+      fail("snapshot: block " + std::to_string(b) +
+           " payload exceeds 4 GiB; lower block_vertices");
     block.clear();
     put_u32(block, static_cast<std::uint32_t>(degrees.size()));
     put_u32(block, static_cast<std::uint32_t>(heads.size()));
@@ -351,13 +360,19 @@ void MappedSnapshot::open_and_validate(const std::string& path) {
     if (entry.first_slot != expected_slot)
       fail("snapshot: block " + std::to_string(b) + " slot offset mismatch");
     // The per-block slot total is only known after decoding, so advance
-    // by the next block's first_slot; the final block is checked against
-    // the header's slot_count below and decode re-verifies per block.
-    if (b + 1 < info_.block_count) {
-      expected_slot = get_u64(idx + std::uint64_t{b + 1} * kIndexEntryBytes + 8);
-      if (expected_slot < entry.first_slot)
-        fail("snapshot: block index slots not monotonic");
-    }
+    // by the next block's first_slot (slot_count for the final block).
+    // Every boundary must stay monotonic and within the header's slot
+    // budget: decode_block_into writes block_slots(b) entries at
+    // neighbors + first_slot, so an index boundary past slot_count would
+    // be an out-of-bounds write even with valid CRCs.
+    const std::uint64_t block_end =
+        (b + 1 < info_.block_count)
+            ? get_u64(idx + std::uint64_t{b + 1} * kIndexEntryBytes + 8)
+            : info_.slot_count;
+    if (block_end < entry.first_slot || block_end > info_.slot_count)
+      fail("snapshot: block " + std::to_string(b) +
+           " slot range outside the header's slot count");
+    expected_slot = block_end;
     payload_total += entry.bytes;
   }
   info_.payload_bytes = payload_total;
@@ -366,9 +381,10 @@ void MappedSnapshot::open_and_validate(const std::string& path) {
 
   // --- Aux section ----------------------------------------------------------
   if ((flags & kFlagHasAux) != 0) {
-    if (aux_offset < payload_base || aux_bytes == 0 ||
-        aux_offset + aux_bytes + 4 > size_ ||
-        aux_offset + aux_bytes < aux_offset)
+    // Subtraction form: `aux_offset + aux_bytes + 4` could wrap u64 and
+    // defeat the bound for attacker-chosen offsets near 2^64.
+    if (aux_offset < payload_base || aux_offset > size_ || aux_bytes == 0 ||
+        size_ - aux_offset < std::uint64_t{aux_bytes} + 4)
       fail("snapshot: aux section outside the file");
     aux_ = {data_ + aux_offset, aux_bytes};
     if (get_u32(data_ + aux_offset + aux_bytes) != dist::crc32(aux_)) {

@@ -6,11 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "dist/comm.h"
 #include "graph/generators.h"
 #include "graph/vertex_set.h"
 #include "io/snapshot.h"
@@ -197,6 +199,108 @@ TEST_F(SnapshotCorruptionFuzz, TrailingGarbageAfterAValidFileIsHarmless) {
   write_file(damaged_, bytes);
   const io::MappedSnapshot snap(damaged_);
   EXPECT_TRUE(snap.decode_graph().validate());
+}
+
+TEST_F(SnapshotCorruptionFuzz, AuxOffsetNearU64MaxIsRejected) {
+  // `aux_offset + aux_bytes + 4` wraps u64 for offsets near 2^64; the
+  // reader's subtraction-form bound must reject the file instead of
+  // reading through data_ + aux_offset. Header CRC is recomputed so
+  // only the geometry check stands between the file and the wild read.
+  std::vector<std::uint8_t> bytes = pristine_;
+  std::uint32_t flags;
+  std::memcpy(&flags, bytes.data() + 8, 4);
+  flags |= 1u << 2;  // kFlagHasAux
+  std::memcpy(bytes.data() + 8, &flags, 4);
+  const std::uint64_t aux_offset = ~std::uint64_t{0} - 9;  // 2^64 - 10
+  const std::uint32_t aux_bytes = 8;
+  std::memcpy(bytes.data() + 40, &aux_offset, 8);
+  std::memcpy(bytes.data() + 48, &aux_bytes, 4);
+  const std::uint32_t crc = dist::crc32({bytes.data(), 52});
+  std::memcpy(bytes.data() + 52, &crc, 4);
+  expect_rejected(bytes, "aux offset near u64 max");
+}
+
+TEST(SnapshotCrafted, IndexSlotsBeyondHeaderSlotCountAreRejected) {
+  // Bit flips can't reach this bug class because every region is CRC
+  // framed, so build the malicious file wholesale: all CRCs valid and
+  // every per-region check self-consistent, but the block index claims
+  // block 0 holds 1000 slots while the header budgets 10 for the whole
+  // graph. If open accepted it, decode (whose degree stream really does
+  // sum to 1000) would write 1000 neighbors into a 10-slot array.
+  const auto put_u32 = [](std::vector<std::uint8_t>& out, std::uint32_t v) {
+    const auto off = out.size();
+    out.resize(off + 4);
+    std::memcpy(out.data() + off, &v, 4);
+  };
+  const auto put_u64 = [](std::vector<std::uint8_t>& out, std::uint64_t v) {
+    const auto off = out.size();
+    out.resize(off + 8);
+    std::memcpy(out.data() + off, &v, 8);
+  };
+
+  // Block 0 (vertices 0..63): 40 rows of degree 25 (ids 0..24), sum 1000.
+  std::vector<std::uint8_t> degrees0, heads0, deltas0;
+  for (int v = 0; v < 64; ++v)
+    io::append_varint(degrees0, v < 40 ? 25u : 0u);
+  for (int row = 0; row < 40; ++row) {
+    io::append_varint(heads0, 0);
+    for (int k = 1; k < 25; ++k) io::append_varint(deltas0, 1);
+  }
+  const auto make_block = [&put_u32](const std::vector<std::uint8_t>& degrees,
+                                     const std::vector<std::uint8_t>& heads,
+                                     const std::vector<std::uint8_t>& deltas) {
+    std::vector<std::uint8_t> block;
+    put_u32(block, static_cast<std::uint32_t>(degrees.size()));
+    put_u32(block, static_cast<std::uint32_t>(heads.size()));
+    put_u32(block, static_cast<std::uint32_t>(deltas.size()));
+    block.insert(block.end(), degrees.begin(), degrees.end());
+    block.insert(block.end(), heads.begin(), heads.end());
+    block.insert(block.end(), deltas.begin(), deltas.end());
+    return block;
+  };
+  const std::vector<std::uint8_t> block0 =
+      make_block(degrees0, heads0, deltas0);
+  // Block 1 (vertices 64..127): all rows empty.
+  const std::vector<std::uint8_t> block1 =
+      make_block(std::vector<std::uint8_t>(64, 0), {}, {});
+
+  const std::uint64_t payload_base = 56 + 2 * 24 + 4;
+  std::vector<std::uint8_t> index;
+  put_u64(index, payload_base);
+  put_u64(index, 0);  // block 0 first_slot
+  put_u32(index, static_cast<std::uint32_t>(block0.size()));
+  put_u32(index, dist::crc32(block0));
+  put_u64(index, payload_base + block0.size());
+  put_u64(index, 1000);  // block 1 first_slot: far past the header's 10
+  put_u32(index, static_cast<std::uint32_t>(block1.size()));
+  put_u32(index, dist::crc32(block1));
+  put_u32(index, dist::crc32(index));
+
+  std::vector<std::uint8_t> file(4);
+  std::memcpy(file.data(), "GPS1", 4);
+  put_u32(file, 1);    // version
+  put_u32(file, 0);    // flags
+  put_u32(file, 128);  // vertex_count
+  put_u64(file, 10);   // slot_count: the lie
+  put_u32(file, 64);   // block_vertices
+  put_u32(file, 2);    // block_count
+  put_u64(file, 0);    // triangles
+  put_u64(file, 0);    // aux offset
+  put_u32(file, 0);    // aux bytes
+  put_u32(file, dist::crc32(file));
+  file.insert(file.end(), index.begin(), index.end());
+  file.insert(file.end(), block0.begin(), block0.end());
+  file.insert(file.end(), block1.begin(), block1.end());
+
+  const std::string path = temp_path("graphpi_snap_crafted_slots.gps");
+  write_file(path, file);
+  EXPECT_THROW(
+      {
+        const io::MappedSnapshot snap(path);
+        (void)snap.decode_graph();
+      },
+      io::SnapshotError);
+  fs::remove(path);
 }
 
 TEST(SnapshotErrors, MissingAndForeignFilesThrow) {

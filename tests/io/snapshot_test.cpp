@@ -212,6 +212,23 @@ TEST(Snapshot, ShardSnapshotsRebuildTheShardingExactly) {
   }
 }
 
+TEST(Snapshot, AmbiguousShardPrefixIsRejected) {
+  // Two shard sets under one prefix (0-of-2 and 0-of-3): which set
+  // loads must not depend on directory iteration order, so the loader
+  // refuses instead of picking one.
+  TempFiles files;
+  const Graph g = erdos_renyi(80, 240, 71);
+  const std::string prefix = temp_path("graphpi_snap_ambiguous");
+  for (const int nodes : {2, 3}) {
+    dist::ShardOptions options;
+    options.nodes = nodes;
+    for (const std::string& p :
+         io::save_shard_snapshots(dist::ShardedGraph(g, options), prefix))
+      files.add(p);
+  }
+  EXPECT_THROW((void)io::load_shard_snapshots(prefix), io::SnapshotError);
+}
+
 TEST(Snapshot, MetricsCountersAccountForSavesAndLoads) {
   TempFiles files;
   const auto& path = files.add(temp_path("graphpi_snap_metrics.gps"));
