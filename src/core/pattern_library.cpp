@@ -1,5 +1,7 @@
 #include "core/pattern_library.h"
 
+#include <charconv>
+#include <stdexcept>
 #include <unordered_set>
 #include <utility>
 
@@ -125,6 +127,63 @@ std::vector<Pattern> connected_motifs(int n) {
     if (seen.insert(canonical_string(p)).second) motifs.push_back(std::move(p));
   }
   return motifs;
+}
+
+namespace {
+
+/// Whole-string from_chars int parse; throws std::invalid_argument with
+/// the offending text on anything but a clean in-range decimal.
+int parse_spec_int(const std::string& spec, std::string_view digits) {
+  int value = 0;
+  const auto [p, ec] =
+      std::from_chars(digits.data(), digits.data() + digits.size(), value);
+  if (ec != std::errc() || p != digits.data() + digits.size())
+    throw std::invalid_argument("pattern spec '" + spec +
+                                "': malformed number '" + std::string(digits) +
+                                "'");
+  return value;
+}
+
+}  // namespace
+
+Pattern parse_spec(const std::string& spec) {
+  if (spec == "triangle") return clique(3);
+  if (spec == "rectangle") return rectangle();
+  if (spec == "house") return house();
+  if (spec == "pentagon") return pentagon();
+  if (spec == "hourglass") return hourglass();
+  if (spec == "cycle6tri") return cycle_6_tri();
+  if (spec == "tailed_triangle") return tailed_triangle();
+  if (spec.size() == 2 && (spec[0] == 'p' || spec[0] == 'P') &&
+      spec[1] >= '1' && spec[1] <= '6')
+    return evaluation_pattern(spec[1] - '0');
+  for (const auto& [prefix, make] :
+       {std::pair<std::string_view, Pattern (*)(int)>{"clique", &clique},
+        {"cycle", &cycle},
+        {"path", &path},
+        {"star", &star}}) {
+    if (spec.size() > prefix.size() &&
+        std::string_view(spec).substr(0, prefix.size()) == prefix) {
+      const int k =
+          parse_spec_int(spec, std::string_view(spec).substr(prefix.size()));
+      if (k < 2 || k > Pattern::kMaxVertices)
+        throw std::invalid_argument(
+            "pattern spec '" + spec + "': size must be 2.." +
+            std::to_string(Pattern::kMaxVertices));
+      return make(k);
+    }
+  }
+  if (const auto colon = spec.find(':'); colon != std::string::npos) {
+    const int n = parse_spec_int(spec, std::string_view(spec).substr(0, colon));
+    if (n < 1 || n > Pattern::kMaxVertices)
+      throw std::invalid_argument(
+          "pattern spec '" + spec + "': vertex count must be 1.." +
+          std::to_string(Pattern::kMaxVertices));
+    // Pattern's constructor re-validates shape (n*n length, 0/1 symmetric,
+    // loop-free) and throws std::logic_error with its own message.
+    return Pattern(n, spec.substr(colon + 1));
+  }
+  throw std::invalid_argument("unknown pattern: " + spec);
 }
 
 }  // namespace graphpi::patterns

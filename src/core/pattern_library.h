@@ -58,4 +58,15 @@ namespace graphpi::patterns {
 /// example (3-motifs: 2, 4-motifs: 6, 5-motifs: 21).
 [[nodiscard]] std::vector<Pattern> connected_motifs(int n);
 
+/// Parses the textual pattern spec shared by graphpi_cli and the query
+/// service: a named pattern (triangle, rectangle, house, pentagon,
+/// hourglass, cycle6tri, tailed_triangle, p1..p6), a sized family
+/// (clique<K>, cycle<K>, path<K>, star<K>), or an explicit adjacency
+/// matrix "N:ADJSTRING" (N*N row-major 0/1 characters). Every numeric
+/// field is parsed with std::from_chars and range-checked, so malformed
+/// input ("clique4x", "99999999999:....", "star") throws
+/// std::invalid_argument with a usable message instead of silently
+/// parsing as 0 or overflowing.
+[[nodiscard]] Pattern parse_spec(const std::string& spec);
+
 }  // namespace graphpi::patterns

@@ -38,7 +38,7 @@ Graph Graph::reorder_by_degree(std::vector<VertexId>* old_to_new) const {
   }
 
   Graph out(std::move(offsets), std::move(adj));
-  if (triangles_valid_) out.set_triangle_count(cached_triangles_);
+  if (has_cached_triangle_count()) out.set_triangle_count(cached_triangles_);
   if (old_to_new != nullptr) *old_to_new = std::move(rank);
   return out;
 }
@@ -121,9 +121,16 @@ std::uint32_t Graph::max_degree() const noexcept {
 }
 
 std::uint64_t Graph::triangle_count() const {
-  if (!triangles_valid_) {
-    cached_triangles_ = count_triangles(*this);
-    triangles_valid_ = true;
+  // Lazy fill under a lock: concurrent first calls (e.g. two service
+  // queries planning against the same graph) must not race on the
+  // mutable cache. Same shape as ensure_hub_index — double-checked
+  // against the release-published flag, process-wide lock because
+  // fills are rare and Graph stays trivially movable.
+  if (!has_cached_triangle_count()) {
+    static std::mutex fill_mutex;
+    const std::lock_guard<std::mutex> lock(fill_mutex);
+    if (!has_cached_triangle_count())
+      set_triangle_count(count_triangles(*this));
   }
   return cached_triangles_;
 }

@@ -68,13 +68,18 @@ class Graph {
   /// it, or by tests exercising the perf model with synthetic statistics).
   void set_triangle_count(std::uint64_t t) const noexcept {
     cached_triangles_ = t;
-    triangles_valid_ = true;
+    // Publish after the value: pairs with the acquire load in
+    // has_cached_triangle_count(), so a thread that observes the flag
+    // sees the count (same protocol as the hub index).
+    std::atomic_ref<bool>(triangles_valid_)
+        .store(true, std::memory_order_release);
   }
 
   /// Whether triangle_count() would return a cached value without
   /// computing (snapshot saving persists the count only when cached).
   [[nodiscard]] bool has_cached_triangle_count() const noexcept {
-    return triangles_valid_;
+    return std::atomic_ref<bool>(triangles_valid_)
+        .load(std::memory_order_acquire);
   }
 
   /// Raw CSR access for kernels that want the arrays directly.

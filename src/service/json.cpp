@@ -1,0 +1,328 @@
+#include "service/json.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace graphpi::service::json {
+
+/// Recursive-descent parser over an immutable span of bytes. Every read
+/// is bounds-checked against end_; depth_ guards recursion. Namespace
+/// scope (not anonymous) so Value's friend declaration matches.
+class Parser {
+ public:
+  Parser(std::string_view text, int max_depth)
+      : p_(text.data()), end_(text.data() + text.size()),
+        max_depth_(max_depth) {}
+
+  std::optional<Value> run(std::string* error) {
+    Value v;
+    if (!parse_value(v)) {
+      if (error != nullptr) *error = error_;
+      return std::nullopt;
+    }
+    skip_ws();
+    if (p_ != end_) {
+      if (error != nullptr) *error = "trailing characters after JSON value";
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  bool fail(const char* why) {
+    error_ = why;
+    return false;
+  }
+
+  void skip_ws() {
+    while (p_ != end_ &&
+           (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r'))
+      ++p_;
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    if (p_ != end_ && *p_ == c) {
+      ++p_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool literal(const char* word, std::size_t len) {
+    if (static_cast<std::size_t>(end_ - p_) < len) return false;
+    for (std::size_t i = 0; i < len; ++i)
+      if (p_[i] != word[i]) return false;
+    p_ += len;
+    return true;
+  }
+
+  bool parse_value(Value& out) {
+    skip_ws();
+    if (p_ == end_) return fail("unexpected end of input");
+    switch (*p_) {
+      case 'n':
+        if (!literal("null", 4)) return fail("invalid literal");
+        out.type_ = Value::Type::kNull;
+        return true;
+      case 't':
+        if (!literal("true", 4)) return fail("invalid literal");
+        out.type_ = Value::Type::kBool;
+        out.bool_ = true;
+        return true;
+      case 'f':
+        if (!literal("false", 5)) return fail("invalid literal");
+        out.type_ = Value::Type::kBool;
+        out.bool_ = false;
+        return true;
+      case '"':
+        out.type_ = Value::Type::kString;
+        return parse_string(out.str_);
+      case '{':
+        return parse_object(out);
+      case '[':
+        return parse_array(out);
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_object(Value& out) {
+    if (++depth_ > max_depth_) return fail("nesting too deep");
+    ++p_;  // '{'
+    out.type_ = Value::Type::kObject;
+    skip_ws();
+    if (consume('}')) {
+      --depth_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (p_ == end_ || *p_ != '"') return fail("expected object key");
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!consume(':')) return fail("expected ':' after object key");
+      Value member;
+      if (!parse_value(member)) return false;
+      // First occurrence wins: a duplicated key cannot silently override
+      // an already-validated option.
+      if (out.get(key) == nullptr)
+        out.obj_.emplace_back(std::move(key), std::move(member));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) break;
+      return fail("expected ',' or '}' in object");
+    }
+    --depth_;
+    return true;
+  }
+
+  bool parse_array(Value& out) {
+    if (++depth_ > max_depth_) return fail("nesting too deep");
+    ++p_;  // '['
+    out.type_ = Value::Type::kArray;
+    skip_ws();
+    if (consume(']')) {
+      --depth_;
+      return true;
+    }
+    for (;;) {
+      Value item;
+      if (!parse_value(item)) return false;
+      out.arr_.push_back(std::move(item));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) break;
+      return fail("expected ',' or ']' in array");
+    }
+    --depth_;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    ++p_;  // opening quote
+    out.clear();
+    while (true) {
+      if (p_ == end_) return fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(*p_);
+      if (c == '"') {
+        ++p_;
+        return true;
+      }
+      if (c < 0x20) return fail("unescaped control character in string");
+      if (c != '\\') {
+        out.push_back(static_cast<char>(c));
+        ++p_;
+        continue;
+      }
+      ++p_;  // backslash
+      if (p_ == end_) return fail("unterminated escape");
+      switch (*p_) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          ++p_;
+          unsigned code = 0;
+          if (!parse_hex4(code)) return false;
+          // Surrogate pairs: a high surrogate must be followed by
+          // \uDC00-\uDFFF; anything else is malformed.
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (end_ - p_ < 2 || p_[0] != '\\' || p_[1] != 'u')
+              return fail("unpaired surrogate");
+            p_ += 2;
+            unsigned low = 0;
+            if (!parse_hex4(low)) return false;
+            if (low < 0xDC00 || low > 0xDFFF)
+              return fail("invalid low surrogate");
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            return fail("unpaired surrogate");
+          }
+          append_utf8(out, code);
+          continue;  // parse_hex4 already advanced p_
+        }
+        default:
+          return fail("invalid escape character");
+      }
+      ++p_;
+    }
+  }
+
+  bool parse_hex4(unsigned& out) {
+    if (end_ - p_ < 4) return fail("truncated \\u escape");
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = p_[i];
+      unsigned digit;
+      if (c >= '0' && c <= '9') digit = static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') digit = static_cast<unsigned>(c - 'a') + 10;
+      else if (c >= 'A' && c <= 'F') digit = static_cast<unsigned>(c - 'A') + 10;
+      else return fail("invalid \\u escape");
+      out = (out << 4) | digit;
+    }
+    p_ += 4;
+    return true;
+  }
+
+  static void append_utf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  bool parse_number(Value& out) {
+    const char* start = p_;
+    if (p_ != end_ && *p_ == '-') ++p_;
+    // Leading digits: JSON forbids bare '.', '+' and leading zeros
+    // followed by digits; std::from_chars(double) is stricter than
+    // strtod (no hex, no inf/nan) and already rejects most of those,
+    // but we pre-scan the shape so "01" and "-" fail loudly.
+    const char* digits = p_;
+    while (p_ != end_ && *p_ >= '0' && *p_ <= '9') ++p_;
+    if (p_ == digits) return fail("invalid number");
+    if (*digits == '0' && p_ - digits > 1) return fail("leading zero");
+    bool integral = true;
+    if (p_ != end_ && *p_ == '.') {
+      integral = false;
+      ++p_;
+      const char* frac = p_;
+      while (p_ != end_ && *p_ >= '0' && *p_ <= '9') ++p_;
+      if (p_ == frac) return fail("invalid number");
+    }
+    if (p_ != end_ && (*p_ == 'e' || *p_ == 'E')) {
+      integral = false;
+      ++p_;
+      if (p_ != end_ && (*p_ == '+' || *p_ == '-')) ++p_;
+      const char* exp = p_;
+      while (p_ != end_ && *p_ >= '0' && *p_ <= '9') ++p_;
+      if (p_ == exp) return fail("invalid number");
+    }
+    out.type_ = Value::Type::kNumber;
+    const auto [dp, dec] = std::from_chars(start, p_, out.num_);
+    if (dec != std::errc() || dp != p_) return fail("number out of range");
+    if (integral) {
+      std::int64_t i = 0;
+      if (auto [ip, ic] = std::from_chars(start, p_, i);
+          ic == std::errc() && ip == p_) {
+        out.int_ = i;
+        out.has_int_ = true;
+        if (i >= 0) {
+          out.uint_ = static_cast<std::uint64_t>(i);
+          out.has_uint_ = true;
+        }
+      } else if (*start != '-') {
+        std::uint64_t u = 0;
+        if (auto [up, uc] = std::from_chars(start, p_, u);
+            uc == std::errc() && up == p_) {
+          out.uint_ = u;
+          out.has_uint_ = true;
+        }
+      }
+    }
+    return true;
+  }
+
+  const char* p_;
+  const char* end_;
+  const int max_depth_;
+  int depth_ = 0;
+  std::string error_;
+};
+
+std::optional<Value> Value::parse(std::string_view text, std::string* error,
+                                  int max_depth) {
+  return Parser(text, max_depth).run(error);
+}
+
+const Value* Value::get(std::string_view key) const noexcept {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : obj_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace graphpi::service::json

@@ -1,0 +1,105 @@
+// Minimal JSON for the query service (src/service/): a bounds-checked
+// recursive-descent parser producing an immutable DOM, plus the string
+// escaper the response writers use. No external dependencies — the
+// service speaks newline-delimited JSON over a raw socket, and every
+// byte it parses arrived from an untrusted client, so the priorities
+// are (in order): never read out of bounds, never recurse unboundedly,
+// reject trailing garbage, and keep 64-bit integers exact (work budgets
+// and counts do not survive a double round-trip).
+//
+// Deliberately NOT a general-purpose library: no serialization of the
+// DOM (responses are assembled directly — see protocol.cpp), no
+// comments, no NaN/Infinity extensions, objects keep at most the first
+// occurrence of a duplicated key.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace graphpi::service::json {
+
+/// One parsed JSON value. Numbers carry the double value always, plus
+/// exact signed/unsigned integer views when the literal was integral
+/// and in range (so {"work_budget": 18446744073709551615} survives).
+class Value {
+ public:
+  enum class Type : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kObject,
+    kArray,
+  };
+
+  /// Parses exactly one JSON document from `text`; anything but trailing
+  /// whitespace after the value is an error. Returns std::nullopt and
+  /// fills `error` (when non-null) with a human-readable reason on any
+  /// malformed input. Nesting beyond `max_depth` is rejected (stack
+  /// safety against adversarial [[[[... lines).
+  [[nodiscard]] static std::optional<Value> parse(std::string_view text,
+                                                  std::string* error = nullptr,
+                                                  int max_depth = 32);
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type_ == Type::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type_ == Type::kString;
+  }
+  [[nodiscard]] bool is_object() const noexcept {
+    return type_ == Type::kObject;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return type_ == Type::kArray; }
+
+  [[nodiscard]] bool as_bool() const noexcept { return bool_; }
+  [[nodiscard]] double as_double() const noexcept { return num_; }
+  /// Exact integer views: nullopt when the literal had a fraction or
+  /// exponent, was out of range for the requested width, or (for the
+  /// unsigned view) was negative.
+  [[nodiscard]] std::optional<std::int64_t> as_int64() const noexcept {
+    return has_int_ ? std::optional<std::int64_t>(int_) : std::nullopt;
+  }
+  [[nodiscard]] std::optional<std::uint64_t> as_uint64() const noexcept {
+    return has_uint_ ? std::optional<std::uint64_t>(uint_) : std::nullopt;
+  }
+  [[nodiscard]] const std::string& as_string() const noexcept { return str_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value* get(std::string_view key) const noexcept;
+  [[nodiscard]] const std::vector<std::pair<std::string, Value>>& members()
+      const noexcept {
+    return obj_;
+  }
+  [[nodiscard]] const std::vector<Value>& items() const noexcept {
+    return arr_;
+  }
+
+ private:
+  friend class Parser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  bool has_int_ = false;
+  bool has_uint_ = false;
+  std::string str_;
+  std::vector<std::pair<std::string, Value>> obj_;
+  std::vector<Value> arr_;
+};
+
+/// JSON string escaping (quotes NOT included): control characters,
+/// quote and backslash become escapes; everything else passes through
+/// byte-for-byte (UTF-8 stays UTF-8).
+[[nodiscard]] std::string escape(std::string_view s);
+
+}  // namespace graphpi::service::json

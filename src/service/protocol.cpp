@@ -1,0 +1,200 @@
+#include "service/protocol.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "service/json.h"
+
+namespace graphpi::service {
+
+namespace {
+
+/// Re-serializes a scalar id value for verbatim echo. Objects/arrays as
+/// ids are rejected by the caller (bounded response size).
+std::string id_to_json(const json::Value& v) {
+  switch (v.type()) {
+    case json::Value::Type::kNull:
+      return "null";
+    case json::Value::Type::kBool:
+      return v.as_bool() ? "true" : "false";
+    case json::Value::Type::kNumber: {
+      if (const auto i = v.as_int64()) return std::to_string(*i);
+      if (const auto u = v.as_uint64()) return std::to_string(*u);
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", v.as_double());
+      return buf;
+    }
+    case json::Value::Type::kString:
+      return "\"" + json::escape(v.as_string()) + "\"";
+    default:
+      return "null";
+  }
+}
+
+/// Bounded finite double field; rejects NaN/inf/negative/out-of-range.
+std::optional<std::string> read_ms(const json::Value& v, const char* name,
+                                   double max_value, double& out) {
+  if (!v.is_number())
+    return std::string(name) + " must be a number";
+  const double x = v.as_double();
+  if (!std::isfinite(x) || x < 0.0)
+    return std::string(name) + " must be a finite non-negative number";
+  if (x > max_value)
+    return std::string(name) + " exceeds the server limit (" +
+           std::to_string(max_value) + ")";
+  out = x;
+  return std::nullopt;
+}
+
+}  // namespace
+
+const char* backend_name(Backend backend) noexcept {
+  switch (backend) {
+    case Backend::kSerial: return "serial";
+    case Backend::kParallel: return "parallel";
+    case Backend::kGenerated: return "generated";
+    case Backend::kDistributed: return "distributed";
+  }
+  return "unknown";
+}
+
+std::optional<std::string> parse_request(std::string_view line,
+                                         const RequestLimits& limits,
+                                         Request& out) {
+  out = Request{};
+  std::string parse_error;
+  const auto doc = json::Value::parse(line, &parse_error);
+  if (!doc.has_value()) return "malformed JSON: " + parse_error;
+  if (!doc->is_object()) return "request must be a JSON object";
+
+  if (const json::Value* id = doc->get("id")) {
+    if (id->is_object() || id->is_array())
+      return "id must be a scalar";
+    out.id_json = id_to_json(*id);
+  }
+
+  if (const json::Value* cmd = doc->get("cmd")) {
+    if (!cmd->is_string()) return "cmd must be a string";
+    out.cmd = cmd->as_string();
+    if (out.cmd == "ping") return std::nullopt;
+    if (out.cmd == "sleep") {
+      if (!limits.allow_debug_commands)
+        return "debug commands are disabled on this server";
+      if (const json::Value* ms = doc->get("ms")) {
+        if (const auto err =
+                read_ms(*ms, "ms", limits.max_sleep_ms, out.sleep_ms))
+          return err;
+      }
+      return std::nullopt;
+    }
+    return "unknown cmd: " + out.cmd;
+  }
+
+  const json::Value* pattern = doc->get("pattern");
+  if (pattern == nullptr) return "missing required field: pattern";
+  if (!pattern->is_string()) return "pattern must be a string";
+  if (pattern->as_string().empty()) return "pattern must be non-empty";
+  out.pattern_spec = pattern->as_string();
+
+  if (const json::Value* backend = doc->get("backend")) {
+    if (!backend->is_string()) return "backend must be a string";
+    const std::string& b = backend->as_string();
+    if (b == "serial") out.backend = Backend::kSerial;
+    else if (b == "parallel") out.backend = Backend::kParallel;
+    else if (b == "generated") out.backend = Backend::kGenerated;
+    else if (b == "distributed") out.backend = Backend::kDistributed;
+    else return "unknown backend: " + b;
+  }
+  if (out.backend == Backend::kDistributed && !limits.allow_distributed)
+    return "backend 'distributed' requires a server started with --shards";
+  if (out.backend != Backend::kDistributed && !limits.allow_local_backends)
+    return "this server serves a sharded graph; use backend 'distributed'";
+
+  if (const json::Value* iep = doc->get("use_iep")) {
+    if (!iep->is_bool()) return "use_iep must be a boolean";
+    out.use_iep = iep->as_bool();
+  }
+  if (const json::Value* t = doc->get("timeout_ms")) {
+    if (const auto err =
+            read_ms(*t, "timeout_ms", limits.max_timeout_ms, out.timeout_ms))
+      return err;
+  }
+  if (const json::Value* b = doc->get("work_budget")) {
+    const auto u = b->as_uint64();
+    if (!u.has_value())
+      return "work_budget must be a non-negative integer";
+    out.work_budget = *u;
+  }
+  if (const json::Value* t = doc->get("threads")) {
+    const auto i = t->as_int64();
+    if (!i.has_value() || *i < 0)
+      return "threads must be a non-negative integer";
+    if (*i > limits.max_threads)
+      return "threads exceeds the server limit (" +
+             std::to_string(limits.max_threads) + ")";
+    out.threads = static_cast<int>(*i);
+  }
+  if (const json::Value* s = doc->get("poll_stride")) {
+    const auto u = s->as_uint64();
+    if (!u.has_value())
+      return "poll_stride must be a non-negative integer";
+    if (*u > limits.max_poll_stride)
+      return "poll_stride exceeds the server limit (" +
+             std::to_string(limits.max_poll_stride) + ")";
+    out.poll_stride = static_cast<std::uint32_t>(*u);
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+void open_response(std::ostringstream& os, const std::string& id_json) {
+  os << '{';
+  if (!id_json.empty()) os << "\"id\":" << id_json << ',';
+}
+
+}  // namespace
+
+std::string error_response(const std::string& id_json,
+                           std::string_view message) {
+  std::ostringstream os;
+  open_response(os, id_json);
+  os << "\"status\":\"error\",\"error\":\"" << json::escape(message)
+     << "\"}\n";
+  return os.str();
+}
+
+std::string shed_response(const std::string& id_json,
+                          std::size_t queue_capacity) {
+  std::ostringstream os;
+  open_response(os, id_json);
+  os << "\"status\":\"shed\",\"queue_capacity\":" << queue_capacity << "}\n";
+  return os.str();
+}
+
+std::string pong_response(const std::string& id_json) {
+  std::ostringstream os;
+  open_response(os, id_json);
+  os << "\"status\":\"ok\",\"pong\":true}\n";
+  return os.str();
+}
+
+std::string result_response(const std::string& id_json,
+                            const ResultFields& fields) {
+  std::ostringstream os;
+  open_response(os, id_json);
+  const bool partial = fields.status != support::RunStatus::kOk;
+  char elapsed[32];
+  std::snprintf(elapsed, sizeof(elapsed), "%.3f", fields.elapsed_ms);
+  os << "\"status\":\"" << support::to_string(fields.status)
+     << "\",\"count\":" << fields.count
+     << ",\"elapsed_ms\":" << elapsed
+     << ",\"completed_roots\":" << fields.completed_roots
+     << ",\"partial\":" << (partial ? "true" : "false")
+     << ",\"plan_cached\":" << (fields.plan_cached ? "true" : "false")
+     << ",\"backend\":\"" << backend_name(fields.backend) << "\"}\n";
+  return os.str();
+}
+
+}  // namespace graphpi::service

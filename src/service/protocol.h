@@ -1,0 +1,105 @@
+// Wire protocol of the GraphPi query service.
+//
+// Transport: one TCP connection carries any number of requests, one
+// JSON object per '\n'-terminated line; the server answers each request
+// with one JSON object on its own line. Responses to pipelined requests
+// may interleave out of order — match them by echoing `id`.
+//
+// Request fields (all optional except `pattern`):
+//   {"id": <any scalar, echoed verbatim>,
+//    "pattern": "<spec>",            // same syntax as graphpi_cli
+//    "backend": "serial|parallel|generated|distributed",
+//    "use_iep": true,
+//    "timeout_ms": 250.0,            // per-query deadline (0 = none)
+//    "work_budget": 100000,          // root-unit budget (0 = unlimited)
+//    "threads": 4,                   // parallel/generated worker cap
+//    "poll_stride": 64}              // deadline poll granularity
+// Admin requests use "cmd" instead of "pattern": {"cmd":"ping"} always
+// answers; {"cmd":"sleep","ms":N} occupies a worker for N ms and exists
+// for deterministic queue-full testing (rejected unless the server was
+// configured with allow_debug_commands).
+//
+// Response: {"id":..,"status":"ok","count":8324,"elapsed_ms":1.73,
+//            "completed_roots":6012,"partial":false,"plan_cached":true,
+//            "backend":"serial"}
+// status is one of ok | timeout | cancelled | budget (partial results,
+// "partial":true) | shed (queue full, request never ran) | error
+// (malformed/rejected request; "error" holds the reason). A stopped run
+// (timeout/cancelled/budget) still reports its best-effort partial
+// count, mirroring MatchOptions/RunReport semantics.
+//
+// GET /metrics: a connection whose first bytes are an HTTP GET request
+// is answered with a one-shot HTTP response — Prometheus text
+// exposition of the process metrics registry — and closed (see
+// server.cpp). Everything else on the socket is the JSON protocol.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "api/graphpi.h"
+
+namespace graphpi::service {
+
+/// One parsed and validated query (or admin command).
+struct Request {
+  /// Raw JSON of the client's `id`, echoed verbatim into the response
+  /// ("7", "\"q-12\"", ...); empty when the request carried none.
+  std::string id_json;
+  std::string pattern_spec;  ///< empty for admin commands
+  std::string cmd;           ///< "", "ping", or "sleep"
+  double sleep_ms = 0.0;
+  Backend backend = Backend::kSerial;
+  bool use_iep = true;
+  double timeout_ms = 0.0;
+  std::uint64_t work_budget = 0;
+  int threads = 0;
+  std::uint32_t poll_stride = 0;
+};
+
+/// Per-request validation bounds, configured once per server. Requests
+/// beyond these are rejected with a structured error, never clamped
+/// silently and never allowed to crash the process.
+struct RequestLimits {
+  double max_timeout_ms = 3.6e6;  ///< 1 hour
+  int max_threads = 256;
+  std::uint32_t max_poll_stride = 1u << 20;
+  double max_sleep_ms = 60e3;
+  bool allow_distributed = false;  ///< true only when serving shards
+  bool allow_debug_commands = false;
+  /// Backends that need the full in-memory graph (everything but
+  /// distributed); false when serving a sharded load.
+  bool allow_local_backends = true;
+};
+
+/// Parses one request line. Returns std::nullopt on success (with `out`
+/// filled), or the rejection reason. `out.id_json` is populated
+/// whenever the line parsed far enough to recover an id, so error
+/// responses stay correlatable.
+[[nodiscard]] std::optional<std::string> parse_request(
+    std::string_view line, const RequestLimits& limits, Request& out);
+
+/// Response builders; every returned string is one full line including
+/// the trailing '\n'.
+[[nodiscard]] std::string error_response(const std::string& id_json,
+                                         std::string_view message);
+[[nodiscard]] std::string shed_response(const std::string& id_json,
+                                        std::size_t queue_capacity);
+[[nodiscard]] std::string pong_response(const std::string& id_json);
+
+struct ResultFields {
+  Count count = 0;
+  support::RunStatus status = support::RunStatus::kOk;
+  std::uint64_t completed_roots = 0;
+  double elapsed_ms = 0.0;
+  bool plan_cached = false;
+  Backend backend = Backend::kSerial;
+};
+[[nodiscard]] std::string result_response(const std::string& id_json,
+                                          const ResultFields& fields);
+
+[[nodiscard]] const char* backend_name(Backend backend) noexcept;
+
+}  // namespace graphpi::service

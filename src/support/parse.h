@@ -1,0 +1,29 @@
+// Strict command-line / wire numeric parsing.
+//
+// One helper replacing the atoi/atof habit in the tools: std::from_chars
+// over the WHOLE token, so "12x", "", " 7", "1e999" and similar come
+// back as std::nullopt instead of silently truncating to a plausible
+// number. Callers turn nullopt into a structured usage error; nothing
+// here throws.
+#pragma once
+
+#include <charconv>
+#include <optional>
+#include <string_view>
+
+namespace graphpi::support {
+
+/// Parses all of `text` as a T (any integral or floating-point type
+/// std::from_chars supports). Leading '+', whitespace, or trailing
+/// garbage make it fail — exactly the inputs atoi would mis-read.
+template <typename T>
+[[nodiscard]] std::optional<T> parse_number(std::string_view text) {
+  T value{};
+  const char* const first = text.data();
+  const char* const last = text.data() + text.size();
+  const auto [end, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || end != last) return std::nullopt;
+  return value;
+}
+
+}  // namespace graphpi::support

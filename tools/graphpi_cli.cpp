@@ -21,6 +21,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 
 #include "api/graphpi.h"
@@ -28,12 +29,56 @@
 #include "core/automorphism.h"
 #include "engine/jit.h"
 #include "graph/analysis.h"
+#include "service/server.h"
+#include "support/parse.h"
 #include "support/table.h"
 #include "support/timer.h"
 
 namespace {
 
 using namespace graphpi;
+
+/// Malformed flag value; main() prints it and exits with the usage
+/// status instead of letting atoi-style parsing truncate silently.
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+long long int_flag(const std::string& flag, const char* text,
+                   long long min_value, long long max_value) {
+  const auto parsed = support::parse_number<long long>(text);
+  if (!parsed.has_value() || *parsed < min_value || *parsed > max_value)
+    throw UsageError(flag + " expects an integer in [" +
+                     std::to_string(min_value) + ", " +
+                     std::to_string(max_value) + "], got '" +
+                     std::string(text) + "'");
+  return *parsed;
+}
+
+std::uint64_t u64_flag(const std::string& flag, const char* text) {
+  const auto parsed = support::parse_number<std::uint64_t>(text);
+  if (!parsed.has_value())
+    throw UsageError(flag + " expects a non-negative integer, got '" +
+                     std::string(text) + "'");
+  return *parsed;
+}
+
+double ms_flag(const std::string& flag, const char* text) {
+  constexpr double kMaxMs = 8.64e7;  // 24 hours
+  const auto parsed = support::parse_number<double>(text);
+  if (!parsed.has_value() || !(*parsed >= 0.0) || *parsed > kMaxMs)
+    throw UsageError(flag + " expects milliseconds in [0, 8.64e7], got '" +
+                     std::string(text) + "'");
+  return *parsed;
+}
+
+double rate_flag(const std::string& flag, const char* text) {
+  const auto parsed = support::parse_number<double>(text);
+  if (!parsed.has_value() || !(*parsed >= 0.0) || *parsed > 1.0)
+    throw UsageError(flag + " expects a probability in [0, 1], got '" +
+                     std::string(text) + "'");
+  return *parsed;
+}
 
 int usage() {
   std::cerr <<
@@ -54,8 +99,9 @@ int usage() {
   save  <graph> <out.gps> [--block-vertices N] [--no-reorder]
   load  <snapshot.gps> [--verify]
 graph:   path to an edge list or GPS1 snapshot, or dataset:NAME[:SCALE]
-pattern: triangle|rectangle|house|pentagon|hourglass|cycle6tri|p1..p6|
-         clique<K>|cycle<K>|path<K>|star<K>|N:ADJSTRING
+pattern: triangle|rectangle|house|pentagon|hourglass|cycle6tri|
+         tailed_triangle|p1..p6|clique<K>|cycle<K>|path<K>|star<K>|
+         N:ADJSTRING
 --backend generated runs the plan through the self-compiling kernel cache
 (emit -> system compiler -> dlopen; falls back to the interpreter when no
 compiler is found). Generated kernels run their root loop in parallel;
@@ -81,50 +127,12 @@ Any <graph> argument accepts a snapshot path directly.
   return 2;
 }
 
-Graph parse_graph(const std::string& spec) {
-  constexpr const char* kPrefix = "dataset:";
-  if (spec.rfind(kPrefix, 0) == 0) {
-    std::string rest = spec.substr(std::string(kPrefix).size());
-    double scale = 0.2;
-    if (const auto colon = rest.find(':'); colon != std::string::npos) {
-      scale = std::atof(rest.substr(colon + 1).c_str());
-      rest = rest.substr(0, colon);
-    }
-    return datasets::load(rest, scale);
-  }
-  // Sniff the snapshot magic so every <graph> argument accepts either
-  // format (count/stats/list work straight off a .gps file).
-  if (std::ifstream probe(spec, std::ios::binary); probe) {
-    char magic[4] = {};
-    if (probe.read(magic, 4) && std::memcmp(magic, "GPS1", 4) == 0)
-      return Graph::load_snapshot(spec);
-  }
-  return load_edge_list(spec);
-}
+// Shared with graphpi_serve: GPS1-sniffing graph loader (hardened
+// dataset SCALE parsing) and the strict pattern-spec parser.
+Graph parse_graph(const std::string& spec) { return service::load_graph(spec); }
 
 Pattern parse_pattern(const std::string& spec) {
-  using namespace patterns;
-  if (spec == "triangle") return clique(3);
-  if (spec == "rectangle") return rectangle();
-  if (spec == "house") return house();
-  if (spec == "pentagon") return pentagon();
-  if (spec == "hourglass") return hourglass();
-  if (spec == "cycle6tri") return cycle_6_tri();
-  if (spec.size() == 2 && (spec[0] == 'p' || spec[0] == 'P'))
-    return evaluation_pattern(spec[1] - '0');
-  for (const auto& [prefix, make] :
-       {std::pair<std::string, Pattern (*)(int)>{"clique", &clique},
-        {"cycle", &cycle},
-        {"path", &path},
-        {"star", &star}}) {
-    if (spec.rfind(prefix, 0) == 0 && spec.size() > prefix.size())
-      return make(std::atoi(spec.c_str() + prefix.size()));
-  }
-  if (const auto colon = spec.find(':'); colon != std::string::npos) {
-    const int n = std::atoi(spec.substr(0, colon).c_str());
-    return Pattern(n, spec.substr(colon + 1));
-  }
-  throw std::runtime_error("unknown pattern: " + spec);
+  return patterns::parse_spec(spec);
 }
 
 int cmd_stats(const std::string& graph_spec) {
@@ -159,12 +167,12 @@ int cmd_count(const std::string& graph_spec, const std::string& pattern_spec,
     if (arg == "--parallel") options.backend = Backend::kParallel;
     if (arg == "--nodes" && i + 1 < argc) {
       options.backend = Backend::kDistributed;
-      options.nodes = std::atoi(argv[++i]);
+      options.nodes = static_cast<int>(int_flag(arg, argv[++i], 1, 1024));
     }
     if (arg == "--task-depth" && i + 1 < argc)
-      options.task_depth = std::atoi(argv[++i]);
+      options.task_depth = static_cast<int>(int_flag(arg, argv[++i], 1, 8));
     if (arg == "--threads" && i + 1 < argc)
-      options.threads = std::atoi(argv[++i]);
+      options.threads = static_cast<int>(int_flag(arg, argv[++i], 0, 4096));
     if (arg == "--partition" && i + 1 < argc) {
       if (!dist::parse_partition(argv[++i], options.partition)) {
         std::cerr << "unknown partition strategy: " << argv[i] << "\n";
@@ -178,9 +186,10 @@ int cmd_count(const std::string& graph_spec, const std::string& pattern_spec,
       }
     }
     if (arg == "--dist-workers" && i + 1 < argc)
-      options.dist_workers = std::atoi(argv[++i]);
+      options.dist_workers = static_cast<int>(int_flag(arg, argv[++i], 1, 64));
     if (arg == "--mailbox" && i + 1 < argc)
-      options.dist_mailbox_capacity = std::atoi(argv[++i]);
+      options.dist_mailbox_capacity =
+          static_cast<int>(int_flag(arg, argv[++i], 0, 1 << 24));
     if (arg == "--backend" && i + 1 < argc) {
       const std::string backend = argv[++i];
       if (backend == "serial") {
@@ -198,22 +207,22 @@ int cmd_count(const std::string& graph_spec, const std::string& pattern_spec,
     if (arg == "--metrics-json" && i + 1 < argc) metrics_path = argv[++i];
     if (arg == "--trace-json" && i + 1 < argc) trace_path = argv[++i];
     if (arg == "--timeout-ms" && i + 1 < argc)
-      options.timeout_ms = std::atof(argv[++i]);
+      options.timeout_ms = ms_flag(arg, argv[++i]);
     if (arg == "--budget" && i + 1 < argc)
-      options.work_budget = std::strtoull(argv[++i], nullptr, 10);
+      options.work_budget = u64_flag(arg, argv[++i]);
     if (arg == "--poll-stride" && i + 1 < argc)
       options.poll_stride =
-          static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+          static_cast<std::uint32_t>(int_flag(arg, argv[++i], 0, 1 << 20));
     if (arg == "--fault-drop" && i + 1 < argc)
-      fault_rates.drop = std::atof(argv[++i]);
+      fault_rates.drop = rate_flag(arg, argv[++i]);
     if (arg == "--fault-duplicate" && i + 1 < argc)
-      fault_rates.duplicate = std::atof(argv[++i]);
+      fault_rates.duplicate = rate_flag(arg, argv[++i]);
     if (arg == "--fault-reorder" && i + 1 < argc)
-      fault_rates.reorder = std::atof(argv[++i]);
+      fault_rates.reorder = rate_flag(arg, argv[++i]);
     if (arg == "--fault-corrupt" && i + 1 < argc)
-      fault_rates.corrupt = std::atof(argv[++i]);
+      fault_rates.corrupt = rate_flag(arg, argv[++i]);
     if (arg == "--fault-seed" && i + 1 < argc)
-      fault_seed = std::strtoull(argv[++i], nullptr, 10);
+      fault_seed = u64_flag(arg, argv[++i]);
   }
   options.faults = dist::FaultPlan::uniform(fault_seed, fault_rates.drop,
                                             fault_rates.duplicate,
@@ -377,7 +386,7 @@ int cmd_save(const std::string& graph_spec, const std::string& out_path,
     const std::string arg = argv[i];
     if (arg == "--block-vertices" && i + 1 < argc)
       snapshot_options.block_vertices =
-          static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+          static_cast<std::uint32_t>(int_flag(arg, argv[++i], 1, 1 << 24));
     if (arg == "--no-reorder") reorder = false;
   }
   Graph g = parse_graph(graph_spec);
@@ -472,7 +481,7 @@ int main(int argc, char** argv) {
       return cmd_count(argv[2], argv[3], argc - 4, argv + 4);
     if (cmd == "list" && argc >= 4)
       return cmd_list(argv[2], argv[3],
-                      argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 20);
+                      argc > 4 ? u64_flag("list limit", argv[4]) : 20);
     if (cmd == "plan" && argc >= 4) return cmd_plan(argv[2], argv[3]);
     if (cmd == "gen" && argc >= 3) {
       bool use_iep = true;
@@ -492,9 +501,14 @@ int main(int argc, char** argv) {
       return cmd_load(argv[2],
                       argc > 3 && std::strcmp(argv[3], "--verify") == 0);
     if (cmd == "make" && argc >= 7)
-      return cmd_make(argv[2], static_cast<VertexId>(std::atoll(argv[3])),
-                      std::strtoull(argv[4], nullptr, 10),
-                      std::strtoull(argv[5], nullptr, 10), argv[6]);
+      return cmd_make(
+          argv[2],
+          static_cast<VertexId>(int_flag("make n", argv[3], 0, 0xffffffffLL)),
+          u64_flag("make m", argv[4]), u64_flag("make seed", argv[5]),
+          argv[6]);
+  } catch (const UsageError& e) {
+    std::cerr << "graphpi: " << e.what() << "\n";
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "graphpi: " << e.what() << "\n";
     return 1;
